@@ -1,0 +1,17 @@
+"""Shared experiment context for the benchmark harness.
+
+All benchmarks share one :class:`ExperimentContext` so dense models,
+decompositions, and GNN baselines are each trained exactly once per
+session regardless of how many tables/figures consume them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext(size="small", grid_shape=(3, 3), lanes=8, gnn_epochs=15)

@@ -1,0 +1,128 @@
+"""Ablations of the decomposition design choices (beyond the paper).
+
+DESIGN.md calls out four design decisions in the Fig. 5 pipeline; each is
+ablated here on the traffic workload:
+
+* **fine-tune method** — CONCORD closed-form refit vs the paper's SGD
+  regression vs no refit at all (prune-only);
+* **wormhole budget** — how many remote super-connections the accuracy
+  needs;
+* **capacity slack** — PE headroom that keeps communities whole;
+* **anchor degree** — guaranteed couplings from predicted-frame variables
+  to the observed frames (the importance-aware pruning fix).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingConfig
+from repro.decompose import DecompositionConfig, decompose
+from repro.experiments import evaluate_equilibrium
+
+
+@pytest.fixture(scope="module")
+def trained(context):
+    return context.dense("traffic")
+
+
+def _score(trained, system):
+    return evaluate_equilibrium(
+        system.model, trained.windowing, trained.test.flat_series(), max_windows=20
+    )
+
+
+def _config(trained, **overrides):
+    base = dict(
+        density=0.15,
+        pattern="dmesh",
+        grid_shape=(3, 3),
+        anchor_index=tuple(trained.windowing.target_index.tolist()),
+    )
+    base.update(overrides)
+    return DecompositionConfig(**base)
+
+
+def test_ablation_finetune_method(benchmark, context, trained):
+    """Closed-form CONCORD refit should beat prune-only; the SGD path is
+    the slow reference implementation."""
+    results = {}
+    for method in ("closed_form", "none", "sgd"):
+        config = _config(
+            trained,
+            finetune_method=method,
+            finetune=TrainingConfig(epochs=8, lr=0.02),
+        )
+        system = decompose(trained.model, trained.samples, config)
+        results[method] = _score(trained, system)
+    benchmark(
+        lambda: decompose(
+            trained.model, trained.samples, _config(trained)
+        )
+    )
+
+    print("\n=== Ablation: fine-tune method (traffic, D=0.15, DMesh) ===")
+    for method, rmse in results.items():
+        print(f"  {method:12s} RMSE {rmse:.4f}")
+    assert results["closed_form"] <= results["none"] * 1.02
+
+
+def test_ablation_wormhole_budget(benchmark, context, trained):
+    """Wormholes carry the rare remote couplings; removing them entirely
+    must not help."""
+    results = {}
+    for budget in (0, 1, 3, 6):
+        config = _config(trained, wormhole_budget=budget)
+        system = decompose(trained.model, trained.samples, config)
+        results[budget] = _score(trained, system)
+    benchmark(
+        lambda: decompose(
+            trained.model, trained.samples, _config(trained, wormhole_budget=3)
+        )
+    )
+
+    print("\n=== Ablation: wormhole budget ===")
+    for budget, rmse in results.items():
+        print(f"  budget {budget}: RMSE {rmse:.4f}")
+    assert min(results[3], results[6]) <= results[0] * 1.05
+
+
+def test_ablation_capacity_slack(benchmark, context, trained):
+    """Zero slack fragments communities to fill PEs exactly; headroom
+    should help (or at least not hurt much)."""
+    results = {}
+    for slack in (1.0, 1.25, 1.5, 2.0):
+        config = _config(trained, capacity_slack=slack)
+        system = decompose(trained.model, trained.samples, config)
+        results[slack] = _score(trained, system)
+    benchmark(
+        lambda: decompose(
+            trained.model, trained.samples, _config(trained, capacity_slack=1.5)
+        )
+    )
+
+    print("\n=== Ablation: PE capacity slack ===")
+    for slack, rmse in results.items():
+        print(f"  slack {slack:.2f}: RMSE {rmse:.4f}")
+    assert min(results[1.5], results[2.0]) <= results[1.0] * 1.1
+
+
+def test_ablation_anchor_degree(benchmark, context, trained):
+    """The importance-aware pruning fix: anchoring the predicted frame's
+    couplings is what keeps sparse systems predictive."""
+    results = {}
+    for degree in (0, 1, 3, 6):
+        config = _config(trained, anchor_degree=degree)
+        if degree == 0:
+            config = _config(trained, anchor_index=None, anchor_degree=0)
+        system = decompose(trained.model, trained.samples, config)
+        results[degree] = _score(trained, system)
+    benchmark(
+        lambda: decompose(
+            trained.model, trained.samples, _config(trained, anchor_degree=3)
+        )
+    )
+
+    print("\n=== Ablation: anchor degree (0 = magnitude-only pruning) ===")
+    for degree, rmse in results.items():
+        print(f"  degree {degree}: RMSE {rmse:.4f}")
+    assert results[3] <= results[0] * 1.02

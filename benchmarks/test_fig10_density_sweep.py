@@ -1,0 +1,67 @@
+"""Fig. 10 — DS-GL accuracy (RMSE) vs coupling-matrix density per pattern.
+
+Regenerates the seven per-dataset curves: RMSE as a function of the
+communication demand density D for Chain/Mesh/DMesh decompositions (all
+with Wormholes enabled), against the best-GNN reference line.
+
+Expected shape: RMSE falls as density rises, and richer patterns
+(DMesh >= Mesh >= Chain in connectivity) reach equal or better accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SCALAR_DATASETS
+from repro.experiments import DENSITY_GRID, fig10_data, format_density_sweep
+
+
+@pytest.fixture(scope="module")
+def data(context):
+    return fig10_data(context)
+
+
+def test_fig10_density_sweep(benchmark, context, data):
+    # Benchmark one representative design-point evaluation (cached model).
+    benchmark(lambda: context.dsgl_rmse("traffic", 0.15, "dmesh"))
+
+    print("\n=== Fig. 10: RMSE vs density (sparsity = 1 - density) ===")
+    print(format_density_sweep(data))
+
+    for name in SCALAR_DATASETS:
+        entry = data[name]
+        for pattern, curve in entry["curves"].items():
+            improves = curve[-1] <= curve[0] * 1.15
+            # A dataset whose *sparsest* decomposition already crushes the
+            # best GNN has nothing left for density to buy (stock's
+            # cointegration structure fits in very few couplings); there
+            # the trend is allowed to saturate instead of improve.
+            saturated = curve[0] <= entry["best_gnn"] * 0.5
+            assert improves or saturated, (name, pattern, curve)
+
+
+def test_fig10_density_improves_accuracy(benchmark, context, data):
+    """Across all datasets/patterns, the dense end of the sweep must beat
+    the sparse end on average — the figure's headline trend."""
+    benchmark(lambda: context.dsgl_rmse("stock", 0.1, "mesh"))
+    sparse_end, dense_end = [], []
+    for entry in data.values():
+        if min(curve[0] for curve in entry["curves"].values()) <= entry["best_gnn"] * 0.5:
+            continue  # saturated dataset (see test above)
+        for curve in entry["curves"].values():
+            sparse_end.append(curve[0])
+            dense_end.append(curve[-1])
+    assert np.mean(dense_end) < np.mean(sparse_end)
+
+
+def test_fig10_dsgl_competitive_with_gnn(benchmark, context, data):
+    """At the densest sweep point, the best DS-GL pattern should be within
+    striking distance of (and usually beat) the best GNN."""
+    benchmark(lambda: context.best_gnn_rmse("stock"))
+    wins = 0
+    for name, entry in data.items():
+        best_dsgl = min(curve[-1] for curve in entry["curves"].values())
+        if best_dsgl <= entry["best_gnn"] * 1.1:
+            wins += 1
+    assert wins >= len(data) // 2, (
+        "DS-GL should be competitive with the best GNN on most datasets"
+    )

@@ -1,0 +1,52 @@
+"""Fig. 11 — best RMSE vs inference latency (annealing time).
+
+Temporal & Spatial co-annealing trades annealing time for accuracy:
+the RMSE falls sharply with latency and then flattens past an inflection
+point.  (Our latency axis is stretched ~2.5x relative to the paper's
+because the simulated node time constant is paired with the 200 ns switch
+interval; see EXPERIMENTS.md.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig11_data, format_latency_sweep
+
+
+@pytest.fixture(scope="module")
+def data(context):
+    return fig11_data(context)
+
+
+def test_fig11_latency_sweep(benchmark, context, data):
+    trained = context.dense("traffic")
+    dspu = context.dspu("traffic", 0.15, "dmesh")
+    history = trained.windowing.history_of(trained.test.flat_series(), 3)
+    benchmark(
+        lambda: dspu.anneal(
+            trained.windowing.observed_index, history, duration_ns=10000.0
+        )
+    )
+
+    print("\n=== Fig. 11: best RMSE vs inference latency ===")
+    print(format_latency_sweep(data))
+
+    for name, entry in data.items():
+        curve = entry["rmse"]
+        # Longest-latency accuracy beats the shortest-latency accuracy.
+        assert curve[-1] < curve[0], (name, curve)
+
+
+def test_fig11_sharp_then_flat(benchmark, context, data):
+    """Most of the improvement should land in the first half of the sweep
+    (the sharp-decline-then-inflection shape)."""
+    benchmark(lambda: context.dsgl_rmse("no2", 0.15, "dmesh"))
+    sharp_shaped = 0
+    for entry in data.values():
+        curve = np.asarray(entry["rmse"])
+        total_gain = curve[0] - curve.min()
+        mid = len(curve) // 2
+        early_gain = curve[0] - curve[:mid + 1].min()
+        if total_gain <= 0 or early_gain >= 0.5 * total_gain:
+            sharp_shaped += 1
+    assert sharp_shaped >= len(data) - 2

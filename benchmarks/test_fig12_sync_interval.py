@@ -1,0 +1,64 @@
+"""Fig. 12 — RMSE vs inter-tile synchronization interval.
+
+Inter-mapping synchronization (the switch-in-turn interval) sweeps from
+50 ns to 5 us at a fixed annealing budget: accuracy is flat for fast
+synchronization and degrades as the interval grows, with a negligible
+drop at the hardware-supported 200 ns (the paper's operating point).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig12_data, format_sync_sweep
+
+
+@pytest.fixture(scope="module")
+def data(context):
+    return fig12_data(context)
+
+
+def test_fig12_sync_interval(benchmark, context, data):
+    trained = context.dense("stock")
+    dspu = context.dspu("stock", 0.15, "dmesh")
+    history = trained.windowing.history_of(trained.test.flat_series(), 3)
+    benchmark(
+        lambda: dspu.anneal(
+            trained.windowing.observed_index,
+            history,
+            duration_ns=10000.0,
+            sync_interval_ns=200.0,
+        )
+    )
+
+    print("\n=== Fig. 12: RMSE vs synchronization interval ===")
+    print(format_sync_sweep(data))
+
+    for name, entry in data.items():
+        sync = np.asarray(entry["sync_ns"], dtype=float)
+        curve = np.asarray(entry["rmse"])
+        fast = curve[sync <= 500.0]
+        slow = curve[sync >= 2500.0]
+        # Fast synchronization is at least as accurate as slow (on average).
+        assert fast.mean() <= slow.mean() * 1.05, (name, curve)
+
+
+def test_fig12_operating_point_drop_is_small(benchmark, context, data):
+    """At the DS-GL operating point (200 ns) the accuracy drop relative to
+    the fastest sweep point must be small — the paper's key takeaway."""
+    trained = context.dense("no2")
+    dspu = context.dspu("no2", 0.15, "dmesh")
+    history = trained.windowing.history_of(trained.test.flat_series(), 3)
+    benchmark(
+        lambda: dspu.anneal(
+            trained.windowing.observed_index,
+            history,
+            duration_ns=10000.0,
+            sync_interval_ns=1000.0,
+        )
+    )
+    for name, entry in data.items():
+        sync = np.asarray(entry["sync_ns"], dtype=float)
+        curve = np.asarray(entry["rmse"])
+        at_200 = curve[np.argmin(np.abs(sync - 200.0))]
+        best_fast = curve[sync <= 500.0].min()
+        assert at_200 <= best_fast * 1.35, (name, at_200, best_fast)

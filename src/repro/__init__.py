@@ -1,0 +1,49 @@
+"""DS-GL: nature-powered graph learning on scalable dynamical systems.
+
+A complete reproduction of the ISCA 2024 paper "DS-GL: Advancing Graph
+Learning via Harnessing Nature's Power within Scalable Dynamical Systems"
+as a Python library:
+
+* :mod:`repro.core` - the Real-Valued DSPU model: quadratic-self-reaction
+  Hamiltonian, analog node dynamics, training, natural-annealing inference.
+* :mod:`repro.ising` - the BRIM Ising-machine substrate and classic
+  binary-optimization workloads.
+* :mod:`repro.decompose` - sparsification, Louvain communities, PE
+  placement, and pattern-constrained fine-tuning (Fig. 5).
+* :mod:`repro.hardware` - the Scalable DSPU grid: PEs, CUs, schedulers,
+  co-annealing simulation, and cost models.
+* :mod:`repro.nn` / :mod:`repro.gnn` - a from-scratch autograd engine and
+  the GWN/MTGNN/DDGCRN baselines.
+* :mod:`repro.datasets` - seeded synthetic stand-ins for the paper's nine
+  evaluation datasets.
+* :mod:`repro.experiments` - one entry point per table and figure.
+
+Quickstart::
+
+    from repro.core import TemporalWindowing, fit_precision, NaturalAnnealingEngine
+    from repro.datasets import load_dataset
+
+    ds = load_dataset("traffic", size="small")
+    train, _val, test = ds.split()
+    tw = TemporalWindowing(ds.num_nodes, window=3)
+    model = fit_precision(tw.windows(train.series))
+    engine = NaturalAnnealingEngine(model)
+    history = tw.history_of(test.series, t=10)
+    prediction = engine.infer_equilibrium(tw.observed_index, history).prediction
+"""
+
+from . import core, datasets, decompose, experiments, gnn, hardware, ising, nn
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "core",
+    "datasets",
+    "decompose",
+    "experiments",
+    "gnn",
+    "hardware",
+    "ising",
+    "nn",
+]

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the registered datasets with their shapes.
+``train``
+    Train a dense DS-GL system on one dataset, report the test RMSE of
+    natural-annealing inference, and optionally save the model.
+``decompose``
+    Train + decompose for a PE grid and print the decomposition report.
+``table {1,2,3,4}`` / ``figure {4,10,11,12,13}``
+    Regenerate one paper artifact and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .datasets import ALL_DATASETS, load_dataset
+from .experiments import (
+    ExperimentContext,
+    evaluate_equilibrium,
+    fig4_data,
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+    format_density_sweep,
+    format_latency_sweep,
+    format_noise_sweep,
+    format_sync_sweep,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    table1_data,
+    table2_data,
+    table3_data,
+    table4_data,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DS-GL reproduction: nature-powered graph learning.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered datasets")
+
+    train = sub.add_parser("train", help="train and evaluate a dense system")
+    train.add_argument("dataset", choices=ALL_DATASETS)
+    train.add_argument("--size", default="small", choices=("small", "paper"))
+    train.add_argument("--window", type=int, default=3)
+    train.add_argument("--ridge", type=float, default=5e-2)
+    train.add_argument("--save", default=None, help="path for the .npz model")
+
+    decompose_cmd = sub.add_parser(
+        "decompose", help="train, decompose, and report structure"
+    )
+    decompose_cmd.add_argument("dataset", choices=ALL_DATASETS)
+    decompose_cmd.add_argument("--size", default="small", choices=("small", "paper"))
+    decompose_cmd.add_argument("--density", type=float, default=0.15)
+    decompose_cmd.add_argument(
+        "--pattern", default="dmesh", choices=("chain", "mesh", "dmesh")
+    )
+    decompose_cmd.add_argument("--grid", type=int, nargs=2, default=(3, 3))
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    table.add_argument("--size", default="small", choices=("small", "paper"))
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=(4, 10, 11, 12, 13))
+    figure.add_argument("--size", default="small", choices=("small", "paper"))
+    return parser
+
+
+def _cmd_datasets() -> int:
+    for name in ALL_DATASETS:
+        ds = load_dataset(name, size="small")
+        shape = "x".join(str(k) for k in ds.series.shape)
+        print(f"{name:<12s} {shape:<14s} {ds.description[:60]}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .core import TemporalWindowing, TrainingConfig, fit_precision
+
+    dataset = load_dataset(args.dataset, size=args.size)
+    train, _val, test = dataset.split()
+    series = train.flat_series()
+    windowing = TemporalWindowing(series.shape[1], args.window)
+    model = fit_precision(
+        windowing.windows(series),
+        TrainingConfig(ridge=args.ridge),
+        metadata={"dataset": args.dataset},
+    )
+    score = evaluate_equilibrium(model, windowing, test.flat_series())
+    print(
+        f"{args.dataset}: {model.n} variables, margin "
+        f"{model.convexity_margin():.3f}, test RMSE {score:.4f}"
+    )
+    if args.save:
+        model.save(args.save)
+        print(f"model saved to {args.save}")
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from .core import TemporalWindowing, TrainingConfig, fit_precision
+    from .decompose import DecompositionConfig, analyze, decompose
+
+    dataset = load_dataset(args.dataset, size=args.size)
+    train, _val, test = dataset.split()
+    series = train.flat_series()
+    windowing = TemporalWindowing(series.shape[1], 3)
+    samples = windowing.windows(series)
+    model = fit_precision(samples, TrainingConfig(ridge=5e-2))
+    system = decompose(
+        model,
+        samples,
+        DecompositionConfig(
+            density=args.density,
+            pattern=args.pattern,
+            grid_shape=tuple(args.grid),
+            anchor_index=tuple(windowing.target_index.tolist()),
+        ),
+    )
+    print(analyze(system).summary())
+    dense_rmse = evaluate_equilibrium(model, windowing, test.flat_series())
+    sparse_rmse = evaluate_equilibrium(
+        system.model, windowing, test.flat_series()
+    )
+    print(f"dense RMSE {dense_rmse:.4f} -> decomposed RMSE {sparse_rmse:.4f}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        print(format_table1(table1_data()))
+        return 0
+    context = ExperimentContext(size=args.size)
+    if args.number == 2:
+        print(format_table2(table2_data(context)))
+    elif args.number == 3:
+        print(format_table3(table3_data(context)))
+    else:
+        print(format_table4(table4_data(context)))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.number == 4:
+        data = fig4_data()
+        print("DSPU final:", np.round(data["dspu_final"], 3))
+        print("BRIM final:", np.round(data["brim_final"], 3))
+        return 0
+    context = ExperimentContext(size=args.size)
+    if args.number == 10:
+        print(format_density_sweep(fig10_data(context)))
+    elif args.number == 11:
+        print(format_latency_sweep(fig11_data(context)))
+    elif args.number == 12:
+        print(format_sync_sweep(fig12_data(context)))
+    else:
+        print(format_noise_sweep(fig13_data(context)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "decompose":
+        return _cmd_decompose(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""The DS-GL core: real-valued dynamical systems for graph learning.
+
+This package implements the paper's primary contribution — the Real-Valued
+DSPU model (Sec. III): the quadratic-self-reaction Hamiltonian, the analog
+node dynamics and their simulator, the training regression, and natural-
+annealing inference.
+"""
+
+from .annealing import (
+    AnnealingController,
+    ConstantSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    Schedule,
+)
+from .diagnostics import SpectrumReport, estimate_settling_ns, spectrum_report
+from .dynamics import CircuitSimulator, IntegrationConfig, Trajectory
+from .hamiltonian import (
+    IsingHamiltonian,
+    RealValuedHamiltonian,
+    symmetrize_coupling,
+    validate_coupling,
+)
+from .inference import InferenceResult, NaturalAnnealingEngine
+from .metrics import mae, mape, r2_score, rmse
+from .model import DSGLModel
+from .stability import (
+    StationaryPointReport,
+    classify_stationary_points,
+    convexity_margin,
+    enforce_convexity,
+    spectral_abscissa,
+)
+from .temporal import TemporalWindowing
+from .training import (
+    TrainingConfig,
+    fit_precision,
+    fit_precision_masked,
+    fit_regression,
+    normalization_stats,
+    regression_loss,
+    select_ridge,
+)
+
+__all__ = [
+    "AnnealingController",
+    "CircuitSimulator",
+    "ConstantSchedule",
+    "DSGLModel",
+    "GeometricSchedule",
+    "InferenceResult",
+    "IntegrationConfig",
+    "IsingHamiltonian",
+    "LinearSchedule",
+    "NaturalAnnealingEngine",
+    "RealValuedHamiltonian",
+    "Schedule",
+    "SpectrumReport",
+    "StationaryPointReport",
+    "TemporalWindowing",
+    "Trajectory",
+    "TrainingConfig",
+    "classify_stationary_points",
+    "convexity_margin",
+    "enforce_convexity",
+    "estimate_settling_ns",
+    "fit_precision",
+    "fit_precision_masked",
+    "fit_regression",
+    "mae",
+    "mape",
+    "normalization_stats",
+    "r2_score",
+    "regression_loss",
+    "rmse",
+    "select_ridge",
+    "spectral_abscissa",
+    "spectrum_report",
+    "symmetrize_coupling",
+    "validate_coupling",
+]

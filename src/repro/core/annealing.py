@@ -1,0 +1,112 @@
+"""Annealing control for natural annealing runs.
+
+A dynamical system left alone descends into the *nearest* energy basin.
+Annealing control — injected perturbations whose amplitude decays over the
+run — lets the system escape shallow basins early and settle precisely late,
+which is how Ising machines "seek" low-energy states.  For the convex
+real-valued systems DS-GL trains, annealing mainly accelerates settling from
+a bad random initialization; for the binary BRIM baseline (non-convex), the
+flip-based annealing is essential to solution quality.
+
+This module provides amplitude schedules and an :class:`AnnealingController`
+that perturbs free nodes during integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Schedule",
+    "LinearSchedule",
+    "GeometricSchedule",
+    "ConstantSchedule",
+    "AnnealingController",
+]
+
+
+class Schedule:
+    """Amplitude schedule: maps normalized progress in [0, 1] to amplitude."""
+
+    def amplitude(self, progress: float) -> float:
+        raise NotImplementedError
+
+    def __call__(self, progress: float) -> float:
+        return self.amplitude(min(max(progress, 0.0), 1.0))
+
+
+@dataclass
+class LinearSchedule(Schedule):
+    """Amplitude decays linearly from ``start`` to ``end``."""
+
+    start: float = 1.0
+    end: float = 0.0
+
+    def amplitude(self, progress: float) -> float:
+        return self.start + (self.end - self.start) * progress
+
+
+@dataclass
+class GeometricSchedule(Schedule):
+    """Amplitude decays geometrically from ``start`` to ``end``.
+
+    The classic simulated-annealing cooling law; ``end`` must be positive.
+    """
+
+    start: float = 1.0
+    end: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.start <= 0 or self.end <= 0:
+            raise ValueError("geometric schedule requires positive endpoints")
+
+    def amplitude(self, progress: float) -> float:
+        return float(self.start * (self.end / self.start) ** progress)
+
+
+@dataclass
+class ConstantSchedule(Schedule):
+    """Constant amplitude (used to model a fixed noise floor)."""
+
+    level: float = 0.0
+
+    def amplitude(self, progress: float) -> float:
+        return self.level
+
+
+@dataclass
+class AnnealingController:
+    """Perturbs free nodes with schedule-scaled Gaussian kicks.
+
+    Attributes:
+        schedule: Amplitude schedule over normalized run progress.
+        interval: Simulated nanoseconds between perturbations.
+        rng: Randomness source; seed for reproducibility.
+    """
+
+    schedule: Schedule
+    interval: float = 5.0
+    rng: np.random.Generator = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("perturbation interval must be positive")
+        if self.rng is None:
+            self.rng = np.random.default_rng(0)
+
+    def perturb(
+        self,
+        sigma: np.ndarray,
+        progress: float,
+        free_mask: np.ndarray,
+    ) -> np.ndarray:
+        """Return ``sigma`` with annealing kicks applied to free nodes."""
+        amp = self.schedule(progress)
+        if amp <= 0:
+            return sigma
+        kicked = sigma.copy()
+        noise = self.rng.normal(0.0, amp, size=sigma.shape)
+        kicked[free_mask] += noise[free_mask]
+        return kicked

@@ -1,0 +1,86 @@
+"""Model diagnostics: spectrum, conditioning, and settling estimates.
+
+A trained dynamical system's usability on hardware is governed by its
+spectrum: the fastest eigen-rate sets the integration/time-multiplexing
+granularity, the slowest sets the annealing (settling) time, and their
+ratio — the condition number — is the latency price of accuracy.  These
+helpers quantify that, and estimate the physical annealing time a model
+needs at a given node time constant (the quantity Fig. 11 sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import DSGLModel
+
+__all__ = ["SpectrumReport", "spectrum_report", "estimate_settling_ns"]
+
+
+@dataclass(frozen=True)
+class SpectrumReport:
+    """Spectral summary of a system's relaxation dynamics.
+
+    Attributes:
+        fastest_rate: Largest eigenvalue of ``-(J + diag h)`` (1/time in
+            conductance units).
+        slowest_rate: Smallest eigenvalue (the convexity margin).
+        condition_number: fastest / slowest — settling time in units of
+            the fastest node time constant.
+        coupling_share: Fraction of the mean diagonal magnitude carried by
+            off-diagonal couplings (how interaction-dominated the system
+            is).
+    """
+
+    fastest_rate: float
+    slowest_rate: float
+    condition_number: float
+    coupling_share: float
+
+
+def spectrum_report(model: DSGLModel) -> SpectrumReport:
+    """Compute the spectral summary of a trained model."""
+    P = -(model.J + np.diag(model.h))
+    eigenvalues = np.linalg.eigvalsh((P + P.T) / 2.0)
+    fastest = float(eigenvalues[-1])
+    slowest = float(eigenvalues[0])
+    diag_mean = float(np.mean(np.abs(np.diag(P))))
+    off_mean = (
+        float(np.mean(np.abs(model.J).sum(axis=1))) if model.n > 1 else 0.0
+    )
+    return SpectrumReport(
+        fastest_rate=fastest,
+        slowest_rate=slowest,
+        condition_number=fastest / max(slowest, 1e-12),
+        coupling_share=off_mean / max(diag_mean, 1e-12),
+    )
+
+
+def estimate_settling_ns(
+    model: DSGLModel,
+    node_time_constant_ns: float = 1.0,
+    decades: float = 2.0,
+) -> float:
+    """Physical annealing time for the slowest mode to decay ``decades``.
+
+    After conductance normalization (fastest rate -> 1/tau_node), the
+    slowest mode decays at ``rate = tau_node_rate / condition_number``;
+    settling to 10^-decades takes ``decades * ln(10) / rate``.
+
+    Args:
+        model: The trained system.
+        node_time_constant_ns: Fastest node time constant on the chip.
+        decades: Residual-decay target in decades.
+
+    Returns:
+        Estimated annealing latency in nanoseconds.
+    """
+    if node_time_constant_ns <= 0:
+        raise ValueError("node_time_constant_ns must be positive")
+    if decades <= 0:
+        raise ValueError("decades must be positive")
+    report = spectrum_report(model)
+    slowest_tau_ns = node_time_constant_ns * report.condition_number
+    return float(decades * np.log(10.0) * slowest_tau_ns)

@@ -1,0 +1,243 @@
+"""Continuous-time node dynamics of the DSPU circuit.
+
+The Real-Valued DSPU is an analog circuit: node values are voltages on
+nano-scale capacitors, couplings are programmable resistor rings, and the
+self-reaction ``h`` is the conductance of an in-node resistor.  Kirchhoff's
+current law on each capacitor gives (Eq. 8)::
+
+    C dsigma_i/dt = sum_{j != i} J_ij sigma_j - (-h_i) sigma_i
+                  = (J sigma)_i + h_i sigma_i            (h_i < 0)
+
+which equals ``-(1/2) dH_RV/dsigma_i`` — a gradient flow, so the Hamiltonian
+monotonically decreases along trajectories (Eq. 6, Lyapunov).
+
+This module is the software stand-in for the paper's CUDA finite-element
+circuit simulator: explicit integrators over the node ODEs, with support for
+
+* clamped (observed) nodes whose voltage is held by charged capacitors,
+* voltage rails (supply limits) that saturate node values,
+* per-step Gaussian dynamic noise on nodes and couplers (Sec. V.G),
+* trajectory recording for circuit-level validation (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IntegrationConfig", "Trajectory", "CircuitSimulator"]
+
+#: Default capacitance constant (arbitrary units).  Only the ratio of the
+#: time step to ``C`` matters for the discrete dynamics; the paper's
+#: nano-scale capacitors with ~GHz node bandwidth correspond to nanosecond
+#: time constants, which we adopt for latency reporting.
+DEFAULT_CAPACITANCE = 1.0
+
+
+@dataclass
+class IntegrationConfig:
+    """Settings of the explicit ODE integration.
+
+    Attributes:
+        dt: Integration step in nanoseconds of simulated circuit time.
+        capacitance: Node capacitance ``C`` in Eq. (7); scales the time
+            constant of every node.
+        rail: Supply-voltage rail; node values saturate to ``[-rail, +rail]``
+            as on the real chip.  ``None`` disables saturation (used by the
+            polarization analysis, which must observe divergence).
+        method: ``"euler"`` or ``"rk4"``.
+        node_noise_std: Standard deviation of the per-step Gaussian voltage
+            noise injected at nodes, as a fraction of the rail.
+        coupling_noise_std: Standard deviation of multiplicative Gaussian
+            noise on coupling conductances, as a fraction of each ``J_ij``.
+        record_every: Record the state every this many steps (1 = all).
+    """
+
+    dt: float = 0.1
+    capacitance: float = DEFAULT_CAPACITANCE
+    rail: float | None = 1.0
+    method: str = "euler"
+    node_noise_std: float = 0.0
+    coupling_noise_std: float = 0.0
+    record_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+        if self.capacitance <= 0:
+            raise ValueError(f"capacitance must be positive, got {self.capacitance}")
+        if self.method not in ("euler", "rk4"):
+            raise ValueError(f"unknown integration method {self.method!r}")
+        if self.record_every < 1:
+            raise ValueError("record_every must be >= 1")
+        if self.node_noise_std < 0 or self.coupling_noise_std < 0:
+            raise ValueError("noise standard deviations must be non-negative")
+
+
+@dataclass
+class Trajectory:
+    """Recorded evolution of a simulated annealing run.
+
+    Attributes:
+        times: ``(T,)`` simulated times in nanoseconds.
+        states: ``(T, n)`` node voltages at each recorded time.
+        energies: ``(T,)`` Hamiltonian values at each recorded time.
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    energies: np.ndarray
+
+    @property
+    def final_state(self) -> np.ndarray:
+        """Node voltages at the end of the run."""
+        return self.states[-1]
+
+    @property
+    def final_energy(self) -> float:
+        """Hamiltonian value at the end of the run."""
+        return float(self.energies[-1])
+
+    def settle_time(self, tolerance: float = 1e-3) -> float:
+        """First recorded time after which the state stays within
+        ``tolerance`` (infinity norm) of the final state.
+
+        Mirrors how annealing latency is read off circuit waveforms.
+        """
+        final = self.states[-1]
+        deviations = np.max(np.abs(self.states - final), axis=1)
+        settled = deviations <= tolerance
+        # Find the earliest index from which everything stays settled.
+        not_settled = np.where(~settled)[0]
+        if not_settled.size == 0:
+            return float(self.times[0])
+        first = not_settled[-1] + 1
+        if first >= len(self.times):
+            return float(self.times[-1])
+        return float(self.times[first])
+
+
+@dataclass
+class CircuitSimulator:
+    """Explicit integrator of the DSPU / BRIM node ODEs.
+
+    The simulator advances ``sigma`` under a *drift function* supplied by the
+    machine model (Real-Valued DSPU and BRIM differ only in their drift), and
+    handles clamping, rails, and noise uniformly.
+
+    Attributes:
+        config: Integration settings.
+        rng: Source of randomness for noise injection; a fixed seed makes
+            runs reproducible.
+    """
+
+    config: IntegrationConfig = field(default_factory=IntegrationConfig)
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+    def run(
+        self,
+        drift,
+        sigma0: np.ndarray,
+        duration: float,
+        clamp_index: np.ndarray | None = None,
+        clamp_value: np.ndarray | None = None,
+        energy=None,
+    ) -> Trajectory:
+        """Integrate ``C dsigma/dt = drift(sigma)`` for ``duration`` ns.
+
+        Args:
+            drift: Callable ``sigma -> dsigma`` returning the total current
+                into each node (before division by ``C``).
+            sigma0: Initial node voltages, shape ``(n,)``.
+            duration: Total simulated time in nanoseconds.
+            clamp_index: Indices of observed nodes held at fixed voltage.
+            clamp_value: Voltages of the clamped nodes.
+            energy: Optional callable ``sigma -> float`` recorded alongside
+                the trajectory; defaults to zeros when omitted.
+
+        Returns:
+            The recorded :class:`Trajectory`.
+        """
+        cfg = self.config
+        sigma = np.array(sigma0, dtype=float).reshape(-1)
+        n = sigma.shape[0]
+        if clamp_index is None:
+            clamp_index = np.zeros(0, dtype=int)
+            clamp_value = np.zeros(0)
+        clamp_index = np.asarray(clamp_index, dtype=int)
+        clamp_value = np.asarray(clamp_value, dtype=float).reshape(-1)
+        if clamp_index.shape != clamp_value.shape:
+            raise ValueError("clamp_index and clamp_value must have equal shapes")
+        if clamp_index.size and (
+            clamp_index.min() < 0 or clamp_index.max() >= n
+        ):
+            raise ValueError("clamp_index out of range")
+        sigma[clamp_index] = clamp_value
+
+        n_steps = max(1, int(round(duration / cfg.dt)))
+        times = [0.0]
+        states = [sigma.copy()]
+        energies = [float(energy(sigma)) if energy is not None else 0.0]
+
+        inv_c = 1.0 / cfg.capacitance
+        for step in range(1, n_steps + 1):
+            if cfg.method == "euler":
+                delta = cfg.dt * inv_c * drift(sigma)
+            else:  # rk4
+                k1 = drift(sigma)
+                k2 = drift(self._project(sigma + 0.5 * cfg.dt * inv_c * k1, clamp_index, clamp_value))
+                k3 = drift(self._project(sigma + 0.5 * cfg.dt * inv_c * k2, clamp_index, clamp_value))
+                k4 = drift(self._project(sigma + cfg.dt * inv_c * k3, clamp_index, clamp_value))
+                delta = cfg.dt * inv_c * (k1 + 2 * k2 + 2 * k3 + k4) / 6.0
+            sigma = sigma + delta
+            if cfg.node_noise_std > 0:
+                scale = cfg.node_noise_std * (cfg.rail if cfg.rail else 1.0)
+                # Thermal/shot noise enters through the same capacitor the
+                # signal does, so it accumulates per step like the drift.
+                sigma = sigma + self.rng.normal(0.0, scale * np.sqrt(cfg.dt), size=n)
+            sigma = self._project(sigma, clamp_index, clamp_value)
+            if step % cfg.record_every == 0 or step == n_steps:
+                times.append(step * cfg.dt)
+                states.append(sigma.copy())
+                energies.append(float(energy(sigma)) if energy is not None else 0.0)
+
+        return Trajectory(
+            times=np.asarray(times),
+            states=np.asarray(states),
+            energies=np.asarray(energies),
+        )
+
+    def _project(
+        self,
+        sigma: np.ndarray,
+        clamp_index: np.ndarray,
+        clamp_value: np.ndarray,
+    ) -> np.ndarray:
+        """Apply voltage rails and re-assert clamped nodes."""
+        cfg = self.config
+        if cfg.rail is not None:
+            sigma = np.clip(sigma, -cfg.rail, cfg.rail)
+        if clamp_index.size:
+            sigma = sigma.copy()
+            sigma[clamp_index] = clamp_value
+        return sigma
+
+    def perturbed_coupling(self, J: np.ndarray) -> np.ndarray:
+        """Sample a noisy coupling matrix (Sec. V.G coupler noise).
+
+        Multiplicative Gaussian noise with standard deviation
+        ``coupling_noise_std`` relative to each conductance, applied
+        symmetrically (the two ends of a resistor ring see the same device).
+        """
+        std = self.config.coupling_noise_std
+        if std <= 0:
+            return J
+        n = J.shape[0]
+        factor = self.rng.normal(1.0, std, size=(n, n))
+        factor = (factor + factor.T) / 2.0
+        noisy = J * factor
+        np.fill_diagonal(noisy, 0.0)
+        return noisy

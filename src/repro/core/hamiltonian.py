@@ -1,0 +1,205 @@
+"""Energy functions (Hamiltonians) of the dynamical systems in DS-GL.
+
+Two Hamiltonians matter in the paper:
+
+* the classical (binary) Ising Hamiltonian (Eq. 1)::
+
+      H_ising(sigma) = - sum_{i != j} J_ij sigma_i sigma_j - sum_i h_i sigma_i
+
+* the real-valued Hamiltonian of DS-GL (Eq. 4), where the linear
+  self-reaction term is replaced by a *pure quadratic* term that acts as an
+  energy regulator and keeps the continuous variables from diverging::
+
+      H_RV(sigma) = - sum_{i != j} J_ij sigma_i sigma_j - sum_i h_i sigma_i^2
+
+Both classes expose ``energy`` and ``gradient``; the gradient drives the
+node dynamics (Eq. 7): ``C dsigma/dt = -dH/dsigma``.
+
+Conventions
+-----------
+``J`` is an ``(n, n)`` real coupling matrix with a zero diagonal.  The paper
+performs the substitution ``(J_ij + J_ji) -> J_ij`` so that only the
+symmetric part matters; we keep ``J`` symmetric internally and validate it.
+``h`` is an ``(n,)`` vector of self-reaction strengths.  For the real-valued
+model, convexity of the energy requires every ``h_i`` to be negative and
+sufficiently large in magnitude (see :mod:`repro.core.stability`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "IsingHamiltonian",
+    "RealValuedHamiltonian",
+    "symmetrize_coupling",
+    "validate_coupling",
+]
+
+
+def symmetrize_coupling(J: np.ndarray) -> np.ndarray:
+    """Return the symmetric part of ``J`` with a zeroed diagonal.
+
+    The paper's linear substitution ``(J_ij + J_ji) -> J_ij`` folds an
+    asymmetric coupling matrix into an equivalent symmetric one.  We apply
+    ``(J + J.T) / 2`` so the total pairwise energy is preserved under the
+    ``sum_{i != j}`` convention used in Eq. (1) and Eq. (4).
+    """
+    J = np.asarray(J, dtype=float)
+    if J.ndim != 2 or J.shape[0] != J.shape[1]:
+        raise ValueError(f"coupling matrix must be square, got shape {J.shape}")
+    sym = (J + J.T) / 2.0
+    np.fill_diagonal(sym, 0.0)
+    return sym
+
+
+def validate_coupling(J: np.ndarray, h: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and canonicalize a ``(J, h)`` parameter pair.
+
+    Returns float copies with ``J`` checked symmetric (to numerical
+    tolerance) with zero diagonal, and ``h`` as a 1-D vector whose length
+    matches ``J``.
+    """
+    J = np.asarray(J, dtype=float)
+    h = np.asarray(h, dtype=float).reshape(-1)
+    if J.ndim != 2 or J.shape[0] != J.shape[1]:
+        raise ValueError(f"coupling matrix must be square, got shape {J.shape}")
+    if h.shape[0] != J.shape[0]:
+        raise ValueError(
+            f"self-reaction vector length {h.shape[0]} does not match "
+            f"system size {J.shape[0]}"
+        )
+    if not np.allclose(J, J.T, atol=1e-9):
+        raise ValueError("coupling matrix must be symmetric; use symmetrize_coupling")
+    if not np.allclose(np.diag(J), 0.0, atol=1e-12):
+        raise ValueError("coupling matrix must have a zero diagonal")
+    return J.copy(), h.copy()
+
+
+class IsingHamiltonian:
+    """The classical Ising energy (Eq. 1) with a *linear* self-reaction term.
+
+    Used by the BRIM baseline and by the stationary-point analysis that
+    motivates DS-GL: when the binary restriction is naively lifted, every
+    stationary point of this Hamiltonian is a saddle (the Hessian ``-J`` is
+    traceless), so continuous spins polarize towards the rails.
+    """
+
+    def __init__(self, J: np.ndarray, h: np.ndarray | None = None):
+        J = np.asarray(J, dtype=float)
+        if h is None:
+            h = np.zeros(J.shape[0])
+        self.J, self.h = validate_coupling(J, h)
+
+    @property
+    def n(self) -> int:
+        """Number of spins in the system."""
+        return self.J.shape[0]
+
+    def energy(self, sigma: np.ndarray) -> float:
+        """Evaluate ``H_ising`` at spin configuration ``sigma``.
+
+        Works for binary spins in {-1, +1} and, for analysis purposes, for
+        arbitrary real vectors.
+        """
+        sigma = np.asarray(sigma, dtype=float)
+        # sum_{i != j} J_ij s_i s_j counts each unordered pair twice for a
+        # symmetric J, which matches the paper's double-sum convention.
+        pair = -float(sigma @ self.J @ sigma)
+        field = -float(self.h @ sigma)
+        return pair + field
+
+    def gradient(self, sigma: np.ndarray) -> np.ndarray:
+        """Gradient ``dH/dsigma = -(2 J sigma + h)`` (Eq. 2 before substitution)."""
+        sigma = np.asarray(sigma, dtype=float)
+        return -(2.0 * self.J @ sigma + self.h)
+
+    def hessian(self) -> np.ndarray:
+        """Constant Hessian ``-2J`` of the linear-self-reaction energy (Eq. 3)."""
+        return -2.0 * self.J
+
+    def local_field(self, sigma: np.ndarray) -> np.ndarray:
+        """Effective field each spin feels: ``2 J sigma + h``."""
+        sigma = np.asarray(sigma, dtype=float)
+        return 2.0 * self.J @ sigma + self.h
+
+
+class RealValuedHamiltonian:
+    """DS-GL's real-valued energy (Eq. 4) with a *quadratic* self-reaction.
+
+    ``H_RV = -sigma^T J sigma - h . sigma^2``.  With every ``h_i < 0`` the
+    second term contributes ``|h_i| sigma_i^2``: a quadratic energy wall that
+    prevents divergence and, when ``|h|`` dominates the spectrum of ``J``,
+    makes the energy strictly convex with a unique minimum at the fixed
+    point ``sigma_i = -sum_j J_ij sigma_j / h_i`` (Eq. 5 / Eq. 10).
+    """
+
+    def __init__(self, J: np.ndarray, h: np.ndarray):
+        self.J, self.h = validate_coupling(J, h)
+        if np.any(self.h >= 0):
+            raise ValueError(
+                "real-valued DSPU requires strictly negative self-reaction h "
+                "(the quadratic term must be an energy wall); "
+                f"max(h) = {self.h.max():g}"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of real-valued nodes in the system."""
+        return self.J.shape[0]
+
+    def energy(self, sigma: np.ndarray) -> float:
+        """Evaluate ``H_RV`` at node-voltage vector ``sigma``."""
+        sigma = np.asarray(sigma, dtype=float)
+        pair = -float(sigma @ self.J @ sigma)
+        self_reaction = -float(self.h @ (sigma * sigma))
+        return pair + self_reaction
+
+    def gradient(self, sigma: np.ndarray) -> np.ndarray:
+        """Gradient ``dH/dsigma = -2 (J sigma + h * sigma)``."""
+        sigma = np.asarray(sigma, dtype=float)
+        return -2.0 * (self.J @ sigma + self.h * sigma)
+
+    def hessian(self) -> np.ndarray:
+        """Constant Hessian ``-2 (J + diag(h))``; PSD iff energy is convex."""
+        return -2.0 * (self.J + np.diag(self.h))
+
+    def fixed_point(
+        self,
+        clamp_index: np.ndarray | None = None,
+        clamp_value: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Solve for the stationary state directly (oracle for the dynamics).
+
+        Without clamping this solves ``(J + diag(h)) sigma = 0`` whose only
+        solution, for a convex system, is the origin.  With observed nodes
+        clamped (graph-learning inference, Sec. III.C) the free nodes solve
+        the reduced linear system; this is the algebraic limit the analog
+        annealing converges to and is used in tests to validate the
+        integrator.
+        """
+        n = self.n
+        if clamp_index is None:
+            clamp_index = np.zeros(0, dtype=int)
+            clamp_value = np.zeros(0)
+        clamp_index = np.asarray(clamp_index, dtype=int)
+        clamp_value = np.asarray(clamp_value, dtype=float)
+        if clamp_index.shape != clamp_value.shape:
+            raise ValueError("clamp_index and clamp_value must have equal shapes")
+        free = np.setdiff1d(np.arange(n), clamp_index)
+        sigma = np.zeros(n)
+        sigma[clamp_index] = clamp_value
+        if free.size == 0:
+            return sigma
+        A = self.J[np.ix_(free, free)] + np.diag(self.h[free])
+        b = -self.J[np.ix_(free, clamp_index)] @ clamp_value
+        sigma[free] = np.linalg.solve(A, b)
+        return sigma
+
+    def stability_residual(self, sigma: np.ndarray) -> np.ndarray:
+        """Residual of the hardware stability criterion (Eq. 5).
+
+        Zero exactly at a stationary point: ``J sigma + h * sigma``.
+        """
+        sigma = np.asarray(sigma, dtype=float)
+        return self.J @ sigma + self.h * sigma

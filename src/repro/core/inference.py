@@ -1,0 +1,227 @@
+"""Graph-learning inference as natural annealing (Sec. III.C).
+
+Inference on a trained dynamical system: clamp the observed nodes (the
+capacitors are charged and held), randomly initialize the unknown nodes, and
+let the system relax.  At equilibrium the free nodes sit at the minimum of
+the conditional energy — the model's prediction.
+
+Two execution paths are provided:
+
+* :meth:`NaturalAnnealingEngine.infer` — full circuit simulation through
+  :class:`~repro.core.dynamics.CircuitSimulator`, returning the trajectory.
+  This path supports annealing control, noise and finite annealing time,
+  and is what the hardware benchmarks drive.
+* :meth:`NaturalAnnealingEngine.infer_equilibrium` — algebraic solve of the
+  clamped fixed point (the infinite-time limit).  Fast path for training
+  loops and accuracy sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .annealing import AnnealingController
+from .dynamics import CircuitSimulator, IntegrationConfig, Trajectory
+from .model import DSGLModel
+
+__all__ = ["InferenceResult", "NaturalAnnealingEngine"]
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of one natural-annealing inference.
+
+    Attributes:
+        prediction: Denormalized values of the free (unknown) nodes.
+        state: Full final node-voltage vector (normalized domain).
+        trajectory: Recorded evolution, when the circuit path was used.
+        annealing_time_ns: Simulated time the system evolved for.
+    """
+
+    prediction: np.ndarray
+    state: np.ndarray
+    trajectory: Trajectory | None
+    annealing_time_ns: float
+
+
+@dataclass
+class NaturalAnnealingEngine:
+    """Runs GL inference on a :class:`DSGLModel` via natural annealing.
+
+    Attributes:
+        model: The trained dynamical system.
+        config: Circuit-integration settings (time step, rails, noise).
+        controller: Optional annealing perturbation controller.
+        seed: Seed for the unknown-node random initialization.
+    """
+
+    model: DSGLModel
+    config: IntegrationConfig = field(default_factory=IntegrationConfig)
+    controller: AnnealingController | None = None
+    seed: int = 0
+
+    def _split_nodes(
+        self, observed_index: np.ndarray, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        observed_index = np.asarray(observed_index, dtype=int).reshape(-1)
+        if observed_index.size and (
+            observed_index.min() < 0 or observed_index.max() >= n
+        ):
+            raise ValueError("observed_index out of range")
+        if np.unique(observed_index).size != observed_index.size:
+            raise ValueError("observed_index contains duplicates")
+        free_index = np.setdiff1d(np.arange(n), observed_index)
+        return observed_index, free_index
+
+    def infer(
+        self,
+        observed_index: np.ndarray,
+        observed_values: np.ndarray,
+        duration: float = 50.0,
+        rng: np.random.Generator | None = None,
+    ) -> InferenceResult:
+        """Full circuit-simulation inference.
+
+        Args:
+            observed_index: Indices of observed (clamped) nodes.
+            observed_values: Raw-domain values of the observed nodes.
+            duration: Annealing time in simulated nanoseconds.
+            rng: Randomness for initialization (defaults to seeded).
+
+        Returns:
+            :class:`InferenceResult` with the free-node predictions.
+        """
+        model = self.model
+        n = model.n
+        observed_index, free_index = self._split_nodes(observed_index, n)
+        observed_values = np.asarray(observed_values, dtype=float).reshape(-1)
+        if observed_values.shape[0] != observed_index.shape[0]:
+            raise ValueError("observed_values length must match observed_index")
+        rng = rng or np.random.default_rng(self.seed)
+
+        normalized_full = model.normalize(np.zeros(n))
+        clamp_value = self._normalized_subset(model, observed_index, observed_values)
+
+        rail = self.config.rail if self.config.rail is not None else 1.0
+        sigma0 = rng.uniform(-rail, rail, size=n)
+        sigma0[observed_index] = clamp_value
+
+        simulator = CircuitSimulator(config=self.config, rng=rng)
+        hamiltonian = model.hamiltonian()
+        J = simulator.perturbed_coupling(model.J)
+        h = model.h
+
+        def drift(sigma: np.ndarray) -> np.ndarray:
+            # Eq. 8: C dsigma/dt = sum_j J_ij sigma_j + h_i sigma_i  (h < 0)
+            return J @ sigma + h * sigma
+
+        trajectory = simulator.run(
+            drift,
+            sigma0,
+            duration,
+            clamp_index=observed_index,
+            clamp_value=clamp_value,
+            energy=hamiltonian.energy,
+        )
+        state = trajectory.final_state
+        prediction = self._denormalized_subset(model, free_index, state)
+        del normalized_full
+        return InferenceResult(
+            prediction=prediction,
+            state=state,
+            trajectory=trajectory,
+            annealing_time_ns=duration,
+        )
+
+    def infer_equilibrium(
+        self,
+        observed_index: np.ndarray,
+        observed_values: np.ndarray,
+    ) -> InferenceResult:
+        """Algebraic fixed-point inference (infinite annealing time)."""
+        model = self.model
+        observed_index, free_index = self._split_nodes(observed_index, model.n)
+        observed_values = np.asarray(observed_values, dtype=float).reshape(-1)
+        if observed_values.shape[0] != observed_index.shape[0]:
+            raise ValueError("observed_values length must match observed_index")
+        clamp_value = self._normalized_subset(model, observed_index, observed_values)
+        state = model.hamiltonian().fixed_point(observed_index, clamp_value)
+        prediction = self._denormalized_subset(model, free_index, state)
+        return InferenceResult(
+            prediction=prediction,
+            state=state,
+            trajectory=None,
+            annealing_time_ns=float("inf"),
+        )
+
+    def infer_equilibrium_batch(
+        self,
+        observed_index: np.ndarray,
+        observed_values: np.ndarray,
+    ) -> np.ndarray:
+        """Equilibrium inference over a batch sharing one observed set.
+
+        The clamped fixed point solves the same reduced linear system for
+        every sample, so the factorization is shared: one LU decomposition
+        serves the whole batch.  This is the fast path for accuracy sweeps
+        (the circuit path exists for timing/noise studies).
+
+        Args:
+            observed_index: Indices of observed nodes (shared by the batch).
+            observed_values: ``(batch, num_observed)`` raw-domain values.
+
+        Returns:
+            ``(batch, num_free)`` denormalized predictions, free nodes in
+            ascending index order.
+        """
+        from scipy.linalg import lu_factor, lu_solve
+
+        model = self.model
+        observed_index, free_index = self._split_nodes(observed_index, model.n)
+        observed_values = np.asarray(observed_values, dtype=float)
+        if observed_values.ndim != 2 or observed_values.shape[1] != observed_index.size:
+            raise ValueError(
+                "observed_values must be (batch, num_observed), got "
+                f"{observed_values.shape}"
+            )
+        clamp = observed_values.copy()
+        if model.mean is not None:
+            clamp = clamp - model.mean[observed_index]
+        if model.scale is not None:
+            clamp = clamp / model.scale[observed_index]
+
+        J, h = model.J, model.h
+        A = J[np.ix_(free_index, free_index)] + np.diag(h[free_index])
+        B = -J[np.ix_(free_index, observed_index)]
+        factorization = lu_factor(A)
+        # One solve with all batch right-hand sides at once.
+        states = lu_solve(factorization, B @ clamp.T).T
+        if model.scale is not None:
+            states = states * model.scale[free_index]
+        if model.mean is not None:
+            states = states + model.mean[free_index]
+        return states
+
+    @staticmethod
+    def _normalized_subset(
+        model: DSGLModel, index: np.ndarray, raw_values: np.ndarray
+    ) -> np.ndarray:
+        values = np.asarray(raw_values, dtype=float)
+        if model.mean is not None:
+            values = values - model.mean[index]
+        if model.scale is not None:
+            values = values / model.scale[index]
+        return values
+
+    @staticmethod
+    def _denormalized_subset(
+        model: DSGLModel, index: np.ndarray, state: np.ndarray
+    ) -> np.ndarray:
+        values = state[index]
+        if model.scale is not None:
+            values = values * model.scale[index]
+        if model.mean is not None:
+            values = values + model.mean[index]
+        return values

@@ -1,0 +1,51 @@
+"""Accuracy metrics used throughout the evaluation.
+
+The paper reports accuracy exclusively as RMSE on normalized data; MAE and
+MAPE are provided for completeness and used in extended experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "mae", "mape", "r2_score"]
+
+
+def _flatten_pair(prediction: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    prediction = np.asarray(prediction, dtype=float).reshape(-1)
+    target = np.asarray(target, dtype=float).reshape(-1)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"prediction and target sizes disagree: {prediction.shape} vs {target.shape}"
+        )
+    if prediction.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return prediction, target
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error."""
+    prediction, target = _flatten_pair(prediction, target)
+    return float(np.sqrt(np.mean((prediction - target) ** 2)))
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    prediction, target = _flatten_pair(prediction, target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, eps: float = 1e-8) -> float:
+    """Mean absolute percentage error with an epsilon floor on the target."""
+    prediction, target = _flatten_pair(prediction, target)
+    return float(np.mean(np.abs(prediction - target) / np.maximum(np.abs(target), eps)))
+
+
+def r2_score(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Coefficient of determination (1 = perfect, 0 = mean predictor)."""
+    prediction, target = _flatten_pair(prediction, target)
+    ss_res = float(np.sum((target - prediction) ** 2))
+    ss_tot = float(np.sum((target - target.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

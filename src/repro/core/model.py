@@ -1,0 +1,149 @@
+"""The trained DS-GL model: a parameterized real-valued dynamical system.
+
+A :class:`DSGLModel` owns the coupling matrix ``J`` and self-reaction vector
+``h`` of a Real-Valued DSPU, together with normalization statistics of the
+data it was trained on.  It is the object produced by
+:mod:`repro.core.training`, consumed by :mod:`repro.core.inference`, and
+decomposed by :mod:`repro.decompose` into a sparse, PE-mapped system.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .hamiltonian import RealValuedHamiltonian, symmetrize_coupling
+from .stability import convexity_margin, enforce_convexity
+
+__all__ = ["DSGLModel"]
+
+
+@dataclass
+class DSGLModel:
+    """Parameters of a trained real-valued dynamical system.
+
+    Attributes:
+        J: Symmetric ``(n, n)`` coupling matrix with zero diagonal.
+        h: ``(n,)`` strictly negative self-reaction vector.
+        mean: Per-variable normalization offset applied to data.
+        scale: Per-variable normalization scale applied to data.
+        metadata: Free-form provenance (dataset name, training config...).
+    """
+
+    J: np.ndarray
+    h: np.ndarray
+    mean: np.ndarray | None = None
+    scale: np.ndarray | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.J = symmetrize_coupling(self.J)
+        self.h = np.asarray(self.h, dtype=float).reshape(-1)
+        if self.h.shape[0] != self.J.shape[0]:
+            raise ValueError("J and h sizes disagree")
+        if np.any(self.h >= 0):
+            raise ValueError("DSGLModel requires strictly negative h")
+        if self.mean is not None:
+            self.mean = np.asarray(self.mean, dtype=float).reshape(-1)
+        if self.scale is not None:
+            self.scale = np.asarray(self.scale, dtype=float).reshape(-1)
+            if np.any(self.scale <= 0):
+                raise ValueError("normalization scale must be positive")
+
+    @property
+    def n(self) -> int:
+        """Number of system variables."""
+        return self.J.shape[0]
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero off-diagonal couplings."""
+        n = self.n
+        if n < 2:
+            return 0.0
+        nnz = int(np.count_nonzero(self.J)) - int(np.count_nonzero(np.diag(self.J)))
+        return nnz / (n * (n - 1))
+
+    def hamiltonian(self) -> RealValuedHamiltonian:
+        """The energy function this system descends."""
+        return RealValuedHamiltonian(self.J, self.h)
+
+    def convexity_margin(self) -> float:
+        """Smallest eigenvalue of ``-(J + diag(h))``; positive = convergent."""
+        return convexity_margin(self.J, self.h)
+
+    def stabilized(self, margin: float = 0.05) -> "DSGLModel":
+        """Return a copy with ``h`` deepened to guarantee convexity margin."""
+        h = enforce_convexity(self.J, self.h, margin=margin)
+        return DSGLModel(
+            J=self.J.copy(),
+            h=h,
+            mean=None if self.mean is None else self.mean.copy(),
+            scale=None if self.scale is None else self.scale.copy(),
+            metadata=dict(self.metadata),
+        )
+
+    def normalize(self, values: np.ndarray) -> np.ndarray:
+        """Map raw data into the system's voltage domain."""
+        values = np.asarray(values, dtype=float)
+        if self.mean is not None:
+            values = values - self.mean
+        if self.scale is not None:
+            values = values / self.scale
+        return values
+
+    def denormalize(self, values: np.ndarray) -> np.ndarray:
+        """Map node voltages back into the data domain."""
+        values = np.asarray(values, dtype=float)
+        if self.scale is not None:
+            values = values * self.scale
+        if self.mean is not None:
+            values = values + self.mean
+        return values
+
+    def with_coupling(self, J: np.ndarray) -> "DSGLModel":
+        """Return a copy with a new coupling matrix (e.g. after pruning)."""
+        return DSGLModel(
+            J=J,
+            h=self.h.copy(),
+            mean=None if self.mean is None else self.mean.copy(),
+            scale=None if self.scale is None else self.scale.copy(),
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialize to an ``.npz`` archive with a JSON metadata sidecar entry."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            J=self.J,
+            h=self.h,
+            mean=np.zeros(0) if self.mean is None else self.mean,
+            scale=np.zeros(0) if self.scale is None else self.scale,
+            metadata=np.frombuffer(
+                json.dumps(self.metadata).encode("utf-8"), dtype=np.uint8
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DSGLModel":
+        """Deserialize a model written by :meth:`save`."""
+        with np.load(Path(path)) as archive:
+            J = archive["J"]
+            h = archive["h"]
+            mean = archive["mean"]
+            scale = archive["scale"]
+            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+        return cls(
+            J=J,
+            h=h,
+            mean=mean if mean.size else None,
+            scale=scale if scale.size else None,
+            metadata=metadata,
+        )

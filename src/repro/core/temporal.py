@@ -1,0 +1,104 @@
+"""Temporal unrolling: mapping prediction tasks onto one dynamical system.
+
+"For temporal prediction tasks, GL uses historical graph information to
+predict the future states of the graph" (Sec. II.C).  DS-GL realizes this by
+building a dynamical system over a *window* of frames: a window of ``W``
+consecutive graph snapshots of ``N`` nodes becomes one system of ``N * W``
+variables.  Training samples are sliding windows of the historical series;
+at inference the first ``W - 1`` frames are clamped as observations and the
+final frame is read out after annealing.
+
+The flattening convention is frame-major: variable ``t * N + i`` is node
+``i`` at window offset ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TemporalWindowing"]
+
+
+@dataclass(frozen=True)
+class TemporalWindowing:
+    """Builds and splits flattened spatio-temporal windows.
+
+    Attributes:
+        num_nodes: ``N``, graph nodes per frame.
+        window: ``W``, frames per system (history + 1 predicted frame).
+        stride: Step between consecutive training windows.
+    """
+
+    num_nodes: int
+    window: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be positive")
+        if self.window < 2:
+            raise ValueError("window must cover at least history + 1 frame")
+        if self.stride < 1:
+            raise ValueError("stride must be positive")
+
+    @property
+    def system_size(self) -> int:
+        """Number of dynamical-system variables: ``N * W``."""
+        return self.num_nodes * self.window
+
+    @property
+    def observed_index(self) -> np.ndarray:
+        """Indices of the clamped history variables (first W-1 frames)."""
+        return np.arange((self.window - 1) * self.num_nodes)
+
+    @property
+    def target_index(self) -> np.ndarray:
+        """Indices of the predicted final frame."""
+        return np.arange((self.window - 1) * self.num_nodes, self.system_size)
+
+    def windows(self, series: np.ndarray) -> np.ndarray:
+        """Slide over a ``(T, N)`` series and flatten each window.
+
+        Returns:
+            ``(num_windows, N * W)`` matrix of training samples.
+        """
+        series = np.asarray(series, dtype=float)
+        if series.ndim != 2 or series.shape[1] != self.num_nodes:
+            raise ValueError(
+                f"series must be (T, {self.num_nodes}), got {series.shape}"
+            )
+        T = series.shape[0]
+        if T < self.window:
+            raise ValueError(
+                f"series has {T} frames, needs at least window={self.window}"
+            )
+        starts = range(0, T - self.window + 1, self.stride)
+        return np.stack(
+            [series[s : s + self.window].reshape(-1) for s in starts]
+        )
+
+    def split_window(self, flat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split one flattened window into (history, target-frame) parts."""
+        flat = np.asarray(flat, dtype=float).reshape(-1)
+        if flat.shape[0] != self.system_size:
+            raise ValueError(
+                f"window length {flat.shape[0]} != system size {self.system_size}"
+            )
+        cut = (self.window - 1) * self.num_nodes
+        return flat[:cut], flat[cut:]
+
+    def history_of(self, series: np.ndarray, t: int) -> np.ndarray:
+        """Flattened history frames ``[t - W + 1, t - 1]`` used to predict
+        frame ``t`` of a ``(T, N)`` series."""
+        series = np.asarray(series, dtype=float)
+        if t < self.window - 1 or t >= series.shape[0]:
+            raise ValueError(
+                f"frame {t} cannot be predicted from a window of {self.window}"
+            )
+        return series[t - self.window + 1 : t].reshape(-1)
+
+    def prediction_frames(self, series: np.ndarray) -> np.ndarray:
+        """Indices of frames that have a full history inside the series."""
+        return np.arange(self.window - 1, np.asarray(series).shape[0])

@@ -1,0 +1,43 @@
+"""Synthetic spatio-temporal datasets standing in for the paper's workloads."""
+
+from .base import SpatioTemporalDataset, chronological_split
+from .graphs import SensorNetwork, community_geometric_graph, normalized_adjacency
+from .powergrid import PowerGrid, make_powergrid
+from .registry import (
+    ALL_DATASETS,
+    EXTENSION_DATASETS,
+    MULTIDIM_DATASETS,
+    SCALAR_DATASETS,
+    load_dataset,
+)
+from .synthetic import (
+    make_air_quality,
+    make_ca_housing,
+    make_climate,
+    make_covid,
+    make_stock,
+    make_traffic,
+    minmax_normalize,
+)
+
+__all__ = [
+    "ALL_DATASETS",
+    "EXTENSION_DATASETS",
+    "MULTIDIM_DATASETS",
+    "PowerGrid",
+    "SCALAR_DATASETS",
+    "SensorNetwork",
+    "SpatioTemporalDataset",
+    "chronological_split",
+    "community_geometric_graph",
+    "load_dataset",
+    "make_air_quality",
+    "make_ca_housing",
+    "make_climate",
+    "make_covid",
+    "make_powergrid",
+    "make_stock",
+    "make_traffic",
+    "minmax_normalize",
+    "normalized_adjacency",
+]

@@ -1,0 +1,123 @@
+"""Dataset containers and train/test splitting for spatio-temporal GL.
+
+A :class:`SpatioTemporalDataset` holds a node series (``(T, N)`` for scalar
+nodes or ``(T, N, F)`` for multi-dimensional nodes, Sec. V.H), the sensor
+graph it lives on, and chronological split utilities.  All evaluation
+metrics in the reproduction are computed on min-max normalized series, which
+is what makes the paper's RMSE magnitudes (1e-3..1e-1) comparable across
+applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .graphs import SensorNetwork
+
+__all__ = ["SpatioTemporalDataset", "chronological_split"]
+
+
+@dataclass
+class SpatioTemporalDataset:
+    """A graph-structured time series for one GL application.
+
+    Attributes:
+        name: Registry key, e.g. ``"traffic"``.
+        series: ``(T, N)`` or ``(T, N, F)`` node observations, min-max
+            normalized to [0, 1] at construction.
+        network: The spatial sensor graph.
+        description: Human-readable provenance.
+        feature_names: Names of the ``F`` per-node features (multi-dim only).
+    """
+
+    name: str
+    series: np.ndarray
+    network: SensorNetwork
+    description: str = ""
+    feature_names: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.series = np.asarray(self.series, dtype=float)
+        if self.series.ndim not in (2, 3):
+            raise ValueError(
+                f"series must be (T, N) or (T, N, F), got {self.series.shape}"
+            )
+        if self.series.shape[1] != self.network.n:
+            raise ValueError(
+                f"series has {self.series.shape[1]} nodes but the network "
+                f"has {self.network.n}"
+            )
+        if self.series.ndim == 3 and self.feature_names:
+            if len(self.feature_names) != self.series.shape[2]:
+                raise ValueError("feature_names length must match feature dim")
+
+    @property
+    def num_frames(self) -> int:
+        """Number of time steps ``T``."""
+        return self.series.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of graph nodes ``N``."""
+        return self.series.shape[1]
+
+    @property
+    def num_features(self) -> int:
+        """Per-node feature count ``F`` (1 for scalar-node datasets)."""
+        return 1 if self.series.ndim == 2 else self.series.shape[2]
+
+    @property
+    def is_multidimensional(self) -> bool:
+        """True for the Sec. V.H multi-feature datasets."""
+        return self.series.ndim == 3
+
+    def flat_series(self) -> np.ndarray:
+        """Series with node features flattened: ``(T, N * F)``.
+
+        For multi-dimensional datasets each (node, feature) pair becomes one
+        dynamical-system variable, exactly how DS-GL maps multi-feature
+        nodes onto DSPU capacitors.
+        """
+        if self.series.ndim == 2:
+            return self.series
+        T = self.series.shape[0]
+        return self.series.reshape(T, -1)
+
+    def split(
+        self, train_fraction: float = 0.7, val_fraction: float = 0.1
+    ) -> tuple["SpatioTemporalDataset", "SpatioTemporalDataset", "SpatioTemporalDataset"]:
+        """Chronological train/val/test split (no leakage across time)."""
+        train_s, val_s, test_s = chronological_split(
+            self.series, train_fraction, val_fraction
+        )
+        make = lambda s, tag: SpatioTemporalDataset(
+            name=f"{self.name}/{tag}",
+            series=s,
+            network=self.network,
+            description=self.description,
+            feature_names=self.feature_names,
+        )
+        return make(train_s, "train"), make(val_s, "val"), make(test_s, "test")
+
+
+def chronological_split(
+    series: np.ndarray, train_fraction: float = 0.7, val_fraction: float = 0.1
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split a time axis into contiguous train/val/test segments."""
+    series = np.asarray(series)
+    if not 0 < train_fraction < 1:
+        raise ValueError("train_fraction must be in (0, 1)")
+    if val_fraction < 0 or train_fraction + val_fraction >= 1:
+        raise ValueError("train + val fractions must leave room for test")
+    T = series.shape[0]
+    t_train = int(round(T * train_fraction))
+    t_val = int(round(T * val_fraction))
+    t_train = max(1, t_train)
+    train = series[:t_train]
+    val = series[t_train : t_train + t_val]
+    test = series[t_train + t_val :]
+    if test.shape[0] == 0:
+        raise ValueError("test split is empty; reduce train/val fractions")
+    return train, val, test

@@ -1,0 +1,108 @@
+"""Named dataset registry for the evaluation workloads.
+
+``load_dataset(name)`` returns the seeded synthetic stand-in for each of the
+paper's nine datasets (seven scalar + two multi-dimensional).  Two size
+presets exist: ``"small"`` keeps the full pipeline fast enough for CI-style
+runs; ``"paper"`` scales nodes/frames up for benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import SpatioTemporalDataset
+from .powergrid import make_powergrid
+from .synthetic import (
+    make_air_quality,
+    make_ca_housing,
+    make_climate,
+    make_covid,
+    make_stock,
+    make_traffic,
+)
+
+__all__ = [
+    "SCALAR_DATASETS",
+    "MULTIDIM_DATASETS",
+    "EXTENSION_DATASETS",
+    "ALL_DATASETS",
+    "load_dataset",
+]
+
+#: The seven scalar-node datasets of Tables II/III and Figs. 10-13,
+#: in the paper's presentation order.
+SCALAR_DATASETS: tuple[str, ...] = (
+    "no2",
+    "covid",
+    "o3",
+    "traffic",
+    "pm25",
+    "pm10",
+    "stock",
+)
+
+#: The two multi-dimensional datasets of Table IV.
+MULTIDIM_DATASETS: tuple[str, ...] = ("ca_housing", "climate")
+
+#: Extension workloads motivated by the paper's introduction but not in
+#: its evaluation section.
+EXTENSION_DATASETS: tuple[str, ...] = ("powergrid",)
+
+ALL_DATASETS: tuple[str, ...] = (
+    SCALAR_DATASETS + MULTIDIM_DATASETS + EXTENSION_DATASETS
+)
+
+_SIZES: dict[str, dict[str, float]] = {
+    "small": {"nodes": 0.5, "frames": 0.5},
+    "paper": {"nodes": 1.0, "frames": 1.0},
+}
+
+
+def _scaled(default_nodes: int, default_frames: int, size: str) -> tuple[int, int]:
+    if size not in _SIZES:
+        raise ValueError(f"unknown size preset {size!r}; pick from {sorted(_SIZES)}")
+    f = _SIZES[size]
+    return max(16, int(default_nodes * f["nodes"])), max(
+        96, int(default_frames * f["frames"])
+    )
+
+
+def load_dataset(name: str, size: str = "paper") -> SpatioTemporalDataset:
+    """Instantiate one of the nine named evaluation datasets.
+
+    Args:
+        name: One of :data:`ALL_DATASETS` (case-insensitive).
+        size: ``"small"`` (halved nodes/frames) or ``"paper"``.
+
+    Returns:
+        The seeded, min-max-normalized dataset.
+    """
+    key = name.lower()
+    builders: dict[str, Callable[[int, int], SpatioTemporalDataset]] = {
+        "traffic": lambda n, t: make_traffic(num_nodes=n, num_frames=t),
+        "pm25": lambda n, t: make_air_quality("pm25", num_nodes=n, num_frames=t),
+        "pm10": lambda n, t: make_air_quality("pm10", num_nodes=n, num_frames=t),
+        "no2": lambda n, t: make_air_quality("no2", num_nodes=n, num_frames=t),
+        "o3": lambda n, t: make_air_quality("o3", num_nodes=n, num_frames=t),
+        "covid": lambda n, t: make_covid(num_nodes=n, num_frames=t),
+        "stock": lambda n, t: make_stock(num_nodes=n, num_frames=t),
+        "ca_housing": lambda n, t: make_ca_housing(num_nodes=n, num_frames=t),
+        "climate": lambda n, t: make_climate(num_nodes=n, num_frames=t),
+        "powergrid": lambda n, t: make_powergrid(num_nodes=n, num_frames=t),
+    }
+    defaults: dict[str, tuple[int, int]] = {
+        "traffic": (72, 480),
+        "pm25": (64, 480),
+        "pm10": (64, 480),
+        "no2": (64, 480),
+        "o3": (64, 480),
+        "covid": (60, 420),
+        "stock": (64, 420),
+        "ca_housing": (48, 260),
+        "climate": (40, 365),
+        "powergrid": (48, 360),
+    }
+    if key not in builders:
+        raise ValueError(f"unknown dataset {name!r}; pick from {ALL_DATASETS}")
+    nodes, frames = _scaled(*defaults[key], size=size)
+    return builders[key](nodes, frames)

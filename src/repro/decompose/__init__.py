@@ -1,0 +1,35 @@
+"""Learning-based decomposition of dense dynamical systems (Sec. IV.B)."""
+
+from .community import (
+    community_sizes,
+    louvain_communities,
+    louvain_networkx,
+    modularity,
+)
+from .patterns import PATTERNS, pattern_mask, pe_pairs_allowed, wormhole_pairs
+from .pipeline import DecompositionConfig, DecomposedSystem, decompose
+from .report import DecompositionReport, analyze
+from .redistribute import PlacementResult, redistribute, split_oversized
+from .sparsify import coupling_density, prune_below, prune_to_density
+
+__all__ = [
+    "PATTERNS",
+    "DecomposedSystem",
+    "DecompositionConfig",
+    "DecompositionReport",
+    "PlacementResult",
+    "analyze",
+    "community_sizes",
+    "coupling_density",
+    "decompose",
+    "louvain_communities",
+    "louvain_networkx",
+    "modularity",
+    "pattern_mask",
+    "pe_pairs_allowed",
+    "prune_below",
+    "prune_to_density",
+    "redistribute",
+    "split_oversized",
+    "wormhole_pairs",
+]

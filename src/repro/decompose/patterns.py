@@ -1,0 +1,130 @@
+"""Inter-PE communication patterns: Chain, Mesh, DMesh, Wormhole (Fig. 6).
+
+A pattern defines which pairs of super-communities (PEs) may hold non-zero
+couplings after decomposition:
+
+* **Chain** — consecutive PEs in the row-major (snake) order.
+* **Mesh** — all 4-neighbor pairs on the 2D array (superset of Chain).
+* **DMesh** — Mesh plus diagonal neighbors (diagonally-linked mesh [18]).
+* **Wormhole** — a budget of extra point-to-point super-connections between
+  arbitrary remote PEs, granted to the strongest residual couplings that
+  the base pattern cannot carry.
+
+``pattern_mask`` produces the node-level boolean controlling mask used to
+confine non-zeros during fine-tuning (Sec. IV.B step 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .redistribute import PlacementResult
+
+__all__ = [
+    "PATTERNS",
+    "pe_pairs_allowed",
+    "pattern_mask",
+    "wormhole_pairs",
+]
+
+#: Recognized base pattern names, in increasing connectivity order.
+PATTERNS: tuple[str, ...] = ("chain", "mesh", "dmesh")
+
+
+def _coords(pe: int, cols: int) -> tuple[int, int]:
+    return divmod(pe, cols)
+
+
+def pe_pairs_allowed(pattern: str, grid_shape: tuple[int, int]) -> np.ndarray:
+    """Boolean ``(P, P)`` matrix of PE pairs the base pattern connects.
+
+    The diagonal (intra-PE) is always allowed: every PE is a full local
+    crossbar.
+    """
+    pattern = pattern.lower()
+    if pattern not in PATTERNS:
+        raise ValueError(f"unknown pattern {pattern!r}; pick from {PATTERNS}")
+    rows, cols = grid_shape
+    P = rows * cols
+    allowed = np.eye(P, dtype=bool)
+    for a in range(P):
+        ra, ca = _coords(a, cols)
+        for b in range(a + 1, P):
+            rb, cb = _coords(b, cols)
+            dr, dc = abs(ra - rb), abs(ca - cb)
+            if pattern == "chain":
+                # Row-major chain: each PE links only to its successor
+                # (the wrap from the end of one row to the start of the
+                # next rides the array edge links).
+                ok = b == a + 1
+            elif pattern == "mesh":
+                ok = (dr + dc) == 1
+            else:  # dmesh
+                ok = max(dr, dc) == 1
+            if ok:
+                allowed[a, b] = allowed[b, a] = True
+    return allowed
+
+
+def wormhole_pairs(
+    J: np.ndarray,
+    placement: PlacementResult,
+    base_allowed: np.ndarray,
+    budget: int,
+) -> list[tuple[int, int]]:
+    """Select up to ``budget`` remote PE pairs for Wormhole connections.
+
+    Ranked by the total residual coupling strength between the PEs that the
+    base pattern cannot carry — "rare connections between any two
+    super-communities" get the super-connection grid.
+    """
+    if budget < 0:
+        raise ValueError("wormhole budget must be non-negative")
+    if budget == 0:
+        return []
+    P = placement.num_pes
+    strengths: list[tuple[float, int, int]] = []
+    for a in range(P):
+        ga = placement.groups[a]
+        if ga.size == 0:
+            continue
+        for b in range(a + 1, P):
+            if base_allowed[a, b]:
+                continue
+            gb = placement.groups[b]
+            if gb.size == 0:
+                continue
+            strength = float(np.abs(J[np.ix_(ga, gb)]).sum())
+            if strength > 0:
+                strengths.append((strength, a, b))
+    strengths.sort(reverse=True)
+    return [(a, b) for _s, a, b in strengths[:budget]]
+
+
+def pattern_mask(
+    J: np.ndarray,
+    placement: PlacementResult,
+    pattern: str = "dmesh",
+    wormhole_budget: int = 2,
+) -> np.ndarray:
+    """Node-level boolean mask of couplings the hardware can realize.
+
+    Intra-PE pairs are always allowed; inter-PE pairs are allowed when the
+    base pattern connects their PEs or a Wormhole was granted.
+
+    Args:
+        J: Coupling matrix (used only to rank Wormhole candidates).
+        placement: Node-to-PE placement.
+        pattern: ``"chain"``, ``"mesh"``, or ``"dmesh"``.
+        wormhole_budget: Number of remote PE pairs granted Wormholes.
+
+    Returns:
+        Symmetric boolean ``(n, n)`` mask with a ``False`` diagonal.
+    """
+    allowed = pe_pairs_allowed(pattern, placement.grid_shape)
+    for a, b in wormhole_pairs(J, placement, allowed, wormhole_budget):
+        allowed[a, b] = allowed[b, a] = True
+    pe = placement.pe_of_node
+    mask = allowed[np.ix_(pe, pe)]
+    np.fill_diagonal(mask, False)
+    return mask

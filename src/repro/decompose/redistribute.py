@@ -1,0 +1,209 @@
+"""Community redistribution onto the PE grid (Sec. IV.B step 2).
+
+Extracted communities are grouped into *super-communities*, one per PE.
+Oversized communities are split into connectivity-aware sub-communities to
+fit the per-PE capacity ``K``; larger communities get placement priority
+and spill onto *neighboring* PEs for more communication opportunity;
+smaller communities and isolated nodes fill the remaining blanks so the
+workload stays balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .community import community_sizes
+
+__all__ = ["PlacementResult", "split_oversized", "redistribute"]
+
+
+@dataclass
+class PlacementResult:
+    """Node-to-PE placement on a 2D grid.
+
+    Attributes:
+        pe_of_node: ``(n,)`` PE index (row-major over the grid) per node.
+        grid_shape: ``(rows, cols)`` of the PE array.
+        capacity: Max nodes per PE.
+        groups: Node index arrays, one per PE.
+    """
+
+    pe_of_node: np.ndarray
+    grid_shape: tuple[int, int]
+    capacity: int
+    groups: list[np.ndarray]
+
+    @property
+    def num_pes(self) -> int:
+        """Number of PEs in the grid."""
+        return self.grid_shape[0] * self.grid_shape[1]
+
+    def pe_coordinates(self, pe: int) -> tuple[int, int]:
+        """(row, col) of a PE index."""
+        rows, cols = self.grid_shape
+        if not 0 <= pe < rows * cols:
+            raise ValueError(f"PE index {pe} out of grid {self.grid_shape}")
+        return divmod(pe, cols)[0], pe % cols
+
+    def loads(self) -> np.ndarray:
+        """Nodes currently placed on each PE."""
+        return np.asarray([g.size for g in self.groups])
+
+
+def split_oversized(
+    members: np.ndarray, capacity: int, weights: np.ndarray
+) -> list[np.ndarray]:
+    """Split one community into connected sub-communities of size <= capacity.
+
+    Greedy BFS over the strongest couplings: grow each chunk from the
+    highest-degree unassigned member, always absorbing the neighbor with
+    the strongest total coupling into the chunk, so sub-communities keep
+    their internal cohesion (the property redistribution tries to protect).
+    """
+    members = np.asarray(members, dtype=int)
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    if members.size <= capacity:
+        return [members]
+    sub = np.abs(weights[np.ix_(members, members)])
+    remaining = set(range(members.size))
+    chunks: list[np.ndarray] = []
+    while remaining:
+        degrees = {i: float(sub[i, list(remaining)].sum()) for i in remaining}
+        seed = max(remaining, key=lambda i: degrees[i])
+        chunk = [seed]
+        remaining.remove(seed)
+        while len(chunk) < capacity and remaining:
+            attachment = {
+                i: float(sub[np.ix_(chunk, [i])].sum()) for i in remaining
+            }
+            best = max(remaining, key=lambda i: (attachment[i], -i))
+            if attachment[best] <= 0 and len(chunk) >= 1:
+                # No connected candidate left; start a fresh chunk.
+                break
+            chunk.append(best)
+            remaining.remove(best)
+        chunks.append(members[np.asarray(sorted(chunk), dtype=int)])
+    return chunks
+
+
+def _grid_neighbors(pe: int, rows: int, cols: int) -> list[int]:
+    r, c = divmod(pe, cols)
+    out = []
+    for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+        rr, cc = r + dr, c + dc
+        if 0 <= rr < rows and 0 <= cc < cols:
+            out.append(rr * cols + cc)
+    return out
+
+
+def redistribute(
+    labels: np.ndarray,
+    weights: np.ndarray,
+    grid_shape: tuple[int, int],
+    capacity: int | None = None,
+) -> PlacementResult:
+    """Place communities onto the PE grid, largest first.
+
+    Args:
+        labels: Community label per node.
+        weights: Coupling matrix (used to split oversized communities and
+            to prefer neighbor PEs with strong cross-coupling).
+        grid_shape: ``(rows, cols)`` of the PE array.
+        capacity: Nodes per PE; defaults to ``ceil(n / num_pes)`` (the
+            tightest balanced capacity).
+
+    Returns:
+        The :class:`PlacementResult`.
+
+    Raises:
+        ValueError: If the total capacity cannot hold all nodes.
+    """
+    labels = np.asarray(labels, dtype=int)
+    weights = np.asarray(weights, dtype=float)
+    n = labels.shape[0]
+    rows, cols = grid_shape
+    num_pes = rows * cols
+    if num_pes < 1:
+        raise ValueError("grid must contain at least one PE")
+    if capacity is None:
+        capacity = int(np.ceil(n / num_pes))
+    if capacity * num_pes < n:
+        raise ValueError(
+            f"{num_pes} PEs x capacity {capacity} cannot hold {n} nodes"
+        )
+
+    sizes = community_sizes(labels)
+    order = np.argsort(sizes)[::-1]  # largest community first
+    chunks: list[np.ndarray] = []
+    for label in order:
+        members = np.nonzero(labels == label)[0]
+        if members.size == 0:
+            continue
+        chunks.extend(split_oversized(members, capacity, weights))
+    chunks.sort(key=lambda c: -c.size)
+
+    groups: list[list[int]] = [[] for _ in range(num_pes)]
+    free = np.full(num_pes, capacity, dtype=int)
+
+    def coupling_to_pe(chunk: np.ndarray, pe: int) -> float:
+        if not groups[pe]:
+            return 0.0
+        return float(np.abs(weights[np.ix_(chunk, groups[pe])]).sum())
+
+    for chunk in chunks:
+        # Prefer the PE (or a neighbor of an occupied PE) with the strongest
+        # existing coupling to this chunk and enough room; fall back to the
+        # emptiest PE for balance.
+        candidates = [pe for pe in range(num_pes) if free[pe] >= chunk.size]
+        if candidates:
+            best = max(
+                candidates,
+                key=lambda pe: (coupling_to_pe(chunk, pe), free[pe]),
+            )
+            groups[best].extend(chunk.tolist())
+            free[best] -= chunk.size
+            continue
+        # Chunk does not fit whole anywhere: spill across neighboring PEs,
+        # seeding at the PE with most room.
+        seed_pe = int(np.argmax(free))
+        frontier = [seed_pe]
+        visited = set()
+        remaining = chunk.tolist()
+        while remaining and frontier:
+            pe = frontier.pop(0)
+            if pe in visited:
+                continue
+            visited.add(pe)
+            take = min(free[pe], len(remaining))
+            if take > 0:
+                groups[pe].extend(remaining[:take])
+                free[pe] -= take
+                remaining = remaining[take:]
+            for neighbor in _grid_neighbors(pe, rows, cols):
+                if neighbor not in visited:
+                    frontier.append(neighbor)
+        if remaining:  # grid is full beyond neighbor reach
+            for pe in range(num_pes):
+                take = min(free[pe], len(remaining))
+                if take:
+                    groups[pe].extend(remaining[:take])
+                    free[pe] -= take
+                    remaining = remaining[take:]
+            if remaining:
+                raise ValueError("internal error: capacity exhausted")
+
+    pe_of_node = np.empty(n, dtype=int)
+    final_groups: list[np.ndarray] = []
+    for pe, members in enumerate(groups):
+        arr = np.asarray(sorted(members), dtype=int)
+        final_groups.append(arr)
+        pe_of_node[arr] = pe
+    return PlacementResult(
+        pe_of_node=pe_of_node,
+        grid_shape=grid_shape,
+        capacity=capacity,
+        groups=final_groups,
+    )

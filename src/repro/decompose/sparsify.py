@@ -1,0 +1,118 @@
+"""Coupling-matrix sparsification (Sec. IV.B step 1).
+
+"Strongly coupled nodes contribute predominantly to the quality of
+solution" — so pruning keeps the largest-magnitude couplings.  Density is
+defined as in the paper: the proportion of non-zero elements among the
+off-diagonal entries (sparsity = 1 - density).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["coupling_density", "prune_to_density", "prune_below"]
+
+
+def coupling_density(J: np.ndarray) -> float:
+    """Fraction of non-zero off-diagonal couplings."""
+    J = np.asarray(J)
+    n = J.shape[0]
+    if n < 2:
+        return 0.0
+    off = J[~np.eye(n, dtype=bool)]
+    return float(np.count_nonzero(off) / off.size)
+
+
+def prune_to_density(
+    J: np.ndarray,
+    density: float,
+    anchor_index: np.ndarray | None = None,
+    anchor_degree: int = 3,
+) -> np.ndarray:
+    """Keep only the strongest couplings so the density is at most ``density``.
+
+    Symmetric pairs are kept or dropped together (one physical resistor ring
+    serves both directions), so the result stays a valid coupling matrix.
+
+    Pure magnitude pruning can starve the rows that matter for inference:
+    on tasks with strong same-frame spatial correlation, the couplings
+    between an *unknown* variable and the *observed* ones can all be
+    weaker than the global cut, leaving the prediction unanchored.  The
+    optional ``anchor_index`` marks such rows (the target variables of a
+    temporal unrolling); each anchor row is guaranteed to keep its
+    ``anchor_degree`` strongest couplings to non-anchor columns, with the
+    remaining budget filled in global magnitude order.
+
+    Args:
+        J: Symmetric coupling matrix.
+        density: Target fraction of non-zero off-diagonal entries in (0, 1].
+        anchor_index: Rows guaranteed a minimum degree to non-anchor
+            columns (e.g. the predicted frame's variables).
+        anchor_degree: Couplings each anchor row keeps to non-anchor
+            columns (budget permitting).
+
+    Returns:
+        The pruned copy of ``J``.
+    """
+    if not 0 < density <= 1:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    if anchor_degree < 0:
+        raise ValueError("anchor_degree must be non-negative")
+    J = np.asarray(J, dtype=float)
+    n = J.shape[0]
+    if n < 2:
+        return J.copy()
+    iu, ju = np.triu_indices(n, k=1)
+    strengths = np.abs(J[iu, ju])
+    num_pairs = strengths.size
+    keep_pairs = int(np.floor(density * num_pairs))
+    pruned = np.zeros_like(J)
+    if keep_pairs == 0:
+        return pruned
+
+    forced: set[tuple[int, int]] = set()
+    if anchor_index is not None and anchor_degree > 0:
+        anchor_index = np.asarray(anchor_index, dtype=int)
+        anchors = set(anchor_index.tolist())
+        others = np.asarray(
+            [k for k in range(n) if k not in anchors], dtype=int
+        )
+        for i in anchor_index:
+            if others.size == 0:
+                break
+            row = np.abs(J[i, others])
+            top = others[np.argsort(row)[::-1][:anchor_degree]]
+            for j in top:
+                if J[i, j] != 0.0:
+                    forced.add((min(int(i), int(j)), max(int(i), int(j))))
+    # Forced pairs may not exceed the budget; keep the strongest of them.
+    if len(forced) > keep_pairs:
+        ranked = sorted(forced, key=lambda p: -abs(J[p[0], p[1]]))
+        forced = set(ranked[:keep_pairs])
+
+    for a, b in forced:
+        pruned[a, b] = J[a, b]
+        pruned[b, a] = J[b, a]
+    remaining = keep_pairs - len(forced)
+    if remaining > 0:
+        order = np.argsort(strengths)[::-1]
+        for k in order:
+            if remaining == 0 or strengths[k] == 0.0:
+                break
+            a, b = int(iu[k]), int(ju[k])
+            if (a, b) in forced:
+                continue
+            pruned[a, b] = J[a, b]
+            pruned[b, a] = J[b, a]
+            remaining -= 1
+    return pruned
+
+
+def prune_below(J: np.ndarray, threshold: float) -> np.ndarray:
+    """Zero couplings with magnitude below ``threshold``."""
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    J = np.asarray(J, dtype=float)
+    pruned = np.where(np.abs(J) >= threshold, J, 0.0)
+    np.fill_diagonal(pruned, 0.0)
+    return pruned

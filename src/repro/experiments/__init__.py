@@ -1,0 +1,65 @@
+"""Experiment harness: one entry point per table/figure of the paper."""
+
+from .ascii_plot import line_chart, sparkline
+from .figures import (
+    DENSITY_GRID,
+    LATENCY_GRID_NS,
+    NOISE_GRID,
+    ROBUSTNESS_DATASETS,
+    SYNC_GRID_NS,
+    fig4_data,
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+)
+from .reporting import (
+    format_density_sweep,
+    format_latency_sweep,
+    format_noise_sweep,
+    format_sync_sweep,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+)
+from .runner import (
+    DSGL_WINDOW,
+    GNN_BASELINES,
+    ExperimentContext,
+    evaluate_equilibrium,
+    evaluate_hardware,
+)
+from .tables import table1_data, table2_data, table3_data, table4_data
+
+__all__ = [
+    "DENSITY_GRID",
+    "DSGL_WINDOW",
+    "GNN_BASELINES",
+    "LATENCY_GRID_NS",
+    "NOISE_GRID",
+    "ROBUSTNESS_DATASETS",
+    "SYNC_GRID_NS",
+    "ExperimentContext",
+    "evaluate_equilibrium",
+    "evaluate_hardware",
+    "fig4_data",
+    "fig10_data",
+    "fig11_data",
+    "fig12_data",
+    "fig13_data",
+    "format_density_sweep",
+    "format_latency_sweep",
+    "format_noise_sweep",
+    "format_sync_sweep",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "line_chart",
+    "sparkline",
+    "table1_data",
+    "table2_data",
+    "table3_data",
+    "table4_data",
+]

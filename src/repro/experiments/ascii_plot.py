@@ -1,0 +1,106 @@
+"""Terminal plotting: render sweep curves without a plotting stack.
+
+The benchmark harness and CLI print the paper's curves as aligned numeric
+tables; these helpers add a compact visual rendering (sparklines and a
+multi-series line chart on a character canvas) so trends are visible at a
+glance in CI logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "line_chart"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int | None = None) -> str:
+    """A one-line block-character rendering of a series.
+
+    Args:
+        values: Sequence of numbers (NaNs render as spaces).
+        width: Optional resampled width; default = one block per value.
+
+    Returns:
+        The sparkline string.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if width is not None and width > 0 and arr.size != width:
+        positions = np.linspace(0, arr.size - 1, width)
+        arr = np.interp(positions, np.arange(arr.size), arr)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    out = []
+    for v in arr:
+        if not np.isfinite(v):
+            out.append(" ")
+            continue
+        level = 0 if span == 0 else int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[level])
+    return "".join(out)
+
+
+def line_chart(
+    series: dict[str, tuple],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """A multi-series scatter/line chart on a character canvas.
+
+    Args:
+        series: name -> (x_values, y_values).
+        width: Canvas columns.
+        height: Canvas rows.
+        x_label: Axis caption appended below.
+        y_label: Axis caption printed above.
+
+    Returns:
+        The rendered chart with a legend (one marker letter per series).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 3:
+        raise ValueError("canvas too small")
+    all_x = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if all_x.size == 0:
+        raise ValueError("series are empty")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    legend = []
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker}={name}")
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    lines.append(f"{y_hi:.3g} +" + "-" * width)
+    for row in canvas:
+        lines.append("       |" + "".join(row))
+    lines.append(f"{y_lo:.3g} +" + "-" * width)
+    footer = f"        {x_lo:.3g}" + " " * max(1, width - 12) + f"{x_hi:.3g}"
+    lines.append(footer)
+    if x_label:
+        lines.append(f"        ({x_label})")
+    lines.append("        " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Plain-text rendering of experiment results as paper-style tables."""
+
+from __future__ import annotations
+
+__all__ = [
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "format_density_sweep",
+    "format_latency_sweep",
+    "format_sync_sweep",
+    "format_noise_sweep",
+]
+
+
+def _row(cells: list[str], widths: list[int]) -> str:
+    return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+
+def format_table1(rows: list[dict]) -> str:
+    """Render the Table I hardware comparison."""
+    header = ["Design", "Spins", "Power", "Area", "Scalable", "Data type"]
+    body = [
+        [
+            r["design"],
+            str(r["effective_spins"]),
+            f"{r['power_mw']:.0f} mW",
+            f"{r['area_mm2']:.2f} mm2",
+            "Yes" if r["scalable"] else "No",
+            r["data_type"],
+        ]
+        for r in rows
+    ]
+    widths = [max(len(h), *(len(b[i]) for b in body)) for i, h in enumerate(header)]
+    lines = [_row(header, widths)] + [_row(b, widths) for b in body]
+    return "\n".join(lines)
+
+
+def format_table2(data: dict) -> str:
+    """Render the Table II RMSE comparison."""
+    datasets = list(data)
+    methods = list(next(iter(data.values())))
+    widths = [max(14, *(len(m) for m in methods))] + [9] * len(datasets)
+    lines = [_row(["Method"] + datasets, widths)]
+    for method in methods:
+        cells = [method] + [f"{data[d][method]:.2e}" for d in datasets]
+        lines.append(_row(cells, widths))
+    return "\n".join(lines)
+
+
+def format_table3(data: dict) -> str:
+    """Render the Table III latency/energy comparison."""
+    lines = []
+    apps = list(next(iter(data["platforms"]))["rows"]) if data["platforms"] else []
+    for platform in data["platforms"]:
+        lines.append(
+            f"-- {platform['platform']} ({platform['related_work']}, "
+            f"{platform['peak_tflops']} peak TFLOPS, "
+            f"{platform['typical_power_w']} W typical)"
+        )
+        for baseline in next(iter(platform["rows"].values())):
+            lat = [f"{platform['rows'][a][baseline]['latency_us']:.0f}" for a in apps]
+            en = [f"{platform['rows'][a][baseline]['energy_mj']:.1f}" for a in apps]
+            lines.append(
+                f"   {baseline:8s} latency(us) " + " ".join(f"{v:>8s}" for v in lat)
+                + "   energy(mJ) " + " ".join(f"{v:>8s}" for v in en)
+            )
+    lines.append("-- DS-GL (chip power %.0f mW)" % data["dsgl_power_mw"])
+    for app, row in data["dsgl"].items():
+        lines.append(
+            f"   {app:8s} latency {row['latency_us']:.2f} us   "
+            f"energy {row['energy_mj']:.1e} mJ"
+        )
+    return "\n".join(lines)
+
+
+def format_table4(data: dict) -> str:
+    """Render the Table IV multi-dimensional comparison."""
+    lines = []
+    for name, row in data.items():
+        lines.append(f"-- {name}")
+        for method, metrics in row.items():
+            lines.append(
+                f"   {method:8s} RMSE {metrics['rmse']:.2e}   "
+                f"latency {metrics['latency_us']:.2f} us"
+            )
+    return "\n".join(lines)
+
+
+def format_density_sweep(data: dict) -> str:
+    """Render Fig. 10 curves (RMSE vs density per pattern)."""
+    lines = []
+    for name, entry in data.items():
+        lines.append(f"-- {name}  (best GNN: {entry['best_gnn']:.2e})")
+        header = ["pattern"] + [f"D={d}" for d in entry["densities"]]
+        widths = [8] + [9] * len(entry["densities"])
+        lines.append("   " + _row(header, widths))
+        for pattern, values in entry["curves"].items():
+            cells = [pattern] + [f"{v:.2e}" for v in values]
+            lines.append("   " + _row(cells, widths))
+    return "\n".join(lines)
+
+
+def format_latency_sweep(data: dict) -> str:
+    """Render Fig. 11 curves (RMSE vs annealing latency)."""
+    lines = []
+    for name, entry in data.items():
+        pairs = "  ".join(
+            f"{t:.2f}us:{r:.2e}"
+            for t, r in zip(entry["latencies_us"], entry["rmse"])
+        )
+        lines.append(f"-- {name} [{entry['mode']}]  {pairs}")
+    return "\n".join(lines)
+
+
+def format_sync_sweep(data: dict) -> str:
+    """Render Fig. 12 curves (RMSE vs synchronization interval)."""
+    lines = []
+    for name, entry in data.items():
+        pairs = "  ".join(
+            f"{s:.0f}ns:{r:.2e}" for s, r in zip(entry["sync_ns"], entry["rmse"])
+        )
+        lines.append(f"-- {name}  {pairs}")
+    return "\n".join(lines)
+
+
+def format_noise_sweep(data: dict) -> str:
+    """Render Fig. 13 curves (RMSE vs density under noise)."""
+    lines = []
+    for name, entry in data.items():
+        lines.append(f"-- {name}")
+        for noise, values in entry["curves"].items():
+            cells = "  ".join(
+                f"D={d}:{v:.2e}" for d, v in zip(entry["densities"], values)
+            )
+            lines.append(f"   n={int(noise * 100):>2d}%  {cells}")
+    return "\n".join(lines)

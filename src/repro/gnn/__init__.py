@@ -1,0 +1,25 @@
+"""SOTA spatio-temporal GNN baselines (GWN, MTGNN, DDGCRN), numpy edition."""
+
+from .ddgcrn import DDGCRN
+from .gat import GraphAttentionNet
+from .gwn import GraphWaveNet
+from .mtgnn import MTGNN
+from .trainer import (
+    GNNTrainConfig,
+    GNNTrainer,
+    WindowBatches,
+    build_windows,
+    default_adjacency,
+)
+
+__all__ = [
+    "DDGCRN",
+    "GNNTrainConfig",
+    "GNNTrainer",
+    "GraphAttentionNet",
+    "GraphWaveNet",
+    "MTGNN",
+    "WindowBatches",
+    "build_windows",
+    "default_adjacency",
+]

@@ -1,0 +1,125 @@
+"""A spatio-temporal Graph Attention baseline (the NTGAT model family).
+
+Table III includes NTGAT [17], an accelerator for graph *attention*
+networks; this compact GAT-style forecaster completes the baseline family:
+attention coefficients are computed from node features (masked to the
+sensor graph's edges), applied per time step, and combined with a gated
+temporal convolution, with the usual last-step readout head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import ops
+from ..nn.tensor import Tensor, as_tensor
+
+__all__ = ["GraphAttentionNet"]
+
+
+class GraphAttentionNet(nn.Module):
+    """Gated temporal convolution + masked graph attention.
+
+    Attention follows the GAT form: ``e_ij = leaky_relu(a_src . W x_i +
+    a_dst . W x_j)`` masked to the graph's edges, normalized by softmax
+    over the neighborhood, then used to mix transformed neighbor features.
+
+    Args:
+        num_nodes: Graph size ``N``.
+        adjacency: Fixed adjacency whose non-zeros define the attention
+            neighborhoods (self-loops are added).
+        in_features: Per-node input channels.
+        out_features: Per-node output channels.
+        hidden: Channel width.
+        blocks: Attention + temporal blocks.
+        seed: Weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        adjacency: np.ndarray,
+        in_features: int = 1,
+        out_features: int = 1,
+        hidden: int = 16,
+        blocks: int = 2,
+        seed: int = 3,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        adjacency = np.asarray(adjacency, dtype=float)
+        if adjacency.shape != (num_nodes, num_nodes):
+            raise ValueError("adjacency shape must match num_nodes")
+        self.num_nodes = num_nodes
+        # Edge mask with self-loops; -inf bias kills non-edges in softmax.
+        mask = (adjacency != 0.0) | np.eye(num_nodes, dtype=bool)
+        self._attention_bias = np.where(mask, 0.0, -1e9)
+        self.input_proj = nn.Linear(in_features, hidden, rng=rng)
+        self.transforms = [nn.Linear(hidden, hidden, rng=rng) for _ in range(blocks)]
+        self.attn_src = [
+            nn.Parameter(nn.init.normal((hidden,), rng, std=0.2))
+            for _ in range(blocks)
+        ]
+        self.attn_dst = [
+            nn.Parameter(nn.init.normal((hidden,), rng, std=0.2))
+            for _ in range(blocks)
+        ]
+        self.temporal = [
+            nn.GatedTemporalConv(hidden, hidden, kernel_size=2, dilation=b + 1, rng=rng)
+            for b in range(blocks)
+        ]
+        self.head1 = nn.Linear(hidden, hidden, rng=rng)
+        self.head2 = nn.Linear(hidden, out_features, rng=rng)
+        self.hidden = hidden
+        self.blocks = blocks
+
+    def _attend(self, h: Tensor, block: int) -> Tensor:
+        """One masked attention layer over the node axis.
+
+        ``h`` is ``(B, T, N, C)``; scores are ``(B, T, N, N)``.
+        """
+        transformed = self.transforms[block](h)  # (B, T, N, C)
+        src = transformed @ self.attn_src[block]  # (B, T, N)
+        dst = transformed @ self.attn_dst[block]  # (B, T, N)
+        # e_ij = leaky_relu(src_i + dst_j): broadcast outer sum.
+        b, t, n = src.shape
+        scores = ops.leaky_relu(
+            src.reshape(b, t, n, 1) + dst.reshape(b, t, 1, n), slope=0.2
+        )
+        scores = scores + self._attention_bias
+        attention = ops.softmax(scores, axis=-1)
+        return attention @ transformed
+
+    def forward(self, x) -> Tensor:
+        """Map ``(B, W, N, F_in)`` history to ``(B, N, F_out)`` prediction."""
+        x = as_tensor(x)
+        h = self.input_proj(x)
+        for block in range(self.blocks):
+            residual = h
+            h = self.temporal[block](h)
+            h = ops.relu(self._attend(h, block)) + residual
+        out = ops.relu(self.head1(h[:, -1]))
+        return self.head2(out)
+
+    def flops_per_inference(self, window: int) -> int:
+        """Analytic multiply-accumulate count of one forward pass."""
+        return self.estimate_flops(
+            self.num_nodes, window, self.hidden, self.blocks
+        )
+
+    @staticmethod
+    def estimate_flops(
+        num_nodes: int, window: int, hidden: int, blocks: int = 2
+    ) -> int:
+        """FLOP count for arbitrary model dimensions (no instantiation)."""
+        N, H = num_nodes, hidden
+        total = 2 * window * N * H
+        for _b in range(blocks):
+            total += 2 * window * N * H * H  # transform
+            total += 4 * window * N * H  # attention projections
+            total += 3 * window * N * N  # scores + softmax
+            total += 2 * window * N * N * H  # attention mixing
+            total += 4 * window * N * H * H * 2  # gated temporal conv
+        total += 2 * N * H * H + 2 * N * H
+        return int(total)

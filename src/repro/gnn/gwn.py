@@ -1,0 +1,116 @@
+"""Graph WaveNet (GWN) baseline [36], compact numpy reimplementation.
+
+Architecture shape follows the original: an input projection, a stack of
+WaveNet blocks — gated dilated temporal convolution followed by a diffusion
+graph convolution over the *fixed* transition matrix plus a *self-adaptive*
+adjacency learned from node embeddings — with residual and skip
+connections, and an output head that reads the final time step.
+
+Scaled to laptop size (small hidden width, two blocks) since its role here
+is the accuracy/latency baseline of Tables II-III, not SOTA leaderboard
+chasing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import ops
+from ..nn.tensor import Tensor, as_tensor
+
+__all__ = ["GraphWaveNet"]
+
+
+class GraphWaveNet(nn.Module):
+    """Gated TCN + diffusion graph convolution with adaptive adjacency.
+
+    Args:
+        num_nodes: Graph size ``N``.
+        adjacency: Fixed normalized adjacency (numpy ``(N, N)``).
+        in_features: Per-node input channels.
+        out_features: Per-node output channels (prediction horizon = 1).
+        hidden: Residual channel width.
+        blocks: Number of WaveNet blocks (dilation doubles per block).
+        embedding_dim: Node-embedding width of the adaptive adjacency.
+        seed: Weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        adjacency: np.ndarray,
+        in_features: int = 1,
+        out_features: int = 1,
+        hidden: int = 16,
+        blocks: int = 2,
+        embedding_dim: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.adjacency = np.asarray(adjacency, dtype=float)
+        if self.adjacency.shape != (num_nodes, num_nodes):
+            raise ValueError("adjacency shape must match num_nodes")
+        self.input_proj = nn.Linear(in_features, hidden, rng=rng)
+        self.adaptive = nn.AdaptiveAdjacency(num_nodes, embedding_dim, rng=rng)
+        self.temporal = [
+            nn.GatedTemporalConv(hidden, hidden, kernel_size=2, dilation=2**b, rng=rng)
+            for b in range(blocks)
+        ]
+        self.spatial = [
+            nn.GraphConv(hidden, hidden, order=2, rng=rng) for _ in range(blocks)
+        ]
+        self.skip_proj = [nn.Linear(hidden, hidden, rng=rng) for _ in range(blocks)]
+        self.head1 = nn.Linear(hidden, hidden, rng=rng)
+        self.head2 = nn.Linear(hidden, out_features, rng=rng)
+        self.hidden = hidden
+        self.blocks = blocks
+
+    def forward(self, x) -> Tensor:
+        """Map ``(B, W, N, F_in)`` history to ``(B, N, F_out)`` prediction."""
+        x = as_tensor(x)
+        h = self.input_proj(x)
+        adaptive = self.adaptive()
+        skip: Tensor | None = None
+        for temporal, spatial, proj in zip(self.temporal, self.spatial, self.skip_proj):
+            residual = h
+            h = temporal(h)
+            # Diffusion over the fixed graph plus the learned one; the two
+            # GraphConv hop stacks share weights across supports like the
+            # compact variants of GWN.
+            h = spatial(h, self.adjacency) + spatial(h, adaptive)
+            h = h + residual
+            s = proj(h[:, -1])  # (B, N, hidden) at the final step
+            skip = s if skip is None else skip + s
+        assert skip is not None
+        out = ops.relu(self.head1(ops.relu(skip)))
+        return self.head2(out)
+
+    def flops_per_inference(self, window: int) -> int:
+        """Analytic multiply-accumulate count of one forward pass.
+
+        Used by the Table III latency model (latency = FLOPs / peak rate).
+        """
+        return self.estimate_flops(
+            self.adjacency.shape[0], window, self.hidden, self.blocks
+        )
+
+    @staticmethod
+    def estimate_flops(
+        num_nodes: int, window: int, hidden: int, blocks: int = 2
+    ) -> int:
+        """FLOP count for arbitrary model dimensions (no instantiation).
+
+        Lets the Table III harness cost a paper-scale deployment (thousands
+        of nodes) without building the weight tensors.
+        """
+        N, H = num_nodes, hidden
+        total = 2 * window * N * H  # input projection
+        for _b in range(blocks):
+            total += 4 * window * N * H * H * 2  # two gated convs, 2 taps
+            total += 2 * 2 * (window * N * N * H + 3 * window * N * H * H)  # graph convs
+            total += 2 * N * H * H  # skip projection
+        total += 2 * N * H * H + 2 * N * H
+        total += 2 * N * N * 8  # adaptive adjacency
+        return int(total)

@@ -1,0 +1,183 @@
+"""Training/evaluation harness for the GNN baselines.
+
+Builds sliding-window supervision from a :class:`SpatioTemporalDataset`,
+trains with Adam + gradient clipping + early stopping on a chronological
+validation split, and measures test RMSE and wall-clock inference latency —
+the quantities Tables II-IV report for the baselines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.metrics import rmse
+from ..datasets.base import SpatioTemporalDataset
+from ..datasets.graphs import normalized_adjacency
+from ..nn import Adam, Module, Tensor, clip_grad_norm, no_grad, ops
+
+__all__ = ["WindowBatches", "GNNTrainConfig", "GNNTrainer", "build_windows"]
+
+
+def build_windows(
+    series: np.ndarray, window: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sliding windows: ``X (S, window, N, F)`` history, ``y (S, N, F)`` next.
+
+    Accepts ``(T, N)`` (expanded to one feature) or ``(T, N, F)`` series.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim == 2:
+        series = series[:, :, None]
+    if series.ndim != 3:
+        raise ValueError(f"series must be (T, N) or (T, N, F), got {series.shape}")
+    T = series.shape[0]
+    if T <= window:
+        raise ValueError(f"series of {T} frames too short for window {window}")
+    X = np.stack([series[s : s + window] for s in range(T - window)])
+    y = series[window:]
+    return X, y
+
+
+@dataclass
+class WindowBatches:
+    """Mini-batch iterator over windowed supervision pairs."""
+
+    X: np.ndarray
+    y: np.ndarray
+    batch_size: int
+    rng: np.random.Generator
+
+    def __iter__(self):
+        order = self.rng.permutation(self.X.shape[0])
+        for start in range(0, order.size, self.batch_size):
+            index = order[start : start + self.batch_size]
+            yield self.X[index], self.y[index]
+
+
+@dataclass
+class GNNTrainConfig:
+    """Hyper-parameters of baseline training.
+
+    Attributes:
+        window: History length fed to the model.
+        epochs: Maximum training epochs.
+        batch_size: Mini-batch size.
+        lr: Adam learning rate.
+        grad_clip: Global gradient-norm bound.
+        patience: Early-stopping patience in epochs.
+        seed: Shuffling seed.
+    """
+
+    window: int = 6
+    epochs: int = 30
+    batch_size: int = 32
+    lr: float = 5e-3
+    grad_clip: float = 5.0
+    patience: int = 6
+    seed: int = 0
+
+
+@dataclass
+class GNNTrainer:
+    """Trains one baseline model on one dataset.
+
+    Attributes:
+        model: A module mapping ``(B, W, N, F)`` to ``(B, N, F)``.
+        config: Training hyper-parameters.
+        history: Per-epoch (train_loss, val_rmse) pairs, filled by ``fit``.
+    """
+
+    model: Module
+    config: GNNTrainConfig = field(default_factory=GNNTrainConfig)
+    history: list[tuple[float, float]] = field(default_factory=list)
+
+    def fit(
+        self,
+        train: SpatioTemporalDataset,
+        val: SpatioTemporalDataset | None = None,
+    ) -> "GNNTrainer":
+        """Train to convergence (early-stopped on validation RMSE)."""
+        cfg = self.config
+        X_train, y_train = build_windows(train.series, cfg.window)
+        if val is not None and val.num_frames > cfg.window:
+            X_val, y_val = build_windows(val.series, cfg.window)
+        else:
+            X_val = y_val = None
+        rng = np.random.default_rng(cfg.seed)
+        optimizer = Adam(self.model.parameters(), lr=cfg.lr)
+        best_val = np.inf
+        best_state: dict[str, np.ndarray] | None = None
+        stall = 0
+        for _epoch in range(cfg.epochs):
+            self.model.train()
+            batches = WindowBatches(X_train, y_train, cfg.batch_size, rng)
+            losses = []
+            for xb, yb in batches:
+                optimizer.zero_grad()
+                prediction = self.model(Tensor(xb))
+                loss = ops.mse_loss(prediction, yb)
+                loss.backward()
+                clip_grad_norm(optimizer.parameters, cfg.grad_clip)
+                optimizer.step()
+                losses.append(loss.item())
+            if X_val is not None:
+                val_rmse = self._score(X_val, y_val)
+            else:
+                val_rmse = float(np.sqrt(np.mean(losses)))
+            self.history.append((float(np.mean(losses)), val_rmse))
+            if val_rmse < best_val - 1e-6:
+                best_val = val_rmse
+                best_state = self.model.state_dict()
+                stall = 0
+            else:
+                stall += 1
+                if stall >= cfg.patience:
+                    break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return self
+
+    def _score(self, X: np.ndarray, y: np.ndarray) -> float:
+        self.model.eval()
+        with no_grad():
+            prediction = self.model(Tensor(X))
+        return rmse(prediction.numpy(), y)
+
+    def evaluate(self, test: SpatioTemporalDataset) -> float:
+        """Test RMSE over all windows of the test split."""
+        X, y = build_windows(test.series, self.config.window)
+        return self._score(X, y)
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        """One-step prediction from a single ``(W, N, F)`` history."""
+        history = np.asarray(history, dtype=float)
+        if history.ndim == 2:
+            history = history[:, :, None]
+        self.model.eval()
+        with no_grad():
+            prediction = self.model(Tensor(history[None]))
+        return prediction.numpy()[0]
+
+    def measure_latency(
+        self, test: SpatioTemporalDataset, repeats: int = 10
+    ) -> float:
+        """Median wall-clock seconds of one single-window inference."""
+        X, _ = build_windows(test.series, self.config.window)
+        sample = X[:1]
+        self.model.eval()
+        timings = []
+        with no_grad():
+            self.model(Tensor(sample))  # warm-up
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                self.model(Tensor(sample))
+                timings.append(time.perf_counter() - start)
+        return float(np.median(timings))
+
+
+def default_adjacency(dataset: SpatioTemporalDataset) -> np.ndarray:
+    """Normalized adjacency of a dataset's sensor graph (model input)."""
+    return normalized_adjacency(dataset.network.adjacency)

@@ -1,0 +1,45 @@
+"""The Scalable DSPU hardware model (Sec. IV.C-D) and cost models."""
+
+from .config import HardwareConfig
+from .cost import (
+    ACCELERATORS,
+    BRIM_REFERENCE,
+    AcceleratorModel,
+    AcceleratorSpec,
+    DSPUCostModel,
+    HardwareCost,
+    dsgl_energy_mj,
+)
+from .cu import CouplingUnit, CUCapacityError
+from .interconnect import CUSite, MeshTopology
+from .pe import ProcessingElement
+from .programming import ConfigurationCost, ProgrammingModel
+from .router import PORTALS, PortalOverflowError, Router
+from .scalable_dspu import AnnealingOutcome, ScalableDSPU
+from .scheduler import CoAnnealingSchedule, CouplingAssignment, build_schedule
+
+__all__ = [
+    "ACCELERATORS",
+    "BRIM_REFERENCE",
+    "AcceleratorModel",
+    "AcceleratorSpec",
+    "AnnealingOutcome",
+    "CUCapacityError",
+    "CUSite",
+    "CoAnnealingSchedule",
+    "ConfigurationCost",
+    "CouplingAssignment",
+    "CouplingUnit",
+    "DSPUCostModel",
+    "HardwareConfig",
+    "HardwareCost",
+    "MeshTopology",
+    "PORTALS",
+    "PortalOverflowError",
+    "ProcessingElement",
+    "ProgrammingModel",
+    "Router",
+    "ScalableDSPU",
+    "build_schedule",
+    "dsgl_energy_mj",
+]

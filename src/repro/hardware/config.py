@@ -1,0 +1,82 @@
+"""Hardware configuration of the Scalable DSPU (Sec. IV.C).
+
+Collects the architectural constants of the paper in one place:
+
+* per-PE capacity ``K`` (nodes in the local crossbar),
+* hardware communication capability ``L`` — lanes per exporting portal of
+  both PEs and CUs ("we set L as 30 for better performance and hardware
+  tradeoff"),
+* grid dimensions of the 2D PE array,
+* timing: integration step, inter-tile synchronization interval (200 ns on
+  the DS-GL hardware, Sec. V.D), and the temporal co-annealing
+  switch-in-turn interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HardwareConfig"]
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Architectural parameters of a Scalable DSPU instance.
+
+    Attributes:
+        grid_shape: ``(rows, cols)`` of the PE array.
+        pe_capacity: ``K`` — nodes per PE (each PE is a K x K local
+            crossbar).
+        lanes: ``L`` — analog I/O lanes per exporting portal (PE and CU
+            portals are matched).
+        sync_interval_ns: Interval at which inter-PE node values are
+            resampled across tile boundaries (zero-order hold between
+            samples).  200 ns on the DS-GL hardware; Fig. 12 sweeps it.
+        switch_interval_ns: Interval of the temporal co-annealing
+            switch-in-turn rotation (one slice of boundary couplings is
+            live per interval).
+        dt_ns: Analog integration step of the circuit simulation.
+        rail_volts: Supply rail; node voltages saturate at +-rail.
+    """
+
+    grid_shape: tuple[int, int] = (4, 4)
+    pe_capacity: int = 500
+    lanes: int = 30
+    sync_interval_ns: float = 200.0
+    switch_interval_ns: float = 200.0
+    dt_ns: float = 0.1
+    rail_volts: float = 1.0
+
+    def __post_init__(self) -> None:
+        rows, cols = self.grid_shape
+        if rows < 1 or cols < 1:
+            raise ValueError("grid must have positive dimensions")
+        if self.pe_capacity < 1:
+            raise ValueError("pe_capacity must be positive")
+        if self.lanes < 1:
+            raise ValueError("lanes must be positive")
+        if self.sync_interval_ns <= 0 or self.switch_interval_ns <= 0:
+            raise ValueError("timing intervals must be positive")
+        if self.dt_ns <= 0:
+            raise ValueError("dt_ns must be positive")
+        if self.rail_volts <= 0:
+            raise ValueError("rail_volts must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        """PEs in the array."""
+        return self.grid_shape[0] * self.grid_shape[1]
+
+    @property
+    def total_capacity(self) -> int:
+        """Total effective spins of the array."""
+        return self.num_pes * self.pe_capacity
+
+    @property
+    def cu_crossbar_shape(self) -> tuple[int, int]:
+        """Per-CU coupling crossbar: ``4L x 3L`` (Sec. IV.C).
+
+        A full ``4L x 4L`` is unnecessary because nodes of the same PE are
+        already fully coupled inside the PE.
+        """
+        return (4 * self.lanes, 3 * self.lanes)

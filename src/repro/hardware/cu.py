@@ -1,0 +1,138 @@
+"""Coupling Unit model (Sec. IV.C, "CU architecture").
+
+A CU sits at a mesh intersection, connecting up to four PEs through four
+``L``-lane portals.  Its ``4L x 3L`` analog crossbar couples nodes from
+*different* PEs (same-PE pairs are already coupled locally), with the
+coupling parameters held in the In-CU Weight Buffer and selected by the
+Weight Select module during temporal co-annealing slice switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .interconnect import CUSite
+
+__all__ = ["CouplingUnit", "CUCapacityError"]
+
+
+class CUCapacityError(RuntimeError):
+    """Raised when a CU portal or crossbar allocation is infeasible."""
+
+
+@dataclass
+class CouplingUnit:
+    """One CU of the mesh with its weight buffer and port bookkeeping.
+
+    Attributes:
+        site: Mesh corner and attached PEs.
+        lanes: ``L`` — lanes per portal (one portal per attached PE).
+        ports: Per-PE mapping node -> port slot on this CU.
+        weight_buffer: (node_a, node_b) -> coupling parameter, the In-CU
+            Weight Buffer contents (global node indices, a < b).
+    """
+
+    site: CUSite
+    lanes: int
+    ports: dict[int, dict[int, int]] = field(default_factory=dict)
+    weight_buffer: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ValueError("lane budget must be positive")
+        for pe in self.site.pes:
+            self.ports.setdefault(pe, {})
+
+    @property
+    def crossbar_shape(self) -> tuple[int, int]:
+        """``4L x 3L`` coupling crossbar (Sec. IV.C)."""
+        return (4 * self.lanes, 3 * self.lanes)
+
+    def free_ports(self, pe: int) -> int:
+        """Unused port slots on the portal facing ``pe``."""
+        if pe not in self.ports:
+            raise ValueError(f"PE {pe} is not attached to CU {self.site.corner}")
+        return self.lanes - len(self.ports[pe])
+
+    def connect_node(self, pe: int, node: int) -> int:
+        """Expose ``node`` of ``pe`` on this CU (idempotent).
+
+        Returns:
+            The port slot index.
+
+        Raises:
+            CUCapacityError: The portal for ``pe`` is out of slots.
+        """
+        slots = self.ports.get(pe)
+        if slots is None:
+            raise ValueError(f"PE {pe} is not attached to CU {self.site.corner}")
+        if node in slots:
+            return slots[node]
+        if len(slots) >= self.lanes:
+            raise CUCapacityError(
+                f"CU {self.site.corner} portal to PE {pe} out of slots"
+            )
+        used = set(slots.values())
+        slot = next(k for k in range(self.lanes) if k not in used)
+        slots[node] = slot
+        return slot
+
+    def program_coupling(self, node_a: int, node_b: int, weight: float) -> None:
+        """Write one coupling parameter into the In-CU Weight Buffer.
+
+        Both endpoints must already be connected through *different*
+        portals of this CU (same-PE pairs are coupled inside the PE).
+        """
+        pe_a = self._pe_of(node_a)
+        pe_b = self._pe_of(node_b)
+        if pe_a is None or pe_b is None:
+            raise ValueError(
+                f"both nodes must be connected to CU {self.site.corner} first"
+            )
+        if pe_a == pe_b:
+            raise ValueError(
+                "same-PE pairs are coupled in the local crossbar, not the CU"
+            )
+        key = (min(node_a, node_b), max(node_a, node_b))
+        self.weight_buffer[key] = float(weight)
+
+    def buffer_weight(self, node_a: int, node_b: int, weight: float) -> None:
+        """Stage a coupling parameter in the In-CU Weight Buffer.
+
+        Unlike :meth:`program_coupling`, no live port is required: during
+        Temporal & Spatial co-annealing the buffer holds the weights of
+        *all* slices while only the active slice occupies crossbar ports
+        (the Weight Select module swaps them in at switch time).
+        """
+        key = (min(node_a, node_b), max(node_a, node_b))
+        self.weight_buffer[key] = float(weight)
+
+    def _pe_of(self, node: int) -> int | None:
+        for pe, slots in self.ports.items():
+            if node in slots:
+                return pe
+        return None
+
+    def connected_nodes(self) -> list[int]:
+        """All nodes currently exposed on this CU."""
+        out: list[int] = []
+        for slots in self.ports.values():
+            out.extend(slots.keys())
+        return out
+
+    def utilization(self) -> float:
+        """Fraction of crossbar couplers programmed."""
+        rows, cols = self.crossbar_shape
+        return len(self.weight_buffer) / (rows * cols / 2)
+
+    def total_coupling_strength(self) -> float:
+        """Sum of |weight| in the buffer (used by cost accounting)."""
+        return float(np.sum(np.abs(list(self.weight_buffer.values())))) if self.weight_buffer else 0.0
+
+    def clear(self) -> None:
+        """Release ports and wipe the weight buffer (remapping)."""
+        for pe in self.ports:
+            self.ports[pe] = {}
+        self.weight_buffer.clear()

@@ -1,0 +1,122 @@
+"""Mesh interconnect topology of the Scalable DSPU (Sec. IV.C, Fig. 7).
+
+PEs sit on a 2D grid; Coupling Units (CUs) sit at the intersections of the
+mesh.  Each PE exports through four corner portals to its (up to) four
+neighboring CUs; each CU couples nodes from its (up to) four neighboring
+PEs.  Neighboring CUs are additionally linked by *super connections* — the
+orange grid — which carry Wormhole traffic between remote PEs.
+
+We index CUs by half-integer grid corners: the CU at corner ``(r, c)``
+touches PEs ``(r-1, c-1)``, ``(r-1, c)``, ``(r, c-1)``, ``(r, c)`` (those
+that exist).  Corner CUs of the array have fewer attached PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MeshTopology", "CUSite"]
+
+
+@dataclass(frozen=True)
+class CUSite:
+    """One coupling unit at a mesh intersection.
+
+    Attributes:
+        corner: ``(r, c)`` corner coordinate in ``0..rows`` x ``0..cols``.
+        pes: PE indices attached to this CU (1-4 of them).
+    """
+
+    corner: tuple[int, int]
+    pes: tuple[int, ...]
+
+
+class MeshTopology:
+    """Static topology queries for a PE grid with corner CUs."""
+
+    def __init__(self, grid_shape: tuple[int, int]):
+        rows, cols = grid_shape
+        if rows < 1 or cols < 1:
+            raise ValueError("grid must have positive dimensions")
+        self.rows = rows
+        self.cols = cols
+        self._sites: dict[tuple[int, int], CUSite] = {}
+        for r in range(rows + 1):
+            for c in range(cols + 1):
+                pes = []
+                for pr, pc in ((r - 1, c - 1), (r - 1, c), (r, c - 1), (r, c)):
+                    if 0 <= pr < rows and 0 <= pc < cols:
+                        pes.append(pr * cols + pc)
+                if pes:
+                    self._sites[(r, c)] = CUSite(corner=(r, c), pes=tuple(pes))
+
+    @property
+    def num_pes(self) -> int:
+        """PEs in the grid."""
+        return self.rows * self.cols
+
+    @property
+    def cu_sites(self) -> list[CUSite]:
+        """All CU sites of the array."""
+        return list(self._sites.values())
+
+    def pe_coordinates(self, pe: int) -> tuple[int, int]:
+        """(row, col) of a PE index."""
+        if not 0 <= pe < self.num_pes:
+            raise ValueError(f"PE {pe} outside grid {self.rows}x{self.cols}")
+        return divmod(pe, self.cols)
+
+    def corners_of_pe(self, pe: int) -> list[tuple[int, int]]:
+        """The four CU corners surrounding a PE (TL, TR, BL, BR order)."""
+        r, c = self.pe_coordinates(pe)
+        return [(r, c), (r, c + 1), (r + 1, c), (r + 1, c + 1)]
+
+    def shared_cus(self, pe_a: int, pe_b: int) -> list[tuple[int, int]]:
+        """CU corners adjacent to *both* PEs (direct spatial co-annealing).
+
+        Non-empty exactly when the PEs are 4-neighbors or diagonal
+        neighbors on the grid — the Mesh and DMesh reach.
+        """
+        return [
+            corner
+            for corner in self.corners_of_pe(pe_a)
+            if corner in set(self.corners_of_pe(pe_b))
+        ]
+
+    def are_mesh_neighbors(self, pe_a: int, pe_b: int) -> bool:
+        """4-neighbors on the array."""
+        ra, ca = self.pe_coordinates(pe_a)
+        rb, cb = self.pe_coordinates(pe_b)
+        return abs(ra - rb) + abs(ca - cb) == 1
+
+    def are_dmesh_neighbors(self, pe_a: int, pe_b: int) -> bool:
+        """4-neighbors or diagonal neighbors."""
+        ra, ca = self.pe_coordinates(pe_a)
+        rb, cb = self.pe_coordinates(pe_b)
+        return pe_a != pe_b and max(abs(ra - rb), abs(ca - cb)) == 1
+
+    def wormhole_route(self, pe_a: int, pe_b: int) -> list[tuple[int, int]]:
+        """CU corner sequence of a Wormhole between two remote PEs.
+
+        The route starts at a CU adjacent to ``pe_a``, walks the
+        super-connection grid in Manhattan fashion (row first, then
+        column), and ends at a CU adjacent to ``pe_b``.  Its length models
+        the super-connection resources the Wormhole occupies.
+        """
+        if self.are_dmesh_neighbors(pe_a, pe_b) or pe_a == pe_b:
+            shared = self.shared_cus(pe_a, pe_b)
+            return shared[:1]
+        ra, ca = self.pe_coordinates(pe_a)
+        rb, cb = self.pe_coordinates(pe_b)
+        # Start/end at the corner of each PE facing the other PE.
+        start = (ra + (1 if rb > ra else 0), ca + (1 if cb > ca else 0))
+        end = (rb + (1 if ra > rb else 0), cb + (1 if ca > cb else 0))
+        route = [start]
+        r, c = start
+        while r != end[0]:
+            r += 1 if end[0] > r else -1
+            route.append((r, c))
+        while c != end[1]:
+            c += 1 if end[1] > c else -1
+            route.append((r, c))
+        return route

@@ -1,0 +1,94 @@
+"""Processing Element model (Sec. IV.C, "PE architecture").
+
+Each PE is a small Real-Valued DSPU: ``K`` nodes fully coupled through a
+local ``K x K`` crossbar, split into two partitions wired to the
+(BL & TR) and (TL & BR) corner routers respectively, with four analog
+exporting portals of ``L`` lanes each at the corners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .router import PORTALS, Router
+
+__all__ = ["ProcessingElement"]
+
+
+@dataclass
+class ProcessingElement:
+    """One PE of the Scalable DSPU grid.
+
+    Attributes:
+        index: PE index (row-major over the grid).
+        nodes: Global indices of the nodes placed on this PE.
+        capacity: ``K`` — the local crossbar size.
+        lanes: ``L`` — lanes per exporting portal.
+        routers: The four corner routers, keyed by portal name.
+    """
+
+    index: int
+    nodes: np.ndarray
+    capacity: int
+    lanes: int
+    routers: dict[str, Router] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.nodes = np.asarray(self.nodes, dtype=int)
+        if self.nodes.size > self.capacity:
+            raise ValueError(
+                f"PE {self.index} holds {self.nodes.size} nodes, "
+                f"capacity is {self.capacity}"
+            )
+        if np.unique(self.nodes).size != self.nodes.size:
+            raise ValueError(f"PE {self.index} has duplicate nodes")
+        if not self.routers:
+            self.routers = {name: Router(name, self.lanes) for name in PORTALS}
+
+    @property
+    def occupancy(self) -> int:
+        """Nodes currently placed."""
+        return int(self.nodes.size)
+
+    def partitions(self) -> tuple[np.ndarray, np.ndarray]:
+        """The two node partitions (first half -> BL&TR, second -> TL&BR).
+
+        Each partition contains ``K/2`` node slots and is served by its two
+        corner routers.
+        """
+        half = (self.nodes.size + 1) // 2
+        return self.nodes[:half], self.nodes[half:]
+
+    def routers_of_node(self, node: int) -> tuple[str, str]:
+        """The two portals a node can export through, per its partition."""
+        first, _second = self.partitions()
+        if node not in self.nodes:
+            raise ValueError(f"node {node} is not on PE {self.index}")
+        if node in first:
+            return ("BL", "TR")
+        return ("TL", "BR")
+
+    def boundary_nodes(self, J: np.ndarray) -> np.ndarray:
+        """Nodes of this PE coupled to at least one node of another PE.
+
+        This is the PE's communication demand; the Temporal Scheduler
+        compares it with the portal lane budget.
+        """
+        if self.nodes.size == 0:
+            return self.nodes
+        external = np.setdiff1d(np.arange(J.shape[0]), self.nodes)
+        if external.size == 0:
+            return np.zeros(0, dtype=int)
+        talks = np.abs(J[np.ix_(self.nodes, external)]).sum(axis=1) > 0
+        return self.nodes[talks]
+
+    def local_coupling(self, J: np.ndarray) -> np.ndarray:
+        """The intra-PE block of the global coupling matrix."""
+        return J[np.ix_(self.nodes, self.nodes)]
+
+    def reset_routers(self) -> None:
+        """Release every lane allocation (new mapping round)."""
+        for router in self.routers.values():
+            router.release_all()

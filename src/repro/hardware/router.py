@@ -1,0 +1,74 @@
+"""PE corner routers and analog exporting portals (Fig. 7/8).
+
+A router owns one exporting portal of ``L`` analog lanes.  The Spatial
+Scheduler asks it to allocate lanes for boundary nodes; the router refuses
+past its lane budget — that refusal is what triggers Temporal & Spatial
+co-annealing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PORTALS", "Router", "PortalOverflowError"]
+
+#: The four exporting portals at the PE corners.
+PORTALS: tuple[str, ...] = ("TL", "TR", "BL", "BR")
+
+
+class PortalOverflowError(RuntimeError):
+    """Raised when a lane allocation exceeds the portal's budget."""
+
+
+@dataclass
+class Router:
+    """One corner router with an ``L``-lane analog portal.
+
+    Attributes:
+        portal: Portal name (``TL``/``TR``/``BL``/``BR``).
+        lanes: Lane budget ``L``.
+        allocations: node -> lane index currently held.
+    """
+
+    portal: str
+    lanes: int
+    allocations: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.portal not in PORTALS:
+            raise ValueError(f"unknown portal {self.portal!r}")
+        if self.lanes < 1:
+            raise ValueError("lane budget must be positive")
+
+    @property
+    def free_lanes(self) -> int:
+        """Unallocated lanes."""
+        return self.lanes - len(self.allocations)
+
+    def allocate(self, node: int) -> int:
+        """Assign a lane to ``node`` (idempotent for already-routed nodes).
+
+        Returns:
+            The lane index.
+
+        Raises:
+            PortalOverflowError: No free lane remains.
+        """
+        if node in self.allocations:
+            return self.allocations[node]
+        if self.free_lanes <= 0:
+            raise PortalOverflowError(
+                f"portal {self.portal} out of lanes ({self.lanes})"
+            )
+        used = set(self.allocations.values())
+        lane = next(k for k in range(self.lanes) if k not in used)
+        self.allocations[node] = lane
+        return lane
+
+    def release(self, node: int) -> None:
+        """Free the lane held by ``node`` (no-op when absent)."""
+        self.allocations.pop(node, None)
+
+    def release_all(self) -> None:
+        """Free every lane."""
+        self.allocations.clear()

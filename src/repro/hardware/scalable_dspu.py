@@ -1,0 +1,382 @@
+"""The Scalable DSPU: distributed spatial-temporal co-annealing (Sec. IV).
+
+A :class:`ScalableDSPU` is a decomposed system mapped onto the PE/CU grid.
+Its annealing simulator reproduces the paper's two operating modes:
+
+* **Spatial co-annealing** — every CU fits its couplings in one slice; all
+  inter-PE couplings conduct continuously.  Inter-PE node values are
+  exchanged at the hardware synchronization interval (200 ns on DS-GL;
+  Fig. 12 sweeps it), held constant (zero-order hold) in between.
+* **Temporal & Spatial co-annealing** — some CU needs several slices; the
+  Switch-in-turn rotation activates one slice per switch interval.  While
+  a coupling is inactive, its last-sampled contribution is held by the PE
+  buffers, so the rotation converges to the same fixed point given enough
+  phases — buying accuracy with annealing time (Fig. 11).
+
+Simulation method: between digital control events (sync/switch edges) the
+analog dynamics are *linear*, ``dsigma/dt = A sigma + b`` with constant
+``A`` and ``b``, so each interval is integrated exactly with the matrix
+exponential — no step-size error regardless of interval length.  The few
+distinct ``A`` matrices (one per live-slice phase) are factored once per
+mapping.
+
+Physical timescale: trained parameters are conductances up to an arbitrary
+global scale (scaling ``J`` and ``h`` together leaves the fixed point
+unchanged).  The simulator normalizes that scale so the fastest node time
+constant equals ``node_time_constant_ns``, anchoring annealing latency in
+nanoseconds like the paper's circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import expm
+
+from ..decompose.pipeline import DecomposedSystem
+from .config import HardwareConfig
+from .pe import ProcessingElement
+from .scheduler import CoAnnealingSchedule, build_schedule
+
+__all__ = ["AnnealingOutcome", "ScalableDSPU"]
+
+
+@dataclass
+class AnnealingOutcome:
+    """Result of one co-annealing inference run.
+
+    Attributes:
+        prediction: Denormalized free-node values.
+        state: Final node voltages (normalized domain).
+        latency_ns: Simulated annealing time.
+        mode: ``"spatial"`` or ``"temporal+spatial"``.
+        phases_completed: Switch-in-turn phases executed.
+    """
+
+    prediction: np.ndarray
+    state: np.ndarray
+    latency_ns: float
+    mode: str
+    phases_completed: int
+    energy_trace: np.ndarray | None = None
+
+
+class ScalableDSPU:
+    """A decomposed DS-GL system mapped onto the multi-PE hardware.
+
+    Args:
+        system: Output of :func:`repro.decompose.decompose`.
+        config: Hardware parameters; the grid must match the placement.
+        node_time_constant_ns: Time constant assigned to the fastest node
+            after conductance normalization.
+        seed: Initialization randomness seed.
+    """
+
+    def __init__(
+        self,
+        system: DecomposedSystem,
+        config: HardwareConfig | None = None,
+        node_time_constant_ns: float = 1.0,
+        seed: int = 0,
+    ):
+        if config is None:
+            rows, cols = system.placement.grid_shape
+            config = HardwareConfig(
+                grid_shape=(rows, cols),
+                pe_capacity=system.placement.capacity,
+            )
+        self.system = system
+        self.config = config
+        self.seed = seed
+        model = system.model
+        self.model = model
+
+        self.pes = [
+            ProcessingElement(
+                index=p,
+                nodes=group,
+                capacity=config.pe_capacity,
+                lanes=config.lanes,
+            )
+            for p, group in enumerate(system.placement.groups)
+        ]
+        self.schedule: CoAnnealingSchedule = build_schedule(
+            model.J, system.placement, config
+        )
+
+        # Conductance normalization: fastest eigen-rate of -(J + diag(h))
+        # maps to 1 / node_time_constant_ns.
+        if node_time_constant_ns <= 0:
+            raise ValueError("node_time_constant_ns must be positive")
+        A_raw = model.J + np.diag(model.h)
+        rates = np.abs(np.linalg.eigvalsh((A_raw + A_raw.T) / 2.0))
+        fastest = float(rates.max()) if rates.size else 1.0
+        self.time_scale = 1.0 / (fastest * node_time_constant_ns)
+        self._A = A_raw * self.time_scale  # dsigma/dt = A sigma (free part)
+
+        # Split the dynamics into the always-live part (intra-PE plus the
+        # self-reaction) and per-phase inter-PE parts.
+        pe_of = system.placement.pe_of_node
+        n = model.n
+        inter_mask = np.zeros((n, n), dtype=bool)
+        rows_nz, cols_nz = np.nonzero(model.J)
+        crossing = pe_of[rows_nz] != pe_of[cols_nz]
+        inter_mask[rows_nz[crossing], cols_nz[crossing]] = True
+        self._A_local = np.where(inter_mask, 0.0, self._A)
+        self._A_inter_phase: list[np.ndarray] = []
+        self._A_inter_boosted: list[np.ndarray] = []
+        for phase in range(self.schedule.num_phases):
+            live = np.zeros((n, n))
+            boosted = np.zeros((n, n))
+            for a in self.schedule.active_in_phase(phase):
+                weight = self._A[a.node_a, a.node_b]
+                live[a.node_a, a.node_b] = live[a.node_b, a.node_a] = weight
+                # Duty-cycle compensation: a coupler time-shared by s
+                # slices conducts for 1/s of the time, so its programmed
+                # conductance is scaled by s — the time-averaged coupling
+                # then equals the trained parameter (Weight Select swaps
+                # the stronger value in at switch time).
+                s = self.schedule.slices_per_cu[a.cu]
+                boosted[a.node_a, a.node_b] = weight * s
+                boosted[a.node_b, a.node_a] = weight * s
+            self._A_inter_phase.append(live)
+            self._A_inter_boosted.append(boosted)
+        self._A_inter_total = np.where(inter_mask, self._A, 0.0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """Which co-annealing mode the mapping requires."""
+        return "spatial" if self.schedule.is_spatial_only else "temporal+spatial"
+
+    @property
+    def num_phases(self) -> int:
+        """Switch-in-turn period of the mapping."""
+        return self.schedule.num_phases
+
+    def utilization(self) -> float:
+        """Mean PE occupancy relative to capacity."""
+        return float(
+            np.mean([pe.occupancy / pe.capacity for pe in self.pes])
+        )
+
+    # ------------------------------------------------------------------
+    # Co-annealing
+    # ------------------------------------------------------------------
+    def anneal(
+        self,
+        observed_index: np.ndarray,
+        observed_values: np.ndarray,
+        duration_ns: float = 5000.0,
+        sync_interval_ns: float | None = None,
+        rng: np.random.Generator | None = None,
+        node_noise_std: float = 0.0,
+        coupling_noise_std: float = 0.0,
+        force_spatial_only: bool = False,
+        record_energy: bool = False,
+    ) -> AnnealingOutcome:
+        """Run co-annealing inference.
+
+        During each switch phase the live circuit — every intra-PE
+        crossbar plus the active slice of each CU crossbar — is a linear
+        analog system integrated exactly over the phase.  Time-multiplexed
+        couplings are *duty-cycle compensated*: a coupler shared by ``s``
+        slices is programmed ``s`` times stronger, so the time-averaged
+        dynamics equal the trained system and the rotation converges to
+        the true fixed point with a ripple that shrinks as the
+        synchronization (switch) interval shrinks — the Fig. 12 behaviour.
+        The reported state is the average over the last full rotation
+        (ripple filtering).
+
+        Args:
+            observed_index: Clamped (observed) node indices.
+            observed_values: Raw-domain observed values.
+            duration_ns: Total annealing time (the inference latency).
+            sync_interval_ns: Interval between mapping switches (the
+                inter-tile synchronization interval of Sec. V.D);
+                defaults to the hardware's 200 ns.
+            rng: Randomness source for initialization/noise.
+            node_noise_std: Gaussian node-voltage noise per control
+                interval, as a fraction of rail (Sec. V.G).
+            coupling_noise_std: Multiplicative Gaussian coupler noise.
+            force_spatial_only: Keep only phase-0 couplings live, without
+                compensation (the "DS-GL-Spatial" design point of Table
+                II: temporal co-annealing disabled, trading accuracy for
+                latency).
+            record_energy: Record the trained Hamiltonian's value at each
+                control interval in ``energy_trace``.
+
+        Returns:
+            :class:`AnnealingOutcome`.
+        """
+        if duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+        model = self.model
+        n = model.n
+        cfg = self.config
+        sync = sync_interval_ns if sync_interval_ns is not None else cfg.sync_interval_ns
+        if sync <= 0:
+            raise ValueError("sync interval must be positive")
+        rng = rng or np.random.default_rng(self.seed)
+
+        observed_index = np.asarray(observed_index, dtype=int).reshape(-1)
+        observed_values = np.asarray(observed_values, dtype=float).reshape(-1)
+        free = np.setdiff1d(np.arange(n), observed_index)
+        clamp = self._normalize_subset(observed_index, observed_values)
+
+        sigma = rng.uniform(-cfg.rail_volts, cfg.rail_volts, size=n)
+        sigma[observed_index] = clamp
+
+        interval = min(sync, duration_ns)
+        num_intervals = max(1, int(round(duration_ns / interval)))
+
+        coupler_noise = None
+        if coupling_noise_std > 0:
+            factor = rng.normal(1.0, coupling_noise_std, size=(n, n))
+            coupler_noise = (factor + factor.T) / 2.0
+
+        num_phases = 1 if force_spatial_only else max(1, self.num_phases)
+        inter_source = (
+            [self._A_inter_phase[0]]
+            if force_spatial_only
+            else self._A_inter_boosted
+        )
+        A_live: list[np.ndarray] = []
+        for A_s in inter_source:
+            if coupler_noise is not None:
+                A_s = A_s * coupler_noise
+            A_local = self._A_local
+            if coupler_noise is not None:
+                off = A_local * coupler_noise
+                # The self-reaction resistor is inside the node, not a
+                # coupler; its conductance keeps the nominal value.
+                np.fill_diagonal(off, np.diag(self._A_local))
+                A_local = off
+            A_live.append(A_local + A_s)
+
+        propagators = self._build_propagators(A_live, free, interval)
+
+        def propagate(phase: int, state: np.ndarray) -> np.ndarray:
+            phi, integral, A_ff_damped = propagators[phase]
+            del A_ff_damped
+            u = A_live[phase][np.ix_(free, observed_index)] @ clamp
+            out = state.copy()
+            out[free] = phi @ state[free] + integral @ u
+            return out
+
+        phases_completed = 0
+        rotation = min(num_phases, num_intervals)
+        tail_states: list[np.ndarray] = []
+        hamiltonian = self.model.hamiltonian() if record_energy else None
+        energy_trace: list[float] = []
+        for k in range(num_intervals):
+            phase = k % num_phases
+            if k > 0 and phase == 0:
+                phases_completed += num_phases
+            sigma = propagate(phase, sigma)
+            if node_noise_std > 0:
+                sigma[free] += rng.normal(
+                    0.0, node_noise_std * cfg.rail_volts, size=free.size
+                )
+            np.clip(sigma, -cfg.rail_volts, cfg.rail_volts, out=sigma)
+            sigma[observed_index] = clamp
+            if hamiltonian is not None:
+                energy_trace.append(hamiltonian.energy(sigma))
+            if k >= num_intervals - rotation:
+                tail_states.append(sigma.copy())
+
+        # Ripple filtering: read out the mean over the final rotation.
+        readout = np.mean(tail_states, axis=0)
+        readout[observed_index] = clamp
+        prediction = self._denormalize_subset(free, readout)
+        return AnnealingOutcome(
+            prediction=prediction,
+            state=readout,
+            latency_ns=num_intervals * interval,
+            mode="spatial"
+            if (force_spatial_only or self.mode == "spatial")
+            else "temporal+spatial",
+            phases_completed=phases_completed,
+            energy_trace=np.asarray(energy_trace) if record_energy else None,
+        )
+
+    def _build_propagators(
+        self,
+        A_live: list[np.ndarray],
+        free: np.ndarray,
+        interval: float,
+        growth_cap: float = 30.0,
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Exact per-phase propagators with a rotation-level stability guard.
+
+        Individual duty-boosted phases may be transiently unstable; what
+        must contract is the *rotation map* — the product of the phase
+        propagators, whose time-average equals the trained (convex)
+        dynamics.  Damping is therefore applied in two bias-minimizing
+        steps: (i) a per-phase cap that only prevents numerical overflow
+        within one interval, and (ii) a *uniform* damping conductance, the
+        minimum that makes the rotation product contract.  Uniform damping
+        shifts every phase equally, so the bias on the averaged dynamics
+        is the smallest that stabilizes the orbit (and is zero whenever
+        the rotation is already contractive).
+        """
+        if free.size == 0:
+            identity = np.zeros((0, 0))
+            return [(identity, identity, identity) for _ in A_live]
+
+        blocks = [A[np.ix_(free, free)] for A in A_live]
+        # Step 1: cap per-phase exponential growth to avoid overflow.
+        lams = [
+            float(np.max(np.linalg.eigvalsh((B + B.T) / 2.0))) for B in blocks
+        ]
+        capped = []
+        for B, lam in zip(blocks, lams):
+            excess = lam - growth_cap / interval
+            if excess > 0:
+                B = B - excess * np.eye(free.size)
+            capped.append(B)
+
+        def make(blocks_damped: list[np.ndarray]):
+            out = []
+            for B in blocks_damped:
+                phi = expm(B * interval)
+                integral = np.linalg.solve(B, phi - np.eye(free.size))
+                out.append((phi, integral, B))
+            return out
+
+        propagators = make(capped)
+        # Step 2: uniform damping until the rotation map contracts.
+        rotation = np.eye(free.size)
+        for phi, _integral, _B in propagators:
+            rotation = phi @ rotation
+        radius = float(np.max(np.abs(np.linalg.eigvals(rotation))))
+        if radius >= 0.999:
+            total_time = interval * len(propagators)
+            delta = np.log(radius / 0.99) / total_time
+            damped = [B - delta * np.eye(free.size) for B in capped]
+            propagators = make(damped)
+        return propagators
+
+    # ------------------------------------------------------------------
+    # Normalization helpers
+    # ------------------------------------------------------------------
+    def _normalize_subset(self, index: np.ndarray, raw: np.ndarray) -> np.ndarray:
+        model = self.model
+        values = np.asarray(raw, dtype=float)
+        if model.mean is not None:
+            values = values - model.mean[index]
+        if model.scale is not None:
+            values = values / model.scale[index]
+        return values
+
+    def _denormalize_subset(self, index: np.ndarray, state: np.ndarray) -> np.ndarray:
+        model = self.model
+        values = state[index]
+        if model.scale is not None:
+            values = values * model.scale[index]
+        if model.mean is not None:
+            values = values + model.mean[index]
+        return values

@@ -1,0 +1,252 @@
+"""Spatial and Temporal schedulers (Sec. IV.D, Fig. 9).
+
+The **Spatial Scheduler** maps every inter-PE coupling onto a CU: directly
+neighboring PEs use a shared corner CU; remote pairs get a Wormhole route
+over the super-connection grid, terminating at CUs adjacent to each PE.
+Lane budgets are respected per (PE, CU) portal.
+
+When a portal's communication demand exceeds the ``L`` lanes, the
+**Temporal Scheduler** divides that CU's couplings into *slices*, each
+individually feasible, and rotates them in turn (Switch-in-turn).  A
+mapping whose every CU needs only one slice supports pure Spatial
+co-annealing; otherwise Temporal & Spatial co-annealing applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..decompose.redistribute import PlacementResult
+from .config import HardwareConfig
+from .cu import CouplingUnit
+from .interconnect import MeshTopology
+
+__all__ = ["CouplingAssignment", "CoAnnealingSchedule", "build_schedule"]
+
+
+@dataclass(frozen=True)
+class CouplingAssignment:
+    """One inter-PE coupling mapped onto the interconnect.
+
+    Attributes:
+        node_a: First global node index (a < b).
+        node_b: Second global node index.
+        pe_a: PE of ``node_a``.
+        pe_b: PE of ``node_b``.
+        cu: Corner of the CU whose crossbar realizes the coupling.
+        slice_index: Temporal slice this coupling belongs to at its CU.
+        wormhole: Whether a super-connection route carries it.
+        route_length: CU hops of the Wormhole route (1 for direct).
+    """
+
+    node_a: int
+    node_b: int
+    pe_a: int
+    pe_b: int
+    cu: tuple[int, int]
+    slice_index: int
+    wormhole: bool
+    route_length: int
+
+
+@dataclass
+class CoAnnealingSchedule:
+    """Complete mapping of a decomposed system onto the Scalable DSPU.
+
+    Attributes:
+        assignments: One entry per inter-PE coupling.
+        cus: Instantiated CouplingUnits keyed by corner.
+        slices_per_cu: Temporal slice count per CU corner.
+        num_phases: Global switch-in-turn period (max slice count).
+        demand_per_pe: Boundary-node count per PE.
+    """
+
+    assignments: list[CouplingAssignment]
+    cus: dict[tuple[int, int], CouplingUnit]
+    slices_per_cu: dict[tuple[int, int], int]
+    num_phases: int
+    demand_per_pe: np.ndarray
+
+    @property
+    def is_spatial_only(self) -> bool:
+        """True when every CU fits its couplings in one slice (D <= L)."""
+        return self.num_phases <= 1
+
+    def active_in_phase(self, phase: int) -> list[CouplingAssignment]:
+        """Assignments whose slice is live during switch phase ``phase``.
+
+        A CU with ``s`` slices cycles through them with period ``s``; CUs
+        with fewer slices than the global period simply repeat sooner.
+        """
+        out = []
+        for assignment in self.assignments:
+            s = self.slices_per_cu[assignment.cu]
+            if phase % s == assignment.slice_index:
+                out.append(assignment)
+        return out
+
+    def wormhole_count(self) -> int:
+        """Number of couplings carried over super-connections."""
+        return sum(1 for a in self.assignments if a.wormhole)
+
+    def duty_cycle(self) -> float:
+        """Average fraction of phases each inter-PE coupling is live."""
+        if not self.assignments:
+            return 1.0
+        return float(
+            np.mean([1.0 / self.slices_per_cu[a.cu] for a in self.assignments])
+        )
+
+
+def build_schedule(
+    J: np.ndarray,
+    placement: PlacementResult,
+    config: HardwareConfig,
+) -> CoAnnealingSchedule:
+    """Run both schedulers on a sparse coupling matrix.
+
+    Args:
+        J: Sparse symmetric coupling matrix of the decomposed system.
+        placement: Node-to-PE placement (grid must match the config).
+        config: Hardware parameters (grid, ``L``...).
+
+    Returns:
+        The :class:`CoAnnealingSchedule`.
+
+    Raises:
+        ValueError: Grid mismatch, or a PE exceeds its capacity.
+    """
+    if placement.grid_shape != config.grid_shape:
+        raise ValueError(
+            f"placement grid {placement.grid_shape} != hardware grid "
+            f"{config.grid_shape}"
+        )
+    loads = placement.loads()
+    if np.any(loads > config.pe_capacity):
+        raise ValueError(
+            f"PE load {int(loads.max())} exceeds capacity {config.pe_capacity}"
+        )
+    topology = MeshTopology(config.grid_shape)
+    cus = {
+        site.corner: CouplingUnit(site=site, lanes=config.lanes)
+        for site in topology.cu_sites
+    }
+
+    pe = placement.pe_of_node
+    rows, cols = np.nonzero(np.triu(J, 1))
+    inter = pe[rows] != pe[cols]
+    pairs = list(zip(rows[inter].tolist(), cols[inter].tolist()))
+    # Deterministic order: strongest couplings scheduled first, so they get
+    # the earliest (most frequently revisited) slices.
+    pairs.sort(key=lambda p: -abs(J[p[0], p[1]]))
+
+    # Per-CU slice bookkeeping: each slice tracks the distinct nodes it
+    # exposes per portal (bounded by L) and its accumulated coupling
+    # strength.  Placement balances strength across slices so that every
+    # duty-boosted phase stays close to the average dynamics — unbalanced
+    # slices make individual phases strongly non-contractive.
+    slice_nodes: dict[tuple[int, int], list[dict[int, set[int]]]] = {
+        corner: [] for corner in cus
+    }
+    slice_strength: dict[tuple[int, int], list[float]] = {
+        corner: [] for corner in cus
+    }
+
+    def try_place(corner: tuple[int, int], a: int, b: int) -> int:
+        """Least-loaded feasible slice at this CU for the pair (a, b)."""
+        lanes = config.lanes
+        slices = slice_nodes[corner]
+        strengths = slice_strength[corner]
+        pe_a, pe_b = int(pe[a]), int(pe[b])
+        feasible: list[int] = []
+        for index, portals in enumerate(slices):
+            pa = portals.setdefault(pe_a, set())
+            pb = portals.setdefault(pe_b, set())
+            room_a = a in pa or len(pa) < lanes
+            room_b = b in pb or len(pb) < lanes
+            if room_a and room_b:
+                feasible.append(index)
+        weight = abs(J[a, b])
+        if feasible:
+            index = min(feasible, key=lambda i: strengths[i])
+            slices[index].setdefault(pe_a, set()).add(a)
+            slices[index].setdefault(pe_b, set()).add(b)
+            strengths[index] += weight
+            return index
+        slices.append({pe_a: {a}, pe_b: {b}})
+        strengths.append(weight)
+        return len(slices) - 1
+
+    assignments: list[CouplingAssignment] = []
+    for a, b in pairs:
+        pe_a, pe_b = int(pe[a]), int(pe[b])
+        shared = topology.shared_cus(pe_a, pe_b)
+        if shared:
+            # Direct spatial coupling: pick the shared CU with the fewest
+            # slices so far (least congested).
+            corner = min(shared, key=lambda c: len(slice_nodes[c]))
+            wormhole = False
+            route_length = 1
+        else:
+            route = topology.wormhole_route(pe_a, pe_b)
+            corner = route[0]
+            wormhole = True
+            route_length = len(route)
+        slice_index = try_place(corner, a, b)
+        cu = cus[corner]
+        cu.buffer_weight(a, b, float(J[a, b]))
+        # Live crossbar ports are held by the first slice; later slices'
+        # nodes are swapped in at switch time by the Weight Select module.
+        if slice_index == 0:
+            if pe_a in cu.ports and cu.free_ports(pe_a) > 0:
+                cu.connect_node(pe_a, a)
+            if pe_b in cu.ports and cu.free_ports(pe_b) > 0:
+                cu.connect_node(pe_b, b)
+        assignments.append(
+            CouplingAssignment(
+                node_a=a,
+                node_b=b,
+                pe_a=pe_a,
+                pe_b=pe_b,
+                cu=corner,
+                slice_index=slice_index,
+                wormhole=wormhole,
+                route_length=route_length,
+            )
+        )
+
+    # Round each CU's slice count up to the next power of two so every
+    # count divides the global switch period — each slice is then live for
+    # exactly 1/s of the rotation, which the duty-cycle compensation of the
+    # co-annealing simulator relies on.
+    def next_pow2(value: int) -> int:
+        out = 1
+        while out < value:
+            out *= 2
+        return out
+
+    slices_per_cu = {
+        corner: next_pow2(max(1, len(slices)))
+        for corner, slices in slice_nodes.items()
+    }
+    num_phases = max(slices_per_cu.values(), default=1)
+
+    demand = np.zeros(placement.num_pes, dtype=int)
+    for p, group in enumerate(placement.groups):
+        if group.size == 0:
+            continue
+        external = np.setdiff1d(np.arange(J.shape[0]), group)
+        if external.size == 0:
+            continue
+        talks = np.abs(J[np.ix_(group, external)]).sum(axis=1) > 0
+        demand[p] = int(np.count_nonzero(talks))
+
+    return CoAnnealingSchedule(
+        assignments=assignments,
+        cus=cus,
+        slices_per_cu=slices_per_cu,
+        num_phases=num_phases,
+        demand_per_pe=demand,
+    )

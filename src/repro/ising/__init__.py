@@ -1,0 +1,59 @@
+"""The Ising-machine substrate DS-GL is rooted in.
+
+Binary Ising problems, the BRIM circuit simulator (the paper's baseline
+machine), the max-cut workload classic Ising machines target, and digital
+annealing baselines.
+"""
+
+from .annealers import AnnealerResult, GreedyDescent, ParallelTempering, SimulatedAnnealer
+from .applications import IsingCollaborativeFilter, IsingRBM
+from .brim import BRIMConfig, BRIMMachine, BRIMResult
+from .graph_problems import (
+    coloring_conflicts,
+    coloring_to_ising,
+    decode_coloring,
+    decode_mis,
+    is_independent_set,
+    is_vertex_cover,
+    mis_to_ising,
+    solve_mis,
+    vertex_cover_from_mis,
+)
+from .maxcut import (
+    MaxCutInstance,
+    cut_value,
+    exact_maxcut,
+    greedy_maxcut,
+    maxcut_to_ising,
+    solve_maxcut_on_brim,
+)
+from .model import IsingProblem, random_ising_problem
+
+__all__ = [
+    "AnnealerResult",
+    "BRIMConfig",
+    "BRIMMachine",
+    "BRIMResult",
+    "GreedyDescent",
+    "IsingCollaborativeFilter",
+    "IsingRBM",
+    "IsingProblem",
+    "MaxCutInstance",
+    "ParallelTempering",
+    "SimulatedAnnealer",
+    "coloring_conflicts",
+    "coloring_to_ising",
+    "cut_value",
+    "decode_coloring",
+    "decode_mis",
+    "exact_maxcut",
+    "greedy_maxcut",
+    "is_independent_set",
+    "is_vertex_cover",
+    "maxcut_to_ising",
+    "mis_to_ising",
+    "random_ising_problem",
+    "solve_maxcut_on_brim",
+    "solve_mis",
+    "vertex_cover_from_mis",
+]

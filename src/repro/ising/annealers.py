@@ -1,0 +1,193 @@
+"""Digital annealing baselines for Ising problems.
+
+The related-work section contrasts physical Ising machines against
+"digital annealers/accelerators [that] are hardwired annealing algorithms".
+These software annealers serve as the digital comparison points in tests
+and benchmarks, and as solution-quality oracles for larger instances where
+brute force is infeasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import IsingProblem
+
+__all__ = ["SimulatedAnnealer", "GreedyDescent", "ParallelTempering", "AnnealerResult"]
+
+
+@dataclass
+class AnnealerResult:
+    """Best configuration found and its energy history.
+
+    Attributes:
+        spins: Best spins in {-1, +1}.
+        energy: Energy of ``spins``.
+        energy_history: Best-so-far energy after each sweep.
+    """
+
+    spins: np.ndarray
+    energy: float
+    energy_history: np.ndarray
+
+
+@dataclass
+class SimulatedAnnealer:
+    """Metropolis single-spin-flip simulated annealing.
+
+    Attributes:
+        sweeps: Full passes over all spins.
+        t_start: Initial temperature.
+        t_end: Final temperature (geometric cooling).
+        seed: Randomness seed.
+    """
+
+    sweeps: int = 200
+    t_start: float = 5.0
+    t_end: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sweeps < 1:
+            raise ValueError("sweeps must be positive")
+        if self.t_start <= 0 or self.t_end <= 0:
+            raise ValueError("temperatures must be positive")
+
+    def solve(self, problem: IsingProblem, spins0: np.ndarray | None = None) -> AnnealerResult:
+        """Anneal one instance and return the best configuration seen."""
+        rng = np.random.default_rng(self.seed)
+        spins = (
+            problem.random_spins(rng)
+            if spins0 is None
+            else problem.validate_spins(spins0).copy()
+        )
+        energy = problem.energy(spins)
+        best_spins = spins.copy()
+        best_energy = energy
+        history = np.empty(self.sweeps)
+        ratio = self.t_end / self.t_start
+        for sweep in range(self.sweeps):
+            temperature = self.t_start * ratio ** (sweep / max(1, self.sweeps - 1))
+            for i in rng.permutation(problem.n):
+                delta = problem.flip_gain(spins, int(i))
+                if delta <= 0 or rng.random() < np.exp(-delta / temperature):
+                    spins[i] = -spins[i]
+                    energy += delta
+            if energy < best_energy:
+                best_energy = energy
+                best_spins = spins.copy()
+            history[sweep] = best_energy
+        return AnnealerResult(
+            spins=best_spins, energy=float(best_energy), energy_history=history
+        )
+
+
+@dataclass
+class GreedyDescent:
+    """Zero-temperature descent: flip any spin that lowers the energy.
+
+    Deterministic given the seed; terminates at a local minimum where no
+    single flip improves.
+    """
+
+    seed: int = 0
+    max_sweeps: int = 1000
+
+    def solve(self, problem: IsingProblem, spins0: np.ndarray | None = None) -> AnnealerResult:
+        """Descend to a single-flip local minimum."""
+        rng = np.random.default_rng(self.seed)
+        spins = (
+            problem.random_spins(rng)
+            if spins0 is None
+            else problem.validate_spins(spins0).copy()
+        )
+        energy = problem.energy(spins)
+        history = [energy]
+        for _sweep in range(self.max_sweeps):
+            improved = False
+            for i in rng.permutation(problem.n):
+                delta = problem.flip_gain(spins, int(i))
+                if delta < -1e-12:
+                    spins[i] = -spins[i]
+                    energy += delta
+                    improved = True
+            history.append(energy)
+            if not improved:
+                break
+        return AnnealerResult(
+            spins=spins, energy=float(energy), energy_history=np.asarray(history)
+        )
+
+
+@dataclass
+class ParallelTempering:
+    """Replica-exchange Metropolis annealing.
+
+    Runs ``num_replicas`` Metropolis chains at a geometric temperature
+    ladder and periodically proposes swaps between adjacent temperatures
+    with the detailed-balance acceptance rule — markedly better than
+    single-chain annealing on rugged landscapes (frustrated couplings),
+    and the strongest digital baseline in this suite.
+
+    Attributes:
+        sweeps: Metropolis sweeps per replica.
+        num_replicas: Temperature rungs.
+        t_min: Coldest temperature.
+        t_max: Hottest temperature.
+        swap_every: Sweeps between replica-swap rounds.
+        seed: Randomness seed.
+    """
+
+    sweeps: int = 200
+    num_replicas: int = 6
+    t_min: float = 0.05
+    t_max: float = 5.0
+    swap_every: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sweeps < 1 or self.num_replicas < 2:
+            raise ValueError("need sweeps >= 1 and at least two replicas")
+        if not 0 < self.t_min < self.t_max:
+            raise ValueError("need 0 < t_min < t_max")
+        if self.swap_every < 1:
+            raise ValueError("swap_every must be positive")
+
+    def solve(self, problem: IsingProblem) -> AnnealerResult:
+        """Anneal one instance; returns the best configuration seen."""
+        rng = np.random.default_rng(self.seed)
+        ladder = np.geomspace(self.t_min, self.t_max, self.num_replicas)
+        spins = [problem.random_spins(rng) for _ in ladder]
+        energies = [problem.energy(s) for s in spins]
+        best_energy = min(energies)
+        best_spins = spins[int(np.argmin(energies))].copy()
+        history = np.empty(self.sweeps)
+        for sweep in range(self.sweeps):
+            for r, temperature in enumerate(ladder):
+                for i in rng.permutation(problem.n):
+                    delta = problem.flip_gain(spins[r], int(i))
+                    if delta <= 0 or rng.random() < np.exp(-delta / temperature):
+                        spins[r][i] = -spins[r][i]
+                        energies[r] += delta
+                if energies[r] < best_energy:
+                    best_energy = energies[r]
+                    best_spins = spins[r].copy()
+            if (sweep + 1) % self.swap_every == 0:
+                for r in range(self.num_replicas - 1):
+                    beta_low = 1.0 / ladder[r]
+                    beta_high = 1.0 / ladder[r + 1]
+                    argument = (beta_low - beta_high) * (
+                        energies[r] - energies[r + 1]
+                    )
+                    if argument >= 0 or rng.random() < np.exp(argument):
+                        spins[r], spins[r + 1] = spins[r + 1], spins[r]
+                        energies[r], energies[r + 1] = (
+                            energies[r + 1],
+                            energies[r],
+                        )
+            history[sweep] = best_energy
+        return AnnealerResult(
+            spins=best_spins, energy=float(best_energy), energy_history=history
+        )

@@ -1,0 +1,191 @@
+"""BRIM: the Bistable Resistively-coupled Ising Machine (Sec. II.B).
+
+BRIM [Afoakwa et al., HPCA'21] represents each spin as a capacitor voltage
+driven by (i) resistive coupling currents to every other node through the
+all-to-all crossbar and (ii) a *bistable* feedback element that latches the
+voltage to one of the supply rails.  The node dynamics we integrate are::
+
+    C dsigma_i/dt = sum_j J_ij sigma_j + g * (tanh(alpha * sigma_i) - sigma_i)
+
+The second term has stable equilibria near ±1 for ``alpha > 1`` — this is
+the polarization DS-GL must engineer away (Fig. 4): a BRIM node *cannot*
+hold an intermediate analog value, whereas the Real-Valued DSPU's in-node
+resistor stabilizes it at ``-sum_j J_ij sigma_j / h_i``.
+
+The Node Control Unit's runtime value-flipping is modeled as scheduled
+spin-flip perturbations that keep only energy-improving flips, the standard
+BRIM annealing control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.dynamics import CircuitSimulator, IntegrationConfig, Trajectory
+from .model import IsingProblem
+
+__all__ = ["BRIMConfig", "BRIMResult", "BRIMMachine"]
+
+
+@dataclass
+class BRIMConfig:
+    """Electrical and annealing parameters of the simulated BRIM chip.
+
+    Attributes:
+        bistable_gain: Strength ``g`` of the latch feedback relative to the
+            coupling currents.
+        bistable_alpha: Slope ``alpha`` of the latch nonlinearity (> 1 for
+            bistability).
+        flip_interval: Simulated nanoseconds between Node Control Unit flip
+            attempts.
+        flip_fraction: Fraction of nodes considered per flip round.
+        integration: Circuit integration settings.
+    """
+
+    bistable_gain: float = 4.0
+    bistable_alpha: float = 3.0
+    flip_interval: float = 5.0
+    flip_fraction: float = 0.25
+    integration: IntegrationConfig = field(
+        default_factory=lambda: IntegrationConfig(dt=0.05, rail=1.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.bistable_gain <= 0:
+            raise ValueError("bistable_gain must be positive")
+        if self.bistable_alpha <= 1.0:
+            raise ValueError("bistable_alpha must exceed 1 for bistability")
+        if self.flip_interval <= 0:
+            raise ValueError("flip_interval must be positive")
+        if not 0 <= self.flip_fraction <= 1:
+            raise ValueError("flip_fraction must be in [0, 1]")
+
+
+@dataclass
+class BRIMResult:
+    """Outcome of a BRIM annealing run.
+
+    Attributes:
+        spins: Final binarized configuration in {-1, +1}.
+        energy: Ising energy of ``spins``.
+        trajectory: Recorded analog waveforms.
+    """
+
+    spins: np.ndarray
+    energy: float
+    trajectory: Trajectory
+
+
+class BRIMMachine:
+    """Circuit-level simulator of a BRIM chip for one Ising instance."""
+
+    def __init__(self, problem: IsingProblem, config: BRIMConfig | None = None):
+        self.problem = problem
+        self.config = config or BRIMConfig()
+
+    def drift(self, sigma: np.ndarray) -> np.ndarray:
+        """Total current into each node: coupling plus bistable latch."""
+        cfg = self.config
+        coupling = self.problem.J @ sigma
+        latch = cfg.bistable_gain * (
+            np.tanh(cfg.bistable_alpha * sigma) - sigma
+        )
+        return coupling + latch
+
+    def anneal(
+        self,
+        duration: float = 100.0,
+        sigma0: np.ndarray | None = None,
+        clamp_index: np.ndarray | None = None,
+        clamp_value: np.ndarray | None = None,
+        seed: int = 0,
+    ) -> BRIMResult:
+        """Run natural annealing with periodic improving-flip control.
+
+        Args:
+            duration: Total simulated nanoseconds.
+            sigma0: Initial voltages; random in the rails when omitted.
+            clamp_index: Optional observed nodes held fixed (used by the
+                Fig. 4 validation where v0/v2/v4 are inputs).
+            clamp_value: Voltages of the clamped nodes.
+            seed: Randomness seed.
+
+        Returns:
+            :class:`BRIMResult` with binarized spins and waveforms.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(seed)
+        n = self.problem.n
+        rail = cfg.integration.rail or 1.0
+        if sigma0 is None:
+            sigma0 = rng.uniform(-0.1 * rail, 0.1 * rail, size=n)
+        sigma = np.asarray(sigma0, dtype=float).copy()
+        if clamp_index is None:
+            clamp_index = np.zeros(0, dtype=int)
+            clamp_value = np.zeros(0)
+        clamp_index = np.asarray(clamp_index, dtype=int)
+        clamp_value = np.asarray(clamp_value, dtype=float)
+        free = np.setdiff1d(np.arange(n), clamp_index)
+
+        simulator = CircuitSimulator(config=cfg.integration, rng=rng)
+        hamiltonian = self.problem.hamiltonian()
+
+        num_segments = max(1, int(round(duration / cfg.flip_interval)))
+        segment = duration / num_segments
+        times_parts: list[np.ndarray] = []
+        states_parts: list[np.ndarray] = []
+        energies_parts: list[np.ndarray] = []
+        t_offset = 0.0
+        for segment_index in range(num_segments):
+            part = simulator.run(
+                self.drift,
+                sigma,
+                segment,
+                clamp_index=clamp_index,
+                clamp_value=clamp_value,
+                energy=hamiltonian.energy,
+            )
+            skip = 1 if times_parts else 0  # drop duplicated boundary sample
+            times_parts.append(part.times[skip:] + t_offset)
+            states_parts.append(part.states[skip:])
+            energies_parts.append(part.energies[skip:])
+            t_offset += segment
+            sigma = part.final_state.copy()
+            if segment_index < num_segments - 1 and cfg.flip_fraction > 0:
+                sigma = self._flip_round(sigma, free, rng)
+
+        trajectory = Trajectory(
+            times=np.concatenate(times_parts),
+            states=np.concatenate(states_parts),
+            energies=np.concatenate(energies_parts),
+        )
+        spins = self.binarize(trajectory.final_state)
+        spins[clamp_index] = np.sign(clamp_value) + (clamp_value == 0)
+        return BRIMResult(
+            spins=spins,
+            energy=self.problem.energy(spins),
+            trajectory=trajectory,
+        )
+
+    def _flip_round(
+        self, sigma: np.ndarray, free: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Node Control Unit flip pass: keep flips that lower binary energy."""
+        cfg = self.config
+        spins = self.binarize(sigma)
+        candidates = free[rng.random(free.size) < cfg.flip_fraction]
+        out = sigma.copy()
+        for i in candidates:
+            if self.problem.flip_gain(spins, int(i)) < 0:
+                spins[i] = -spins[i]
+                out[i] = -out[i]
+        return out
+
+    @staticmethod
+    def binarize(sigma: np.ndarray) -> np.ndarray:
+        """Read analog voltages out as binary spins (ties broken to +1)."""
+        sigma = np.asarray(sigma, dtype=float)
+        spins = np.where(sigma >= 0.0, 1.0, -1.0)
+        return spins

@@ -1,0 +1,120 @@
+"""Binary Ising problems (Sec. II.A) and their ground-state structure.
+
+Wraps :class:`~repro.core.hamiltonian.IsingHamiltonian` with binary-spin
+utilities: random/brute-force ground states, graph construction, and the
+energy bookkeeping shared by the BRIM simulator and the digital annealers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ..core.hamiltonian import IsingHamiltonian, symmetrize_coupling
+
+__all__ = ["IsingProblem", "random_ising_problem"]
+
+
+@dataclass
+class IsingProblem:
+    """A binary optimization instance over spins in {-1, +1}.
+
+    Attributes:
+        J: Symmetric coupling matrix (zero diagonal).
+        h: External-field vector.
+    """
+
+    J: np.ndarray
+    h: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.J = symmetrize_coupling(self.J)
+        self.h = np.asarray(self.h, dtype=float).reshape(-1)
+        if self.h.shape[0] != self.J.shape[0]:
+            raise ValueError("J and h sizes disagree")
+
+    @property
+    def n(self) -> int:
+        """Number of spins."""
+        return self.J.shape[0]
+
+    def hamiltonian(self) -> IsingHamiltonian:
+        """The energy function of the instance."""
+        return IsingHamiltonian(self.J, self.h)
+
+    def energy(self, spins: np.ndarray) -> float:
+        """Ising energy of a configuration (spins in {-1, +1})."""
+        return self.hamiltonian().energy(np.asarray(spins, dtype=float))
+
+    def validate_spins(self, spins: np.ndarray) -> np.ndarray:
+        """Check a configuration is binary and correctly sized."""
+        spins = np.asarray(spins)
+        if spins.shape != (self.n,):
+            raise ValueError(f"spins must have shape ({self.n},), got {spins.shape}")
+        if not np.all(np.isin(spins, (-1, 1))):
+            raise ValueError("spins must take values in {-1, +1}")
+        return spins.astype(float)
+
+    def random_spins(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Uniformly random configuration."""
+        rng = rng or np.random.default_rng(0)
+        return rng.choice([-1.0, 1.0], size=self.n)
+
+    def flip_gain(self, spins: np.ndarray, i: int) -> float:
+        """Energy change from flipping spin ``i`` (negative = improving).
+
+        ``delta E = 2 s_i (2 (J s)_i + h_i)`` for symmetric ``J`` under the
+        double-sum convention.
+        """
+        spins = np.asarray(spins, dtype=float)
+        local = 2.0 * float(self.J[i] @ spins) + float(self.h[i])
+        return 2.0 * float(spins[i]) * local
+
+    def brute_force_ground_state(self) -> tuple[np.ndarray, float]:
+        """Exhaustive ground-state search; only feasible for small ``n``.
+
+        Used by tests to certify annealer solution quality.
+        """
+        if self.n > 20:
+            raise ValueError(f"brute force infeasible for n={self.n} (> 20 spins)")
+        best_spins: np.ndarray | None = None
+        best_energy = np.inf
+        for bits in product((-1.0, 1.0), repeat=self.n):
+            spins = np.asarray(bits)
+            energy = self.energy(spins)
+            if energy < best_energy:
+                best_energy = energy
+                best_spins = spins
+        assert best_spins is not None
+        return best_spins, float(best_energy)
+
+
+def random_ising_problem(
+    n: int,
+    density: float = 1.0,
+    field: bool = False,
+    rng: np.random.Generator | None = None,
+) -> IsingProblem:
+    """Sample a random (optionally sparse) Ising instance.
+
+    Args:
+        n: Number of spins.
+        density: Fraction of coupler pairs that are non-zero.
+        field: When true, also sample a random external field.
+        rng: Randomness source.
+    """
+    if n < 2:
+        raise ValueError("need at least two spins")
+    if not 0 < density <= 1:
+        raise ValueError("density must be in (0, 1]")
+    rng = rng or np.random.default_rng(0)
+    J = rng.normal(0.0, 1.0, size=(n, n))
+    if density < 1.0:
+        keep = rng.random(size=(n, n)) < density
+        keep = keep | keep.T
+        J = J * keep
+    J = symmetrize_coupling(J)
+    h = rng.normal(0.0, 1.0, size=n) if field else np.zeros(n)
+    return IsingProblem(J=J, h=h)

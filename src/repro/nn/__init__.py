@@ -1,0 +1,43 @@
+"""From-scratch numpy autograd substrate for the GNN baselines."""
+
+from . import init, ops
+from .layers import (
+    AdaptiveAdjacency,
+    Dropout,
+    Embedding,
+    GatedTemporalConv,
+    GraphConv,
+    GRUCell,
+    LayerNorm,
+    Linear,
+    Sequential,
+    TemporalConv,
+)
+from .module import Module, Parameter
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Adam",
+    "AdaptiveAdjacency",
+    "Dropout",
+    "Embedding",
+    "GRUCell",
+    "GatedTemporalConv",
+    "GraphConv",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Sequential",
+    "TemporalConv",
+    "Tensor",
+    "as_tensor",
+    "clip_grad_norm",
+    "init",
+    "is_grad_enabled",
+    "no_grad",
+    "ops",
+]

@@ -1,0 +1,276 @@
+"""Neural layers used by the spatio-temporal GNN baselines.
+
+Shape convention throughout the GNN stack: node feature maps are
+``(batch, time, nodes, channels)``.  Temporal convolutions run along the
+time axis with causal (left) padding; graph convolutions contract over the
+node axis with a fixed or learned adjacency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init, ops
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "Dropout",
+    "Embedding",
+    "Linear",
+    "LayerNorm",
+    "Sequential",
+    "TemporalConv",
+    "GatedTemporalConv",
+    "GraphConv",
+    "AdaptiveAdjacency",
+    "GRUCell",
+]
+
+
+class Linear(Module):
+    """Affine map over the trailing (channel) axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = as_tensor(x) @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Normalization over the trailing channel axis with learned scale/shift."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(features))
+        self.beta = Parameter(np.zeros(features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered * ((variance + self.eps) ** -0.5)
+        return normalized * self.gamma + self.beta
+
+
+class TemporalConv(Module):
+    """Dilated causal convolution along the time axis.
+
+    Implements ``out[:, t] = sum_k x[:, t - k * dilation] @ W_k + b`` with
+    zero left-padding, the building block of WaveNet-style temporal
+    modules in GWN and MTGNN.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 2,
+        dilation: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if kernel_size < 1 or dilation < 1:
+            raise ValueError("kernel_size and dilation must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.taps = [
+            Parameter(init.xavier_uniform((in_channels, out_channels), rng))
+            for _ in range(kernel_size)
+        ]
+        self.bias = Parameter(init.zeros((out_channels,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        pad = (self.kernel_size - 1) * self.dilation
+        padded = ops.pad_time(x, pad, axis=1)
+        T = x.shape[1]
+        out: Tensor | None = None
+        for k, tap in enumerate(self.taps):
+            offset = pad - k * self.dilation
+            piece = padded[:, offset : offset + T] @ tap
+            out = piece if out is None else out + piece
+        assert out is not None
+        return out + self.bias
+
+
+class GatedTemporalConv(Module):
+    """Gated TCN unit: ``tanh(conv(x)) * sigmoid(conv(x))`` (GWN Eq. style)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 2,
+        dilation: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.filter_conv = TemporalConv(
+            in_channels, out_channels, kernel_size, dilation, rng
+        )
+        self.gate_conv = TemporalConv(
+            in_channels, out_channels, kernel_size, dilation, rng
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(self.filter_conv(x)) * ops.sigmoid(self.gate_conv(x))
+
+
+class GraphConv(Module):
+    """K-hop graph convolution (mix-hop propagation).
+
+    ``out = sum_{k=0..order} (A^k x) @ W_k`` where ``A`` is a (fixed or
+    learned) normalized adjacency supplied at call time.  Matches the
+    diffusion-convolution shape shared by GWN and MTGNN.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        order: int = 2,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if order < 1:
+            raise ValueError("order must be at least 1")
+        rng = rng or np.random.default_rng(0)
+        self.order = order
+        self.hops = [
+            Parameter(init.xavier_uniform((in_channels, out_channels), rng))
+            for _ in range(order + 1)
+        ]
+        self.bias = Parameter(init.zeros((out_channels,)))
+
+    def forward(self, x: Tensor, adjacency) -> Tensor:
+        x = as_tensor(x)
+        adjacency = as_tensor(adjacency)
+        out = x @ self.hops[0]
+        propagated = x
+        for k in range(1, self.order + 1):
+            propagated = adjacency @ propagated
+            out = out + propagated @ self.hops[k]
+        return out + self.bias
+
+
+class AdaptiveAdjacency(Module):
+    """Self-learned adjacency from node embeddings (GWN / MTGNN).
+
+    ``A = softmax(relu(E1 @ E2^T))`` — asymmetric by design so the learned
+    graph can encode directed influence.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        embedding_dim: int = 8,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.source = Parameter(init.normal((num_nodes, embedding_dim), rng, std=0.3))
+        self.target = Parameter(init.normal((num_nodes, embedding_dim), rng, std=0.3))
+
+    def forward(self) -> Tensor:
+        scores = ops.relu(self.source @ self.target.T)
+        return ops.softmax(scores, axis=-1)
+
+
+class GRUCell(Module):
+    """A GRU cell whose input/state transforms are pluggable modules.
+
+    With plain :class:`Linear` transforms this is a standard GRU; DDGCRN
+    plugs :class:`GraphConv`-based transforms in to obtain a graph-conv
+    recurrent cell.
+    """
+
+    def __init__(self, make_transform) -> None:
+        super().__init__()
+        self.update_gate = make_transform()
+        self.reset_gate = make_transform()
+        self.candidate = make_transform()
+
+    def forward(self, x: Tensor, state: Tensor, *extra) -> Tensor:
+        xs = ops.concat([as_tensor(x), as_tensor(state)], axis=-1)
+        z = ops.sigmoid(self.update_gate(xs, *extra))
+        r = ops.sigmoid(self.reset_gate(xs, *extra))
+        xr = ops.concat([as_tensor(x), r * state], axis=-1)
+        candidate = ops.tanh(self.candidate(xr, *extra))
+        return z * state + (1.0 - z) * candidate
+
+
+class Dropout(Module):
+    """Inverted dropout as a module (active only in training mode)."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        super().__init__()
+        if not 0 <= p < 1:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.p, self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Composes modules (and bare callables) front to back."""
+
+    def __init__(self, *stages):
+        super().__init__()
+        if not stages:
+            raise ValueError("Sequential needs at least one stage")
+        self.stages = list(stages)
+
+    def forward(self, x):
+        for stage in self.stages:
+            x = stage(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __getitem__(self, index: int):
+        return self.stages[index]
+
+
+class Embedding(Module):
+    """Index-lookup embedding table with sparse gradient accumulation."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_embeddings < 1 or embedding_dim < 1:
+            raise ValueError("embedding table dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=0.1))
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices, dtype=int)
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.weight.shape[0]
+        ):
+            raise ValueError("embedding index out of range")
+        return self.weight[indices]

@@ -1,0 +1,123 @@
+"""Module base class: parameter registration and train/eval switching."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Module", "Parameter"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        # Parameters require grad regardless of the no_grad state at
+        # construction time.
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for neural components.
+
+    Subclasses assign :class:`Parameter` and ``Module`` instances as
+    attributes; :meth:`parameters` walks them recursively.  ``training``
+    toggles dropout-style behaviour through :meth:`train` / :meth:`eval`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, depth-first, deduplicated."""
+        found: list[Parameter] = []
+        seen: set[int] = set()
+        self._collect(found, seen)
+        return found
+
+    def _collect(self, found: list[Parameter], seen: set[int]) -> None:
+        for value in self.__dict__.values():
+            self._collect_value(value, found, seen)
+
+    def _collect_value(self, value, found: list[Parameter], seen: set[int]) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            value._collect(found, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect_value(item, found, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._collect_value(item, found, seen)
+
+    def modules(self) -> list["Module"]:
+        """This module and all registered submodules."""
+        out: list[Module] = [self]
+        for value in self.__dict__.values():
+            out.extend(self._submodules_of(value))
+        return out
+
+    def _submodules_of(self, value) -> list["Module"]:
+        if isinstance(value, Module):
+            return value.modules()
+        if isinstance(value, (list, tuple)):
+            out: list[Module] = []
+            for item in value:
+                out.extend(self._submodules_of(item))
+            return out
+        return []
+
+    def train(self) -> "Module":
+        """Enable training behaviour (dropout active)."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Enable inference behaviour (dropout off)."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name -> array mapping (insertion order of discovery)."""
+        return {
+            f"param_{index}": parameter.data.copy()
+            for index, parameter in enumerate(self.parameters())
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameter values saved by :meth:`state_dict`."""
+        parameters = self.parameters()
+        if len(state) != len(parameters):
+            raise ValueError(
+                f"state has {len(state)} entries, model has {len(parameters)}"
+            )
+        for index, parameter in enumerate(parameters):
+            value = np.asarray(state[f"param_{index}"])
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"parameter {index} shape mismatch: "
+                    f"{value.shape} vs {parameter.data.shape}"
+                )
+            parameter.data = value.astype(float).copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError

@@ -1,0 +1,212 @@
+"""Elementwise and structural operations on autograd tensors.
+
+Free functions complementing the :class:`~repro.nn.tensor.Tensor` methods:
+activations, softmax, concatenation/stacking, padding, and the MSE/MAE loss
+functions used to train the GNN baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "exp",
+    "log",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "leaky_relu",
+    "softmax",
+    "concat",
+    "stack",
+    "pad_time",
+    "dropout",
+    "mse_loss",
+    "mae_loss",
+]
+
+
+def exp(x: Tensor) -> Tensor:
+    """Elementwise exponential."""
+    x = as_tensor(x)
+    out_data = np.exp(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * out_data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log(x: Tensor) -> Tensor:
+    """Elementwise natural logarithm."""
+    x = as_tensor(x)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad / x.data)
+
+    return Tensor._make(np.log(x.data), (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    x = as_tensor(x)
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (1.0 - out_data**2))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Elementwise logistic sigmoid (numerically stable)."""
+    x = as_tensor(x)
+    out_data = np.where(
+        x.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x.data, -500, None))),
+        np.exp(np.clip(x.data, None, 500))
+        / (1.0 + np.exp(np.clip(x.data, None, 500))),
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise rectifier."""
+    x = as_tensor(x)
+    mask = x.data > 0
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def leaky_relu(x: Tensor, slope: float = 0.01) -> Tensor:
+    """Leaky rectifier with configurable negative slope."""
+    x = as_tensor(x)
+    factor = np.where(x.data > 0, 1.0, slope)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * factor)
+
+    return Tensor._make(x.data * factor, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (numerically stabilized)."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            dot = np.sum(grad * out_data, axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.moveaxis(grad, axis, 0)
+        for t, piece in zip(tensors, pieces):
+            if t.requires_grad:
+                t._accumulate(piece)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def pad_time(x: Tensor, left: int, axis: int = 1) -> Tensor:
+    """Zero-pad ``left`` steps at the start of the time axis.
+
+    Causal padding for the dilated temporal convolutions of GWN/MTGNN.
+    """
+    if left < 0:
+        raise ValueError("pad length must be non-negative")
+    if left == 0:
+        return as_tensor(x)
+    x = as_tensor(x)
+    width = [(0, 0)] * x.ndim
+    width[axis] = (left, 0)
+    out_data = np.pad(x.data, width)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(left, None)
+            x._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity in eval mode."""
+    if not 0 <= p < 1:
+        raise ValueError("dropout probability must be in [0, 1)")
+    if not training or p == 0:
+        return as_tensor(x)
+    x = as_tensor(x)
+    mask = (rng.random(x.data.shape) >= p) / (1.0 - p)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target) -> Tensor:
+    """Mean absolute error (smooth-free; subgradient at zero is 0)."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    sign = np.sign(diff.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if diff.requires_grad:
+            diff._accumulate(grad * sign)
+
+    absolute = Tensor._make(np.abs(diff.data), (diff,), backward)
+    return absolute.mean()

@@ -1,0 +1,72 @@
+"""Tests of annealing schedules and controllers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnnealingController,
+    ConstantSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+)
+
+
+class TestSchedules:
+    def test_linear_endpoints(self):
+        schedule = LinearSchedule(start=1.0, end=0.2)
+        assert np.isclose(schedule(0.0), 1.0)
+        assert np.isclose(schedule(1.0), 0.2)
+        assert np.isclose(schedule(0.5), 0.6)
+
+    def test_linear_clamps_progress(self):
+        schedule = LinearSchedule(start=1.0, end=0.0)
+        assert np.isclose(schedule(-1.0), 1.0)
+        assert np.isclose(schedule(2.0), 0.0)
+
+    def test_geometric_endpoints_and_monotonicity(self):
+        schedule = GeometricSchedule(start=2.0, end=0.02)
+        assert np.isclose(schedule(0.0), 2.0)
+        assert np.isclose(schedule(1.0), 0.02)
+        values = [schedule(p) for p in np.linspace(0, 1, 11)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            GeometricSchedule(start=0.0, end=1.0)
+
+    def test_constant(self):
+        schedule = ConstantSchedule(level=0.3)
+        assert schedule(0.0) == schedule(1.0) == 0.3
+
+
+class TestController:
+    def test_perturbs_only_free_nodes(self):
+        controller = AnnealingController(
+            schedule=ConstantSchedule(level=0.5), rng=np.random.default_rng(0)
+        )
+        sigma = np.zeros(6)
+        free = np.asarray([True, True, False, False, True, False])
+        kicked = controller.perturb(sigma, progress=0.0, free_mask=free)
+        assert np.all(kicked[~free] == 0.0)
+        assert np.any(kicked[free] != 0.0)
+
+    def test_zero_amplitude_is_identity(self):
+        controller = AnnealingController(schedule=ConstantSchedule(level=0.0))
+        sigma = np.random.default_rng(1).normal(size=5)
+        out = controller.perturb(sigma, 0.5, np.ones(5, dtype=bool))
+        assert out is sigma
+
+    def test_amplitude_decays_with_progress(self):
+        controller = AnnealingController(
+            schedule=LinearSchedule(start=1.0, end=0.0),
+            rng=np.random.default_rng(2),
+        )
+        free = np.ones(200, dtype=bool)
+        early = controller.perturb(np.zeros(200), 0.0, free)
+        controller.rng = np.random.default_rng(2)
+        late = controller.perturb(np.zeros(200), 0.9, free)
+        assert np.std(early) > np.std(late)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            AnnealingController(schedule=ConstantSchedule(0.1), interval=0.0)

@@ -1,0 +1,74 @@
+"""Tests of batched equilibrium inference and ridge model selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NaturalAnnealingEngine,
+    TrainingConfig,
+    fit_precision,
+    select_ridge,
+)
+
+
+class TestBatchInference:
+    def test_matches_sequential_exactly(self, traffic_setup):
+        tw = traffic_setup["windowing"]
+        model = traffic_setup["model"]
+        engine = NaturalAnnealingEngine(model)
+        series = traffic_setup["test"].series
+        frames = tw.prediction_frames(series)[:10]
+        histories = np.stack([tw.history_of(series, t) for t in frames])
+        batch = engine.infer_equilibrium_batch(tw.observed_index, histories)
+        for row, history in zip(batch, histories):
+            single = engine.infer_equilibrium(tw.observed_index, history)
+            assert np.allclose(row, single.prediction, atol=1e-10)
+
+    def test_output_shape(self, traffic_setup):
+        tw = traffic_setup["windowing"]
+        engine = NaturalAnnealingEngine(traffic_setup["model"])
+        histories = np.zeros((5, tw.observed_index.size))
+        out = engine.infer_equilibrium_batch(tw.observed_index, histories)
+        assert out.shape == (5, tw.target_index.size)
+
+    def test_rejects_bad_shapes(self, traffic_setup):
+        tw = traffic_setup["windowing"]
+        engine = NaturalAnnealingEngine(traffic_setup["model"])
+        with pytest.raises(ValueError, match="batch"):
+            engine.infer_equilibrium_batch(
+                tw.observed_index, np.zeros(tw.observed_index.size)
+            )
+        with pytest.raises(ValueError, match="batch"):
+            engine.infer_equilibrium_batch(tw.observed_index, np.zeros((3, 2)))
+
+
+class TestSelectRidge:
+    def test_returns_candidate_and_convex_model(self, gaussian_samples):
+        samples, _ = gaussian_samples
+        candidates = (1e-3, 1e-1)
+        ridge, model = select_ridge(samples, candidates=candidates)
+        assert ridge in candidates
+        assert model.convexity_margin() > 0
+
+    def test_prefers_small_ridge_with_many_samples(self, gaussian_samples):
+        """With 1200 samples of a 10-dim Gaussian, heavy regularization
+        only hurts."""
+        samples, _ = gaussian_samples
+        ridge, _model = select_ridge(samples, candidates=(1e-3, 5.0))
+        assert ridge == 1e-3
+
+    def test_prefers_heavier_ridge_when_data_scarce(self):
+        rng = np.random.default_rng(0)
+        n = 30
+        A = rng.normal(size=(n, n)) * 0.3
+        cov = A @ A.T + np.eye(n)
+        scarce = rng.multivariate_normal(np.zeros(n), cov, size=40)
+        ridge, _model = select_ridge(scarce, candidates=(1e-4, 5e-1))
+        assert ridge == 5e-1
+
+    def test_validation(self, gaussian_samples):
+        samples, _ = gaussian_samples
+        with pytest.raises(ValueError, match="candidate"):
+            select_ridge(samples, candidates=())
+        with pytest.raises(ValueError, match="holdout"):
+            select_ridge(samples, holdout_fraction=1.5)

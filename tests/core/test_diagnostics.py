@@ -1,0 +1,83 @@
+"""Tests of the spectral diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DSGLModel,
+    estimate_settling_ns,
+    spectrum_report,
+    symmetrize_coupling,
+)
+
+
+def _model(coupling_scale=0.3, seed=0, n=8):
+    rng = np.random.default_rng(seed)
+    J = symmetrize_coupling(rng.normal(size=(n, n)) * coupling_scale)
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    return DSGLModel(J=J, h=h)
+
+
+class TestSpectrumReport:
+    def test_rates_are_positive_and_ordered(self):
+        report = spectrum_report(_model())
+        assert 0 < report.slowest_rate <= report.fastest_rate
+        assert report.condition_number >= 1.0
+
+    def test_diagonal_system_is_perfectly_conditioned(self):
+        model = DSGLModel(J=np.zeros((4, 4)), h=-np.full(4, 2.0))
+        report = spectrum_report(model)
+        assert np.isclose(report.condition_number, 1.0)
+        assert report.coupling_share == 0.0
+
+    def test_stronger_coupling_worsens_conditioning(self):
+        weak = spectrum_report(_model(coupling_scale=0.05))
+        strong = spectrum_report(_model(coupling_scale=0.8))
+        assert strong.condition_number > weak.condition_number
+
+    def test_slowest_rate_is_convexity_margin(self):
+        model = _model(seed=3)
+        report = spectrum_report(model)
+        assert np.isclose(report.slowest_rate, model.convexity_margin())
+
+
+class TestSettlingEstimate:
+    def test_scales_linearly_with_time_constant(self):
+        model = _model(seed=1)
+        t1 = estimate_settling_ns(model, node_time_constant_ns=1.0)
+        t10 = estimate_settling_ns(model, node_time_constant_ns=10.0)
+        assert np.isclose(t10, 10.0 * t1)
+
+    def test_scales_linearly_with_decades(self):
+        model = _model(seed=2)
+        t2 = estimate_settling_ns(model, decades=2.0)
+        t4 = estimate_settling_ns(model, decades=4.0)
+        assert np.isclose(t4, 2.0 * t2)
+
+    def test_upper_bounds_actual_settling(self, traffic_setup):
+        """The estimate is a worst-case bound: the circuit must settle (to
+        a loose tolerance) within it."""
+        from repro.core import CircuitSimulator, IntegrationConfig
+
+        model = traffic_setup["model"]
+        # Normalize conductances so the fastest rate is 1 (tau = 1 ns).
+        report = spectrum_report(model)
+        scale = 1.0 / report.fastest_rate
+        J = model.J * scale
+        h = model.h * scale
+        estimate = estimate_settling_ns(model, node_time_constant_ns=1.0)
+        rng = np.random.default_rng(0)
+        sigma0 = rng.uniform(-0.5, 0.5, size=model.n)
+        simulator = CircuitSimulator(IntegrationConfig(dt=0.5, rail=None, record_every=50))
+        run = simulator.run(
+            lambda s: J @ s + h * s, sigma0, float(estimate)
+        )
+        # Unclamped convex system settles to the origin.
+        assert np.max(np.abs(run.final_state)) < 0.02
+
+    def test_validation(self):
+        model = _model()
+        with pytest.raises(ValueError, match="time_constant"):
+            estimate_settling_ns(model, node_time_constant_ns=0.0)
+        with pytest.raises(ValueError, match="decades"):
+            estimate_settling_ns(model, decades=-1.0)

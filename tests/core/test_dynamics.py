@@ -1,0 +1,159 @@
+"""Tests of the circuit ODE simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CircuitSimulator,
+    IntegrationConfig,
+    RealValuedHamiltonian,
+    symmetrize_coupling,
+)
+
+
+def _system(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    J = symmetrize_coupling(rng.normal(size=(n, n)) * 0.4)
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    return RealValuedHamiltonian(J, h)
+
+
+def _drift(ham):
+    return lambda sigma: ham.J @ sigma + ham.h * sigma
+
+
+class TestIntegrationConfig:
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError, match="dt"):
+            IntegrationConfig(dt=0.0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            IntegrationConfig(method="rk2")
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError, match="noise"):
+            IntegrationConfig(node_noise_std=-0.1)
+
+    def test_rejects_bad_record_every(self):
+        with pytest.raises(ValueError, match="record_every"):
+            IntegrationConfig(record_every=0)
+
+
+class TestCircuitSimulator:
+    def test_converges_to_algebraic_fixed_point(self):
+        ham = _system()
+        clamp_index = np.asarray([0, 2])
+        clamp_value = np.asarray([0.5, -0.3])
+        expected = ham.fixed_point(clamp_index, clamp_value)
+        sim = CircuitSimulator(IntegrationConfig(dt=0.02, rail=None))
+        rng = np.random.default_rng(1)
+        sigma0 = rng.normal(size=6)
+        run = sim.run(
+            _drift(ham), sigma0, 200.0, clamp_index, clamp_value, ham.energy
+        )
+        assert np.allclose(run.final_state, expected, atol=1e-6)
+
+    def test_energy_monotonically_decreases(self):
+        ham = _system(seed=2)
+        sim = CircuitSimulator(IntegrationConfig(dt=0.02, rail=None))
+        run = sim.run(
+            _drift(ham),
+            np.random.default_rng(3).normal(size=6),
+            100.0,
+            energy=ham.energy,
+        )
+        assert np.all(np.diff(run.energies) <= 1e-9)
+
+    def test_rk4_matches_euler_at_convergence(self):
+        ham = _system(seed=4)
+        clamp_index = np.asarray([1])
+        clamp_value = np.asarray([0.7])
+        sigma0 = np.zeros(6)
+        euler = CircuitSimulator(IntegrationConfig(dt=0.01, method="euler")).run(
+            _drift(ham), sigma0, 150.0, clamp_index, clamp_value
+        )
+        rk4 = CircuitSimulator(IntegrationConfig(dt=0.05, method="rk4")).run(
+            _drift(ham), sigma0, 150.0, clamp_index, clamp_value
+        )
+        assert np.allclose(euler.final_state, rk4.final_state, atol=1e-4)
+
+    def test_rail_saturation(self):
+        # A strongly driven node cannot exceed the rail.
+        drift = lambda sigma: np.full_like(sigma, 10.0)
+        sim = CircuitSimulator(IntegrationConfig(dt=0.1, rail=1.0))
+        run = sim.run(drift, np.zeros(3), 50.0)
+        assert np.all(run.states <= 1.0 + 1e-12)
+        assert np.allclose(run.final_state, 1.0)
+
+    def test_clamped_nodes_never_move(self):
+        ham = _system(seed=5)
+        clamp_index = np.asarray([0, 4])
+        clamp_value = np.asarray([0.2, -0.9])
+        sim = CircuitSimulator(IntegrationConfig(dt=0.05))
+        run = sim.run(_drift(ham), np.zeros(6), 50.0, clamp_index, clamp_value)
+        assert np.allclose(run.states[:, clamp_index], clamp_value)
+
+    def test_noise_injection_perturbs_trajectory(self):
+        ham = _system(seed=6)
+        quiet = CircuitSimulator(
+            IntegrationConfig(dt=0.05), rng=np.random.default_rng(0)
+        ).run(_drift(ham), np.zeros(6), 20.0)
+        noisy = CircuitSimulator(
+            IntegrationConfig(dt=0.05, node_noise_std=0.1),
+            rng=np.random.default_rng(0),
+        ).run(_drift(ham), np.zeros(6), 20.0)
+        assert not np.allclose(quiet.final_state, noisy.final_state)
+
+    def test_record_every_thins_trajectory(self):
+        ham = _system(seed=7)
+        dense = CircuitSimulator(IntegrationConfig(dt=0.1)).run(
+            _drift(ham), np.zeros(6), 10.0
+        )
+        thin = CircuitSimulator(IntegrationConfig(dt=0.1, record_every=10)).run(
+            _drift(ham), np.zeros(6), 10.0
+        )
+        assert len(thin.times) < len(dense.times)
+        assert np.allclose(thin.final_state, dense.final_state)
+
+    def test_clamp_validation(self):
+        sim = CircuitSimulator()
+        with pytest.raises(ValueError, match="equal shapes"):
+            sim.run(lambda s: -s, np.zeros(4), 1.0, np.asarray([0]), np.zeros(2))
+        with pytest.raises(ValueError, match="out of range"):
+            sim.run(lambda s: -s, np.zeros(4), 1.0, np.asarray([9]), np.zeros(1))
+
+    def test_perturbed_coupling_symmetric(self):
+        sim = CircuitSimulator(IntegrationConfig(coupling_noise_std=0.1))
+        J = symmetrize_coupling(np.random.default_rng(8).normal(size=(5, 5)))
+        noisy = sim.perturbed_coupling(J)
+        assert np.allclose(noisy, noisy.T)
+        assert np.allclose(np.diag(noisy), 0.0)
+        assert not np.allclose(noisy, J)
+
+    def test_perturbed_coupling_identity_without_noise(self):
+        sim = CircuitSimulator()
+        J = symmetrize_coupling(np.random.default_rng(9).normal(size=(4, 4)))
+        assert sim.perturbed_coupling(J) is J
+
+
+class TestTrajectory:
+    def test_settle_time_monotone_in_tolerance(self):
+        ham = _system(seed=10)
+        sim = CircuitSimulator(IntegrationConfig(dt=0.05))
+        run = sim.run(
+            _drift(ham),
+            np.random.default_rng(11).normal(size=6),
+            100.0,
+            np.asarray([0]),
+            np.asarray([0.5]),
+        )
+        loose = run.settle_time(tolerance=0.1)
+        tight = run.settle_time(tolerance=1e-4)
+        assert loose <= tight
+
+    def test_final_energy_matches_states(self):
+        ham = _system(seed=12)
+        sim = CircuitSimulator(IntegrationConfig(dt=0.05))
+        run = sim.run(_drift(ham), np.zeros(6), 10.0, energy=ham.energy)
+        assert np.isclose(run.final_energy, ham.energy(run.final_state))

@@ -1,0 +1,171 @@
+"""Tests of the Ising and real-valued Hamiltonians."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IsingHamiltonian,
+    RealValuedHamiltonian,
+    symmetrize_coupling,
+    validate_coupling,
+)
+
+
+def _random_system(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    J = symmetrize_coupling(rng.normal(size=(n, n)))
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    return J, h
+
+
+class TestSymmetrize:
+    def test_result_is_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(1)
+        J = symmetrize_coupling(rng.normal(size=(6, 6)))
+        assert np.allclose(J, J.T)
+        assert np.allclose(np.diag(J), 0.0)
+
+    def test_preserves_pairwise_energy(self):
+        rng = np.random.default_rng(2)
+        raw = rng.normal(size=(5, 5))
+        np.fill_diagonal(raw, 0.0)
+        sym = symmetrize_coupling(raw)
+        sigma = rng.normal(size=5)
+        assert np.isclose(sigma @ raw @ sigma, sigma @ sym @ sigma)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            symmetrize_coupling(np.zeros((3, 4)))
+
+
+class TestValidateCoupling:
+    def test_rejects_asymmetric(self):
+        J = np.zeros((3, 3))
+        J[0, 1] = 1.0
+        with pytest.raises(ValueError, match="symmetric"):
+            validate_coupling(J, np.zeros(3))
+
+    def test_rejects_nonzero_diagonal(self):
+        J = np.eye(3)
+        with pytest.raises(ValueError, match="diagonal"):
+            validate_coupling(J, np.zeros(3))
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValueError, match="match"):
+            validate_coupling(np.zeros((3, 3)), np.zeros(4))
+
+    def test_returns_copies(self):
+        J = np.zeros((2, 2))
+        h = np.zeros(2)
+        J2, h2 = validate_coupling(J, h)
+        J2[0, 1] = 5.0
+        h2[0] = 5.0
+        assert J[0, 1] == 0.0 and h[0] == 0.0
+
+
+class TestIsingHamiltonian:
+    def test_energy_matches_definition(self):
+        J, _ = _random_system()
+        h = np.random.default_rng(3).normal(size=8)
+        ham = IsingHamiltonian(J, h)
+        spins = np.random.default_rng(4).choice([-1.0, 1.0], size=8)
+        expected = -sum(
+            J[i, j] * spins[i] * spins[j]
+            for i in range(8)
+            for j in range(8)
+            if i != j
+        ) - float(h @ spins)
+        assert np.isclose(ham.energy(spins), expected)
+
+    def test_gradient_matches_numeric(self):
+        J, _ = _random_system(6, seed=5)
+        h = np.random.default_rng(6).normal(size=6)
+        ham = IsingHamiltonian(J, h)
+        sigma = np.random.default_rng(7).normal(size=6)
+        grad = ham.gradient(sigma)
+        eps = 1e-6
+        for i in range(6):
+            up = sigma.copy()
+            up[i] += eps
+            down = sigma.copy()
+            down[i] -= eps
+            numeric = (ham.energy(up) - ham.energy(down)) / (2 * eps)
+            assert np.isclose(grad[i], numeric, atol=1e-5)
+
+    def test_hessian_is_constant_minus_2j(self):
+        J, _ = _random_system()
+        ham = IsingHamiltonian(J)
+        assert np.allclose(ham.hessian(), -2.0 * J)
+
+    def test_default_field_is_zero(self):
+        J, _ = _random_system()
+        assert np.allclose(IsingHamiltonian(J).h, 0.0)
+
+
+class TestRealValuedHamiltonian:
+    def test_requires_negative_h(self):
+        J, _ = _random_system()
+        with pytest.raises(ValueError, match="negative"):
+            RealValuedHamiltonian(J, np.zeros(8))
+
+    def test_energy_quadratic_term(self):
+        J, h = _random_system()
+        ham = RealValuedHamiltonian(J, h)
+        sigma = np.random.default_rng(8).normal(size=8)
+        expected = -float(sigma @ J @ sigma) - float(h @ sigma**2)
+        assert np.isclose(ham.energy(sigma), expected)
+
+    def test_gradient_matches_numeric(self):
+        J, h = _random_system(seed=9)
+        ham = RealValuedHamiltonian(J, h)
+        sigma = np.random.default_rng(10).normal(size=8)
+        grad = ham.gradient(sigma)
+        eps = 1e-6
+        for i in range(8):
+            up = sigma.copy()
+            up[i] += eps
+            down = sigma.copy()
+            down[i] -= eps
+            numeric = (ham.energy(up) - ham.energy(down)) / (2 * eps)
+            assert np.isclose(grad[i], numeric, atol=1e-5)
+
+    def test_fixed_point_without_clamp_is_origin(self):
+        J, h = _random_system(seed=11)
+        ham = RealValuedHamiltonian(J, h)
+        assert np.allclose(ham.fixed_point(), 0.0)
+
+    def test_clamped_fixed_point_has_zero_free_gradient(self):
+        J, h = _random_system(seed=12)
+        ham = RealValuedHamiltonian(J, h)
+        clamp_index = np.asarray([0, 3])
+        clamp_value = np.asarray([0.5, -0.7])
+        sigma = ham.fixed_point(clamp_index, clamp_value)
+        assert np.allclose(sigma[clamp_index], clamp_value)
+        free = np.setdiff1d(np.arange(8), clamp_index)
+        assert np.allclose(ham.gradient(sigma)[free], 0.0, atol=1e-9)
+
+    def test_stability_residual_zero_at_fixed_point(self):
+        J, h = _random_system(seed=13)
+        ham = RealValuedHamiltonian(J, h)
+        sigma = ham.fixed_point(np.asarray([1]), np.asarray([0.4]))
+        free = np.setdiff1d(np.arange(8), [1])
+        assert np.allclose(ham.stability_residual(sigma)[free], 0.0, atol=1e-9)
+
+    def test_fixed_point_is_energy_minimum_among_perturbations(self):
+        J, h = _random_system(seed=14)
+        ham = RealValuedHamiltonian(J, h)
+        clamp_index = np.asarray([0])
+        clamp_value = np.asarray([0.9])
+        star = ham.fixed_point(clamp_index, clamp_value)
+        base = ham.energy(star)
+        rng = np.random.default_rng(15)
+        for _ in range(20):
+            other = star.copy()
+            other[1:] += rng.normal(0, 0.1, size=7)
+            assert ham.energy(other) >= base - 1e-10
+
+    def test_clamp_shape_mismatch_raises(self):
+        J, h = _random_system()
+        ham = RealValuedHamiltonian(J, h)
+        with pytest.raises(ValueError, match="equal shapes"):
+            ham.fixed_point(np.asarray([0, 1]), np.asarray([1.0]))

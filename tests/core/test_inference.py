@@ -1,0 +1,122 @@
+"""Tests of natural-annealing inference (Sec. III.C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IntegrationConfig,
+    NaturalAnnealingEngine,
+    symmetrize_coupling,
+)
+from repro.core.model import DSGLModel
+
+
+def _engine(seed=0, **config_kwargs):
+    rng = np.random.default_rng(seed)
+    n = 8
+    J = symmetrize_coupling(rng.normal(size=(n, n)) * 0.5)
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    model = DSGLModel(
+        J=J,
+        h=h,
+        mean=rng.normal(size=n),
+        scale=rng.uniform(0.5, 1.5, size=n),
+    )
+    return NaturalAnnealingEngine(
+        model, config=IntegrationConfig(dt=0.02, **config_kwargs)
+    )
+
+
+class TestEquilibriumInference:
+    def test_prediction_matches_direct_solve(self):
+        engine = _engine()
+        model = engine.model
+        observed = np.asarray([0, 2, 5])
+        raw = np.asarray([1.0, -0.5, 0.3])
+        result = engine.infer_equilibrium(observed, raw)
+        normalized = (raw - model.mean[observed]) / model.scale[observed]
+        expected_state = model.hamiltonian().fixed_point(observed, normalized)
+        assert np.allclose(result.state, expected_state)
+        free = np.setdiff1d(np.arange(8), observed)
+        expected = expected_state[free] * model.scale[free] + model.mean[free]
+        assert np.allclose(result.prediction, expected)
+
+    def test_infinite_annealing_time(self):
+        engine = _engine()
+        result = engine.infer_equilibrium(np.asarray([0]), np.asarray([1.0]))
+        assert result.annealing_time_ns == float("inf")
+        assert result.trajectory is None
+
+
+class TestCircuitInference:
+    def test_converges_to_equilibrium(self):
+        engine = _engine()
+        observed = np.asarray([0, 3])
+        raw = np.asarray([0.5, -0.2])
+        circuit = engine.infer(observed, raw, duration=300.0)
+        equilibrium = engine.infer_equilibrium(observed, raw)
+        assert np.allclose(circuit.prediction, equilibrium.prediction, atol=1e-4)
+
+    def test_trajectory_recorded_with_decreasing_energy(self):
+        engine = _engine(seed=1)
+        result = engine.infer(np.asarray([1]), np.asarray([0.4]), duration=50.0)
+        assert result.trajectory is not None
+        assert np.all(np.diff(result.trajectory.energies) <= 1e-9)
+
+    def test_noise_produces_different_but_close_result(self):
+        quiet = _engine(seed=2)
+        noisy = _engine(seed=2, node_noise_std=0.02)
+        observed = np.asarray([0, 1])
+        raw = np.asarray([0.2, 0.6])
+        a = quiet.infer(observed, raw, duration=100.0).prediction
+        b = noisy.infer(observed, raw, duration=100.0).prediction
+        assert not np.allclose(a, b)
+        assert np.max(np.abs(a - b)) < 1.0
+
+    def test_seeded_runs_are_reproducible(self):
+        engine = _engine(seed=3)
+        observed = np.asarray([2])
+        raw = np.asarray([0.1])
+        a = engine.infer(observed, raw, duration=20.0).prediction
+        b = engine.infer(observed, raw, duration=20.0).prediction
+        assert np.allclose(a, b)
+
+
+class TestValidation:
+    def test_duplicate_observed_rejected(self):
+        engine = _engine()
+        with pytest.raises(ValueError, match="duplicates"):
+            engine.infer_equilibrium(np.asarray([1, 1]), np.asarray([0.0, 0.0]))
+
+    def test_out_of_range_observed_rejected(self):
+        engine = _engine()
+        with pytest.raises(ValueError, match="range"):
+            engine.infer_equilibrium(np.asarray([99]), np.asarray([0.0]))
+
+    def test_length_mismatch_rejected(self):
+        engine = _engine()
+        with pytest.raises(ValueError, match="length"):
+            engine.infer_equilibrium(np.asarray([0, 1]), np.asarray([0.0]))
+
+
+class TestEndToEnd:
+    def test_traffic_prediction_beats_persistence(self, traffic_setup):
+        """DS-GL on the traffic dataset must beat the trivial last-frame
+        predictor — the sanity bar for the whole pipeline."""
+        from repro.core import rmse
+
+        tw = traffic_setup["windowing"]
+        model = traffic_setup["model"]
+        test = traffic_setup["test"].series
+        engine = NaturalAnnealingEngine(model)
+        predictions, persistence, targets = [], [], []
+        for t in tw.prediction_frames(test)[:30]:
+            history = tw.history_of(test, t)
+            predictions.append(
+                engine.infer_equilibrium(tw.observed_index, history).prediction
+            )
+            persistence.append(test[t - 1])
+            targets.append(test[t])
+        model_rmse = rmse(np.asarray(predictions), np.asarray(targets))
+        persistence_rmse = rmse(np.asarray(persistence), np.asarray(targets))
+        assert model_rmse < persistence_rmse

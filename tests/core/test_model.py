@@ -1,0 +1,102 @@
+"""Tests of the DSGLModel container."""
+
+import numpy as np
+import pytest
+
+from repro.core import DSGLModel, symmetrize_coupling
+
+
+def _model(n=6, seed=0, with_norm=True):
+    rng = np.random.default_rng(seed)
+    J = symmetrize_coupling(rng.normal(size=(n, n)))
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    kwargs = {}
+    if with_norm:
+        kwargs = {
+            "mean": rng.normal(size=n),
+            "scale": rng.uniform(0.5, 2.0, size=n),
+        }
+    return DSGLModel(J=J, h=h, metadata={"origin": "test"}, **kwargs)
+
+
+class TestConstruction:
+    def test_symmetrizes_input(self):
+        J = np.zeros((3, 3))
+        J[0, 1] = 2.0
+        model = DSGLModel(J=J, h=-np.ones(3))
+        assert np.isclose(model.J[0, 1], 1.0)
+        assert np.isclose(model.J[1, 0], 1.0)
+
+    def test_rejects_positive_h(self):
+        with pytest.raises(ValueError, match="negative"):
+            DSGLModel(J=np.zeros((2, 2)), h=np.asarray([-1.0, 0.0]))
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValueError, match="disagree"):
+            DSGLModel(J=np.zeros((3, 3)), h=-np.ones(2))
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            DSGLModel(
+                J=np.zeros((2, 2)),
+                h=-np.ones(2),
+                scale=np.asarray([1.0, 0.0]),
+            )
+
+
+class TestProperties:
+    def test_density_counts_offdiagonal(self):
+        J = np.zeros((4, 4))
+        J[0, 1] = J[1, 0] = 1.0
+        model = DSGLModel(J=J, h=-np.ones(4))
+        assert np.isclose(model.density, 2 / 12)
+
+    def test_density_of_dense_model_is_one(self):
+        model = _model()
+        assert np.isclose(model.density, 1.0)
+
+    def test_stabilized_reaches_margin(self):
+        model = _model(seed=1)
+        shallow = DSGLModel(J=model.J, h=-np.full(model.n, 1e-3))
+        fixed = shallow.stabilized(margin=0.3)
+        assert fixed.convexity_margin() >= 0.3 - 1e-9
+
+    def test_with_coupling_preserves_normalization(self):
+        model = _model(seed=2)
+        other = model.with_coupling(np.zeros_like(model.J))
+        assert np.allclose(other.mean, model.mean)
+        assert np.allclose(other.scale, model.scale)
+        assert other.density == 0.0
+
+
+class TestNormalization:
+    def test_roundtrip(self):
+        model = _model(seed=3)
+        values = np.random.default_rng(4).normal(size=model.n)
+        assert np.allclose(model.denormalize(model.normalize(values)), values)
+
+    def test_identity_without_stats(self):
+        model = _model(seed=5, with_norm=False)
+        values = np.random.default_rng(6).normal(size=model.n)
+        assert np.allclose(model.normalize(values), values)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        model = _model(seed=7)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = DSGLModel.load(path)
+        assert np.allclose(loaded.J, model.J)
+        assert np.allclose(loaded.h, model.h)
+        assert np.allclose(loaded.mean, model.mean)
+        assert np.allclose(loaded.scale, model.scale)
+        assert loaded.metadata == model.metadata
+
+    def test_save_load_without_normalization(self, tmp_path):
+        model = _model(seed=8, with_norm=False)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = DSGLModel.load(path)
+        assert loaded.mean is None
+        assert loaded.scale is None

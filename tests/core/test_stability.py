@@ -1,0 +1,84 @@
+"""Tests of the stationary-point analysis (the Sec. III.A argument)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IsingHamiltonian,
+    classify_stationary_points,
+    convexity_margin,
+    enforce_convexity,
+    spectral_abscissa,
+    symmetrize_coupling,
+)
+
+
+def test_linear_ising_hessian_is_saddle():
+    """The paper's core motivation: diag(J)=0 makes every stationary point
+    of the linear-self-reaction Hamiltonian a saddle."""
+    rng = np.random.default_rng(0)
+    J = symmetrize_coupling(rng.normal(size=(12, 12)))
+    report = classify_stationary_points(IsingHamiltonian(J).hessian())
+    assert report.kind == "saddle"
+    # tr(-2J) = 0: eigenvalues must mix signs.
+    assert report.eigenvalues[0] < 0 < report.eigenvalues[-1]
+
+
+def test_quadratic_self_reaction_creates_minimum():
+    rng = np.random.default_rng(1)
+    J = symmetrize_coupling(rng.normal(size=(10, 10)))
+    h = -(np.abs(J).sum(axis=1) + 0.5)
+    hessian = -2.0 * (J + np.diag(h))
+    report = classify_stationary_points(hessian)
+    assert report.kind == "minimum"
+
+
+def test_classify_maximum():
+    report = classify_stationary_points(-np.eye(4))
+    assert report.kind == "maximum"
+
+
+def test_classify_degenerate():
+    report = classify_stationary_points(np.diag([1.0, 0.0, 2.0]))
+    assert report.kind == "degenerate"
+
+
+def test_convexity_margin_diagonal_case():
+    J = np.zeros((3, 3))
+    h = np.asarray([-2.0, -5.0, -3.0])
+    assert np.isclose(convexity_margin(J, h), 2.0)
+
+
+def test_enforce_convexity_reaches_requested_margin():
+    rng = np.random.default_rng(2)
+    J = symmetrize_coupling(rng.normal(size=(8, 8)))
+    h = -np.ones(8) * 0.1  # far too shallow
+    repaired = enforce_convexity(J, h, margin=0.5)
+    assert convexity_margin(J, repaired) >= 0.5 - 1e-9
+    assert np.all(repaired <= h)  # only deepens
+
+
+def test_enforce_convexity_noop_when_already_convex():
+    J = np.zeros((4, 4))
+    h = -np.ones(4)
+    assert np.allclose(enforce_convexity(J, h, margin=0.5), h)
+
+
+def test_enforce_convexity_rejects_bad_margin():
+    with pytest.raises(ValueError, match="positive"):
+        enforce_convexity(np.zeros((2, 2)), -np.ones(2), margin=0.0)
+
+
+def test_spectral_abscissa_negative_iff_convex():
+    rng = np.random.default_rng(3)
+    J = symmetrize_coupling(rng.normal(size=(6, 6)))
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    assert spectral_abscissa(J, h) < 0
+    assert np.isclose(spectral_abscissa(J, h), -convexity_margin(J, h))
+
+
+def test_unbounded_h_zero_system_diverges_in_analysis():
+    """With h = 0 the abscissa is positive: continuous spins run away."""
+    rng = np.random.default_rng(4)
+    J = symmetrize_coupling(rng.normal(size=(6, 6)))
+    assert spectral_abscissa(J, np.zeros(6)) > 0

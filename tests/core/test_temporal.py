@@ -1,0 +1,88 @@
+"""Tests of the temporal unrolling."""
+
+import numpy as np
+import pytest
+
+from repro.core import TemporalWindowing
+
+
+class TestValidation:
+    def test_rejects_short_window(self):
+        with pytest.raises(ValueError, match="window"):
+            TemporalWindowing(num_nodes=3, window=1)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            TemporalWindowing(num_nodes=3, window=2, stride=0)
+
+    def test_rejects_wrong_series_width(self):
+        tw = TemporalWindowing(num_nodes=3, window=2)
+        with pytest.raises(ValueError, match="series"):
+            tw.windows(np.zeros((10, 4)))
+
+    def test_rejects_too_short_series(self):
+        tw = TemporalWindowing(num_nodes=3, window=5)
+        with pytest.raises(ValueError, match="at least"):
+            tw.windows(np.zeros((3, 3)))
+
+
+class TestWindows:
+    def test_shapes_and_count(self):
+        tw = TemporalWindowing(num_nodes=4, window=3)
+        series = np.arange(40, dtype=float).reshape(10, 4)
+        w = tw.windows(series)
+        assert w.shape == (8, 12)
+        assert tw.system_size == 12
+
+    def test_frame_major_layout(self):
+        tw = TemporalWindowing(num_nodes=2, window=3)
+        series = np.arange(12, dtype=float).reshape(6, 2)
+        w = tw.windows(series)
+        # First window is frames 0..2 flattened frame-major.
+        assert np.allclose(w[0], [0, 1, 2, 3, 4, 5])
+
+    def test_stride_thins_windows(self):
+        tw = TemporalWindowing(num_nodes=2, window=2, stride=3)
+        series = np.arange(20, dtype=float).reshape(10, 2)
+        assert tw.windows(series).shape[0] == 3
+
+    def test_observed_and_target_partition(self):
+        tw = TemporalWindowing(num_nodes=3, window=4)
+        assert tw.observed_index.size == 9
+        assert tw.target_index.size == 3
+        combined = np.sort(np.concatenate([tw.observed_index, tw.target_index]))
+        assert np.array_equal(combined, np.arange(12))
+
+
+class TestHistoryAndSplit:
+    def test_history_matches_window_prefix(self):
+        tw = TemporalWindowing(num_nodes=3, window=3)
+        series = np.random.default_rng(0).normal(size=(8, 3))
+        w = tw.windows(series)
+        history = tw.history_of(series, t=2)
+        assert np.allclose(history, w[0][: tw.observed_index.size])
+
+    def test_split_window_roundtrip(self):
+        tw = TemporalWindowing(num_nodes=3, window=3)
+        flat = np.arange(9, dtype=float)
+        history, target = tw.split_window(flat)
+        assert np.allclose(np.concatenate([history, target]), flat)
+        assert target.size == 3
+
+    def test_split_rejects_bad_length(self):
+        tw = TemporalWindowing(num_nodes=3, window=3)
+        with pytest.raises(ValueError, match="system size"):
+            tw.split_window(np.zeros(7))
+
+    def test_history_rejects_early_frames(self):
+        tw = TemporalWindowing(num_nodes=2, window=4)
+        series = np.zeros((10, 2))
+        with pytest.raises(ValueError, match="window"):
+            tw.history_of(series, t=2)
+
+    def test_prediction_frames_have_full_history(self):
+        tw = TemporalWindowing(num_nodes=2, window=4)
+        series = np.zeros((10, 2))
+        frames = tw.prediction_frames(series)
+        assert frames[0] == 3
+        assert frames[-1] == 9

@@ -1,0 +1,153 @@
+"""Tests of dataset containers, splits, generators, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ALL_DATASETS,
+    EXTENSION_DATASETS,
+    MULTIDIM_DATASETS,
+    SCALAR_DATASETS,
+    SpatioTemporalDataset,
+    chronological_split,
+    community_geometric_graph,
+    load_dataset,
+    make_air_quality,
+    make_covid,
+    make_stock,
+    make_traffic,
+    minmax_normalize,
+)
+
+
+class TestMinmaxNormalize:
+    def test_scalar_series_range(self):
+        series = np.random.default_rng(0).normal(5.0, 3.0, size=(20, 4))
+        out = minmax_normalize(series)
+        assert np.isclose(out.min(), 0.0)
+        assert np.isclose(out.max(), 1.0)
+
+    def test_per_feature_for_multidim(self):
+        series = np.stack(
+            [np.full((10, 3), 5.0), np.linspace(0, 1, 30).reshape(10, 3)], axis=2
+        )
+        out = minmax_normalize(series)
+        assert np.allclose(out[..., 0], 0.0)  # constant feature -> zeros
+        assert np.isclose(out[..., 1].max(), 1.0)
+
+
+class TestChronologicalSplit:
+    def test_partition_covers_series(self):
+        series = np.arange(100).reshape(100, 1)
+        train, val, test = chronological_split(series, 0.7, 0.1)
+        assert train.shape[0] + val.shape[0] + test.shape[0] == 100
+        # Strict chronology: max(train) < min(val) < min(test).
+        assert train.max() < val.min() < test.min()
+
+    def test_rejects_empty_test(self):
+        with pytest.raises(ValueError, match="room"):
+            chronological_split(np.zeros((10, 1)), 0.9, 0.1)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="train_fraction"):
+            chronological_split(np.zeros((10, 1)), 1.5, 0.0)
+
+
+class TestContainer:
+    def test_flat_series_for_multidim(self):
+        ds = load_dataset("ca_housing", size="small")
+        flat = ds.flat_series()
+        assert flat.shape == (ds.num_frames, ds.num_nodes * ds.num_features)
+        assert ds.is_multidimensional
+
+    def test_split_preserves_network(self):
+        ds = load_dataset("traffic", size="small")
+        train, _val, test = ds.split()
+        assert train.network is ds.network
+        assert test.num_nodes == ds.num_nodes
+
+    def test_rejects_mismatched_network(self):
+        net = community_geometric_graph(5, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="nodes"):
+            SpatioTemporalDataset(name="x", series=np.zeros((10, 7)), network=net)
+
+    def test_rejects_bad_feature_names(self):
+        net = community_geometric_graph(4, rng=np.random.default_rng(1))
+        with pytest.raises(ValueError, match="feature_names"):
+            SpatioTemporalDataset(
+                name="x",
+                series=np.zeros((5, 4, 3)),
+                network=net,
+                feature_names=("a",),
+            )
+
+
+class TestGenerators:
+    def test_traffic_has_daily_periodicity(self):
+        ds = make_traffic(num_nodes=30, num_frames=240, frames_per_day=24, seed=0)
+        signal = ds.series.mean(axis=1)
+        # Autocorrelation at one day beats autocorrelation at half a day.
+        def autocorr(lag):
+            return np.corrcoef(signal[:-lag], signal[lag:])[0, 1]
+
+        assert autocorr(24) > autocorr(12)
+
+    def test_covid_is_nonnegative_and_bursty(self):
+        ds = make_covid(num_nodes=20, num_frames=200, seed=1)
+        assert ds.series.min() >= 0.0
+        # Epidemics are spiky: high kurtosis relative to a flat series.
+        flat = ds.series.reshape(-1)
+        assert flat.std() > 0.05
+
+    def test_stock_prices_are_persistent(self):
+        ds = make_stock(num_nodes=20, num_frames=200, seed=2)
+        signal = ds.series[:, 0]
+        diffs = np.abs(np.diff(signal))
+        assert diffs.mean() < signal.std()  # random walk, not white noise
+
+    def test_air_quality_pollutants_differ(self):
+        no2 = make_air_quality("no2", num_nodes=20, num_frames=100)
+        o3 = make_air_quality("o3", num_nodes=20, num_frames=100)
+        assert no2.series.shape == o3.series.shape
+        assert not np.allclose(no2.series, o3.series)
+
+    def test_air_quality_rejects_unknown(self):
+        with pytest.raises(ValueError, match="pollutant"):
+            make_air_quality("co2")
+
+    def test_generators_are_deterministic(self):
+        a = make_traffic(num_nodes=20, num_frames=50, seed=3)
+        b = make_traffic(num_nodes=20, num_frames=50, seed=3)
+        assert np.allclose(a.series, b.series)
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in ALL_DATASETS:
+            ds = load_dataset(name, size="small")
+            assert ds.num_frames > 50
+            assert 0.0 <= ds.series.min() and ds.series.max() <= 1.0
+
+    def test_scalar_and_multidim_partition(self):
+        assert (
+            set(SCALAR_DATASETS) | set(MULTIDIM_DATASETS) | set(EXTENSION_DATASETS)
+            == set(ALL_DATASETS)
+        )
+        for name in SCALAR_DATASETS:
+            assert not load_dataset(name, size="small").is_multidimensional
+        for name in MULTIDIM_DATASETS:
+            assert load_dataset(name, size="small").is_multidimensional
+
+    def test_paper_size_is_larger(self):
+        small = load_dataset("traffic", size="small")
+        paper = load_dataset("traffic", size="paper")
+        assert paper.num_nodes > small.num_nodes
+        assert paper.num_frames > small.num_frames
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            load_dataset("traffic", size="huge")

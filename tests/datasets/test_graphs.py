@@ -1,0 +1,68 @@
+"""Tests of the sensor-network graph generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets import community_geometric_graph, normalized_adjacency
+
+
+class TestCommunityGeometricGraph:
+    def test_basic_shape(self):
+        net = community_geometric_graph(40, num_communities=4, rng=np.random.default_rng(0))
+        assert net.adjacency.shape == (40, 40)
+        assert net.coordinates.shape == (40, 2)
+        assert net.communities.shape == (40,)
+
+    def test_adjacency_is_symmetric_nonnegative(self):
+        net = community_geometric_graph(30, rng=np.random.default_rng(1))
+        assert np.allclose(net.adjacency, net.adjacency.T)
+        assert np.all(net.adjacency >= 0.0)
+        assert np.all(np.diag(net.adjacency) == 0.0)
+
+    def test_graph_is_connected(self):
+        for seed in range(5):
+            net = community_geometric_graph(
+                50, num_communities=6, rng=np.random.default_rng(seed)
+            )
+            assert nx.is_connected(net.graph())
+
+    def test_communities_are_denser_inside(self):
+        net = community_geometric_graph(
+            60, num_communities=4, rng=np.random.default_rng(2)
+        )
+        same = net.communities[:, None] == net.communities[None, :]
+        np.fill_diagonal(same, False)
+        intra = net.adjacency[same].mean()
+        inter = net.adjacency[~same & ~np.eye(60, dtype=bool)].mean()
+        assert intra > inter
+
+    def test_coordinates_in_unit_square(self):
+        net = community_geometric_graph(30, rng=np.random.default_rng(3))
+        assert np.all(net.coordinates >= 0.0)
+        assert np.all(net.coordinates <= 1.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            community_geometric_graph(1)
+        with pytest.raises(ValueError, match="num_communities"):
+            community_geometric_graph(5, num_communities=10)
+
+
+class TestNormalizedAdjacency:
+    def test_spectral_radius_at_most_one(self):
+        net = community_geometric_graph(30, rng=np.random.default_rng(4))
+        A = normalized_adjacency(net.adjacency)
+        eigenvalues = np.linalg.eigvalsh(A)
+        assert eigenvalues[-1] <= 1.0 + 1e-9
+
+    def test_self_loops_flag(self):
+        A = np.asarray([[0.0, 1.0], [1.0, 0.0]])
+        with_loops = normalized_adjacency(A, self_loops=True)
+        without = normalized_adjacency(A, self_loops=False)
+        assert with_loops[0, 0] > 0
+        assert without[0, 0] == 0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            normalized_adjacency(np.zeros((2, 3)))

@@ -1,0 +1,109 @@
+"""Tests of the power-grid cascading-failure simulator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import community_geometric_graph, load_dataset
+from repro.datasets.powergrid import PowerGrid, make_powergrid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    net = community_geometric_graph(20, num_communities=3, rng=np.random.default_rng(0))
+    return PowerGrid(net, rng=np.random.default_rng(1))
+
+
+class TestPowerFlow:
+    def test_flows_balance_at_each_bus(self, grid):
+        """Kirchhoff: net flow out of each non-slack bus equals injection."""
+        injection = grid._nominal_injections(0)
+        flows = grid._solve_flows(set(grid.edges), injection)
+        n = grid.num_buses
+        net_out = np.zeros(n)
+        for (a, b), f in flows.items():
+            net_out[a] += f
+            net_out[b] -= f
+        assert np.allclose(net_out, injection, atol=1e-8)
+
+    def test_injections_are_balanced(self, grid):
+        for t in (0, 6, 12):
+            assert abs(grid._nominal_injections(t).sum()) < 1e-9
+
+    def test_removing_line_redistributes_flow(self, grid):
+        injection = grid._nominal_injections(0)
+        full = grid._solve_flows(set(grid.edges), injection)
+        # Drop the most-loaded line; the rest must carry more in total.
+        worst = max(full, key=lambda e: abs(full[e]))
+        reduced_edges = set(grid.edges) - {worst}
+        reduced = grid._solve_flows(reduced_edges, injection)
+        assert worst not in reduced
+        assert set(reduced).issubset(reduced_edges)
+
+    def test_capacities_cover_mean_load_flows(self, grid):
+        flows = grid._solve_flows(set(grid.edges), grid._nominal_injections(6))
+        for e, f in flows.items():
+            assert abs(f) <= grid.capacity[e] + 1e-9
+
+
+class TestSimulation:
+    def test_series_shape_and_range(self, grid):
+        series = grid.simulate(num_frames=40)
+        assert series.shape == (40, grid.num_buses)
+        assert np.all(series >= 0.0)
+        assert np.all(series <= 1.0 + 1e-9)
+
+    def test_outages_cause_dips(self, grid):
+        series = grid.simulate(num_frames=80, outage_rate=1.0)
+        assert series.min() < 0.9  # some load shed somewhere
+
+    def test_no_outages_off_peak_is_fully_served(self, grid):
+        """Without random outages the grid only cascades around the daily
+        peak (it is deliberately under-provisioned there); off-peak frames
+        are fully served."""
+        series = grid.simulate(num_frames=24, outage_rate=0.0)
+        off_peak = series[[0, 1, 2, 22, 23]]  # overnight frames
+        assert off_peak.min() > 0.7
+
+    def test_rejects_bad_frames(self, grid):
+        with pytest.raises(ValueError, match="num_frames"):
+            grid.simulate(num_frames=0)
+
+
+class TestDataset:
+    def test_registry_integration(self):
+        ds = load_dataset("powergrid", size="small")
+        assert ds.name == "powergrid"
+        assert 0.0 <= ds.series.min() and ds.series.max() <= 1.0
+
+    def test_deterministic(self):
+        a = make_powergrid(num_nodes=16, num_frames=30, seed=5)
+        b = make_powergrid(num_nodes=16, num_frames=30, seed=5)
+        assert np.allclose(a.series, b.series)
+
+    def test_spatial_imputation_beats_baseline(self):
+        """The workload's reason to exist: blackout footprints are
+        spatially coherent, so clamped annealing recovers hidden buses."""
+        from repro.core import (
+            NaturalAnnealingEngine,
+            TrainingConfig,
+            fit_precision,
+        )
+
+        ds = make_powergrid(num_nodes=32, num_frames=200, seed=7)
+        train, _val, test = ds.split()
+        model = fit_precision(train.series, TrainingConfig(ridge=5e-2))
+        engine = NaturalAnnealingEngine(model)
+        rng = np.random.default_rng(0)
+        n = ds.num_nodes
+        errors, baseline = [], []
+        for t in range(0, test.num_frames, 3):
+            observed = rng.choice(n, size=int(0.6 * n), replace=False)
+            hidden = np.setdiff1d(np.arange(n), observed)
+            result = engine.infer_equilibrium(observed, test.series[t][observed])
+            errors.append(result.prediction - test.series[t][hidden])
+            baseline.append(
+                np.mean(test.series[t][observed]) - test.series[t][hidden]
+            )
+        est = float(np.sqrt(np.mean(np.square(np.concatenate(errors)))))
+        base = float(np.sqrt(np.mean(np.square(np.concatenate(baseline)))))
+        assert est < 0.6 * base

@@ -1,0 +1,97 @@
+"""Tests of the Louvain community extraction."""
+
+import numpy as np
+import pytest
+
+from repro.decompose import (
+    community_sizes,
+    louvain_communities,
+    louvain_networkx,
+    modularity,
+)
+
+
+def planted_partition(n=60, k=4, p_in=0.6, p_out=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.repeat(np.arange(k), n // k)
+    W = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = p_in if labels[i] == labels[j] else p_out
+            if rng.random() < p:
+                W[i, j] = W[j, i] = 1.0
+    return W, labels
+
+
+class TestModularity:
+    def test_perfect_labels_beat_random(self):
+        W, truth = planted_partition()
+        rng = np.random.default_rng(1)
+        random_labels = rng.integers(0, 4, size=60)
+        assert modularity(W, truth) > modularity(W, random_labels)
+
+    def test_single_community_is_zero(self):
+        W, _ = planted_partition()
+        assert np.isclose(modularity(W, np.zeros(60, dtype=int)), 0.0, atol=1e-12)
+
+    def test_empty_graph(self):
+        assert modularity(np.zeros((4, 4)), np.arange(4)) == 0.0
+
+
+class TestLouvain:
+    def test_recovers_planted_partition(self):
+        W, truth = planted_partition()
+        labels = louvain_communities(W, seed=0)
+        assert labels.max() + 1 == 4
+        # Same-partition agreement (labels are permutation-invariant).
+        same_truth = truth[:, None] == truth[None, :]
+        same_found = labels[:, None] == labels[None, :]
+        agreement = np.mean(same_truth == same_found)
+        assert agreement > 0.95
+
+    def test_matches_networkx_modularity(self):
+        W, _ = planted_partition(seed=2)
+        ours = modularity(W, louvain_communities(W, seed=0))
+        reference = modularity(W, louvain_networkx(W, seed=0))
+        assert ours >= reference - 0.05
+
+    def test_uses_coupling_magnitudes(self):
+        """Sign of J must not matter: antiferromagnetic couplings still
+        bind communities."""
+        W, _ = planted_partition(seed=3)
+        signs = np.random.default_rng(4).choice([-1.0, 1.0], size=W.shape)
+        signed = W * (signs + signs.T) / 2.0
+        a = louvain_communities(W, seed=0)
+        b = louvain_communities(np.abs(signed), seed=0)
+        assert modularity(W, b) > 0.3
+        del a
+
+    def test_labels_are_compact(self):
+        W, _ = planted_partition(seed=5)
+        labels = louvain_communities(W, seed=1)
+        assert set(labels) == set(range(labels.max() + 1))
+
+    def test_empty_graph(self):
+        assert louvain_communities(np.zeros((0, 0))).size == 0
+
+    def test_disconnected_nodes_get_labels(self):
+        W = np.zeros((5, 5))
+        W[0, 1] = W[1, 0] = 1.0
+        labels = louvain_communities(W)
+        assert labels.shape == (5,)
+
+    def test_resolution_controls_granularity(self):
+        W, _ = planted_partition(seed=6)
+        coarse = louvain_communities(W, resolution=0.2, seed=0)
+        fine = louvain_communities(W, resolution=3.0, seed=0)
+        assert fine.max() >= coarse.max()
+
+
+class TestCommunitySizes:
+    def test_counts(self):
+        assert np.array_equal(
+            community_sizes(np.asarray([0, 0, 1, 2, 2, 2])), [2, 1, 3]
+        )
+
+    def test_empty(self):
+        assert community_sizes(np.zeros(0, dtype=int)).size == 0

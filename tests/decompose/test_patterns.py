@@ -1,0 +1,124 @@
+"""Tests of the Chain/Mesh/DMesh/Wormhole pattern masks."""
+
+import numpy as np
+import pytest
+
+from repro.core import symmetrize_coupling
+from repro.decompose import (
+    PlacementResult,
+    pattern_mask,
+    pe_pairs_allowed,
+    wormhole_pairs,
+)
+
+
+def _placement(n=24, grid=(2, 3)):
+    num_pes = grid[0] * grid[1]
+    per = n // num_pes
+    groups = [np.arange(p * per, (p + 1) * per) for p in range(num_pes)]
+    pe_of_node = np.repeat(np.arange(num_pes), per)
+    return PlacementResult(
+        pe_of_node=pe_of_node, grid_shape=grid, capacity=per, groups=groups
+    )
+
+
+class TestPePairsAllowed:
+    def test_chain_connects_consecutive(self):
+        allowed = pe_pairs_allowed("chain", (2, 3))
+        assert allowed[0, 1] and allowed[1, 2] and allowed[2, 3]
+        assert not allowed[0, 3]
+        assert not allowed[0, 2]
+
+    def test_mesh_connects_grid_neighbors(self):
+        allowed = pe_pairs_allowed("mesh", (2, 3))
+        assert allowed[0, 1]  # horizontal
+        assert allowed[0, 3]  # vertical
+        assert not allowed[0, 4]  # diagonal
+        assert not allowed[0, 5]  # remote
+
+    def test_dmesh_adds_diagonals(self):
+        allowed = pe_pairs_allowed("dmesh", (2, 3))
+        assert allowed[0, 4]  # diagonal
+        assert not allowed[0, 5]  # remote stays out
+
+    def test_inclusion_hierarchy(self):
+        """Chain subset of Mesh subset of DMesh (paper's Fig. 6 hierarchy),
+        modulo the chain's row-wrap links."""
+        mesh = pe_pairs_allowed("mesh", (3, 3))
+        dmesh = pe_pairs_allowed("dmesh", (3, 3))
+        assert np.all(dmesh[mesh])
+
+    def test_diagonal_always_allowed(self):
+        for pattern in ("chain", "mesh", "dmesh"):
+            allowed = pe_pairs_allowed(pattern, (2, 2))
+            assert np.all(np.diag(allowed))
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError, match="pattern"):
+            pe_pairs_allowed("torus", (2, 2))
+
+
+class TestWormholePairs:
+    def test_budget_zero_returns_nothing(self):
+        placement = _placement()
+        J = symmetrize_coupling(np.random.default_rng(0).normal(size=(24, 24)))
+        allowed = pe_pairs_allowed("mesh", (2, 3))
+        assert wormhole_pairs(J, placement, allowed, 0) == []
+
+    def test_returns_strongest_remote_pairs_first(self):
+        placement = _placement()
+        J = np.zeros((24, 24))
+        # Strong remote coupling between PE 0 (nodes 0-3) and PE 5 (20-23).
+        J[0, 20] = J[20, 0] = 5.0
+        # Weak remote coupling between PE 0 and PE 4.
+        J[0, 16] = J[16, 0] = 0.1
+        allowed = pe_pairs_allowed("mesh", (2, 3))
+        pairs = wormhole_pairs(J, placement, allowed, 1)
+        assert pairs == [(0, 5)]
+
+    def test_excludes_pattern_feasible_pairs(self):
+        placement = _placement()
+        J = np.zeros((24, 24))
+        J[0, 4] = J[4, 0] = 9.0  # PE0-PE1 are mesh neighbors
+        allowed = pe_pairs_allowed("mesh", (2, 3))
+        assert wormhole_pairs(J, placement, allowed, 5) == []
+
+    def test_rejects_negative_budget(self):
+        placement = _placement()
+        with pytest.raises(ValueError, match="budget"):
+            wormhole_pairs(np.zeros((24, 24)), placement, np.eye(6, dtype=bool), -1)
+
+
+class TestPatternMask:
+    def test_intra_pe_always_allowed(self):
+        placement = _placement()
+        J = symmetrize_coupling(np.random.default_rng(1).normal(size=(24, 24)))
+        mask = pattern_mask(J, placement, "chain", wormhole_budget=0)
+        for group in placement.groups:
+            block = mask[np.ix_(group, group)]
+            off_diagonal = block[~np.eye(group.size, dtype=bool)]
+            assert np.all(off_diagonal)
+
+    def test_mask_is_symmetric_with_false_diagonal(self):
+        placement = _placement()
+        J = symmetrize_coupling(np.random.default_rng(2).normal(size=(24, 24)))
+        mask = pattern_mask(J, placement, "dmesh")
+        assert np.array_equal(mask, mask.T)
+        assert not np.any(np.diag(mask))
+
+    def test_pattern_hierarchy_in_masks(self):
+        placement = _placement()
+        J = symmetrize_coupling(np.random.default_rng(3).normal(size=(24, 24)))
+        mesh = pattern_mask(J, placement, "mesh", wormhole_budget=0)
+        dmesh = pattern_mask(J, placement, "dmesh", wormhole_budget=0)
+        assert np.all(dmesh[mesh])
+        assert dmesh.sum() > mesh.sum()
+
+    def test_wormholes_open_remote_pairs(self):
+        placement = _placement()
+        J = np.zeros((24, 24))
+        J[0, 20] = J[20, 0] = 5.0  # remote PE0-PE5
+        without = pattern_mask(J, placement, "mesh", wormhole_budget=0)
+        with_wh = pattern_mask(J, placement, "mesh", wormhole_budget=1)
+        assert not without[0, 20]
+        assert with_wh[0, 20]

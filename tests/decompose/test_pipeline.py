@@ -1,0 +1,138 @@
+"""Tests of the full Fig. 5 decomposition pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import NaturalAnnealingEngine, TrainingConfig, rmse
+from repro.decompose import DecompositionConfig, coupling_density, decompose
+
+
+class TestConfig:
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError, match="density"):
+            DecompositionConfig(density=0.0)
+
+    def test_rejects_bad_method(self):
+        with pytest.raises(ValueError, match="finetune_method"):
+            DecompositionConfig(finetune_method="magic")
+
+    def test_rejects_negative_wormholes(self):
+        with pytest.raises(ValueError, match="wormhole"):
+            DecompositionConfig(wormhole_budget=-1)
+
+
+class TestDecompose:
+    def test_density_budget_met(self, traffic_setup, decomposed_traffic):
+        assert decomposed_traffic.density <= 0.15 + 1e-9
+
+    def test_model_is_convex(self, decomposed_traffic):
+        assert decomposed_traffic.model.convexity_margin() > 0
+
+    def test_mask_respected(self, decomposed_traffic):
+        J = decomposed_traffic.model.J
+        assert np.all(J[~decomposed_traffic.mask] == 0.0)
+
+    def test_placement_covers_all_nodes(self, traffic_setup, decomposed_traffic):
+        n = traffic_setup["model"].n
+        placed = np.sort(
+            np.concatenate([g for g in decomposed_traffic.placement.groups if g.size])
+        )
+        assert np.array_equal(placed, np.arange(n))
+
+    def test_inter_pe_couplings_are_pattern_feasible(self, decomposed_traffic):
+        from repro.decompose import pe_pairs_allowed, wormhole_pairs
+
+        placement = decomposed_traffic.placement
+        allowed = pe_pairs_allowed("dmesh", placement.grid_shape)
+        wormholes = set()
+        J = decomposed_traffic.model.J
+        rows, cols = np.nonzero(np.triu(J, 1))
+        pe = placement.pe_of_node
+        for a, b in zip(rows, cols):
+            pa, pb = pe[a], pe[b]
+            if pa != pb and not allowed[pa, pb]:
+                wormholes.add((min(pa, pb), max(pa, pb)))
+        assert len(wormholes) <= decomposed_traffic.config.wormhole_budget
+
+    def test_accuracy_loss_bounded(self, traffic_setup, decomposed_traffic):
+        """Decomposition at D=0.15 must stay within ~2.5x of dense RMSE —
+        the paper's claim that sparse systems preserve accuracy."""
+        tw = traffic_setup["windowing"]
+        test = traffic_setup["test"].series
+
+        def score(model):
+            engine = NaturalAnnealingEngine(model)
+            predictions, targets = [], []
+            for t in tw.prediction_frames(test)[:25]:
+                history = tw.history_of(test, t)
+                predictions.append(
+                    engine.infer_equilibrium(tw.observed_index, history).prediction
+                )
+                targets.append(test[t])
+            return rmse(np.asarray(predictions), np.asarray(targets))
+
+        dense_rmse = score(traffic_setup["model"])
+        sparse_rmse = score(decomposed_traffic.model)
+        assert sparse_rmse < 2.5 * dense_rmse
+
+    def test_density_monotonicity(self, traffic_setup):
+        """Higher density => better (or equal) accuracy: the Fig. 10 trend."""
+        tw = traffic_setup["windowing"]
+        test = traffic_setup["test"].series
+
+        def score(density):
+            system = decompose(
+                traffic_setup["model"],
+                traffic_setup["samples"],
+                DecompositionConfig(
+                    density=density, pattern="dmesh", grid_shape=(3, 3)
+                ),
+            )
+            engine = NaturalAnnealingEngine(system.model)
+            predictions, targets = [], []
+            for t in tw.prediction_frames(test)[:20]:
+                history = tw.history_of(test, t)
+                predictions.append(
+                    engine.infer_equilibrium(tw.observed_index, history).prediction
+                )
+                targets.append(test[t])
+            return rmse(np.asarray(predictions), np.asarray(targets))
+
+        sparse = score(0.05)
+        dense = score(0.2)
+        assert dense <= sparse * 1.1
+
+    def test_none_method_prunes_without_refit(self, traffic_setup):
+        system = decompose(
+            traffic_setup["model"],
+            traffic_setup["samples"],
+            DecompositionConfig(
+                density=0.1,
+                grid_shape=(3, 3),
+                finetune_method="none",
+            ),
+        )
+        # Surviving couplings keep their dense values under "none".
+        J_dense = traffic_setup["model"].J
+        J_sparse = system.model.J
+        nz = J_sparse != 0
+        assert np.allclose(J_sparse[nz], J_dense[nz])
+
+    def test_sgd_method_runs(self, traffic_setup):
+        system = decompose(
+            traffic_setup["model"],
+            traffic_setup["samples"][:60],
+            DecompositionConfig(
+                density=0.1,
+                grid_shape=(3, 3),
+                finetune_method="sgd",
+                finetune=TrainingConfig(epochs=2, lr=0.02),
+            ),
+        )
+        assert system.model.convexity_margin() > 0
+
+    def test_stats_helpers(self, decomposed_traffic):
+        assert 0.0 <= decomposed_traffic.inter_pe_fraction() <= 1.0
+        demand = decomposed_traffic.boundary_demand()
+        assert demand.shape == (9,)
+        assert np.all(demand >= 0)

@@ -1,0 +1,94 @@
+"""Tests of community redistribution onto the PE grid."""
+
+import numpy as np
+import pytest
+
+from repro.core import symmetrize_coupling
+from repro.decompose import PlacementResult, redistribute, split_oversized
+
+
+def _weights(n, seed=0):
+    return np.abs(symmetrize_coupling(np.random.default_rng(seed).normal(size=(n, n))))
+
+
+class TestSplitOversized:
+    def test_small_community_untouched(self):
+        members = np.asarray([3, 5, 7])
+        chunks = split_oversized(members, capacity=5, weights=_weights(10))
+        assert len(chunks) == 1
+        assert np.array_equal(chunks[0], members)
+
+    def test_chunks_respect_capacity_and_cover_members(self):
+        members = np.arange(11)
+        chunks = split_oversized(members, capacity=4, weights=_weights(11, seed=1))
+        assert all(c.size <= 4 for c in chunks)
+        covered = np.sort(np.concatenate(chunks))
+        assert np.array_equal(covered, members)
+
+    def test_chunks_are_cohesive(self):
+        """A two-clique graph split with capacity=clique size should keep
+        each clique together."""
+        n = 8
+        W = np.zeros((n, n))
+        W[:4, :4] = 1.0
+        W[4:, 4:] = 1.0
+        np.fill_diagonal(W, 0.0)
+        chunks = split_oversized(np.arange(n), capacity=4, weights=W)
+        assert len(chunks) == 2
+        for chunk in chunks:
+            assert set(chunk) in ({0, 1, 2, 3}, {4, 5, 6, 7})
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            split_oversized(np.arange(3), 0, _weights(3))
+
+
+class TestRedistribute:
+    def test_every_node_placed_once(self):
+        n = 30
+        labels = np.random.default_rng(2).integers(0, 5, size=n)
+        placement = redistribute(labels, _weights(n, seed=2), (2, 3))
+        assert placement.pe_of_node.shape == (n,)
+        covered = np.sort(np.concatenate([g for g in placement.groups if g.size]))
+        assert np.array_equal(covered, np.arange(n))
+
+    def test_capacity_respected(self):
+        n = 24
+        labels = np.zeros(n, dtype=int)  # one giant community
+        placement = redistribute(labels, _weights(n, seed=3), (2, 2), capacity=7)
+        assert np.all(placement.loads() <= 7)
+
+    def test_communities_kept_together_when_possible(self):
+        n = 20
+        labels = np.repeat(np.arange(4), 5)
+        W = np.zeros((n, n))
+        for c in range(4):
+            block = slice(5 * c, 5 * c + 5)
+            W[block, block] = 1.0
+        np.fill_diagonal(W, 0.0)
+        placement = redistribute(labels, W, (2, 2), capacity=5)
+        for c in range(4):
+            members = np.nonzero(labels == c)[0]
+            assert np.unique(placement.pe_of_node[members]).size == 1
+
+    def test_rejects_insufficient_capacity(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            redistribute(np.zeros(10, dtype=int), _weights(10), (1, 2), capacity=3)
+
+    def test_default_capacity_is_balanced(self):
+        placement = redistribute(
+            np.zeros(10, dtype=int), _weights(10, seed=4), (2, 2)
+        )
+        assert placement.capacity == 3  # ceil(10 / 4)
+
+    def test_pe_coordinates(self):
+        placement = PlacementResult(
+            pe_of_node=np.zeros(1, dtype=int),
+            grid_shape=(2, 3),
+            capacity=1,
+            groups=[np.asarray([0])] + [np.zeros(0, dtype=int)] * 5,
+        )
+        assert placement.pe_coordinates(0) == (0, 0)
+        assert placement.pe_coordinates(4) == (1, 1)
+        with pytest.raises(ValueError, match="grid"):
+            placement.pe_coordinates(6)

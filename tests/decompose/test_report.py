@@ -1,0 +1,48 @@
+"""Tests of the decomposition quality report."""
+
+import numpy as np
+
+from repro.decompose import analyze
+
+
+class TestAnalyze:
+    def test_metrics_in_valid_ranges(self, decomposed_traffic):
+        report = analyze(decomposed_traffic)
+        assert 0.0 < report.density <= 0.15 + 1e-9
+        assert 0.0 < report.weight_retained <= 1.0
+        assert 0.0 <= report.inter_pe_fraction <= 1.0
+        assert 0.0 <= report.inter_pe_weight_fraction <= 1.0
+        assert -0.5 <= report.placement_modularity <= 1.0
+        assert 0.0 < report.load_balance <= 1.0
+        assert report.max_boundary_demand >= 0
+        assert 0.0 < report.utilization <= 1.0
+
+    def test_density_matches_system(self, decomposed_traffic):
+        report = analyze(decomposed_traffic)
+        assert np.isclose(report.density, decomposed_traffic.density)
+
+    def test_boundary_demand_matches_system(self, decomposed_traffic):
+        report = analyze(decomposed_traffic)
+        assert report.max_boundary_demand == int(
+            decomposed_traffic.boundary_demand().max()
+        )
+
+    def test_summary_is_readable(self, decomposed_traffic):
+        text = analyze(decomposed_traffic).summary()
+        assert "density" in text
+        assert "modularity" in text
+        assert "%" in text
+
+    def test_placement_modularity_is_meaningful(self, decomposed_traffic):
+        """The pipeline's placement should beat a random assignment on
+        modularity of the sparse coupling graph."""
+        from repro.decompose import modularity
+
+        report = analyze(decomposed_traffic)
+        J = np.abs(decomposed_traffic.model.J)
+        rng = np.random.default_rng(0)
+        random_scores = [
+            modularity(J, rng.permutation(decomposed_traffic.placement.pe_of_node))
+            for _ in range(5)
+        ]
+        assert report.placement_modularity > np.mean(random_scores)

@@ -1,0 +1,79 @@
+"""Tests of coupling-matrix sparsification."""
+
+import numpy as np
+import pytest
+
+from repro.core import symmetrize_coupling
+from repro.decompose import coupling_density, prune_below, prune_to_density
+
+
+def _J(n=12, seed=0):
+    return symmetrize_coupling(np.random.default_rng(seed).normal(size=(n, n)))
+
+
+class TestCouplingDensity:
+    def test_dense_matrix_is_one(self):
+        assert np.isclose(coupling_density(_J()), 1.0)
+
+    def test_empty_matrix_is_zero(self):
+        assert coupling_density(np.zeros((5, 5))) == 0.0
+
+    def test_single_node(self):
+        assert coupling_density(np.zeros((1, 1))) == 0.0
+
+
+class TestPruneToDensity:
+    def test_achieves_requested_density(self):
+        J = _J(20)
+        for d in (0.05, 0.1, 0.3, 0.7):
+            pruned = prune_to_density(J, d)
+            assert coupling_density(pruned) <= d + 1e-9
+            assert coupling_density(pruned) >= d - 2.0 / (20 * 19)
+
+    def test_keeps_strongest_pairs(self):
+        J = _J(10, seed=1)
+        pruned = prune_to_density(J, 0.2)
+        kept = np.abs(J[pruned != 0])
+        dropped = np.abs(J[(pruned == 0) & (J != 0)])
+        if kept.size and dropped.size:
+            assert kept.min() >= dropped.max() - 1e-12
+
+    def test_result_stays_symmetric(self):
+        pruned = prune_to_density(_J(15, seed=2), 0.1)
+        assert np.allclose(pruned, pruned.T)
+        assert np.all(np.diag(pruned) == 0.0)
+
+    def test_values_preserved(self):
+        J = _J(8, seed=3)
+        pruned = prune_to_density(J, 0.5)
+        nz = pruned != 0
+        assert np.allclose(pruned[nz], J[nz])
+
+    def test_nested_supports(self):
+        """Lower density supports are subsets of higher ones — the property
+        the Fig. 10 monotonicity relies on."""
+        J = _J(16, seed=4)
+        small = prune_to_density(J, 0.05) != 0
+        large = prune_to_density(J, 0.2) != 0
+        assert np.all(large[small])
+
+    def test_density_one_is_identity(self):
+        J = _J(6, seed=5)
+        assert np.allclose(prune_to_density(J, 1.0), J)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError, match="density"):
+            prune_to_density(_J(), 0.0)
+
+
+class TestPruneBelow:
+    def test_threshold_semantics(self):
+        J = np.asarray([[0.0, 0.5, -0.1], [0.5, 0.0, 0.2], [-0.1, 0.2, 0.0]])
+        pruned = prune_below(J, 0.15)
+        assert pruned[0, 2] == 0.0
+        assert pruned[0, 1] == 0.5
+        assert pruned[1, 2] == 0.2
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            prune_below(np.zeros((2, 2)), -1.0)

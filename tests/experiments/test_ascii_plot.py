@@ -1,0 +1,58 @@
+"""Tests of the terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_uses_extremes(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"  # lowest block
+        assert line[-1] == "█"  # full block
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_resampling_width(self):
+        assert len(sparkline(np.arange(100), width=10)) == 10
+
+    def test_empty_and_nan(self):
+        assert sparkline([]) == ""
+        assert sparkline([np.nan, 1.0, np.nan]) == " ▁ " or sparkline(
+            [np.nan, 1.0, np.nan]
+        ).count(" ") == 2
+
+    def test_length_matches_input(self):
+        assert len(sparkline([3, 1, 4, 1, 5])) == 5
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart(
+            {"one": ([0, 1, 2], [1, 2, 3]), "two": ([0, 1, 2], [3, 2, 1])},
+            width=20,
+            height=6,
+        )
+        assert "a=one" in chart
+        assert "b=two" in chart
+        assert "a" in chart.splitlines()[1]
+
+    def test_axis_bounds_printed(self):
+        chart = line_chart({"s": ([0.0, 10.0], [1.0, 5.0])}, width=20, height=4)
+        assert "5" in chart and "1" in chart and "10" in chart
+
+    def test_labels(self):
+        chart = line_chart(
+            {"s": ([0, 1], [0, 1])}, width=10, height=3,
+            x_label="latency", y_label="RMSE",
+        )
+        assert "latency" in chart and "RMSE" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            line_chart({})
+        with pytest.raises(ValueError, match="canvas"):
+            line_chart({"s": ([0], [0])}, width=2, height=1)

@@ -1,0 +1,110 @@
+"""Tests of the experiment harness (context caching, figure/table data)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    fig4_data,
+    format_table1,
+    format_table2,
+    format_table3,
+    table1_data,
+    table3_data,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(size="small", gnn_epochs=3)
+
+
+class TestFig4:
+    def test_dspu_stabilizes_brim_polarizes(self):
+        data = fig4_data()
+        free = data["free_index"]
+        # Real-Valued DSPU: free nodes settle strictly inside the rails.
+        assert np.all(np.abs(data["dspu_final"][free]) < 0.99)
+        # BRIM: free nodes polarize to the rails.
+        assert np.all(np.abs(data["brim_final"][free]) > 0.9)
+
+    def test_clamped_inputs_identical_on_both_machines(self):
+        data = fig4_data()
+        clamped = data["clamp_index"]
+        assert np.allclose(
+            data["dspu_final"][clamped], data["brim_final"][clamped]
+        )
+
+    def test_dspu_energy_decreases(self):
+        data = fig4_data()
+        assert np.all(np.diff(data["dspu"].energies) <= 1e-9)
+
+
+class TestContext:
+    def test_dataset_cached(self, context):
+        a = context.dataset("o3")
+        b = context.dataset("o3")
+        assert a is b
+
+    def test_dense_model_cached(self, context):
+        a = context.dense("o3")
+        b = context.dense("o3")
+        assert a is b
+        assert a.model.convexity_margin() > 0
+
+    def test_decomposition_cached_by_design_point(self, context):
+        a = context.decomposed("o3", 0.1, "mesh")
+        b = context.decomposed("o3", 0.1, "mesh")
+        c = context.decomposed("o3", 0.1, "chain")
+        assert a is b
+        assert a is not c
+
+    def test_dense_rmse_reasonable(self, context):
+        assert 0.0 < context.dense_rmse("o3") < 0.5
+
+    def test_gnn_cached_and_scored(self, context):
+        trainer = context.gnn("GWN", "o3")
+        assert trainer is context.gnn("GWN", "o3")
+        assert 0.0 < context.gnn_rmse("GWN", "o3") < 0.5
+
+    def test_unknown_baseline_rejected(self, context):
+        with pytest.raises(ValueError, match="baseline"):
+            context.gnn("GCN4000", "o3")
+
+    def test_dspu_built_on_cached_decomposition(self, context):
+        dspu = context.dspu("o3", 0.1, "mesh")
+        assert dspu.system is context.decomposed("o3", 0.1, "mesh")
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = table1_data()
+        designs = [r["design"] for r in rows]
+        assert designs == ["BRIM", "DSPU-2000", "DS-GL"]
+        dsgl = rows[-1]
+        assert dsgl["scalable"] and dsgl["effective_spins"] == 8000
+
+    def test_table1_formatting(self):
+        text = format_table1(table1_data())
+        assert "BRIM" in text and "mW" in text and "Yes" in text
+
+    def test_table3_structure(self, context):
+        data = table3_data(context)
+        assert len(data["platforms"]) == 5
+        for platform in data["platforms"]:
+            for app_rows in platform["rows"].values():
+                for metrics in app_rows.values():
+                    assert metrics["latency_us"] > 0
+                    assert metrics["energy_mj"] > 0
+        # DS-GL beats every platform on both metrics (the headline claim).
+        dsgl_latency = max(v["latency_us"] for v in data["dsgl"].values())
+        dsgl_energy = max(v["energy_mj"] for v in data["dsgl"].values())
+        for platform in data["platforms"]:
+            for app_rows in platform["rows"].values():
+                for metrics in app_rows.values():
+                    assert metrics["latency_us"] > dsgl_latency
+                    assert metrics["energy_mj"] > dsgl_energy
+
+    def test_table3_formatting(self, context):
+        text = format_table3(table3_data(context))
+        assert "A100" in text and "DS-GL" in text

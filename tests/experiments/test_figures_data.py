@@ -1,0 +1,78 @@
+"""Plumbing tests of the figure-data generators (tiny configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(size="small", gnn_epochs=3)
+
+
+class TestFig10Data:
+    def test_structure(self, context):
+        data = fig10_data(
+            context,
+            datasets=("o3",),
+            densities=(0.05, 0.1),
+            patterns=("mesh",),
+        )
+        entry = data["o3"]
+        assert entry["densities"] == [0.05, 0.1]
+        assert len(entry["curves"]["mesh"]) == 2
+        assert entry["best_gnn"] > 0
+        assert all(v > 0 for v in entry["curves"]["mesh"])
+
+
+class TestFig11Data:
+    def test_latency_axis_in_microseconds(self, context):
+        data = fig11_data(
+            context,
+            datasets=("o3",),
+            latencies_ns=(1000.0, 5000.0),
+            max_windows=3,
+        )
+        entry = data["o3"]
+        assert entry["latencies_us"] == [1.0, 5.0]
+        assert len(entry["rmse"]) == 2
+        assert entry["mode"] in ("spatial", "temporal+spatial")
+
+
+class TestFig12Data:
+    def test_one_rmse_per_interval(self, context):
+        data = fig12_data(
+            context,
+            datasets=("o3",),
+            sync_grid_ns=(200.0, 1000.0),
+            duration_ns=5000.0,
+            max_windows=3,
+        )
+        entry = data["o3"]
+        assert entry["sync_ns"] == [200.0, 1000.0]
+        assert len(entry["rmse"]) == 2
+
+
+class TestFig13Data:
+    def test_one_curve_per_noise_level(self, context):
+        data = fig13_data(
+            context,
+            datasets=("o3",),
+            densities=(0.1,),
+            noise_grid=(0.0, 0.1),
+            duration_ns=5000.0,
+            max_windows=3,
+        )
+        entry = data["o3"]
+        assert set(entry["curves"]) == {0.0, 0.1}
+        assert all(len(curve) == 1 for curve in entry["curves"].values())
+        assert all(
+            np.isfinite(v) for curve in entry["curves"].values() for v in curve
+        )

@@ -1,0 +1,83 @@
+"""Tests of the text-table renderers."""
+
+import numpy as np
+
+from repro.experiments import (
+    format_density_sweep,
+    format_latency_sweep,
+    format_noise_sweep,
+    format_sync_sweep,
+    format_table2,
+    format_table4,
+)
+
+
+class TestFormatTable2:
+    def test_header_and_rows(self):
+        data = {
+            "traffic": {"GWN": 0.04, "DS-GL-Dmesh": 0.03},
+            "no2": {"GWN": 0.05, "DS-GL-Dmesh": 0.035},
+        }
+        text = format_table2(data)
+        lines = text.splitlines()
+        assert "traffic" in lines[0] and "no2" in lines[0]
+        assert any("GWN" in line and "4.00e-02" in line for line in lines)
+        assert any("DS-GL-Dmesh" in line for line in lines)
+
+
+class TestFormatTable4:
+    def test_nested_metrics(self):
+        data = {
+            "climate": {
+                "GWN": {"rmse": 0.09, "latency_us": 1000.0},
+                "DS-GL": {"rmse": 0.08, "latency_us": 20.0},
+            }
+        }
+        text = format_table4(data)
+        assert "climate" in text
+        assert "9.00e-02" in text
+        assert "20.00 us" in text
+
+
+class TestFormatSweeps:
+    def test_density_sweep_includes_reference_line(self):
+        data = {
+            "o3": {
+                "densities": [0.05, 0.1],
+                "curves": {"chain": [0.06, 0.05], "mesh": [0.058, 0.049]},
+                "best_gnn": 0.052,
+            }
+        }
+        text = format_density_sweep(data)
+        assert "best GNN: 5.20e-02" in text
+        assert "D=0.05" in text
+        assert "chain" in text and "mesh" in text
+
+    def test_latency_sweep_pairs(self):
+        data = {
+            "stock": {
+                "latencies_us": [1.0, 5.0],
+                "rmse": [0.1, 0.02],
+                "mode": "temporal+spatial",
+            }
+        }
+        text = format_latency_sweep(data)
+        assert "1.00us:1.00e-01" in text
+        assert "temporal+spatial" in text
+
+    def test_sync_sweep_pairs(self):
+        data = {"no2": {"sync_ns": [200.0], "rmse": [0.04]}}
+        text = format_sync_sweep(data)
+        assert "200ns:4.00e-02" in text
+
+    def test_noise_sweep_levels(self):
+        data = {
+            "traffic": {
+                "densities": [0.1],
+                "curves": {0.0: [0.08], 0.15: [0.09]},
+            }
+        }
+        text = format_noise_sweep(data)
+        assert "n= 0%" in text
+        assert "n=15%" in text
+        assert "D=0.1:9.00e-02" in text

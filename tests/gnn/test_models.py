@@ -1,0 +1,106 @@
+"""Tests of the GNN baseline architectures."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import community_geometric_graph, normalized_adjacency
+from repro.gnn import DDGCRN, GraphAttentionNet, GraphWaveNet, MTGNN
+from repro.nn import Tensor, no_grad
+
+MODELS = (GraphWaveNet, MTGNN, DDGCRN, GraphAttentionNet)
+
+
+def _setup(n=10, seed=0):
+    net = community_geometric_graph(n, rng=np.random.default_rng(seed))
+    return normalized_adjacency(net.adjacency)
+
+
+@pytest.mark.parametrize("model_cls", MODELS)
+class TestCommonInterface:
+    def test_output_shape(self, model_cls):
+        A = _setup()
+        model = model_cls(10, A, in_features=2, out_features=2, hidden=8)
+        out = model(Tensor(np.random.default_rng(1).normal(size=(3, 5, 10, 2))))
+        assert out.shape == (3, 10, 2)
+
+    def test_gradients_reach_every_parameter(self, model_cls):
+        A = _setup()
+        model = model_cls(10, A, hidden=8)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 4, 10, 1)))
+        loss = (model(x) ** 2).mean()
+        loss.backward()
+        missing = [i for i, p in enumerate(model.parameters()) if p.grad is None]
+        assert not missing, f"parameters without gradient: {missing}"
+
+    def test_deterministic_given_seed(self, model_cls):
+        A = _setup()
+        a = model_cls(10, A, hidden=8, seed=5)
+        b = model_cls(10, A, hidden=8, seed=5)
+        x = Tensor(np.random.default_rng(3).normal(size=(1, 4, 10, 1)))
+        with no_grad():
+            assert np.allclose(a(x).data, b(x).data)
+
+    def test_flops_positive_and_grows_with_window(self, model_cls):
+        A = _setup()
+        model = model_cls(10, A, hidden=8)
+        f4 = model.flops_per_inference(4)
+        f8 = model.flops_per_inference(8)
+        assert 0 < f4 < f8
+
+    def test_output_depends_on_input(self, model_cls):
+        A = _setup()
+        model = model_cls(10, A, hidden=8)
+        rng = np.random.default_rng(4)
+        x1 = Tensor(rng.normal(size=(1, 4, 10, 1)))
+        x2 = Tensor(rng.normal(size=(1, 4, 10, 1)))
+        with no_grad():
+            assert not np.allclose(model(x1).data, model(x2).data)
+
+
+class TestArchitectureSpecifics:
+    def test_gwn_uses_fixed_graph(self):
+        """Changing the physical adjacency must change GWN's output."""
+        A = _setup()
+        model = GraphWaveNet(10, A, hidden=8, seed=0)
+        x = Tensor(np.random.default_rng(5).normal(size=(1, 4, 10, 1)))
+        with no_grad():
+            base = model(x).data.copy()
+            model.adjacency = np.zeros_like(A)
+            changed = model(x).data
+        assert not np.allclose(base, changed)
+
+    def test_mtgnn_requires_even_hidden(self):
+        with pytest.raises(ValueError, match="divisible"):
+            MTGNN(10, _setup(), hidden=7)
+
+    def test_ddgcrn_decomposition_template_is_trainable(self):
+        model = DDGCRN(10, _setup(), hidden=8)
+        x = Tensor(np.random.default_rng(6).normal(size=(2, 3, 10, 1)))
+        (model(x) ** 2).mean().backward()
+        assert model.template.grad is not None
+
+    def test_adjacency_shape_validated(self):
+        with pytest.raises(ValueError, match="adjacency"):
+            GraphWaveNet(5, np.zeros((4, 4)))
+
+    def test_gat_attention_is_edge_masked(self):
+        """Attention must not leak across non-edges: changing a node that
+        is not a graph neighbor (and not reachable within the receptive
+        field) leaves a node's output unchanged at the attention layer."""
+        n = 6
+        A = np.zeros((n, n))
+        A[0, 1] = A[1, 0] = 1.0  # 0-1 is the only edge at node 0
+        A[2, 3] = A[3, 2] = 1.0
+        A[4, 5] = A[5, 4] = 1.0
+        model = GraphAttentionNet(n, A, hidden=8, blocks=1)
+        from repro.nn import Tensor, no_grad
+
+        x = np.random.default_rng(7).normal(size=(1, 3, n, 1))
+        with no_grad():
+            base = model(Tensor(x)).data.copy()
+            x2 = x.copy()
+            x2[:, :, 4, :] += 10.0  # perturb a disconnected component
+            changed = model(Tensor(x2)).data
+        assert np.allclose(base[0, 0], changed[0, 0])
+        assert np.allclose(base[0, 1], changed[0, 1])
+        assert not np.allclose(base[0, 4], changed[0, 4])

@@ -1,0 +1,88 @@
+"""Tests of the GNN training harness."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.gnn import (
+    GNNTrainConfig,
+    GNNTrainer,
+    GraphWaveNet,
+    build_windows,
+    default_adjacency,
+)
+
+
+class TestBuildWindows:
+    def test_scalar_series_gets_feature_axis(self):
+        series = np.arange(20, dtype=float).reshape(10, 2)
+        X, y = build_windows(series, window=3)
+        assert X.shape == (7, 3, 2, 1)
+        assert y.shape == (7, 2, 1)
+
+    def test_supervision_alignment(self):
+        series = np.arange(10, dtype=float).reshape(10, 1)
+        X, y = build_windows(series, window=4)
+        # Window starting at 0 covers frames 0..3 and predicts frame 4.
+        assert np.allclose(X[0, :, 0, 0], [0, 1, 2, 3])
+        assert np.isclose(y[0, 0, 0], 4.0)
+
+    def test_multidim_passthrough(self):
+        series = np.zeros((8, 3, 2))
+        X, y = build_windows(series, window=2)
+        assert X.shape == (6, 2, 3, 2)
+        assert y.shape == (6, 3, 2)
+
+    def test_too_short_series(self):
+        with pytest.raises(ValueError, match="too short"):
+            build_windows(np.zeros((3, 2)), window=3)
+
+
+class TestTrainer:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        ds = load_dataset("traffic", size="small")
+        train, val, _test = ds.split()
+        model = GraphWaveNet(ds.num_nodes, default_adjacency(ds), hidden=8)
+        trainer = GNNTrainer(
+            model, GNNTrainConfig(window=4, epochs=4, batch_size=32)
+        )
+        trainer.fit(train, val)
+        return ds, trainer
+
+    def test_training_reduces_loss(self, fitted):
+        _ds, trainer = fitted
+        first_loss = trainer.history[0][0]
+        last_loss = trainer.history[-1][0]
+        assert last_loss < first_loss
+
+    def test_evaluate_beats_marginal(self, fitted):
+        ds, trainer = fitted
+        _train, _val, test = ds.split()
+        model_rmse = trainer.evaluate(test)
+        marginal_rmse = float(np.std(test.series))
+        assert model_rmse < marginal_rmse
+
+    def test_predict_single_window(self, fitted):
+        ds, trainer = fitted
+        history = ds.series[:4]
+        prediction = trainer.predict(history)
+        assert prediction.shape == (ds.num_nodes, 1)
+
+    def test_latency_measurement_positive(self, fitted):
+        ds, trainer = fitted
+        _train, _val, test = ds.split()
+        latency = trainer.measure_latency(test, repeats=2)
+        assert latency > 0
+
+    def test_early_stopping_restores_best(self):
+        ds = load_dataset("o3", size="small")
+        train, val, _test = ds.split()
+        model = GraphWaveNet(ds.num_nodes, default_adjacency(ds), hidden=8)
+        trainer = GNNTrainer(
+            model, GNNTrainConfig(window=4, epochs=12, patience=2)
+        )
+        trainer.fit(train, val)
+        best_val = min(v for _t, v in trainer.history)
+        X_val, y_val = build_windows(val.series, 4)
+        assert np.isclose(trainer._score(X_val, y_val), best_val, rtol=1e-6)

@@ -1,0 +1,97 @@
+"""Tests of the power/area/latency/energy cost models (Tables I & III)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    ACCELERATORS,
+    BRIM_REFERENCE,
+    AcceleratorModel,
+    AcceleratorSpec,
+    DSPUCostModel,
+    dsgl_energy_mj,
+)
+
+
+class TestDSPUCostModel:
+    def test_brim_matches_published_reference(self):
+        cost = DSPUCostModel().brim(2000)
+        assert cost.effective_spins == BRIM_REFERENCE["effective_spins"]
+        assert np.isclose(cost.power_mw, BRIM_REFERENCE["power_mw"], rtol=0.02)
+        assert np.isclose(cost.area_mm2, BRIM_REFERENCE["area_mm2"], rtol=0.02)
+        assert not cost.scalable
+        assert cost.data_type == "binary"
+
+    def test_real_valued_dspu_matches_table1(self):
+        cost = DSPUCostModel().real_valued_dspu(2000)
+        # Table I: DSPU-2000 is 260 mW / 5.1 mm^2.
+        assert np.isclose(cost.power_mw, 260.0, rtol=0.02)
+        assert np.isclose(cost.area_mm2, 5.1, rtol=0.02)
+        assert cost.data_type == "real-value"
+
+    def test_scalable_dspu_matches_table1(self):
+        cost = DSPUCostModel().scalable_dspu((4, 4), 500, 30)
+        # Table I: DS-GL is 8000 spins, 550 mW, ~6.5 mm^2, scalable.
+        assert cost.effective_spins == 8000
+        assert np.isclose(cost.power_mw, 550.0, rtol=0.05)
+        assert np.isclose(cost.area_mm2, 6.5, rtol=0.10)
+        assert cost.scalable
+
+    def test_headline_scaling_claim(self):
+        """The paper's claim: 4x the spins for ~2x power and ~30% more area."""
+        model = DSPUCostModel()
+        brim = model.brim(2000)
+        dsgl = model.scalable_dspu((4, 4), 500, 30)
+        assert dsgl.effective_spins == 4 * brim.effective_spins
+        assert dsgl.power_mw < 2.5 * brim.power_mw
+        assert dsgl.area_mm2 < 1.45 * brim.area_mm2
+
+    def test_monolithic_scaling_is_quadratic(self):
+        """Why the mesh is needed: doubling a monolithic machine's spins
+        roughly quadruples its crossbar power."""
+        model = DSPUCostModel()
+        small = model.real_valued_dspu(2000)
+        big = model.real_valued_dspu(4000)
+        assert big.power_mw > 3.0 * small.power_mw
+
+
+class TestAcceleratorModel:
+    def test_latency_inverse_in_peak_rate(self):
+        flops = 1e9
+        slow = AcceleratorModel(AcceleratorSpec("a", "p", 1.0, 100, 50))
+        fast = AcceleratorModel(AcceleratorSpec("b", "p", 10.0, 100, 50))
+        assert np.isclose(slow.latency_us(flops), 10 * fast.latency_us(flops))
+
+    def test_known_values(self):
+        model = AcceleratorModel(ACCELERATORS[-1])  # A100: 156 TFLOPS, 250 W
+        flops = 156e12 * 1e-6  # one microsecond of peak work
+        assert np.isclose(model.latency_us(flops), 1.0)
+        assert np.isclose(model.energy_mj(flops), 0.25)
+
+    def test_all_paper_platforms_present(self):
+        platforms = {spec.platform for spec in ACCELERATORS}
+        assert "NVIDIA A100 SXM" in platforms
+        assert "Stratix 10 SX" in platforms
+        assert len(ACCELERATORS) == 5
+
+    def test_rejects_negative_flops(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            AcceleratorModel(ACCELERATORS[0]).latency_us(-1.0)
+
+
+class TestDsglEnergy:
+    def test_known_value(self):
+        # 1 us at 550 mW = 0.55 nJ = 5.5e-4 mJ.
+        assert np.isclose(dsgl_energy_mj(1.0, 550.0), 5.5e-4)
+
+    def test_orders_of_magnitude_vs_gpu(self):
+        """The headline Table III gap: DS-GL energy is >= 4 orders of
+        magnitude below a GNN inference on the A100 model."""
+        gpu = AcceleratorModel(ACCELERATORS[-1])
+        dsgl = dsgl_energy_mj(1.0, 550.0)
+        gnn_energy = gpu.energy_mj(1e12)  # a TFLOP-scale GNN inference
+        assert gnn_energy / dsgl > 1e6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            dsgl_energy_mj(-1.0, 100.0)

@@ -1,0 +1,70 @@
+"""Tests of the configuration-time (programming) model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import HardwareConfig, ProgrammingModel
+
+
+class TestMonolithic:
+    def test_scales_with_spin_count(self):
+        model = ProgrammingModel()
+        small = model.monolithic(2000)
+        big = model.monolithic(8000)
+        assert np.isclose(big.full_program_ns, 4 * small.full_program_ns)
+
+    def test_no_slice_switching(self):
+        assert ProgrammingModel().monolithic(100).slice_switch_ns == 0.0
+
+    def test_amortized_overhead_bounds(self):
+        cost = ProgrammingModel().monolithic(1000, annealing_ns=5000.0)
+        assert 0.0 < cost.amortized_overhead < 1.0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError, match="num_spins"):
+            ProgrammingModel().monolithic(0)
+
+
+class TestScalable:
+    def test_mesh_programs_faster_than_monolithic(self, decomposed_traffic):
+        """The scalability win: a grid of small crossbars configures in
+        PE-capacity column writes, not total-capacity ones."""
+        from repro.hardware import ScalableDSPU
+
+        config = HardwareConfig(
+            grid_shape=(3, 3),
+            pe_capacity=decomposed_traffic.placement.capacity,
+            lanes=8,
+        )
+        dspu = ScalableDSPU(decomposed_traffic, config)
+        model = ProgrammingModel()
+        speedup = model.speedup_over_monolithic(config, dspu.schedule)
+        assert speedup > 2.0
+
+    def test_slice_switch_fits_switch_interval(self, decomposed_traffic):
+        """Weight Select must swap a slice's weights within one switch
+        interval or temporal co-annealing cannot keep its schedule."""
+        from repro.hardware import ScalableDSPU
+
+        config = HardwareConfig(
+            grid_shape=(3, 3),
+            pe_capacity=decomposed_traffic.placement.capacity,
+            lanes=8,
+        )
+        dspu = ScalableDSPU(decomposed_traffic, config)
+        cost = ProgrammingModel().scalable(config, dspu.schedule)
+        assert cost.slice_switch_ns < config.switch_interval_ns
+
+    def test_without_schedule_only_pe_pass(self):
+        config = HardwareConfig(grid_shape=(2, 2), pe_capacity=100, lanes=4)
+        model = ProgrammingModel(column_write_ns=10.0)
+        cost = model.scalable(config)
+        assert np.isclose(cost.full_program_ns, 1000.0)
+        assert cost.slice_switch_ns == 0.0
+
+    def test_paper_configuration_point(self):
+        """DS-GL (16 PEs x 500 spins) configures ~16x faster than a
+        monolithic 8000-spin crossbar."""
+        config = HardwareConfig(grid_shape=(4, 4), pe_capacity=500, lanes=30)
+        model = ProgrammingModel()
+        assert model.speedup_over_monolithic(config) >= 16.0 - 1e-9

@@ -1,0 +1,182 @@
+"""Tests of the Scalable DSPU co-annealing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import NaturalAnnealingEngine, rmse
+from repro.hardware import HardwareConfig, ScalableDSPU
+
+
+@pytest.fixture(scope="module")
+def dspu(decomposed_traffic):
+    config = HardwareConfig(
+        grid_shape=(3, 3),
+        pe_capacity=decomposed_traffic.placement.capacity,
+        lanes=8,
+    )
+    return ScalableDSPU(
+        decomposed_traffic, config, node_time_constant_ns=500.0
+    )
+
+
+class TestConstruction:
+    def test_mode_reflects_schedule(self, dspu):
+        assert dspu.mode in ("spatial", "temporal+spatial")
+        assert dspu.num_phases >= 1
+
+    def test_pes_match_placement(self, dspu, decomposed_traffic):
+        assert len(dspu.pes) == 9
+        for pe, group in zip(dspu.pes, decomposed_traffic.placement.groups):
+            assert np.array_equal(pe.nodes, group)
+
+    def test_utilization_in_unit_interval(self, dspu):
+        assert 0.0 < dspu.utilization() <= 1.0
+
+    def test_duty_compensated_average_equals_trained_dynamics(self, dspu):
+        """Time-average of the boosted per-phase matrices must equal the
+        full scaled dynamics — the invariant behind PWM co-annealing."""
+        average = dspu._A_local + sum(dspu._A_inter_boosted) / len(
+            dspu._A_inter_boosted
+        )
+        assert np.allclose(average, dspu._A, atol=1e-12)
+
+    def test_rejects_bad_time_constant(self, decomposed_traffic):
+        with pytest.raises(ValueError, match="time_constant"):
+            ScalableDSPU(
+                decomposed_traffic,
+                HardwareConfig(
+                    grid_shape=(3, 3),
+                    pe_capacity=decomposed_traffic.placement.capacity,
+                ),
+                node_time_constant_ns=0.0,
+            )
+
+
+class TestAnnealing:
+    def _one_inference(self, dspu, traffic_setup, **kwargs):
+        tw = traffic_setup["windowing"]
+        test = traffic_setup["test"].series
+        history = tw.history_of(test, 3)
+        return tw, test, dspu.anneal(tw.observed_index, history, **kwargs)
+
+    def test_converges_to_equilibrium(self, dspu, traffic_setup, decomposed_traffic):
+        tw = traffic_setup["windowing"]
+        test = traffic_setup["test"].series
+        history = tw.history_of(test, 3)
+        outcome = dspu.anneal(tw.observed_index, history, duration_ns=100000.0)
+        engine = NaturalAnnealingEngine(decomposed_traffic.model)
+        equilibrium = engine.infer_equilibrium(tw.observed_index, history)
+        gap = np.max(np.abs(outcome.prediction - equilibrium.prediction))
+        assert gap < 0.12
+
+    def test_accuracy_improves_with_latency(self, dspu, traffic_setup):
+        tw = traffic_setup["windowing"]
+        test = traffic_setup["test"].series
+        frames = tw.prediction_frames(test)[:8]
+
+        def score(duration):
+            predictions, targets = [], []
+            for t in frames:
+                history = tw.history_of(test, t)
+                out = dspu.anneal(tw.observed_index, history, duration_ns=duration)
+                predictions.append(out.prediction)
+                targets.append(test[t])
+            return rmse(np.asarray(predictions), np.asarray(targets))
+
+        short = score(2000.0)
+        long = score(50000.0)
+        assert long < short
+
+    def test_observed_nodes_clamped(self, dspu, traffic_setup):
+        tw, test, outcome = self._one_inference(
+            dspu, traffic_setup, duration_ns=2000.0
+        )
+        clamp = dspu._normalize_subset(
+            tw.observed_index, tw.history_of(test, 3)
+        )
+        assert np.allclose(outcome.state[tw.observed_index], clamp)
+
+    def test_latency_reported(self, dspu, traffic_setup):
+        _tw, _test, outcome = self._one_inference(
+            dspu, traffic_setup, duration_ns=4000.0
+        )
+        assert np.isclose(outcome.latency_ns, 4000.0, rtol=0.1)
+
+    def test_spatial_only_mode_flagged(self, dspu, traffic_setup):
+        _tw, _test, outcome = self._one_inference(
+            dspu, traffic_setup, duration_ns=2000.0, force_spatial_only=True
+        )
+        assert outcome.mode == "spatial"
+
+    def test_noise_degrades_gracefully(self, dspu, traffic_setup):
+        tw = traffic_setup["windowing"]
+        test = traffic_setup["test"].series
+        frames = tw.prediction_frames(test)[:6]
+
+        def score(noise):
+            predictions, targets = [], []
+            for t in frames:
+                history = tw.history_of(test, t)
+                out = dspu.anneal(
+                    tw.observed_index,
+                    history,
+                    duration_ns=20000.0,
+                    node_noise_std=noise * 0.1,
+                    coupling_noise_std=noise,
+                )
+                predictions.append(out.prediction)
+                targets.append(test[t])
+            return rmse(np.asarray(predictions), np.asarray(targets))
+
+        clean = score(0.0)
+        noisy = score(0.15)
+        assert noisy < 2.0 * clean  # Sec. V.G: impact "not significant"
+
+    def test_reproducible_with_seed(self, dspu, traffic_setup):
+        tw = traffic_setup["windowing"]
+        test = traffic_setup["test"].series
+        history = tw.history_of(test, 4)
+        a = dspu.anneal(
+            tw.observed_index, history, duration_ns=2000.0,
+            rng=np.random.default_rng(5),
+        )
+        b = dspu.anneal(
+            tw.observed_index, history, duration_ns=2000.0,
+            rng=np.random.default_rng(5),
+        )
+        assert np.allclose(a.prediction, b.prediction)
+
+    def test_validation(self, dspu, traffic_setup):
+        tw = traffic_setup["windowing"]
+        history = tw.history_of(traffic_setup["test"].series, 3)
+        with pytest.raises(ValueError, match="duration"):
+            dspu.anneal(tw.observed_index, history, duration_ns=0.0)
+        with pytest.raises(ValueError, match="sync"):
+            dspu.anneal(
+                tw.observed_index, history, duration_ns=100.0,
+                sync_interval_ns=0.0,
+            )
+
+
+class TestEnergyTrace:
+    def test_trace_recorded_and_descending_overall(self, dspu, traffic_setup):
+        tw = traffic_setup["windowing"]
+        test = traffic_setup["test"].series
+        history = tw.history_of(test, 3)
+        outcome = dspu.anneal(
+            tw.observed_index, history, duration_ns=20000.0, record_energy=True
+        )
+        trace = outcome.energy_trace
+        assert trace is not None
+        assert len(trace) >= 10
+        # Overall descent: final energy far below initial (ripple allowed).
+        assert trace[-1] < trace[0]
+        # The last quarter of the run is near-stationary.
+        tail = trace[-len(trace) // 4 :]
+        assert np.std(tail) < 0.2 * (trace[0] - trace[-1] + 1e-9)
+
+    def test_trace_absent_by_default(self, dspu, traffic_setup):
+        tw = traffic_setup["windowing"]
+        history = tw.history_of(traffic_setup["test"].series, 3)
+        outcome = dspu.anneal(tw.observed_index, history, duration_ns=1000.0)
+        assert outcome.energy_trace is None

@@ -1,0 +1,144 @@
+"""Tests of the spatial/temporal co-annealing schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.decompose import PlacementResult
+from repro.hardware import HardwareConfig, build_schedule
+
+
+def _placement(n=24, grid=(2, 3)):
+    num_pes = grid[0] * grid[1]
+    per = n // num_pes
+    groups = [np.arange(p * per, (p + 1) * per) for p in range(num_pes)]
+    return PlacementResult(
+        pe_of_node=np.repeat(np.arange(num_pes), per),
+        grid_shape=grid,
+        capacity=per,
+        groups=groups,
+    )
+
+
+def _sparse_J(placement, pairs):
+    n = placement.pe_of_node.size
+    J = np.zeros((n, n))
+    for a, b, w in pairs:
+        J[a, b] = J[b, a] = w
+    return J
+
+
+class TestBuildSchedule:
+    def test_all_inter_pe_pairs_scheduled(self):
+        placement = _placement()
+        J = _sparse_J(placement, [(0, 4, 1.0), (1, 5, 0.5), (8, 12, 0.2)])
+        schedule = build_schedule(J, placement, HardwareConfig(grid_shape=(2, 3), pe_capacity=4, lanes=4))
+        scheduled = {(a.node_a, a.node_b) for a in schedule.assignments}
+        assert scheduled == {(0, 4), (1, 5), (8, 12)}
+
+    def test_intra_pe_pairs_not_scheduled(self):
+        placement = _placement()
+        J = _sparse_J(placement, [(0, 1, 1.0)])  # same PE
+        schedule = build_schedule(J, placement, HardwareConfig(grid_shape=(2, 3), pe_capacity=4, lanes=4))
+        assert schedule.assignments == []
+        assert schedule.is_spatial_only
+
+    def test_neighbors_use_shared_cu(self):
+        placement = _placement()
+        J = _sparse_J(placement, [(0, 4, 1.0)])  # PE0-PE1 horizontal
+        schedule = build_schedule(J, placement, HardwareConfig(grid_shape=(2, 3), pe_capacity=4, lanes=4))
+        a = schedule.assignments[0]
+        assert not a.wormhole
+        assert a.route_length == 1
+
+    def test_remote_pairs_get_wormholes(self):
+        placement = _placement()
+        J = _sparse_J(placement, [(0, 20, 1.0)])  # PE0-PE5 remote
+        schedule = build_schedule(J, placement, HardwareConfig(grid_shape=(2, 3), pe_capacity=4, lanes=4))
+        a = schedule.assignments[0]
+        assert a.wormhole
+        assert a.route_length >= 2
+        assert schedule.wormhole_count() == 1
+
+    def test_low_demand_is_spatial_only(self):
+        placement = _placement()
+        J = _sparse_J(placement, [(0, 4, 1.0), (1, 5, 0.9)])
+        schedule = build_schedule(J, placement, HardwareConfig(grid_shape=(2, 3), pe_capacity=4, lanes=8))
+        assert schedule.is_spatial_only
+        assert schedule.num_phases == 1
+
+    def test_high_demand_triggers_temporal_slicing(self):
+        placement = _placement()
+        # Every node of PE0 couples to every node of PE1 -> demand 4 > L=2.
+        pairs = [(i, j, 1.0) for i in range(4) for j in range(4, 8)]
+        J = _sparse_J(placement, pairs)
+        schedule = build_schedule(J, placement, HardwareConfig(grid_shape=(2, 3), pe_capacity=4, lanes=2))
+        assert not schedule.is_spatial_only
+        assert schedule.num_phases > 1
+
+    def test_slice_counts_are_powers_of_two(self):
+        placement = _placement()
+        pairs = [(i, j, float(i + j)) for i in range(4) for j in range(4, 8)]
+        J = _sparse_J(placement, pairs)
+        schedule = build_schedule(J, placement, HardwareConfig(grid_shape=(2, 3), pe_capacity=4, lanes=2))
+        for count in schedule.slices_per_cu.values():
+            assert count & (count - 1) == 0  # power of two
+
+    def test_lane_budget_respected_per_phase(self):
+        placement = _placement()
+        pairs = [(i, j, 1.0 + i) for i in range(4) for j in range(4, 8)]
+        J = _sparse_J(placement, pairs)
+        lanes = 2
+        schedule = build_schedule(J, placement, HardwareConfig(grid_shape=(2, 3), pe_capacity=4, lanes=lanes))
+        for phase in range(schedule.num_phases):
+            usage: dict = {}
+            for a in schedule.active_in_phase(phase):
+                usage.setdefault((a.cu, a.pe_a), set()).add(a.node_a)
+                usage.setdefault((a.cu, a.pe_b), set()).add(a.node_b)
+            for nodes in usage.values():
+                assert len(nodes) <= lanes
+
+    def test_every_assignment_live_in_exactly_its_duty(self):
+        placement = _placement()
+        pairs = [(i, j, 1.0) for i in range(4) for j in range(4, 8)]
+        J = _sparse_J(placement, pairs)
+        schedule = build_schedule(J, placement, HardwareConfig(grid_shape=(2, 3), pe_capacity=4, lanes=2))
+        for a in schedule.assignments:
+            s = schedule.slices_per_cu[a.cu]
+            live = sum(
+                1
+                for phase in range(schedule.num_phases)
+                if a in schedule.active_in_phase(phase)
+            )
+            assert live == schedule.num_phases // s
+
+    def test_weights_buffered_in_cus(self):
+        placement = _placement()
+        J = _sparse_J(placement, [(0, 4, -0.7)])
+        schedule = build_schedule(J, placement, HardwareConfig(grid_shape=(2, 3), pe_capacity=4, lanes=4))
+        a = schedule.assignments[0]
+        assert schedule.cus[a.cu].weight_buffer[(0, 4)] == -0.7
+
+    def test_grid_mismatch_rejected(self):
+        placement = _placement()
+        with pytest.raises(ValueError, match="grid"):
+            build_schedule(
+                np.zeros((24, 24)),
+                placement,
+                HardwareConfig(grid_shape=(3, 3), pe_capacity=4),
+            )
+
+    def test_overloaded_pe_rejected(self):
+        placement = _placement()
+        with pytest.raises(ValueError, match="capacity"):
+            build_schedule(
+                np.zeros((24, 24)),
+                placement,
+                HardwareConfig(grid_shape=(2, 3), pe_capacity=2),
+            )
+
+    def test_duty_cycle_in_unit_interval(self):
+        placement = _placement()
+        pairs = [(i, j, 1.0) for i in range(4) for j in range(4, 8)]
+        J = _sparse_J(placement, pairs)
+        schedule = build_schedule(J, placement, HardwareConfig(grid_shape=(2, 3), pe_capacity=4, lanes=2))
+        assert 0.0 < schedule.duty_cycle() <= 1.0

@@ -1,0 +1,171 @@
+"""Tests of PEs, CUs, routers, and the mesh topology."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    CouplingUnit,
+    CUCapacityError,
+    HardwareConfig,
+    MeshTopology,
+    PortalOverflowError,
+    ProcessingElement,
+    Router,
+)
+from repro.hardware.interconnect import CUSite
+
+
+class TestHardwareConfig:
+    def test_derived_quantities(self):
+        cfg = HardwareConfig(grid_shape=(4, 4), pe_capacity=500, lanes=30)
+        assert cfg.num_pes == 16
+        assert cfg.total_capacity == 8000
+        assert cfg.cu_crossbar_shape == (120, 90)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="grid"):
+            HardwareConfig(grid_shape=(0, 4))
+        with pytest.raises(ValueError, match="capacity"):
+            HardwareConfig(pe_capacity=0)
+        with pytest.raises(ValueError, match="lanes"):
+            HardwareConfig(lanes=0)
+        with pytest.raises(ValueError, match="timing"):
+            HardwareConfig(sync_interval_ns=0.0)
+
+
+class TestRouter:
+    def test_allocation_and_overflow(self):
+        router = Router("TL", lanes=2)
+        assert router.allocate(10) == 0
+        assert router.allocate(11) == 1
+        assert router.allocate(10) == 0  # idempotent
+        with pytest.raises(PortalOverflowError):
+            router.allocate(12)
+
+    def test_release_frees_lane(self):
+        router = Router("BR", lanes=1)
+        router.allocate(5)
+        router.release(5)
+        assert router.allocate(6) == 0
+
+    def test_unknown_portal(self):
+        with pytest.raises(ValueError, match="portal"):
+            Router("XX", lanes=1)
+
+
+class TestProcessingElement:
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ProcessingElement(index=0, nodes=np.arange(5), capacity=4, lanes=2)
+
+    def test_partitions_split_in_half(self):
+        pe = ProcessingElement(index=0, nodes=np.arange(6), capacity=8, lanes=2)
+        first, second = pe.partitions()
+        assert first.size == 3 and second.size == 3
+
+    def test_routers_of_node_by_partition(self):
+        pe = ProcessingElement(index=0, nodes=np.arange(4), capacity=4, lanes=2)
+        assert pe.routers_of_node(0) == ("BL", "TR")
+        assert pe.routers_of_node(3) == ("TL", "BR")
+        with pytest.raises(ValueError, match="not on PE"):
+            pe.routers_of_node(99)
+
+    def test_boundary_nodes(self):
+        J = np.zeros((6, 6))
+        J[0, 4] = J[4, 0] = 1.0  # node 0 talks to external node 4
+        pe = ProcessingElement(index=0, nodes=np.arange(3), capacity=4, lanes=2)
+        assert np.array_equal(pe.boundary_nodes(J), [0])
+
+    def test_local_coupling_block(self):
+        J = np.arange(36, dtype=float).reshape(6, 6)
+        pe = ProcessingElement(index=0, nodes=np.asarray([1, 3]), capacity=4, lanes=2)
+        block = pe.local_coupling(J)
+        assert block.shape == (2, 2)
+        assert block[0, 1] == J[1, 3]
+
+
+class TestCouplingUnit:
+    def _cu(self):
+        site = CUSite(corner=(1, 1), pes=(0, 1, 2, 3))
+        return CouplingUnit(site=site, lanes=2)
+
+    def test_connect_and_program(self):
+        cu = self._cu()
+        cu.connect_node(0, 10)
+        cu.connect_node(1, 20)
+        cu.program_coupling(10, 20, weight=-0.5)
+        assert cu.weight_buffer[(10, 20)] == -0.5
+
+    def test_same_pe_pair_rejected(self):
+        cu = self._cu()
+        cu.connect_node(0, 10)
+        cu.connect_node(0, 11)
+        with pytest.raises(ValueError, match="local crossbar"):
+            cu.program_coupling(10, 11, 1.0)
+
+    def test_port_capacity(self):
+        cu = self._cu()
+        cu.connect_node(0, 1)
+        cu.connect_node(0, 2)
+        with pytest.raises(CUCapacityError):
+            cu.connect_node(0, 3)
+
+    def test_buffer_weight_bypasses_ports(self):
+        cu = self._cu()
+        cu.buffer_weight(5, 6, 0.3)
+        assert cu.weight_buffer[(5, 6)] == 0.3
+
+    def test_clear(self):
+        cu = self._cu()
+        cu.connect_node(0, 1)
+        cu.buffer_weight(1, 2, 1.0)
+        cu.clear()
+        assert not cu.weight_buffer
+        assert cu.free_ports(0) == 2
+
+    def test_unattached_pe_rejected(self):
+        cu = self._cu()
+        with pytest.raises(ValueError, match="not attached"):
+            cu.connect_node(9, 1)
+
+
+class TestMeshTopology:
+    def test_cu_sites_count(self):
+        topo = MeshTopology((2, 3))
+        assert len(topo.cu_sites) == 3 * 4
+
+    def test_corner_cu_has_one_pe(self):
+        topo = MeshTopology((2, 2))
+        sites = {s.corner: s for s in topo.cu_sites}
+        assert sites[(0, 0)].pes == (0,)
+        assert len(sites[(1, 1)].pes) == 4
+
+    def test_shared_cus_for_neighbors(self):
+        topo = MeshTopology((2, 2))
+        assert len(topo.shared_cus(0, 1)) == 2  # horizontal neighbors
+        assert len(topo.shared_cus(0, 3)) == 1  # diagonal
+        topo3 = MeshTopology((1, 3))
+        assert topo3.shared_cus(0, 2) == []  # remote
+
+    def test_neighbor_predicates(self):
+        topo = MeshTopology((3, 3))
+        assert topo.are_mesh_neighbors(0, 1)
+        assert not topo.are_mesh_neighbors(0, 4)
+        assert topo.are_dmesh_neighbors(0, 4)
+        assert not topo.are_dmesh_neighbors(0, 8)
+
+    def test_wormhole_route_connects_endpoints(self):
+        topo = MeshTopology((3, 3))
+        route = topo.wormhole_route(0, 8)
+        assert len(route) >= 2
+        # Route endpoints must touch the two PEs.
+        assert 0 in topo._sites[route[0]].pes
+        assert 8 in topo._sites[route[-1]].pes
+        # Consecutive corners are super-connection neighbors.
+        for a, b in zip(route, route[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_pe_coordinates_validation(self):
+        topo = MeshTopology((2, 2))
+        with pytest.raises(ValueError, match="grid"):
+            topo.pe_coordinates(7)

@@ -1,0 +1,113 @@
+"""Tests of the digital annealing baselines."""
+
+import numpy as np
+import pytest
+
+from repro.ising import GreedyDescent, SimulatedAnnealer, random_ising_problem
+
+
+class TestSimulatedAnnealer:
+    def test_finds_ground_state_on_small_instance(self):
+        problem = random_ising_problem(10, rng=np.random.default_rng(0))
+        _spins, optimum = problem.brute_force_ground_state()
+        result = SimulatedAnnealer(sweeps=300, seed=1).solve(problem)
+        assert result.energy <= optimum + 1e-9 or np.isclose(result.energy, optimum)
+
+    def test_history_is_monotone_best_so_far(self):
+        problem = random_ising_problem(12, rng=np.random.default_rng(1))
+        result = SimulatedAnnealer(sweeps=50, seed=2).solve(problem)
+        assert np.all(np.diff(result.energy_history) <= 1e-12)
+
+    def test_energy_matches_spins(self):
+        problem = random_ising_problem(9, field=True, rng=np.random.default_rng(2))
+        result = SimulatedAnnealer(sweeps=40, seed=3).solve(problem)
+        assert np.isclose(result.energy, problem.energy(result.spins))
+
+    def test_warm_start_respected(self):
+        problem = random_ising_problem(6, rng=np.random.default_rng(3))
+        spins0 = problem.random_spins(np.random.default_rng(4))
+        result = SimulatedAnnealer(sweeps=1, t_start=1e-6, t_end=1e-6, seed=5).solve(
+            problem, spins0=spins0
+        )
+        # Near-zero temperature from a given start only improves energy.
+        assert result.energy <= problem.energy(spins0) + 1e-9
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError, match="sweeps"):
+            SimulatedAnnealer(sweeps=0)
+        with pytest.raises(ValueError, match="temperatures"):
+            SimulatedAnnealer(t_start=0.0)
+
+
+class TestGreedyDescent:
+    def test_terminates_at_local_minimum(self):
+        problem = random_ising_problem(12, rng=np.random.default_rng(5))
+        result = GreedyDescent(seed=6).solve(problem)
+        for i in range(12):
+            assert problem.flip_gain(result.spins, i) >= -1e-9
+
+    def test_energy_history_strictly_improving_until_stall(self):
+        problem = random_ising_problem(10, rng=np.random.default_rng(6))
+        result = GreedyDescent(seed=7).solve(problem)
+        history = result.energy_history
+        assert np.all(np.diff(history) <= 1e-12)
+
+    def test_sa_at_least_matches_greedy_on_average(self):
+        rng = np.random.default_rng(8)
+        sa_wins = 0
+        total = 5
+        for k in range(total):
+            problem = random_ising_problem(14, rng=rng)
+            sa = SimulatedAnnealer(sweeps=150, seed=k).solve(problem)
+            greedy = GreedyDescent(seed=k).solve(problem)
+            if sa.energy <= greedy.energy + 1e-9:
+                sa_wins += 1
+        assert sa_wins >= 3
+
+
+class TestParallelTempering:
+    def test_finds_ground_state_on_small_instance(self):
+        from repro.ising import ParallelTempering
+
+        problem = random_ising_problem(10, rng=np.random.default_rng(10))
+        _spins, optimum = problem.brute_force_ground_state()
+        result = ParallelTempering(sweeps=120, seed=0).solve(problem)
+        assert result.energy <= optimum + 1e-9
+
+    def test_beats_or_matches_single_chain_on_frustrated_instances(self):
+        from repro.ising import ParallelTempering
+
+        rng = np.random.default_rng(11)
+        wins = 0
+        total = 4
+        for k in range(total):
+            problem = random_ising_problem(18, rng=rng)
+            pt = ParallelTempering(sweeps=60, seed=k).solve(problem)
+            sa = SimulatedAnnealer(sweeps=60, seed=k).solve(problem)
+            if pt.energy <= sa.energy + 1e-9:
+                wins += 1
+        assert wins >= 2
+
+    def test_history_is_best_so_far(self):
+        from repro.ising import ParallelTempering
+
+        problem = random_ising_problem(12, rng=np.random.default_rng(12))
+        result = ParallelTempering(sweeps=40, seed=1).solve(problem)
+        assert np.all(np.diff(result.energy_history) <= 1e-12)
+
+    def test_energy_matches_spins(self):
+        from repro.ising import ParallelTempering
+
+        problem = random_ising_problem(9, field=True, rng=np.random.default_rng(13))
+        result = ParallelTempering(sweeps=30, seed=2).solve(problem)
+        assert np.isclose(result.energy, problem.energy(result.spins))
+
+    def test_validation(self):
+        from repro.ising import ParallelTempering
+
+        with pytest.raises(ValueError, match="replicas"):
+            ParallelTempering(num_replicas=1)
+        with pytest.raises(ValueError, match="t_min"):
+            ParallelTempering(t_min=2.0, t_max=1.0)
+        with pytest.raises(ValueError, match="swap_every"):
+            ParallelTempering(swap_every=0)

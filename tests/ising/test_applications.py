@@ -1,0 +1,145 @@
+"""Tests of the binary Ising-ML applications (Ising-CF, Ising-RBM)."""
+
+import numpy as np
+import pytest
+
+from repro.ising import IsingCollaborativeFilter, IsingRBM
+
+
+def _cluster_ratings(num_users=30, num_items=16, seed=0):
+    """Two taste clusters with sparse, mostly consistent ratings."""
+    rng = np.random.default_rng(seed)
+    taste = np.sign(rng.normal(size=(2, num_items)))
+    ratings = np.zeros((num_users, num_items))
+    for user in range(num_users):
+        preference = taste[user % 2]
+        mask = rng.random(num_items) < 0.6
+        noise = np.where(rng.random(int(mask.sum())) < 0.9, 1.0, -1.0)
+        ratings[user, mask] = preference[mask] * noise
+    return ratings
+
+
+class TestCollaborativeFilter:
+    def test_couplings_capture_copreference(self):
+        ratings = _cluster_ratings()
+        cf = IsingCollaborativeFilter(16).fit(ratings)
+        assert np.allclose(cf.J, cf.J.T)
+        assert np.all(np.abs(cf.J) <= 1.0 + 1e-9)
+        assert np.all(np.diag(cf.J) == 0.0)
+
+    def test_holdout_accuracy_beats_chance(self):
+        ratings = _cluster_ratings()
+        cf = IsingCollaborativeFilter(16).fit(ratings)
+        accuracy = cf.score(ratings[:10], seed=1)
+        assert accuracy > 0.7  # chance = 0.5
+
+    def test_predict_respects_known_ratings(self):
+        ratings = _cluster_ratings()
+        cf = IsingCollaborativeFilter(16).fit(ratings)
+        known = {0: 1.0, 3: -1.0}
+        prediction = cf.predict(known)
+        assert prediction[0] == 1.0
+        assert prediction[3] == -1.0
+        assert np.all(np.isin(prediction, (-1.0, 1.0)))
+
+    def test_validation(self):
+        cf = IsingCollaborativeFilter(8)
+        with pytest.raises(ValueError, match="known rating"):
+            cf.predict({})
+        with pytest.raises(ValueError, match="ratings must be"):
+            cf.fit(np.full((3, 8), 0.5))
+        with pytest.raises(ValueError, match="users"):
+            cf.fit(np.zeros((3, 5)))
+        with pytest.raises(ValueError, match="two items"):
+            IsingCollaborativeFilter(1)
+
+
+class TestIsingRBM:
+    @pytest.fixture(scope="class")
+    def patterns_and_data(self):
+        rng = np.random.default_rng(1)
+        patterns = np.asarray(
+            [[1, 1, 1, 1, 0, 0, 0, 0], [0, 0, 0, 0, 1, 1, 1, 1]], dtype=float
+        )
+        data = patterns[rng.integers(0, 2, size=80)]
+        flips = rng.random(data.shape) < 0.05
+        return patterns, np.abs(data - flips)
+
+    @pytest.fixture(scope="class")
+    def trained(self, patterns_and_data):
+        _patterns, data = patterns_and_data
+        return IsingRBM(8, 4, seed=0).fit(data, epochs=25, lr=0.1)
+
+    def test_reconstruction_recovers_patterns(self, patterns_and_data, trained):
+        patterns, _data = patterns_and_data
+        for pattern in patterns:
+            reconstruction = trained.reconstruct(pattern)
+            assert np.mean(np.abs(reconstruction - pattern)) < 0.25
+
+    def test_trained_patterns_have_lower_free_energy(
+        self, patterns_and_data, trained
+    ):
+        patterns, _data = patterns_and_data
+        alien = np.asarray([1, 0, 1, 0, 1, 0, 1, 0], dtype=float)
+        for pattern in patterns:
+            assert trained.free_energy(pattern) < trained.free_energy(alien)
+
+    def test_ising_mapping_energy_ordering(self, patterns_and_data, trained):
+        """The Ising image of the RBM must rank configurations like the
+        RBM energy does."""
+        patterns, _data = patterns_and_data
+        problem = trained.to_ising()
+        ph = trained.hidden_probability(patterns[0])
+        h_units = (ph > 0.5).astype(float)
+        good_units = np.concatenate([patterns[0], h_units])
+        bad_units = 1.0 - good_units
+        good_spins = 2.0 * good_units - 1.0
+        bad_spins = 2.0 * bad_units - 1.0
+        assert problem.energy(good_spins) < problem.energy(bad_spins)
+
+    def test_ising_mapping_is_exact_up_to_constant(self):
+        """The Ising image reproduces the RBM energy exactly, shifted by a
+        configuration-independent constant."""
+        rng = np.random.default_rng(9)
+        rbm = IsingRBM(5, 3, seed=4)
+        rbm.W = rng.normal(size=(5, 3))
+        rbm.b = rng.normal(size=5)
+        rbm.c = rng.normal(size=3)
+        problem = rbm.to_ising()
+
+        def rbm_energy(v, h):
+            return float(-v @ rbm.W @ h - rbm.b @ v - rbm.c @ h)
+
+        offsets = []
+        for _ in range(20):
+            v = (rng.random(5) < 0.5).astype(float)
+            h = (rng.random(3) < 0.5).astype(float)
+            spins = 2.0 * np.concatenate([v, h]) - 1.0
+            offsets.append(problem.energy(spins) - rbm_energy(v, h))
+        assert np.std(offsets) < 1e-10
+
+    def test_ising_negative_phase_trains(self, patterns_and_data):
+        _patterns, data = patterns_and_data
+        rbm = IsingRBM(8, 3, seed=2).fit(
+            data[:20], epochs=2, lr=0.1, negative_phase="ising",
+            annealer_sweeps=10,
+        )
+        assert np.isfinite(rbm.W).all()
+        assert np.linalg.norm(rbm.W) > 0.0
+
+    def test_conditionals_are_probabilities(self, trained):
+        rng = np.random.default_rng(3)
+        v = (rng.random(8) < 0.5).astype(float)
+        ph = trained.hidden_probability(v)
+        pv = trained.visible_probability((ph > 0.5).astype(float))
+        assert np.all((0 <= ph) & (ph <= 1))
+        assert np.all((0 <= pv) & (pv <= 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="layer sizes"):
+            IsingRBM(0, 3)
+        rbm = IsingRBM(4, 2)
+        with pytest.raises(ValueError, match="data must be"):
+            rbm.fit(np.zeros((5, 7)))
+        with pytest.raises(ValueError, match="negative_phase"):
+            rbm.fit(np.zeros((5, 4)), negative_phase="quantum")

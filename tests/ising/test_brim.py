@@ -1,0 +1,79 @@
+"""Tests of the BRIM circuit simulator."""
+
+import numpy as np
+import pytest
+
+from repro.ising import BRIMConfig, BRIMMachine, random_ising_problem
+
+
+class TestConfig:
+    def test_rejects_weak_bistability(self):
+        with pytest.raises(ValueError, match="alpha"):
+            BRIMConfig(bistable_alpha=0.5)
+
+    def test_rejects_bad_gain(self):
+        with pytest.raises(ValueError, match="gain"):
+            BRIMConfig(bistable_gain=0.0)
+
+    def test_rejects_bad_flip_fraction(self):
+        with pytest.raises(ValueError, match="flip_fraction"):
+            BRIMConfig(flip_fraction=1.5)
+
+
+class TestPolarization:
+    def test_free_nodes_polarize_to_rails(self):
+        """The binary limitation the paper fixes: BRIM voltages end at the
+        rails, never at intermediate analog values (Fig. 4 right)."""
+        problem = random_ising_problem(8, rng=np.random.default_rng(0))
+        machine = BRIMMachine(problem)
+        result = machine.anneal(duration=80.0, seed=1)
+        assert np.all(np.abs(result.trajectory.final_state) > 0.9)
+
+    def test_clamped_nodes_stay_at_inputs(self):
+        problem = random_ising_problem(6, rng=np.random.default_rng(1))
+        machine = BRIMMachine(problem)
+        clamp_index = np.asarray([0, 2])
+        clamp_value = np.asarray([0.8, -0.5])
+        result = machine.anneal(
+            duration=50.0, clamp_index=clamp_index, clamp_value=clamp_value
+        )
+        assert np.allclose(
+            result.trajectory.states[:, clamp_index], clamp_value
+        )
+
+
+class TestSolutionQuality:
+    def test_reaches_ground_state_energy_on_small_instance(self):
+        problem = random_ising_problem(10, rng=np.random.default_rng(2))
+        _spins, optimum = problem.brute_force_ground_state()
+        machine = BRIMMachine(problem)
+        best = min(
+            machine.anneal(duration=120.0, seed=s).energy for s in range(4)
+        )
+        # Within 10% of the brute-force optimum (energies are negative).
+        assert best <= optimum * 0.9
+
+    def test_annealing_improves_over_no_flips(self):
+        problem = random_ising_problem(16, rng=np.random.default_rng(3))
+        with_flips = BRIMMachine(problem, BRIMConfig(flip_fraction=0.3))
+        without = BRIMMachine(problem, BRIMConfig(flip_fraction=0.0))
+        e_with = min(with_flips.anneal(duration=120.0, seed=s).energy for s in range(3))
+        e_without = min(without.anneal(duration=120.0, seed=s).energy for s in range(3))
+        assert e_with <= e_without + 1e-9
+
+    def test_binarize_ties_to_positive(self):
+        assert np.allclose(
+            BRIMMachine.binarize(np.asarray([0.0, -0.2, 0.3])), [1.0, -1.0, 1.0]
+        )
+
+    def test_result_energy_matches_spins(self):
+        problem = random_ising_problem(7, rng=np.random.default_rng(4))
+        result = BRIMMachine(problem).anneal(duration=40.0)
+        assert np.isclose(result.energy, problem.energy(result.spins))
+
+    def test_trajectory_time_axis_is_contiguous(self):
+        problem = random_ising_problem(5, rng=np.random.default_rng(5))
+        result = BRIMMachine(problem).anneal(duration=30.0)
+        times = result.trajectory.times
+        assert np.all(np.diff(times) > 0)
+        assert np.isclose(times[-1], 30.0, atol=1.0)

@@ -1,0 +1,151 @@
+"""Tests of the MIS / vertex-cover / coloring Ising mappings."""
+
+from itertools import combinations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.ising import (
+    ParallelTempering,
+    SimulatedAnnealer,
+    coloring_conflicts,
+    coloring_to_ising,
+    decode_coloring,
+    decode_mis,
+    is_independent_set,
+    is_vertex_cover,
+    mis_to_ising,
+    solve_mis,
+    vertex_cover_from_mis,
+)
+
+
+def brute_force_mis_size(graph: nx.Graph) -> int:
+    for k in range(graph.number_of_nodes(), 0, -1):
+        for subset in combinations(graph.nodes(), k):
+            if is_independent_set(graph, set(subset)):
+                return k
+    return 0
+
+
+class TestMIS:
+    def test_energy_orders_configurations_correctly(self):
+        """A larger independent set must have lower Ising energy than a
+        smaller one, and conflicts must cost more than they gain."""
+        g = nx.path_graph(4)  # MIS = {0, 2} or {1, 3}, size 2
+        problem = mis_to_ising(g)
+
+        def energy_of(selection):
+            spins = -np.ones(4)
+            for v in selection:
+                spins[v] = 1.0
+            return problem.energy(spins)
+
+        assert energy_of({0, 2}) < energy_of({0})
+        assert energy_of({0}) < energy_of(set())
+        assert energy_of({0, 2}) < energy_of({0, 1})  # conflict penalized
+
+    def test_solve_finds_optimum_on_small_graphs(self):
+        for seed in (1, 2, 3):
+            g = nx.gnp_random_graph(11, 0.35, seed=seed)
+            found = solve_mis(g, sweeps=200, restarts=3, seed=seed)
+            assert is_independent_set(g, found)
+            assert len(found) >= brute_force_mis_size(g) - 1
+
+    def test_decode_repairs_conflicts(self):
+        g = nx.complete_graph(4)  # MIS size 1
+        all_selected = np.ones(4)
+        decoded = decode_mis(g, all_selected)
+        assert is_independent_set(g, decoded)
+        assert len(decoded) == 1
+
+    def test_penalty_validation(self):
+        with pytest.raises(ValueError, match="penalty"):
+            mis_to_ising(nx.path_graph(3), penalty=1.0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="vertices"):
+            mis_to_ising(nx.Graph())
+
+    def test_parallel_tempering_also_solves(self):
+        g = nx.gnp_random_graph(10, 0.4, seed=7)
+        problem = mis_to_ising(g)
+        result = ParallelTempering(sweeps=80, seed=0).solve(problem)
+        decoded = decode_mis(g, result.spins)
+        assert is_independent_set(g, decoded)
+        assert len(decoded) >= brute_force_mis_size(g) - 1
+
+
+class TestVertexCover:
+    def test_complement_duality(self):
+        g = nx.gnp_random_graph(12, 0.3, seed=5)
+        independent = solve_mis(g, sweeps=150, restarts=2, seed=0)
+        cover = vertex_cover_from_mis(g, independent)
+        assert is_vertex_cover(g, cover)
+        assert len(cover) + len(independent) == g.number_of_nodes()
+
+    def test_rejects_non_independent_input(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ValueError, match="independent"):
+            vertex_cover_from_mis(g, {0, 1})
+
+    def test_is_vertex_cover_semantics(self):
+        g = nx.path_graph(3)  # edges (0,1), (1,2)
+        assert is_vertex_cover(g, {1})
+        assert not is_vertex_cover(g, {0})
+
+
+class TestColoring:
+    def test_even_cycle_is_two_colorable(self):
+        g = nx.cycle_graph(6)
+        problem = coloring_to_ising(g, 2)
+        result = SimulatedAnnealer(sweeps=300, seed=0).solve(problem)
+        coloring = decode_coloring(g, result.spins, 2)
+        assert coloring_conflicts(g, coloring) == 0
+
+    def test_petersen_graph_three_coloring(self):
+        g = nx.petersen_graph()
+        problem = coloring_to_ising(g, 3)
+        best = min(
+            coloring_conflicts(
+                g,
+                decode_coloring(
+                    g,
+                    SimulatedAnnealer(sweeps=400, seed=s).solve(problem).spins,
+                    3,
+                ),
+            )
+            for s in range(4)
+        )
+        assert best == 0
+
+    def test_proper_coloring_has_lower_energy_than_conflicting(self):
+        g = nx.cycle_graph(4)
+        problem = coloring_to_ising(g, 2)
+
+        def spins_for(coloring):
+            spins = -np.ones(8)
+            for v, c in coloring.items():
+                spins[v * 2 + c] = 1.0
+            return spins
+
+        proper = {0: 0, 1: 1, 2: 0, 3: 1}
+        clash = {0: 0, 1: 0, 2: 0, 3: 0}
+        assert problem.energy(spins_for(proper)) < problem.energy(
+            spins_for(clash)
+        )
+
+    def test_decode_shape_validation(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ValueError, match="shape"):
+            decode_coloring(g, np.zeros(5), 2)
+
+    def test_color_count_validation(self):
+        with pytest.raises(ValueError, match="colors"):
+            coloring_to_ising(nx.path_graph(3), 1)
+
+    def test_conflicts_counting(self):
+        g = nx.path_graph(3)
+        assert coloring_conflicts(g, {0: 0, 1: 0, 2: 0}) == 2
+        assert coloring_conflicts(g, {0: 0, 1: 1, 2: 0}) == 0

@@ -1,0 +1,71 @@
+"""Tests of binary Ising problems."""
+
+import numpy as np
+import pytest
+
+from repro.ising import IsingProblem, random_ising_problem
+
+
+class TestIsingProblem:
+    def test_energy_of_known_two_spin_system(self):
+        J = np.asarray([[0.0, 1.0], [1.0, 0.0]])
+        problem = IsingProblem(J=J, h=np.zeros(2))
+        aligned = np.asarray([1.0, 1.0])
+        opposed = np.asarray([1.0, -1.0])
+        # Ferromagnetic coupling: aligned spins have lower energy.
+        assert problem.energy(aligned) < problem.energy(opposed)
+        assert np.isclose(problem.energy(aligned), -2.0)
+        assert np.isclose(problem.energy(opposed), 2.0)
+
+    def test_flip_gain_matches_energy_difference(self):
+        problem = random_ising_problem(8, field=True, rng=np.random.default_rng(0))
+        spins = problem.random_spins(np.random.default_rng(1))
+        for i in range(8):
+            flipped = spins.copy()
+            flipped[i] = -flipped[i]
+            expected = problem.energy(flipped) - problem.energy(spins)
+            assert np.isclose(problem.flip_gain(spins, i), expected)
+
+    def test_validate_spins_rejects_non_binary(self):
+        problem = random_ising_problem(4)
+        with pytest.raises(ValueError, match="values"):
+            problem.validate_spins(np.asarray([1.0, -1.0, 0.5, 1.0]))
+
+    def test_validate_spins_rejects_wrong_shape(self):
+        problem = random_ising_problem(4)
+        with pytest.raises(ValueError, match="shape"):
+            problem.validate_spins(np.ones(3))
+
+    def test_brute_force_finds_global_minimum(self):
+        problem = random_ising_problem(8, field=True, rng=np.random.default_rng(2))
+        spins, energy = problem.brute_force_ground_state()
+        # No single flip can improve a global optimum.
+        for i in range(8):
+            assert problem.flip_gain(spins, i) >= -1e-9
+        assert np.isclose(problem.energy(spins), energy)
+
+    def test_brute_force_rejects_large_systems(self):
+        problem = random_ising_problem(21)
+        with pytest.raises(ValueError, match="infeasible"):
+            problem.brute_force_ground_state()
+
+
+class TestRandomProblem:
+    def test_density_controls_sparsity(self):
+        dense = random_ising_problem(30, density=1.0, rng=np.random.default_rng(3))
+        sparse = random_ising_problem(30, density=0.1, rng=np.random.default_rng(3))
+        assert np.count_nonzero(sparse.J) < np.count_nonzero(dense.J)
+
+    def test_field_flag(self):
+        without = random_ising_problem(5, field=False)
+        with_field = random_ising_problem(5, field=True)
+        assert np.all(without.h == 0.0)
+        assert np.any(with_field.h != 0.0)
+
+    def test_rejects_tiny_system(self):
+        with pytest.raises(ValueError, match="two spins"):
+            random_ising_problem(1)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError, match="density"):
+            random_ising_problem(5, density=0.0)

@@ -1,0 +1,101 @@
+"""Tests of the max-cut workload."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.ising import (
+    MaxCutInstance,
+    cut_value,
+    exact_maxcut,
+    greedy_maxcut,
+    maxcut_to_ising,
+    solve_maxcut_on_brim,
+)
+
+
+def _triangle():
+    w = np.zeros((3, 3))
+    w[0, 1] = w[1, 0] = 1.0
+    w[1, 2] = w[2, 1] = 1.0
+    w[0, 2] = w[2, 0] = 1.0
+    return MaxCutInstance(weights=w)
+
+
+class TestInstance:
+    def test_rejects_asymmetric(self):
+        w = np.zeros((2, 2))
+        w[0, 1] = 1.0
+        with pytest.raises(ValueError, match="symmetric"):
+            MaxCutInstance(weights=w)
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError, match="loops"):
+            MaxCutInstance(weights=np.eye(2))
+
+    def test_from_graph_preserves_weights(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=2.5)
+        g.add_edge(1, 2)
+        inst = MaxCutInstance.from_graph(g)
+        assert np.isclose(inst.weights[0, 1], 2.5)
+        assert np.isclose(inst.weights[1, 2], 1.0)
+
+
+class TestCutValue:
+    def test_triangle_cut_values(self):
+        inst = _triangle()
+        # Any bipartition of a triangle cuts exactly 2 edges.
+        assert np.isclose(cut_value(inst, np.asarray([1.0, 1.0, -1.0])), 2.0)
+        assert np.isclose(cut_value(inst, np.asarray([1.0, 1.0, 1.0])), 0.0)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="shape"):
+            cut_value(_triangle(), np.ones(4))
+
+
+class TestEnergyCutDuality:
+    def test_lower_energy_means_larger_cut(self):
+        rng = np.random.default_rng(0)
+        g = nx.gnp_random_graph(8, 0.5, seed=1)
+        inst = MaxCutInstance.from_graph(g)
+        problem = maxcut_to_ising(inst)
+        spins_a = rng.choice([-1.0, 1.0], size=8)
+        spins_b = rng.choice([-1.0, 1.0], size=8)
+        cut_a, cut_b = cut_value(inst, spins_a), cut_value(inst, spins_b)
+        e_a, e_b = problem.energy(spins_a), problem.energy(spins_b)
+        if cut_a > cut_b:
+            assert e_a < e_b
+        elif cut_b > cut_a:
+            assert e_b < e_a
+
+
+class TestSolvers:
+    def test_exact_beats_or_matches_greedy(self):
+        g = nx.gnp_random_graph(10, 0.5, seed=2)
+        inst = MaxCutInstance.from_graph(g)
+        _s, optimum = exact_maxcut(inst)
+        _g, greedy = greedy_maxcut(inst, rng=np.random.default_rng(3))
+        assert optimum >= greedy
+
+    def test_greedy_is_one_flip_optimal(self):
+        g = nx.gnp_random_graph(12, 0.4, seed=4)
+        inst = MaxCutInstance.from_graph(g)
+        spins, value = greedy_maxcut(inst, rng=np.random.default_rng(5))
+        for i in range(12):
+            flipped = spins.copy()
+            flipped[i] = -flipped[i]
+            assert cut_value(inst, flipped) <= value + 1e-9
+
+    def test_brim_reaches_near_optimal_cut(self):
+        g = nx.gnp_random_graph(10, 0.5, seed=6)
+        inst = MaxCutInstance.from_graph(g)
+        _s, optimum = exact_maxcut(inst)
+        _b, brim_cut = solve_maxcut_on_brim(
+            inst, duration=200.0, restarts=6, seed=0
+        )
+        assert brim_cut >= 0.9 * optimum
+
+    def test_exact_rejects_large(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            exact_maxcut(MaxCutInstance(weights=np.zeros((25, 25))))

@@ -1,0 +1,82 @@
+"""Tests of Sequential, Dropout, and Embedding modules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Embedding, Linear, Sequential, Tensor, ops
+
+
+class TestSequential:
+    def test_composes_modules_and_callables(self):
+        net = Sequential(Linear(3, 5), ops.relu, Linear(5, 2))
+        out = net(Tensor(np.random.default_rng(0).normal(size=(4, 3))))
+        assert out.shape == (4, 2)
+
+    def test_parameters_collected_from_all_stages(self):
+        net = Sequential(Linear(3, 5), Linear(5, 2))
+        assert len(net.parameters()) == 4
+
+    def test_train_eval_reaches_nested_dropout(self):
+        net = Sequential(Linear(3, 3), Dropout(0.5))
+        net.eval()
+        assert not net[1].training
+        net.train()
+        assert net[1].training
+
+    def test_len_and_getitem(self):
+        net = Sequential(Linear(2, 2), ops.relu)
+        assert len(net) == 2
+        assert isinstance(net[0], Linear)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Sequential()
+
+
+class TestDropoutModule:
+    def test_identity_in_eval(self):
+        layer = Dropout(0.9)
+        layer.eval()
+        x = Tensor(np.ones((8, 8)))
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_zeros_fraction_in_train(self):
+        layer = Dropout(0.5, seed=1)
+        layer.train()
+        out = layer(Tensor(np.ones((100, 100))))
+        zero_fraction = float(np.mean(out.data == 0.0))
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            Dropout(1.0)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        table = Embedding(10, 4)
+        out = table(np.asarray([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_gradients_only_touch_used_rows(self):
+        table = Embedding(6, 3)
+        out = table([0, 2, 2])
+        (out**2).sum().backward()
+        grad_norms = np.abs(table.weight.grad).sum(axis=1)
+        assert grad_norms[0] > 0 and grad_norms[2] > 0
+        assert np.all(grad_norms[[1, 3, 4, 5]] == 0.0)
+
+    def test_repeated_index_accumulates(self):
+        table = Embedding(4, 2)
+        out = table([1, 1, 1])
+        out.sum().backward()
+        assert np.allclose(table.weight.grad[1], 3.0)
+
+    def test_out_of_range_rejected(self):
+        table = Embedding(3, 2)
+        with pytest.raises(ValueError, match="range"):
+            table([3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            Embedding(0, 4)

@@ -1,0 +1,162 @@
+"""Tests of neural layers: shapes, gradients, semantic properties."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AdaptiveAdjacency,
+    GatedTemporalConv,
+    GraphConv,
+    GRUCell,
+    LayerNorm,
+    Linear,
+    TemporalConv,
+    Tensor,
+    ops,
+)
+
+RNG = np.random.default_rng(2)
+
+
+class TestLinear:
+    def test_shape(self):
+        layer = Linear(4, 7, rng=RNG)
+        out = layer(Tensor(RNG.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 7)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False, rng=RNG)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_reach_weights(self):
+        layer = Linear(3, 2, rng=RNG)
+        loss = (layer(Tensor(RNG.normal(size=(4, 3)))) ** 2).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestLayerNorm:
+    def test_normalizes_channels(self):
+        layer = LayerNorm(8)
+        out = layer(Tensor(RNG.normal(3.0, 2.0, size=(4, 8))))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_learnable_scale_shift(self):
+        layer = LayerNorm(4)
+        layer.gamma.data = np.full(4, 2.0)
+        layer.beta.data = np.full(4, 1.0)
+        out = layer(Tensor(RNG.normal(size=(2, 4))))
+        assert np.allclose(out.data.mean(axis=-1), 1.0, atol=1e-6)
+
+
+class TestTemporalConv:
+    def test_shape_preserves_time(self):
+        conv = TemporalConv(3, 5, kernel_size=2, dilation=2, rng=RNG)
+        out = conv(Tensor(RNG.normal(size=(2, 7, 4, 3))))
+        assert out.shape == (2, 7, 4, 5)
+
+    def test_causality(self):
+        """Output at time t must not depend on inputs after t."""
+        conv = TemporalConv(1, 1, kernel_size=3, dilation=1, rng=RNG)
+        x = RNG.normal(size=(1, 6, 1, 1))
+        base = conv(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[0, 4] += 10.0  # change a late frame
+        out = conv(Tensor(perturbed)).data
+        assert np.allclose(out[0, :4], base[0, :4])
+        assert not np.allclose(out[0, 4:], base[0, 4:])
+
+    def test_kernel_one_is_pointwise(self):
+        conv = TemporalConv(2, 2, kernel_size=1, rng=RNG)
+        x = RNG.normal(size=(1, 3, 2, 2))
+        out = conv(Tensor(x)).data
+        expected = x @ conv.taps[0].data + conv.bias.data
+        assert np.allclose(out, expected)
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ValueError, match="positive"):
+            TemporalConv(1, 1, kernel_size=0)
+
+
+class TestGatedTemporalConv:
+    def test_output_bounded_by_tanh_gate(self):
+        conv = GatedTemporalConv(2, 3, rng=RNG)
+        out = conv(Tensor(RNG.normal(size=(2, 5, 3, 2))))
+        assert np.all(np.abs(out.data) <= 1.0)
+
+
+class TestGraphConv:
+    def test_shape(self):
+        conv = GraphConv(3, 4, order=2, rng=RNG)
+        A = np.abs(RNG.normal(size=(6, 6)))
+        out = conv(Tensor(RNG.normal(size=(2, 5, 6, 3))), A)
+        assert out.shape == (2, 5, 6, 4)
+
+    def test_zero_adjacency_reduces_to_pointwise(self):
+        conv = GraphConv(2, 2, order=2, rng=RNG)
+        x = RNG.normal(size=(1, 1, 4, 2))
+        out = conv(Tensor(x), np.zeros((4, 4))).data
+        expected = x @ conv.hops[0].data + conv.bias.data
+        assert np.allclose(out, expected)
+
+    def test_information_propagates_k_hops(self):
+        """With a path graph, order-2 propagation reaches 2-hop neighbors
+        but not 3-hop ones."""
+        conv = GraphConv(1, 1, order=2, rng=RNG)
+        n = 5
+        A = np.zeros((n, n))
+        for i in range(n - 1):
+            A[i, i + 1] = A[i + 1, i] = 1.0
+        x = np.zeros((1, 1, n, 1))
+        base = conv(Tensor(x), A).data
+        x2 = x.copy()
+        x2[0, 0, 0, 0] = 1.0  # perturb node 0
+        out = conv(Tensor(x2), A).data
+        delta = np.abs(out - base)[0, 0, :, 0]
+        assert delta[0] > 0 and delta[1] > 0 and delta[2] > 0
+        assert np.isclose(delta[3], 0.0) and np.isclose(delta[4], 0.0)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError, match="order"):
+            GraphConv(1, 1, order=0)
+
+
+class TestAdaptiveAdjacency:
+    def test_rows_are_distributions(self):
+        adj = AdaptiveAdjacency(6, embedding_dim=4, rng=RNG)()
+        assert adj.shape == (6, 6)
+        assert np.allclose(adj.data.sum(axis=-1), 1.0)
+        assert np.all(adj.data >= 0.0)
+
+    def test_trainable(self):
+        layer = AdaptiveAdjacency(4, rng=RNG)
+        (layer() ** 2).sum().backward()
+        assert layer.source.grad is not None
+        assert layer.target.grad is not None
+
+
+class TestGRUCell:
+    def test_state_shape_preserved(self):
+        cell = GRUCell(lambda: Linear(5 + 6, 6, rng=RNG))
+        x = Tensor(RNG.normal(size=(2, 5)))
+        state = Tensor(np.zeros((2, 6)))
+        out = cell(x, state)
+        assert out.shape == (2, 6)
+
+    def test_state_evolves_with_input(self):
+        cell = GRUCell(lambda: Linear(3 + 4, 4, rng=RNG))
+        state = Tensor(np.zeros((1, 4)))
+        a = cell(Tensor(np.ones((1, 3))), state)
+        b = cell(Tensor(-np.ones((1, 3))), state)
+        assert not np.allclose(a.data, b.data)
+
+    def test_state_stays_bounded(self):
+        cell = GRUCell(lambda: Linear(2 + 3, 3, rng=RNG))
+        state = Tensor(np.zeros((1, 3)))
+        for _step in range(50):
+            state = cell(Tensor(RNG.normal(size=(1, 2))), state)
+        # GRU state is a convex mix of tanh candidates: bounded by 1.
+        assert np.all(np.abs(state.data) <= 1.0 + 1e-9)

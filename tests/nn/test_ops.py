@@ -1,0 +1,113 @@
+"""Gradient checks for the free-function operators."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, ops
+
+from .test_tensor import check_gradient
+
+RNG = np.random.default_rng(1)
+
+
+class TestActivations:
+    def test_exp(self):
+        check_gradient(lambda x: ops.exp(x).sum(), RNG.normal(size=(3, 2)))
+
+    def test_log(self):
+        check_gradient(lambda x: ops.log(x).sum(), RNG.uniform(0.5, 2.0, size=(4,)))
+
+    def test_tanh(self):
+        check_gradient(lambda x: (ops.tanh(x) ** 2).sum(), RNG.normal(size=(3,)))
+
+    def test_sigmoid(self):
+        check_gradient(lambda x: ops.sigmoid(x).sum(), RNG.normal(size=(5,)))
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = ops.sigmoid(Tensor(np.asarray([-1000.0, 1000.0])))
+        assert np.allclose(out.data, [0.0, 1.0])
+        assert np.all(np.isfinite(out.data))
+
+    def test_relu(self):
+        x0 = RNG.normal(size=(6,))
+        x0[np.abs(x0) < 0.1] = 0.5  # keep away from the kink
+        check_gradient(lambda x: (ops.relu(x) * 2).sum(), x0)
+
+    def test_leaky_relu_negative_slope(self):
+        x = Tensor(np.asarray([-2.0, 3.0]), requires_grad=True)
+        ops.leaky_relu(x, slope=0.1).sum().backward()
+        assert np.allclose(x.grad, [0.1, 1.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        out = ops.softmax(Tensor(RNG.normal(size=(4, 5))))
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_gradient(self):
+        x0 = RNG.normal(size=(2, 4))
+        w = Tensor(RNG.normal(size=(4,)))
+        check_gradient(lambda x: (ops.softmax(x, axis=-1) @ w).sum(), x0)
+
+
+class TestStructural:
+    def test_concat_gradient(self):
+        x0 = RNG.normal(size=(4, 3))
+        check_gradient(
+            lambda x: (ops.concat([x[:2], x[2:]], axis=0) ** 2).sum(), x0
+        )
+
+    def test_stack_gradient(self):
+        x0 = RNG.normal(size=(3, 2))
+        check_gradient(
+            lambda x: (ops.stack([x[0], x[1], x[2]], axis=0) ** 2).sum(), x0
+        )
+
+    def test_pad_time_shape_and_gradient(self):
+        x0 = RNG.normal(size=(2, 3, 2))
+        padded = ops.pad_time(Tensor(x0), 2, axis=1)
+        assert padded.shape == (2, 5, 2)
+        assert np.allclose(padded.data[:, :2], 0.0)
+        check_gradient(lambda x: (ops.pad_time(x, 2, axis=1) ** 2).sum(), x0)
+
+    def test_pad_time_zero_is_identity(self):
+        x = Tensor(np.ones((1, 2, 1)))
+        assert ops.pad_time(x, 0).data.shape == (1, 2, 1)
+
+    def test_pad_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ops.pad_time(Tensor(np.ones((1, 2))), -1)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = ops.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert np.allclose(out.data, 1.0)
+
+    def test_training_mode_preserves_expectation(self):
+        x = Tensor(np.ones((100, 100)))
+        out = ops.dropout(x, 0.5, np.random.default_rng(1), training=True)
+        assert np.isclose(out.data.mean(), 1.0, atol=0.05)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            ops.dropout(Tensor(np.ones(3)), 1.0, np.random.default_rng(0), True)
+
+
+class TestLosses:
+    def test_mse_known_value(self):
+        loss = ops.mse_loss(Tensor(np.asarray([1.0, 2.0])), np.asarray([0.0, 0.0]))
+        assert np.isclose(loss.item(), 2.5)
+
+    def test_mse_gradient(self):
+        x0 = RNG.normal(size=(5,))
+        target = RNG.normal(size=(5,))
+        check_gradient(lambda x: ops.mse_loss(x, target), x0)
+
+    def test_mae_known_value(self):
+        loss = ops.mae_loss(Tensor(np.asarray([1.0, -3.0])), np.zeros(2))
+        assert np.isclose(loss.item(), 2.0)
+
+    def test_mae_gradient_away_from_kink(self):
+        x0 = RNG.normal(size=(5,)) + 3.0
+        target = np.zeros(5)
+        check_gradient(lambda x: ops.mae_loss(x, target), x0)

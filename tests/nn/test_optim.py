@@ -1,0 +1,186 @@
+"""Tests of optimizers, module mechanics, and initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Linear,
+    Module,
+    Parameter,
+    SGD,
+    Tensor,
+    clip_grad_norm,
+    init,
+    ops,
+)
+
+
+def _quadratic_problem():
+    """Minimize ||x - target||^2 over a parameter vector."""
+    target = np.asarray([1.0, -2.0, 3.0])
+    param = Parameter(np.zeros(3))
+
+    def loss_fn():
+        diff = param - Tensor(target)
+        return (diff * diff).sum()
+
+    return param, target, loss_fn
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param, target, loss_fn = _quadratic_problem()
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        assert np.allclose(param.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param, target, loss_fn = _quadratic_problem()
+            opt = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                loss_fn().backward()
+                opt.step()
+            return float(np.sum((param.data - target) ** 2))
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.ones(3))
+        opt = SGD([param], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (param.sum() * 0.0).backward()
+        opt.step()
+        assert np.all(param.data < 1.0)
+
+    def test_rejects_empty_parameters(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            SGD([], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError, match="lr"):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param, target, loss_fn = _quadratic_problem()
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        assert np.allclose(param.data, target, atol=1e-2)
+
+    def test_fits_linear_regression(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 4))
+        W_true = rng.normal(size=(4, 2))
+        Y = X @ W_true
+        layer = Linear(4, 2, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            ops.mse_loss(layer(Tensor(X)), Y).backward()
+            opt.step()
+        assert np.allclose(layer.weight.data, W_true, atol=1e-2)
+
+    def test_skips_parameters_without_grad(self):
+        a = Parameter(np.zeros(2))
+        b = Parameter(np.ones(2))
+        opt = Adam([a, b], lr=0.1)
+        (a.sum() ** 2).backward()
+        opt.step()
+        assert np.allclose(b.data, 1.0)
+
+
+class TestClipGradNorm:
+    def test_scales_down_large_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm > 1.0
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.01)
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, 0.01)
+
+    def test_rejects_bad_norm(self):
+        with pytest.raises(ValueError, match="positive"):
+            clip_grad_norm([Parameter(np.zeros(1))], 0.0)
+
+
+class TestModule:
+    def test_parameter_discovery_recursive(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros(2))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.stack = [Linear(2, 2), Linear(2, 2)]
+                self.table = {"a": Parameter(np.zeros(3))}
+
+        outer = Outer()
+        assert len(outer.parameters()) == 1 + 4 + 1
+        assert outer.num_parameters() == 2 + 2 * (4 + 2) + 3
+
+    def test_shared_parameter_counted_once(self):
+        class Shared(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Parameter(np.zeros(2))
+                self.b = self.a
+
+        assert len(Shared().parameters()) == 1
+
+    def test_train_eval_propagates(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = Linear(2, 2)
+
+        net = Net()
+        net.eval()
+        assert not net.layer.training
+        net.train()
+        assert net.layer.training
+
+    def test_state_dict_roundtrip(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(1))
+        state = layer.state_dict()
+        other = Linear(3, 2, rng=np.random.default_rng(99))
+        other.load_state_dict(state)
+        assert np.allclose(other.weight.data, layer.weight.data)
+
+    def test_load_state_dict_validates_shapes(self):
+        layer = Linear(3, 2)
+        with pytest.raises(ValueError, match="entries"):
+            layer.load_state_dict({})
+
+
+class TestInit:
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(3)
+        w = init.xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_kaiming_scale(self):
+        rng = np.random.default_rng(4)
+        w = init.kaiming_uniform((1000, 100), rng)
+        assert np.isclose(w.std(), np.sqrt(2.0 / 100), rtol=0.2)
+
+    def test_zeros(self):
+        assert np.all(init.zeros((3, 3)) == 0.0)

@@ -1,0 +1,188 @@
+"""Gradient-correctness tests of the autograd tensor.
+
+Every operator is validated against central finite differences on random
+inputs — the gold standard for an autodiff engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad, ops
+
+
+def numeric_gradient(f, x0, eps=1e-6):
+    """Central-difference gradient of scalar-valued f at x0."""
+    grad = np.zeros_like(x0)
+    flat = grad.reshape(-1)
+    for i in range(x0.size):
+        up = x0.copy().reshape(-1)
+        up[i] += eps
+        down = x0.copy().reshape(-1)
+        down[i] -= eps
+        flat[i] = (
+            f(Tensor(up.reshape(x0.shape))).data
+            - f(Tensor(down.reshape(x0.shape))).data
+        ) / (2 * eps)
+    return grad
+
+
+def check_gradient(f, x0, atol=1e-6):
+    x = Tensor(x0.copy(), requires_grad=True)
+    y = f(x)
+    y.backward()
+    numeric = numeric_gradient(f, x0)
+    scale = max(float(np.max(np.abs(numeric))), 1.0)
+    assert np.allclose(x.grad, numeric, atol=atol * scale), (
+        f"analytic {x.grad} vs numeric {numeric}"
+    )
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestArithmeticGradients:
+    def test_add_with_broadcast(self):
+        x0 = RNG.normal(size=(3, 4))
+        bias = Tensor(RNG.normal(size=4))
+        check_gradient(lambda x: ((x + bias) ** 2).sum(), x0)
+
+    def test_mul_with_broadcast(self):
+        x0 = RNG.normal(size=(2, 3))
+        w = Tensor(RNG.normal(size=(1, 3)))
+        check_gradient(lambda x: (x * w).sum(), x0)
+
+    def test_sub_and_neg(self):
+        x0 = RNG.normal(size=(4,))
+        check_gradient(lambda x: ((1.0 - x) * (-x)).sum(), x0)
+
+    def test_div(self):
+        x0 = RNG.uniform(1.0, 2.0, size=(3,))
+        check_gradient(lambda x: (1.0 / x + x / 2.0).sum(), x0)
+
+    def test_pow(self):
+        x0 = RNG.uniform(0.5, 1.5, size=(4,))
+        check_gradient(lambda x: (x**3).sum(), x0)
+
+    def test_matmul_2d(self):
+        x0 = RNG.normal(size=(3, 4))
+        w = Tensor(RNG.normal(size=(4, 2)))
+        check_gradient(lambda x: ((x @ w) ** 2).sum(), x0)
+
+    def test_matmul_batched(self):
+        x0 = RNG.normal(size=(2, 3, 4))
+        w = Tensor(RNG.normal(size=(4, 4)))
+        check_gradient(lambda x: ((x @ w) ** 2).mean(), x0)
+
+    def test_matmul_broadcast_left(self):
+        A = RNG.normal(size=(5, 5))
+        x0 = RNG.normal(size=(2, 5, 3))
+        check_gradient(lambda x: ((Tensor(A) @ x) ** 2).mean(), x0)
+
+    def test_matmul_gradient_flows_to_left_operand(self):
+        x0 = RNG.normal(size=(5, 5))
+        v = Tensor(RNG.normal(size=(2, 5, 3)))
+        check_gradient(lambda x: ((x @ v) ** 2).mean(), x0)
+
+    def test_matmul_batched_times_vector(self):
+        """(B, T, N, C) @ (C,) — the graph-attention projection shape."""
+        A = Tensor(RNG.normal(size=(2, 3, 4, 5)))
+        v0 = RNG.normal(size=5)
+        check_gradient(lambda x: ((A @ x) ** 2).sum(), v0)
+        A0 = RNG.normal(size=(2, 3, 4, 5))
+        v = Tensor(RNG.normal(size=5))
+        check_gradient(lambda x: ((x @ v) ** 2).sum(), A0)
+
+    def test_matmul_vector_times_batched(self):
+        u0 = RNG.normal(size=4)
+        B = Tensor(RNG.normal(size=(2, 3, 4, 5)))
+        check_gradient(lambda x: ((x @ B) ** 2).sum(), u0)
+        u = Tensor(RNG.normal(size=4))
+        B0 = RNG.normal(size=(2, 3, 4, 5))
+        check_gradient(lambda x: ((u @ x) ** 2).sum(), B0)
+
+    def test_matmul_vector_vector(self):
+        u0 = RNG.normal(size=4)
+        w = Tensor(RNG.normal(size=4))
+        check_gradient(lambda x: x @ w, u0)
+        check_gradient(lambda x: w @ x, u0)
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        x0 = RNG.normal(size=(2, 6))
+        check_gradient(lambda x: (x.reshape(3, 4) ** 2).sum(), x0)
+
+    def test_transpose(self):
+        x0 = RNG.normal(size=(2, 3, 4))
+        check_gradient(lambda x: (x.transpose(2, 0, 1) ** 2).sum(), x0)
+
+    def test_getitem_slice(self):
+        x0 = RNG.normal(size=(5, 3))
+        check_gradient(lambda x: (x[1:4] ** 2).sum(), x0)
+
+    def test_getitem_repeated_index_accumulates(self):
+        x = Tensor(np.asarray([1.0, 2.0]), requires_grad=True)
+        y = (x[np.asarray([0, 0, 1])]).sum()
+        y.backward()
+        assert np.allclose(x.grad, [2.0, 1.0])
+
+
+class TestReductionGradients:
+    def test_sum_axis_keepdims(self):
+        x0 = RNG.normal(size=(3, 4))
+        check_gradient(lambda x: (x.sum(axis=0, keepdims=True) ** 2).sum(), x0)
+
+    def test_mean_axis(self):
+        x0 = RNG.normal(size=(2, 5))
+        check_gradient(lambda x: (x.mean(axis=1) ** 2).sum(), x0)
+
+    def test_max_gradient_routes_to_argmax(self):
+        x = Tensor(np.asarray([[1.0, 3.0], [2.0, 0.5]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.asarray([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        assert np.allclose(x.grad, [7.0])
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError, match="scalar"):
+            (x * 2).backward()
+
+    def test_backward_rejects_constant(self):
+        x = Tensor(np.ones(1))
+        with pytest.raises(RuntimeError, match="without grad"):
+            x.backward()
+
+    def test_no_grad_disables_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2).sum()
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x.detach() * 2).sum()
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * x).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_gradient(self):
+        x0 = RNG.normal(size=(3,))
+
+        def f(x):
+            a = x * 2.0
+            b = x + 1.0
+            return (a * b).sum()
+
+        check_gradient(f, x0)

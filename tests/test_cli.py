@@ -1,0 +1,68 @@
+"""Tests of the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "traffic"])
+        assert args.dataset == "traffic"
+        assert args.size == "small"
+        assert args.window == 3
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "imagenet"])
+
+    def test_table_numbers_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "7"])
+
+    def test_decompose_grid_option(self):
+        args = build_parser().parse_args(
+            ["decompose", "no2", "--grid", "2", "4", "--pattern", "mesh"]
+        )
+        assert tuple(args.grid) == (2, 4)
+        assert args.pattern == "mesh"
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("traffic", "covid", "powergrid", "climate"):
+            assert name in out
+
+    def test_train_reports_rmse(self, capsys, tmp_path):
+        path = tmp_path / "model.npz"
+        assert main(["train", "o3", "--save", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "test RMSE" in out
+        assert path.exists()
+        from repro.core import DSGLModel
+
+        loaded = DSGLModel.load(path)
+        assert loaded.metadata["dataset"] == "o3"
+
+    def test_decompose_reports_structure(self, capsys):
+        assert main(["decompose", "o3", "--density", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "modularity" in out
+        assert "decomposed RMSE" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "BRIM" in out and "DS-GL" in out
+
+    def test_figure4(self, capsys):
+        assert main(["figure", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "DSPU final" in out and "BRIM final" in out

@@ -1,0 +1,41 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Only the faster examples run here (the full hardware studies take minutes);
+each is executed in a subprocess exactly as a user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "ising_ml_lineage.py",
+    "powergrid_state_estimation.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "RMSE" in result.stdout or "accuracy" in result.stdout
+
+
+def test_all_examples_exist_and_are_documented():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 5
+    for script in scripts:
+        source = (EXAMPLES_DIR / script).read_text()
+        assert source.startswith('"""'), f"{script} lacks a docstring"
+        assert "def main()" in source, f"{script} lacks a main()"

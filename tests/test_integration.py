@@ -1,0 +1,130 @@
+"""End-to-end integration: the full DS-GL pipeline on a fresh dataset.
+
+One test class walks the complete production path — dataset → windowing →
+ridge-selected training → persistence round-trip → decomposition →
+hardware mapping → co-annealed inference — asserting cross-module
+consistency at every hand-off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DSGLModel,
+    NaturalAnnealingEngine,
+    TemporalWindowing,
+    rmse,
+    select_ridge,
+    spectrum_report,
+)
+from repro.datasets import load_dataset
+from repro.decompose import DecompositionConfig, analyze, decompose
+from repro.hardware import (
+    HardwareConfig,
+    ProgrammingModel,
+    ScalableDSPU,
+    build_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    dataset = load_dataset("o3", size="small")
+    train, _val, test = dataset.split()
+    windowing = TemporalWindowing(dataset.num_nodes, 3)
+    samples = windowing.windows(train.series)
+    ridge, model = select_ridge(samples)
+    # Persistence round-trip in the middle of the pipeline.
+    path = tmp_path_factory.mktemp("models") / "o3.npz"
+    model.save(path)
+    model = DSGLModel.load(path)
+    system = decompose(
+        model,
+        samples,
+        DecompositionConfig(
+            density=0.12,
+            pattern="dmesh",
+            grid_shape=(3, 3),
+            anchor_index=tuple(windowing.target_index.tolist()),
+        ),
+    )
+    config = HardwareConfig(
+        grid_shape=(3, 3), pe_capacity=system.placement.capacity, lanes=8
+    )
+    dspu = ScalableDSPU(system, config, node_time_constant_ns=500.0)
+    return {
+        "dataset": dataset,
+        "test": test,
+        "windowing": windowing,
+        "ridge": ridge,
+        "model": model,
+        "system": system,
+        "config": config,
+        "dspu": dspu,
+    }
+
+
+class TestFullPipeline:
+    def test_training_survives_persistence(self, pipeline):
+        model = pipeline["model"]
+        assert model.convexity_margin() > 0
+        assert model.metadata["fitter"] == "precision"
+
+    def test_decomposition_is_consistent(self, pipeline):
+        system = pipeline["system"]
+        report = analyze(system)
+        assert report.density <= 0.12 + 1e-9
+        assert report.max_boundary_demand == int(system.boundary_demand().max())
+        placed = np.sort(np.concatenate([g for g in system.placement.groups if g.size]))
+        assert np.array_equal(placed, np.arange(pipeline["model"].n))
+
+    def test_schedule_covers_every_inter_pe_coupling(self, pipeline):
+        system = pipeline["system"]
+        schedule = build_schedule(
+            system.model.J, system.placement, pipeline["config"]
+        )
+        pe = system.placement.pe_of_node
+        rows, cols = np.nonzero(np.triu(system.model.J, 1))
+        expected = {
+            (int(a), int(b)) for a, b in zip(rows, cols) if pe[a] != pe[b]
+        }
+        scheduled = {(a.node_a, a.node_b) for a in schedule.assignments}
+        assert scheduled == expected
+
+    def test_hardware_beats_marginal_predictor(self, pipeline):
+        dspu = pipeline["dspu"]
+        tw = pipeline["windowing"]
+        series = pipeline["test"].series
+        predictions, targets = [], []
+        for t in tw.prediction_frames(series)[:10]:
+            history = tw.history_of(series, t)
+            outcome = dspu.anneal(tw.observed_index, history, duration_ns=30000.0)
+            predictions.append(outcome.prediction)
+            targets.append(series[t])
+        hardware_rmse = rmse(np.asarray(predictions), np.asarray(targets))
+        marginal_rmse = float(np.std(np.asarray(targets)))
+        assert hardware_rmse < marginal_rmse
+
+    def test_hardware_tracks_equilibrium(self, pipeline):
+        dspu = pipeline["dspu"]
+        tw = pipeline["windowing"]
+        series = pipeline["test"].series
+        engine = NaturalAnnealingEngine(pipeline["system"].model)
+        history = tw.history_of(series, 4)
+        outcome = dspu.anneal(tw.observed_index, history, duration_ns=80000.0)
+        equilibrium = engine.infer_equilibrium(tw.observed_index, history)
+        gap = rmse(outcome.prediction, equilibrium.prediction)
+        assert gap < 0.05
+
+    def test_configuration_time_fits_annealing_budget(self, pipeline):
+        cost = ProgrammingModel().scalable(
+            pipeline["config"], pipeline["dspu"].schedule
+        )
+        # Setup is a small fraction of a 30 us inference.
+        assert cost.full_program_ns < 0.2 * 30000.0
+        assert cost.slice_switch_ns < pipeline["config"].switch_interval_ns
+
+    def test_spectrum_is_hardware_friendly(self, pipeline):
+        report = spectrum_report(pipeline["system"].model)
+        assert report.condition_number < 1e4
+        assert report.slowest_rate > 0

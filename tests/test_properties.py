@@ -1,0 +1,269 @@
+"""Property-based tests (hypothesis) of the core invariants.
+
+These encode the physics and algebra the whole system rests on:
+energy descent, fixed-point/stability duality, pruning and masking
+invariants, metric axioms, and autograd linearity.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    RealValuedHamiltonian,
+    convexity_margin,
+    enforce_convexity,
+    mae,
+    rmse,
+    symmetrize_coupling,
+)
+from repro.decompose import coupling_density, prune_to_density
+from repro.ising import IsingProblem
+from repro.nn import Tensor, ops
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def coupling_matrices(max_n=8):
+    return st.integers(min_value=2, max_value=max_n).flatmap(
+        lambda n: arrays(np.float64, (n, n), elements=finite_floats)
+    )
+
+
+@st.composite
+def convex_systems(draw, max_n=8):
+    """A random strictly convex (J, h) pair."""
+    raw = draw(coupling_matrices(max_n))
+    J = symmetrize_coupling(raw)
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    return J, h
+
+
+class TestHamiltonianProperties:
+    @given(convex_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_flow_decreases_energy(self, system):
+        J, h = system
+        ham = RealValuedHamiltonian(J, h)
+        rng = np.random.default_rng(0)
+        sigma = rng.normal(size=J.shape[0])
+        # One explicit-Euler step along -grad with a conservative step.
+        lipschitz = 2.0 * (np.abs(J).sum() + np.abs(h).max() + 1.0)
+        step = 0.5 / lipschitz
+        sigma_next = sigma - step * ham.gradient(sigma)
+        assert ham.energy(sigma_next) <= ham.energy(sigma) + 1e-9
+
+    @given(convex_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_point_is_global_conditional_minimum(self, system):
+        J, h = system
+        ham = RealValuedHamiltonian(J, h)
+        n = J.shape[0]
+        clamp_index = np.asarray([0])
+        clamp_value = np.asarray([0.5])
+        star = ham.fixed_point(clamp_index, clamp_value)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            other = star.copy()
+            other[1:] += rng.normal(0, 0.5, size=n - 1)
+            assert ham.energy(other) >= ham.energy(star) - 1e-9
+
+    @given(coupling_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_symmetrize_is_idempotent(self, raw):
+        once = symmetrize_coupling(raw)
+        twice = symmetrize_coupling(once)
+        assert np.allclose(once, twice)
+
+    @given(coupling_matrices(), st.floats(min_value=0.01, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_enforce_convexity_postcondition(self, raw, margin):
+        J = symmetrize_coupling(raw)
+        h = -np.ones(J.shape[0]) * 0.01
+        repaired = enforce_convexity(J, h, margin=margin)
+        assert convexity_margin(J, repaired) >= margin - 1e-6
+
+
+class TestIsingProperties:
+    @given(coupling_matrices(max_n=7), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_flip_gain_consistency(self, raw, index):
+        J = symmetrize_coupling(raw)
+        n = J.shape[0]
+        index = index % n
+        problem = IsingProblem(J=J, h=np.zeros(n))
+        spins = problem.random_spins(np.random.default_rng(2))
+        flipped = spins.copy()
+        flipped[index] = -flipped[index]
+        delta = problem.energy(flipped) - problem.energy(spins)
+        assert np.isclose(problem.flip_gain(spins, index), delta, atol=1e-8)
+
+    @given(coupling_matrices(max_n=6))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_invariant_under_global_flip(self, raw):
+        """With no external field, H(s) == H(-s): the Z2 symmetry."""
+        J = symmetrize_coupling(raw)
+        problem = IsingProblem(J=J, h=np.zeros(J.shape[0]))
+        spins = problem.random_spins(np.random.default_rng(3))
+        assert np.isclose(problem.energy(spins), problem.energy(-spins))
+
+
+class TestPruningProperties:
+    @given(coupling_matrices(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_prune_density_bound(self, raw, density):
+        J = symmetrize_coupling(raw)
+        pruned = prune_to_density(J, density)
+        assert coupling_density(pruned) <= density + 1e-9
+        assert np.allclose(pruned, pruned.T)
+
+    @given(
+        coupling_matrices(),
+        st.floats(min_value=0.05, max_value=0.45),
+        st.floats(min_value=0.5, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_prune_supports_nest(self, raw, low, high):
+        J = symmetrize_coupling(raw)
+        small = prune_to_density(J, low) != 0
+        large = prune_to_density(J, high) != 0
+        assert np.all(large[small])
+
+    @given(coupling_matrices(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_prune_is_idempotent(self, raw, density):
+        J = symmetrize_coupling(raw)
+        once = prune_to_density(J, density)
+        twice = prune_to_density(once, density)
+        assert np.allclose(once, twice)
+
+
+class TestMetricProperties:
+    vectors = arrays(np.float64, 6, elements=finite_floats)
+
+    @given(vectors, vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_rmse_symmetry_and_nonnegativity(self, a, b):
+        assert rmse(a, b) >= 0.0
+        assert np.isclose(rmse(a, b), rmse(b, a))
+
+    @given(vectors, vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_mae_bounded_by_rmse(self, a, b):
+        assert mae(a, b) <= rmse(a, b) + 1e-9
+
+    @given(vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_identity_of_indiscernibles(self, a):
+        assert rmse(a, a) == 0.0
+        assert mae(a, a) == 0.0
+
+    @given(vectors, vectors, finite_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_rmse_translation_invariance(self, a, b, shift):
+        assert np.isclose(rmse(a + shift, b + shift), rmse(a, b), atol=1e-8)
+
+
+class TestAutogradProperties:
+    matrices = arrays(np.float64, (3, 4), elements=finite_floats)
+
+    @given(matrices, matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_of_sum_is_ones(self, a, _b):
+        x = Tensor(a, requires_grad=True)
+        x.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    @given(matrices, matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_linearity_of_gradients(self, a, b):
+        """grad of (f + g) equals grad f + grad g."""
+        x1 = Tensor(a, requires_grad=True)
+        (x1 * b).sum().backward()
+        g_prod = x1.grad.copy()
+
+        x2 = Tensor(a, requires_grad=True)
+        (x2 * 2.0).sum().backward()
+        g_scale = x2.grad.copy()
+
+        x3 = Tensor(a, requires_grad=True)
+        ((x3 * b) + (x3 * 2.0)).sum().backward()
+        assert np.allclose(x3.grad, g_prod + g_scale)
+
+    @given(matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_partition_of_unity(self, a):
+        out = ops.softmax(Tensor(a), axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+        assert np.all(out.data >= 0.0)
+
+
+class TestAnchoredPruningProperties:
+    @given(
+        coupling_matrices(),
+        st.floats(min_value=0.1, max_value=0.6),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_anchored_prune_keeps_density_and_symmetry(self, raw, density, degree):
+        J = symmetrize_coupling(raw)
+        n = J.shape[0]
+        anchors = np.arange(n // 2)
+        pruned = prune_to_density(
+            J, density, anchor_index=anchors, anchor_degree=degree
+        )
+        assert coupling_density(pruned) <= density + 1e-9
+        assert np.allclose(pruned, pruned.T)
+        assert np.all(np.diag(pruned) == 0.0)
+
+    @given(coupling_matrices(max_n=8), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_anchor_rows_get_their_degree_when_budget_allows(self, raw, degree):
+        J = symmetrize_coupling(raw)
+        n = J.shape[0]
+        anchors = np.asarray([0])
+        density = 0.9  # generous budget
+        pruned = prune_to_density(
+            J, density, anchor_index=anchors, anchor_degree=degree
+        )
+        non_anchor = np.arange(1, n)
+        available = int(np.count_nonzero(J[0, non_anchor]))
+        kept = int(np.count_nonzero(pruned[0, non_anchor]))
+        # The guarantee holds "budget permitting": the global pair budget
+        # (floor of density * total pairs) caps the forced keeps.
+        budget = int(np.floor(density * (n * (n - 1) // 2)))
+        assert kept >= min(degree, available, budget)
+
+    @given(coupling_matrices(), st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_values_never_invented(self, raw, density):
+        J = symmetrize_coupling(raw)
+        pruned = prune_to_density(
+            J, density, anchor_index=np.asarray([0]), anchor_degree=2
+        )
+        nz = pruned != 0
+        assert np.allclose(pruned[nz], J[nz])
+
+
+class TestMaskedRefitProperties:
+    @given(st.integers(min_value=0, max_value=5))
+    @settings(max_examples=5, deadline=None)
+    def test_concord_respects_support_and_convexity(self, seed):
+        from repro.core import fit_precision_masked
+
+        rng = np.random.default_rng(seed)
+        n = 8
+        A = rng.normal(size=(n, n)) * 0.4
+        cov = A @ A.T + np.eye(n)
+        samples = rng.multivariate_normal(np.zeros(n), cov, size=300)
+        mask = rng.random((n, n)) < 0.4
+        mask = mask | mask.T
+        np.fill_diagonal(mask, False)
+        model = fit_precision_masked(samples, mask)
+        assert np.all(model.J[~mask] == 0.0)
+        assert np.allclose(model.J, model.J.T)
+        assert model.convexity_margin() > 0
+        assert np.all(model.h < 0)
