@@ -7,9 +7,37 @@ session regardless of how many tables/figures consume them.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import ExperimentContext
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-perf",
+        action="store_true",
+        default=False,
+        help="run perf-marked benchmarks (also enabled by REPRO_RUN_PERF=1)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``perf``-marked benchmarks unless explicitly requested.
+
+    Tier-1 test runs must stay fast and deterministic; the perf harness
+    only executes under ``--run-perf`` / ``REPRO_RUN_PERF=1`` (the CI perf
+    job) or through ``repro bench``.
+    """
+    if config.getoption("--run-perf") or os.environ.get("REPRO_RUN_PERF"):
+        return
+    skip_perf = pytest.mark.skip(
+        reason="perf benchmark; pass --run-perf or set REPRO_RUN_PERF=1"
+    )
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip_perf)
 
 
 @pytest.fixture(scope="session")

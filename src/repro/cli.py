@@ -11,6 +11,9 @@ Commands
     Train + decompose for a PE grid and print the decomposition report.
 ``table {1,2,3,4}`` / ``figure {4,10,11,12,13}``
     Regenerate one paper artifact and print it.
+``bench``
+    Time the annealing hot paths (sparse vs dense, batched vs looped)
+    and write ``BENCH_core.json``.
 """
 
 from __future__ import annotations
@@ -44,6 +47,13 @@ from .experiments import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=(4, 10, 11, 12, 13))
     figure.add_argument("--size", default="small", choices=("small", "paper"))
+
+    bench = sub.add_parser(
+        "bench", help="time the annealing hot paths, write BENCH_core.json"
+    )
+    bench.add_argument(
+        "--out", default="BENCH_core.json", help="output JSON path"
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny problem sizes (CI smoke run, finishes in seconds)",
+    )
+    bench.add_argument("--batch", type=_positive_int, default=64)
+    bench.add_argument("--repeats", type=_positive_int, default=3)
     return parser
 
 
@@ -176,6 +200,18 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import format_bench, run_core_benchmarks, write_bench_json
+
+    payload = run_core_benchmarks(
+        smoke=args.smoke, batch=args.batch, repeats=args.repeats
+    )
+    print(format_bench(payload))
+    path = write_bench_json(payload, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -189,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_table(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return 1
 
 

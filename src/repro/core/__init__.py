@@ -14,16 +14,26 @@ from .annealing import (
     Schedule,
 )
 from .diagnostics import SpectrumReport, estimate_settling_ns, spectrum_report
-from .dynamics import CircuitSimulator, IntegrationConfig, Trajectory
+from .dynamics import (
+    BatchTrajectory,
+    CircuitSimulator,
+    IntegrationConfig,
+    Trajectory,
+)
 from .hamiltonian import (
     IsingHamiltonian,
     RealValuedHamiltonian,
     symmetrize_coupling,
     validate_coupling,
 )
-from .inference import InferenceResult, NaturalAnnealingEngine
+from .inference import (
+    BatchInferenceResult,
+    InferenceResult,
+    NaturalAnnealingEngine,
+)
 from .metrics import mae, mape, r2_score, rmse
 from .model import DSGLModel
+from .operators import CouplingOperator, ReducedSystem, select_backend
 from .stability import (
     StationaryPointReport,
     classify_stationary_points,
@@ -44,8 +54,11 @@ from .training import (
 
 __all__ = [
     "AnnealingController",
+    "BatchInferenceResult",
+    "BatchTrajectory",
     "CircuitSimulator",
     "ConstantSchedule",
+    "CouplingOperator",
     "DSGLModel",
     "GeometricSchedule",
     "InferenceResult",
@@ -54,6 +67,7 @@ __all__ = [
     "LinearSchedule",
     "NaturalAnnealingEngine",
     "RealValuedHamiltonian",
+    "ReducedSystem",
     "Schedule",
     "SpectrumReport",
     "StationaryPointReport",
@@ -73,6 +87,7 @@ __all__ = [
     "r2_score",
     "regression_loss",
     "rmse",
+    "select_backend",
     "select_ridge",
     "spectral_abscissa",
     "spectrum_report",

@@ -17,7 +17,10 @@ circuit simulator: explicit integrators over the node ODEs, with support for
 * clamped (observed) nodes whose voltage is held by charged capacitors,
 * voltage rails (supply limits) that saturate node values,
 * per-step Gaussian dynamic noise on nodes and couplers (Sec. V.G),
-* trajectory recording for circuit-level validation (Fig. 4).
+* trajectory recording for circuit-level validation (Fig. 4),
+* batched integration of ``(batch, n)`` state matrices, so multi-sample
+  inference, noise-robustness sweeps, and random restarts share each
+  step's coupling matvec (:meth:`CircuitSimulator.run_batch`).
 """
 
 from __future__ import annotations
@@ -26,7 +29,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["IntegrationConfig", "Trajectory", "CircuitSimulator"]
+__all__ = [
+    "IntegrationConfig",
+    "Trajectory",
+    "BatchTrajectory",
+    "CircuitSimulator",
+]
 
 #: Default capacitance constant (arbitrary units).  Only the ratio of the
 #: time step to ``C`` matters for the discrete dynamics; the paper's
@@ -104,6 +112,13 @@ class Trajectory:
         ``tolerance`` (infinity norm) of the final state.
 
         Mirrors how annealing latency is read off circuit waveforms.
+
+        Never-settled case: the final sample trivially matches itself, so
+        a trajectory that oscillates until the very last sample "settles"
+        only there — the full recorded duration ``times[-1]`` is returned.
+        A return value equal to ``times[-1]`` therefore means the state
+        did **not** hold the tolerance band before the end of the run; use
+        :meth:`settled` to test for that case explicitly.
         """
         final = self.states[-1]
         deviations = np.max(np.abs(self.states - final), axis=1)
@@ -117,6 +132,55 @@ class Trajectory:
             return float(self.times[-1])
         return float(self.times[first])
 
+    def settled(self, tolerance: float = 1e-3) -> bool:
+        """Whether the state reached (and held) the tolerance band around
+        the final state strictly before the last recorded sample.
+
+        ``False`` means :meth:`settle_time` returned ``times[-1]`` only
+        because the run ended, not because the trajectory converged.
+        """
+        if len(self.times) < 2:
+            return True
+        return self.settle_time(tolerance) < float(self.times[-1])
+
+
+@dataclass
+class BatchTrajectory:
+    """Recorded evolution of a batch of simultaneously integrated runs.
+
+    Attributes:
+        times: ``(T,)`` simulated times in nanoseconds (shared).
+        states: ``(T, batch, n)`` node voltages at each recorded time.
+        energies: ``(T, batch)`` per-sample Hamiltonian values.
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    energies: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of trajectories integrated together."""
+        return self.states.shape[1]
+
+    @property
+    def final_states(self) -> np.ndarray:
+        """``(batch, n)`` node voltages at the end of the run."""
+        return self.states[-1]
+
+    @property
+    def final_energies(self) -> np.ndarray:
+        """``(batch,)`` Hamiltonian values at the end of the run."""
+        return self.energies[-1]
+
+    def sample(self, index: int) -> Trajectory:
+        """The :class:`Trajectory` of one batch member."""
+        return Trajectory(
+            times=self.times,
+            states=self.states[:, index, :],
+            energies=self.energies[:, index],
+        )
+
 
 @dataclass
 class CircuitSimulator:
@@ -124,7 +188,11 @@ class CircuitSimulator:
 
     The simulator advances ``sigma`` under a *drift function* supplied by the
     machine model (Real-Valued DSPU and BRIM differ only in their drift), and
-    handles clamping, rails, and noise uniformly.
+    handles clamping, rails, and noise uniformly.  :meth:`run` integrates a
+    single ``(n,)`` state; :meth:`run_batch` integrates a ``(batch, n)``
+    state matrix in one vectorized loop — both share the same core, so the
+    per-step semantics (noise injection, rail saturation, clamp
+    re-assertion, RK4 stage projection) are identical.
 
     Attributes:
         config: Integration settings.
@@ -161,32 +229,135 @@ class CircuitSimulator:
         Returns:
             The recorded :class:`Trajectory`.
         """
-        cfg = self.config
         sigma = np.array(sigma0, dtype=float).reshape(-1)
         n = sigma.shape[0]
+        clamp_index, clamp_value = self._check_clamps(n, clamp_index, clamp_value)
+        sigma[clamp_index] = clamp_value
+
+        def drift_batch(states: np.ndarray) -> np.ndarray:
+            return np.asarray(drift(states[0]))[None, :]
+
+        energy_batch = None
+        if energy is not None:
+            def energy_batch(states: np.ndarray) -> np.ndarray:
+                return np.asarray([float(energy(states[0]))])
+
+        times, states, energies = self._integrate(
+            drift_batch, sigma[None, :], duration, clamp_index, clamp_value,
+            energy_batch,
+        )
+        return Trajectory(
+            times=times, states=states[:, 0, :], energies=energies[:, 0]
+        )
+
+    def run_batch(
+        self,
+        drift,
+        sigma0: np.ndarray,
+        duration: float,
+        clamp_index: np.ndarray | None = None,
+        clamp_value: np.ndarray | None = None,
+        energy=None,
+    ) -> BatchTrajectory:
+        """Integrate a ``(batch, n)`` state matrix in one vectorized loop.
+
+        Every integration step performs a single batched drift evaluation
+        (one coupling matvec shared by the whole batch — see
+        :meth:`repro.core.operators.CouplingOperator.drift`), so
+        multi-sample inference, noise-robustness sweeps, and random-restart
+        annealing cost roughly one trajectory.
+
+        Args:
+            drift: Callable ``(batch, n) -> (batch, n)`` evaluating the
+                drift of each batch member.
+            sigma0: Initial node voltages, shape ``(batch, n)``.
+            duration: Total simulated time in nanoseconds.
+            clamp_index: Indices of observed nodes held at fixed voltage
+                (shared across the batch).
+            clamp_value: Clamped voltages — either ``(k,)`` shared by every
+                sample or ``(batch, k)`` per-sample.
+            energy: Optional callable ``(batch, n) -> (batch,)`` recorded
+                alongside the trajectory; defaults to zeros when omitted.
+
+        Returns:
+            The recorded :class:`BatchTrajectory`.
+        """
+        sigma = np.array(sigma0, dtype=float)
+        if sigma.ndim != 2:
+            raise ValueError(
+                f"sigma0 must be a (batch, n) matrix, got shape {sigma.shape}"
+            )
+        batch, n = sigma.shape
+        clamp_index, clamp_value = self._check_clamps(
+            n, clamp_index, clamp_value, batch=batch
+        )
+        sigma[:, clamp_index] = clamp_value
+        times, states, energies = self._integrate(
+            drift, sigma, duration, clamp_index, clamp_value, energy
+        )
+        return BatchTrajectory(times=times, states=states, energies=energies)
+
+    # ------------------------------------------------------------------
+    # Shared integration core
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_clamps(
+        n: int,
+        clamp_index: np.ndarray | None,
+        clamp_value: np.ndarray | None,
+        batch: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate clamp arrays; supports shared and per-sample values."""
         if clamp_index is None:
             clamp_index = np.zeros(0, dtype=int)
             clamp_value = np.zeros(0)
         clamp_index = np.asarray(clamp_index, dtype=int)
-        clamp_value = np.asarray(clamp_value, dtype=float).reshape(-1)
-        if clamp_index.shape != clamp_value.shape:
-            raise ValueError("clamp_index and clamp_value must have equal shapes")
+        clamp_value = np.asarray(clamp_value, dtype=float)
+        if batch is not None and clamp_value.ndim == 2:
+            if clamp_value.shape != (batch, clamp_index.size):
+                raise ValueError(
+                    "per-sample clamp_value must be (batch, k), got "
+                    f"{clamp_value.shape}"
+                )
+        else:
+            clamp_value = clamp_value.reshape(-1)
+            if clamp_index.shape != clamp_value.shape:
+                raise ValueError(
+                    "clamp_index and clamp_value must have equal shapes"
+                )
         if clamp_index.size and (
             clamp_index.min() < 0 or clamp_index.max() >= n
         ):
             raise ValueError("clamp_index out of range")
-        sigma[clamp_index] = clamp_value
+        return clamp_index, clamp_value
+
+    def _integrate(
+        self,
+        drift,
+        sigma: np.ndarray,
+        duration: float,
+        clamp_index: np.ndarray,
+        clamp_value: np.ndarray,
+        energy,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized Euler/RK4 loop over a ``(batch, n)`` state matrix."""
+        cfg = self.config
+        batch = sigma.shape[0]
 
         n_steps = max(1, int(round(duration / cfg.dt)))
         times = [0.0]
         states = [sigma.copy()]
-        energies = [float(energy(sigma)) if energy is not None else 0.0]
+        energies = [
+            np.asarray(energy(sigma), dtype=float)
+            if energy is not None
+            else np.zeros(batch)
+        ]
 
         inv_c = 1.0 / cfg.capacitance
         for step in range(1, n_steps + 1):
             if cfg.method == "euler":
                 delta = cfg.dt * inv_c * drift(sigma)
-            else:  # rk4
+            else:  # rk4 — every intermediate stage is rail- and clamp-projected
                 k1 = drift(sigma)
                 k2 = drift(self._project(sigma + 0.5 * cfg.dt * inv_c * k1, clamp_index, clamp_value))
                 k3 = drift(self._project(sigma + 0.5 * cfg.dt * inv_c * k2, clamp_index, clamp_value))
@@ -197,18 +368,22 @@ class CircuitSimulator:
                 scale = cfg.node_noise_std * (cfg.rail if cfg.rail else 1.0)
                 # Thermal/shot noise enters through the same capacitor the
                 # signal does, so it accumulates per step like the drift.
-                sigma = sigma + self.rng.normal(0.0, scale * np.sqrt(cfg.dt), size=n)
+                sigma = sigma + self.rng.normal(
+                    0.0, scale * np.sqrt(cfg.dt), size=sigma.shape
+                )
+            # Clamps are re-asserted *after* noise injection: the observed
+            # capacitors are driven, so noise cannot displace them.
             sigma = self._project(sigma, clamp_index, clamp_value)
             if step % cfg.record_every == 0 or step == n_steps:
                 times.append(step * cfg.dt)
                 states.append(sigma.copy())
-                energies.append(float(energy(sigma)) if energy is not None else 0.0)
+                energies.append(
+                    np.asarray(energy(sigma), dtype=float)
+                    if energy is not None
+                    else np.zeros(batch)
+                )
 
-        return Trajectory(
-            times=np.asarray(times),
-            states=np.asarray(states),
-            energies=np.asarray(energies),
-        )
+        return np.asarray(times), np.asarray(states), np.asarray(energies)
 
     def _project(
         self,
@@ -216,13 +391,17 @@ class CircuitSimulator:
         clamp_index: np.ndarray,
         clamp_value: np.ndarray,
     ) -> np.ndarray:
-        """Apply voltage rails and re-assert clamped nodes."""
+        """Apply voltage rails and re-assert clamped nodes.
+
+        Works on a single ``(n,)`` state or a ``(batch, n)`` matrix;
+        ``clamp_value`` may be shared ``(k,)`` or per-sample ``(batch, k)``.
+        """
         cfg = self.config
         if cfg.rail is not None:
             sigma = np.clip(sigma, -cfg.rail, cfg.rail)
         if clamp_index.size:
             sigma = sigma.copy()
-            sigma[clamp_index] = clamp_value
+            sigma[..., clamp_index] = clamp_value
         return sigma
 
     def perturbed_coupling(self, J: np.ndarray) -> np.ndarray:
@@ -231,6 +410,8 @@ class CircuitSimulator:
         Multiplicative Gaussian noise with standard deviation
         ``coupling_noise_std`` relative to each conductance, applied
         symmetrically (the two ends of a resistor ring see the same device).
+        The result keeps the coupling-matrix invariants: it is exactly
+        symmetric and has a zero diagonal.
         """
         std = self.config.coupling_noise_std
         if std <= 0:

@@ -109,6 +109,13 @@ class IsingHamiltonian:
         field = -float(self.h @ sigma)
         return pair + field
 
+    def energy_batch(self, states: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`energy` over a ``(batch, n)`` state matrix."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        pair = -np.sum(states * (states @ self.J), axis=-1)
+        field = -(states @ self.h)
+        return pair + field
+
     def gradient(self, sigma: np.ndarray) -> np.ndarray:
         """Gradient ``dH/dsigma = -(2 J sigma + h)`` (Eq. 2 before substitution)."""
         sigma = np.asarray(sigma, dtype=float)
@@ -153,6 +160,18 @@ class RealValuedHamiltonian:
         sigma = np.asarray(sigma, dtype=float)
         pair = -float(sigma @ self.J @ sigma)
         self_reaction = -float(self.h @ (sigma * sigma))
+        return pair + self_reaction
+
+    def energy_batch(self, states: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`energy` over a ``(batch, n)`` state matrix.
+
+        One shared matrix product serves the whole batch — the same
+        batching the circuit simulator exploits in
+        :meth:`~repro.core.dynamics.CircuitSimulator.run_batch`.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        pair = -np.sum(states * (states @ self.J), axis=-1)
+        self_reaction = -((states * states) @ self.h)
         return pair + self_reaction
 
     def gradient(self, sigma: np.ndarray) -> np.ndarray:

@@ -10,10 +10,18 @@ Two execution paths are provided:
 * :meth:`NaturalAnnealingEngine.infer` — full circuit simulation through
   :class:`~repro.core.dynamics.CircuitSimulator`, returning the trajectory.
   This path supports annealing control, noise and finite annealing time,
-  and is what the hardware benchmarks drive.
+  and is what the hardware benchmarks drive.  :meth:`NaturalAnnealingEngine.
+  infer_batch` is its batched form: a whole batch of samples anneals in one
+  vectorized integration loop, sharing each step's coupling matvec.
 * :meth:`NaturalAnnealingEngine.infer_equilibrium` — algebraic solve of the
   clamped fixed point (the infinite-time limit).  Fast path for training
-  loops and accuracy sweeps.
+  loops and accuracy sweeps; the LU factorization of the reduced system is
+  memoized per observed-index set, so sweeps that re-solve the same
+  clamped system thousands of times factor it exactly once.
+
+Both paths run on a :class:`~repro.core.operators.CouplingOperator`, so
+sparse (decomposed) systems execute their hot loops on CSR storage instead
+of densifying — select with the engine's ``backend`` field.
 """
 
 from __future__ import annotations
@@ -23,10 +31,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .annealing import AnnealingController
-from .dynamics import CircuitSimulator, IntegrationConfig, Trajectory
+from .dynamics import (
+    BatchTrajectory,
+    CircuitSimulator,
+    IntegrationConfig,
+    Trajectory,
+)
 from .model import DSGLModel
+from .operators import CouplingOperator, ReducedSystem
 
-__all__ = ["InferenceResult", "NaturalAnnealingEngine"]
+__all__ = ["InferenceResult", "BatchInferenceResult", "NaturalAnnealingEngine"]
 
 
 @dataclass
@@ -47,6 +61,25 @@ class InferenceResult:
 
 
 @dataclass
+class BatchInferenceResult:
+    """Outcome of one batched natural-annealing inference.
+
+    Attributes:
+        predictions: ``(batch, num_free)`` denormalized free-node values,
+            free nodes in ascending index order.
+        states: ``(batch, n)`` final node voltages (normalized domain).
+        trajectory: Recorded evolution of the whole batch, when the
+            circuit path was used.
+        annealing_time_ns: Simulated time the systems evolved for.
+    """
+
+    predictions: np.ndarray
+    states: np.ndarray
+    trajectory: BatchTrajectory | None
+    annealing_time_ns: float
+
+
+@dataclass
 class NaturalAnnealingEngine:
     """Runs GL inference on a :class:`DSGLModel` via natural annealing.
 
@@ -55,13 +88,62 @@ class NaturalAnnealingEngine:
         config: Circuit-integration settings (time step, rails, noise).
         controller: Optional annealing perturbation controller.
         seed: Seed for the unknown-node random initialization.
+        backend: Coupling-operator storage — ``"dense"``, ``"sparse"``, or
+            ``"auto"`` (density-based selection; see
+            :mod:`repro.core.operators`).
+
+    The engine memoizes two things: the :class:`CouplingOperator` built
+    from the model, and one factored :class:`ReducedSystem` per
+    observed-index set (the expensive part of equilibrium inference).  If
+    the model's parameters are mutated in place, call :meth:`clear_cache`.
     """
 
     model: DSGLModel
     config: IntegrationConfig = field(default_factory=IntegrationConfig)
     controller: AnnealingController | None = None
     seed: int = 0
+    backend: str = "auto"
+    _operator: CouplingOperator | None = field(
+        default=None, init=False, repr=False
+    )
+    _reduced_cache: dict = field(default_factory=dict, init=False, repr=False)
 
+    # ------------------------------------------------------------------
+    # Operator and factorization caches
+    # ------------------------------------------------------------------
+    @property
+    def operator(self) -> CouplingOperator:
+        """The backend-selected coupling operator (built lazily, cached)."""
+        if self._operator is None:
+            self._operator = CouplingOperator(
+                self.model.J, self.model.h, backend=self.backend
+            )
+        return self._operator
+
+    @property
+    def cache_size(self) -> int:
+        """Number of factored reduced systems currently memoized."""
+        return len(self._reduced_cache)
+
+    def clear_cache(self) -> None:
+        """Drop the cached operator and reduced-system factorizations."""
+        self._operator = None
+        self._reduced_cache.clear()
+
+    def _reduced(
+        self, observed_index: np.ndarray, free_index: np.ndarray
+    ) -> ReducedSystem:
+        """The factored clamped system for this observed set (memoized)."""
+        key = (observed_index.size, observed_index.tobytes())
+        reduced = self._reduced_cache.get(key)
+        if reduced is None:
+            reduced = self.operator.reduced_system(free_index, observed_index)
+            self._reduced_cache[key] = reduced
+        return reduced
+
+    # ------------------------------------------------------------------
+    # Node bookkeeping
+    # ------------------------------------------------------------------
     def _split_nodes(
         self, observed_index: np.ndarray, n: int
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -75,6 +157,9 @@ class NaturalAnnealingEngine:
         free_index = np.setdiff1d(np.arange(n), observed_index)
         return observed_index, free_index
 
+    # ------------------------------------------------------------------
+    # Circuit-simulation paths
+    # ------------------------------------------------------------------
     def infer(
         self,
         observed_index: np.ndarray,
@@ -101,7 +186,6 @@ class NaturalAnnealingEngine:
             raise ValueError("observed_values length must match observed_index")
         rng = rng or np.random.default_rng(self.seed)
 
-        normalized_full = model.normalize(np.zeros(n))
         clamp_value = self._normalized_subset(model, observed_index, observed_values)
 
         rail = self.config.rail if self.config.rail is not None else 1.0
@@ -109,13 +193,8 @@ class NaturalAnnealingEngine:
         sigma0[observed_index] = clamp_value
 
         simulator = CircuitSimulator(config=self.config, rng=rng)
-        hamiltonian = model.hamiltonian()
-        J = simulator.perturbed_coupling(model.J)
-        h = model.h
-
-        def drift(sigma: np.ndarray) -> np.ndarray:
-            # Eq. 8: C dsigma/dt = sum_j J_ij sigma_j + h_i sigma_i  (h < 0)
-            return J @ sigma + h * sigma
+        operator = self.operator
+        drift = self._drift_function(simulator, operator)
 
         trajectory = simulator.run(
             drift,
@@ -123,11 +202,10 @@ class NaturalAnnealingEngine:
             duration,
             clamp_index=observed_index,
             clamp_value=clamp_value,
-            energy=hamiltonian.energy,
+            energy=operator.energy,
         )
         state = trajectory.final_state
         prediction = self._denormalized_subset(model, free_index, state)
-        del normalized_full
         return InferenceResult(
             prediction=prediction,
             state=state,
@@ -135,19 +213,118 @@ class NaturalAnnealingEngine:
             annealing_time_ns=duration,
         )
 
+    def infer_batch(
+        self,
+        observed_index: np.ndarray,
+        observed_values: np.ndarray,
+        duration: float = 50.0,
+        rng: np.random.Generator | None = None,
+    ) -> BatchInferenceResult:
+        """Circuit-simulation inference over a batch sharing one observed set.
+
+        The whole batch is integrated by
+        :meth:`~repro.core.dynamics.CircuitSimulator.run_batch` in a single
+        vectorized Euler/RK4 loop, so every integration step costs one
+        batched coupling matvec instead of ``batch`` separate ones.  When
+        coupler noise is enabled, one noisy coupling matrix is sampled and
+        shared by the batch — device mismatch is static on a physical chip,
+        so samples running on the same hardware see the same perturbation.
+
+        Args:
+            observed_index: Indices of observed nodes (shared by the batch).
+            observed_values: ``(batch, num_observed)`` raw-domain values.
+            duration: Annealing time in simulated nanoseconds.
+            rng: Randomness for initialization (defaults to seeded).
+
+        Returns:
+            :class:`BatchInferenceResult` with per-sample predictions.
+        """
+        model = self.model
+        n = model.n
+        observed_index, free_index = self._split_nodes(observed_index, n)
+        observed_values = np.asarray(observed_values, dtype=float)
+        if observed_values.ndim != 2 or observed_values.shape[1] != observed_index.size:
+            raise ValueError(
+                "observed_values must be (batch, num_observed), got "
+                f"{observed_values.shape}"
+            )
+        batch = observed_values.shape[0]
+        rng = rng or np.random.default_rng(self.seed)
+
+        clamp = self._normalized_subset(model, observed_index, observed_values)
+
+        rail = self.config.rail if self.config.rail is not None else 1.0
+        sigma0 = rng.uniform(-rail, rail, size=(batch, n))
+        sigma0[:, observed_index] = clamp
+
+        simulator = CircuitSimulator(config=self.config, rng=rng)
+        operator = self.operator
+        drift = self._drift_function(simulator, operator)
+
+        trajectory = simulator.run_batch(
+            drift,
+            sigma0,
+            duration,
+            clamp_index=observed_index,
+            clamp_value=clamp,
+            energy=operator.energy,
+        )
+        states = trajectory.final_states
+        predictions = self._denormalized_free(
+            model, free_index, states[:, free_index]
+        )
+        return BatchInferenceResult(
+            predictions=predictions,
+            states=states,
+            trajectory=trajectory,
+            annealing_time_ns=duration,
+        )
+
+    def _drift_function(
+        self, simulator: CircuitSimulator, operator: CouplingOperator
+    ):
+        """The drift for a circuit run: Eq. 8, batch-aware.
+
+        Without coupler noise the operator's own (possibly sparse) drift is
+        used directly; with noise a perturbed dense coupling is sampled for
+        the run, matching the physical picture of static device mismatch.
+        """
+        if self.config.coupling_noise_std <= 0:
+            return operator.drift
+        J = simulator.perturbed_coupling(operator.to_dense())
+        h = self.model.h
+
+        def drift(sigma: np.ndarray) -> np.ndarray:
+            if sigma.ndim == 1:
+                return J @ sigma + h * sigma
+            return sigma @ J + h * sigma
+
+        return drift
+
+    # ------------------------------------------------------------------
+    # Equilibrium (algebraic) paths
+    # ------------------------------------------------------------------
     def infer_equilibrium(
         self,
         observed_index: np.ndarray,
         observed_values: np.ndarray,
     ) -> InferenceResult:
-        """Algebraic fixed-point inference (infinite annealing time)."""
+        """Algebraic fixed-point inference (infinite annealing time).
+
+        The reduced system's LU factorization is memoized per
+        observed-index set, so repeated calls with the same observed nodes
+        (accuracy sweeps, training loops) only pay a back-substitution.
+        """
         model = self.model
         observed_index, free_index = self._split_nodes(observed_index, model.n)
         observed_values = np.asarray(observed_values, dtype=float).reshape(-1)
         if observed_values.shape[0] != observed_index.shape[0]:
             raise ValueError("observed_values length must match observed_index")
         clamp_value = self._normalized_subset(model, observed_index, observed_values)
-        state = model.hamiltonian().fixed_point(observed_index, clamp_value)
+        reduced = self._reduced(observed_index, free_index)
+        state = np.zeros(model.n)
+        state[observed_index] = clamp_value
+        state[free_index] = reduced.solve(clamp_value)
         prediction = self._denormalized_subset(model, free_index, state)
         return InferenceResult(
             prediction=prediction,
@@ -165,8 +342,9 @@ class NaturalAnnealingEngine:
 
         The clamped fixed point solves the same reduced linear system for
         every sample, so the factorization is shared: one LU decomposition
-        serves the whole batch.  This is the fast path for accuracy sweeps
-        (the circuit path exists for timing/noise studies).
+        (memoized across calls) serves the whole batch.  This is the fast
+        path for accuracy sweeps (the circuit path exists for timing/noise
+        studies).
 
         Args:
             observed_index: Indices of observed nodes (shared by the batch).
@@ -176,8 +354,6 @@ class NaturalAnnealingEngine:
             ``(batch, num_free)`` denormalized predictions, free nodes in
             ascending index order.
         """
-        from scipy.linalg import lu_factor, lu_solve
-
         model = self.model
         observed_index, free_index = self._split_nodes(observed_index, model.n)
         observed_values = np.asarray(observed_values, dtype=float)
@@ -186,28 +362,19 @@ class NaturalAnnealingEngine:
                 "observed_values must be (batch, num_observed), got "
                 f"{observed_values.shape}"
             )
-        clamp = observed_values.copy()
-        if model.mean is not None:
-            clamp = clamp - model.mean[observed_index]
-        if model.scale is not None:
-            clamp = clamp / model.scale[observed_index]
+        clamp = self._normalized_subset(model, observed_index, observed_values)
+        reduced = self._reduced(observed_index, free_index)
+        states = reduced.solve(clamp)
+        return self._denormalized_free(model, free_index, states)
 
-        J, h = model.J, model.h
-        A = J[np.ix_(free_index, free_index)] + np.diag(h[free_index])
-        B = -J[np.ix_(free_index, observed_index)]
-        factorization = lu_factor(A)
-        # One solve with all batch right-hand sides at once.
-        states = lu_solve(factorization, B @ clamp.T).T
-        if model.scale is not None:
-            states = states * model.scale[free_index]
-        if model.mean is not None:
-            states = states + model.mean[free_index]
-        return states
-
+    # ------------------------------------------------------------------
+    # Normalization helpers
+    # ------------------------------------------------------------------
     @staticmethod
     def _normalized_subset(
         model: DSGLModel, index: np.ndarray, raw_values: np.ndarray
     ) -> np.ndarray:
+        """Raw -> voltage domain for an index subset; batch-aware."""
         values = np.asarray(raw_values, dtype=float)
         if model.mean is not None:
             values = values - model.mean[index]
@@ -224,4 +391,15 @@ class NaturalAnnealingEngine:
             values = values * model.scale[index]
         if model.mean is not None:
             values = values + model.mean[index]
+        return values
+
+    @staticmethod
+    def _denormalized_free(
+        model: DSGLModel, free_index: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Voltage -> raw domain for free-node values ``(batch, num_free)``."""
+        if model.scale is not None:
+            values = values * model.scale[free_index]
+        if model.mean is not None:
+            values = values + model.mean[free_index]
         return values

@@ -16,6 +16,7 @@ from pathlib import Path
 import numpy as np
 
 from .hamiltonian import RealValuedHamiltonian, symmetrize_coupling
+from .operators import CouplingOperator
 from .stability import convexity_margin, enforce_convexity
 
 __all__ = ["DSGLModel"]
@@ -70,6 +71,15 @@ class DSGLModel:
     def hamiltonian(self) -> RealValuedHamiltonian:
         """The energy function this system descends."""
         return RealValuedHamiltonian(self.J, self.h)
+
+    def operator(self, backend: str = "auto", **kwargs) -> CouplingOperator:
+        """A backend-selected :class:`CouplingOperator` over ``(J, h)``.
+
+        ``backend="auto"`` picks CSR storage for large sparse (decomposed)
+        systems and dense storage otherwise; extra keyword arguments are
+        forwarded to :class:`CouplingOperator` (e.g. ``density_threshold``).
+        """
+        return CouplingOperator(self.J, self.h, backend=backend, **kwargs)
 
     def convexity_margin(self) -> float:
         """Smallest eigenvalue of ``-(J + diag(h))``; positive = convergent."""

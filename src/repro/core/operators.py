@@ -1,0 +1,307 @@
+"""Pluggable coupling-operator backends for the annealing hot paths.
+
+Every hot loop of the software DSPU reduces to products with the coupling
+matrix ``J``: the drift evaluation inside the circuit integrator (one
+``J @ sigma`` per step, four per RK4 step), the Hamiltonian energies
+recorded along a trajectory, and the clamped-reduced linear system solved
+by equilibrium inference.  Trained GL systems are sparse after
+decomposition (Sec. IV.B prunes to a few percent density), so the same
+algebra can be served by ``scipy.sparse`` at a fraction of the dense cost.
+
+:class:`CouplingOperator` hides the storage choice behind one interface:
+
+* ``backend="dense"`` — a plain ``(n, n)`` ndarray; BLAS matvecs.
+* ``backend="sparse"`` — a CSR matrix; matvec cost scales with the number
+  of non-zero couplings instead of ``n**2``.
+* ``backend="auto"`` — selects sparse when the system is large enough and
+  its off-diagonal density is below a threshold (see
+  :func:`select_backend`).
+
+All operations accept both a single state ``(n,)`` and a state batch
+``(batch, n)``, which is what lets :class:`~repro.core.dynamics.
+CircuitSimulator.run_batch` and the batched inference paths share one
+matvec per integration step across a whole batch of samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+from scipy.linalg import lu_factor, lu_solve
+from scipy.sparse.linalg import splu
+
+__all__ = [
+    "CouplingOperator",
+    "ReducedSystem",
+    "select_backend",
+    "DEFAULT_DENSITY_THRESHOLD",
+    "DEFAULT_MIN_SPARSE_SIZE",
+]
+
+#: Off-diagonal density at or below which ``auto`` prefers the sparse
+#: backend.  CSR matvec beats BLAS only once the matrix is genuinely
+#: sparse; a quarter of the entries is a conservative crossover.
+DEFAULT_DENSITY_THRESHOLD = 0.25
+
+#: Smallest system size for which ``auto`` may pick sparse storage; below
+#: this the dense matvec fits in cache and index indirection only hurts.
+DEFAULT_MIN_SPARSE_SIZE = 64
+
+
+def _offdiag_density(J) -> float:
+    """Fraction of non-zero off-diagonal entries of dense or sparse ``J``."""
+    n = J.shape[0]
+    if n < 2:
+        return 0.0
+    if sp.issparse(J):
+        nnz = J.count_nonzero() - int(np.count_nonzero(J.diagonal()))
+    else:
+        nnz = int(np.count_nonzero(J)) - int(np.count_nonzero(np.diag(J)))
+    return float(nnz) / (n * (n - 1))
+
+
+def select_backend(
+    J,
+    density_threshold: float = DEFAULT_DENSITY_THRESHOLD,
+    min_sparse_size: int = DEFAULT_MIN_SPARSE_SIZE,
+) -> str:
+    """Pick ``"dense"`` or ``"sparse"`` for a coupling matrix.
+
+    Args:
+        J: Dense ndarray or scipy sparse matrix, shape ``(n, n)``.
+        density_threshold: Maximum off-diagonal density for sparse storage.
+        min_sparse_size: Minimum ``n`` for sparse storage.
+
+    Returns:
+        The backend name.
+    """
+    n = J.shape[0]
+    if n >= min_sparse_size and _offdiag_density(J) <= density_threshold:
+        return "sparse"
+    return "dense"
+
+
+class ReducedSystem:
+    """The clamped-reduced linear system of equilibrium inference, factored once.
+
+    With the observed nodes clamped, the free nodes of a convex system sit
+    at the solution of (Eq. 10)::
+
+        (J_ff + diag(h_f)) sigma_f = -J_fo sigma_o
+
+    Accuracy sweeps re-solve this system thousands of times with different
+    right-hand sides but the *same* observed-index set, so the expensive
+    part — the LU factorization of the left-hand side — is computed once
+    here and reused for every solve (dense ``lu_factor`` or sparse
+    ``splu`` depending on the operator backend).
+
+    Attributes:
+        backend: ``"dense"`` or ``"sparse"`` — which factorization is held.
+        num_free: Number of free (solved-for) nodes.
+        num_observed: Number of clamped nodes.
+    """
+
+    def __init__(self, A, B, backend: str):
+        self.backend = backend
+        self.num_free = int(A.shape[0])
+        self.num_observed = int(B.shape[1])
+        self._B = B
+        if self.num_free == 0:
+            self._solve = None
+        elif backend == "sparse":
+            self._solve = splu(sp.csc_matrix(A)).solve
+        else:
+            factorization = lu_factor(np.asarray(A))
+            self._solve = lambda rhs: lu_solve(factorization, rhs)
+
+    def solve(self, clamp_values: np.ndarray) -> np.ndarray:
+        """Free-node equilibrium states for one or many clamp assignments.
+
+        Args:
+            clamp_values: Normalized observed-node values, ``(k,)`` for a
+                single sample or ``(batch, k)`` for a batch.
+
+        Returns:
+            ``(num_free,)`` or ``(batch, num_free)`` free-node voltages.
+        """
+        clamp_values = np.asarray(clamp_values, dtype=float)
+        single = clamp_values.ndim == 1
+        if clamp_values.ndim not in (1, 2):
+            raise ValueError(
+                f"clamp_values must be 1-D or 2-D, got shape {clamp_values.shape}"
+            )
+        if clamp_values.shape[-1] != self.num_observed:
+            raise ValueError(
+                f"expected {self.num_observed} observed values per sample, "
+                f"got {clamp_values.shape[-1]}"
+            )
+        if self.num_free == 0:
+            shape = (0,) if single else (clamp_values.shape[0], 0)
+            return np.zeros(shape)
+        rhs = self._B @ (clamp_values if single else clamp_values.T)
+        rhs = np.asarray(rhs)
+        out = self._solve(rhs)
+        return out if single else out.T
+
+
+class CouplingOperator:
+    """Backend-selected linear operator over a coupling pair ``(J, h)``.
+
+    Wraps the symmetric coupling matrix as either a dense ndarray or a
+    ``scipy.sparse.csr_matrix`` and serves the three annealing hot paths —
+    drift evaluation, real-valued Hamiltonian energy, and the
+    clamped-reduced system — for single states and state batches alike.
+
+    Args:
+        J: Symmetric coupling matrix with zero diagonal; dense ndarray or
+            any scipy sparse matrix.
+        h: ``(n,)`` self-reaction vector.
+        backend: ``"dense"``, ``"sparse"``, or ``"auto"`` (density-based).
+        density_threshold: ``auto`` crossover density (see
+            :func:`select_backend`).
+        min_sparse_size: ``auto`` minimum size for sparse storage.
+    """
+
+    def __init__(
+        self,
+        J,
+        h: np.ndarray,
+        backend: str = "auto",
+        density_threshold: float = DEFAULT_DENSITY_THRESHOLD,
+        min_sparse_size: int = DEFAULT_MIN_SPARSE_SIZE,
+    ):
+        if backend not in ("auto", "dense", "sparse"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if sp.issparse(J):
+            J = J.tocsr().astype(float)
+        else:
+            J = np.asarray(J, dtype=float)
+        if J.ndim != 2 or J.shape[0] != J.shape[1]:
+            raise ValueError(f"coupling matrix must be square, got shape {J.shape}")
+        self.h = np.asarray(h, dtype=float).reshape(-1)
+        if self.h.shape[0] != J.shape[0]:
+            raise ValueError(
+                f"self-reaction vector length {self.h.shape[0]} does not "
+                f"match system size {J.shape[0]}"
+            )
+        self._validate_symmetric(J)
+        if backend == "auto":
+            backend = select_backend(J, density_threshold, min_sparse_size)
+        self.backend = backend
+        if backend == "sparse":
+            self._J = J if sp.issparse(J) else sp.csr_matrix(J)
+        else:
+            self._J = J.toarray() if sp.issparse(J) else J
+        self._density = _offdiag_density(self._J)
+
+    @staticmethod
+    def _validate_symmetric(J) -> None:
+        if sp.issparse(J):
+            asym = J - J.T
+            max_asym = float(np.max(np.abs(asym.data))) if asym.nnz else 0.0
+            if max_asym > 1e-9:
+                raise ValueError("coupling matrix must be symmetric")
+            if np.any(np.abs(J.diagonal()) > 1e-12):
+                raise ValueError("coupling matrix must have a zero diagonal")
+        else:
+            if not np.allclose(J, J.T, atol=1e-9):
+                raise ValueError("coupling matrix must be symmetric")
+            if not np.allclose(np.diag(J), 0.0, atol=1e-12):
+                raise ValueError("coupling matrix must have a zero diagonal")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of system variables."""
+        return self._J.shape[0]
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero off-diagonal couplings."""
+        return self._density
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero couplings."""
+        if sp.issparse(self._J):
+            return int(self._J.count_nonzero())
+        return int(np.count_nonzero(self._J))
+
+    def to_dense(self) -> np.ndarray:
+        """The coupling matrix as a dense ndarray (always a copy)."""
+        if sp.issparse(self._J):
+            return self._J.toarray()
+        return self._J.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CouplingOperator(n={self.n}, backend={self.backend!r}, "
+            f"density={self.density:.4f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-path algebra
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``J @ x`` for a state ``(n,)`` or a state batch ``(batch, n)``.
+
+        The batched form shares one matrix product across the batch — for
+        the dense backend a single BLAS GEMM, for the sparse backend one
+        CSR multi-vector product.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            return self._J @ x
+        if x.ndim != 2:
+            raise ValueError(f"state must be 1-D or 2-D, got shape {x.shape}")
+        if sp.issparse(self._J):
+            return np.asarray((self._J @ x.T).T)
+        # J is symmetric, so x @ J == (J @ x.T).T in one GEMM.
+        return x @ self._J
+
+    def drift(self, sigma: np.ndarray) -> np.ndarray:
+        """Circuit drift ``J sigma + h * sigma`` (Eq. 8), batch-aware."""
+        return self.matvec(sigma) + self.h * sigma
+
+    def gradient(self, sigma: np.ndarray) -> np.ndarray:
+        """Real-valued Hamiltonian gradient ``-2 (J sigma + h * sigma)``."""
+        return -2.0 * self.drift(sigma)
+
+    def energy(self, sigma: np.ndarray):
+        """Real-valued Hamiltonian ``H_RV`` (Eq. 4), batch-aware.
+
+        Returns a float for a single state ``(n,)`` and a ``(batch,)``
+        vector for a state batch.
+        """
+        sigma = np.asarray(sigma, dtype=float)
+        Js = self.matvec(sigma)
+        if sigma.ndim == 1:
+            return float(-(sigma @ Js) - self.h @ (sigma * sigma))
+        return -np.sum(sigma * Js, axis=-1) - (sigma * sigma) @ self.h
+
+    def reduced_system(
+        self, free_index: np.ndarray, clamp_index: np.ndarray
+    ) -> ReducedSystem:
+        """Factor the clamped-reduced system for one observed-index set.
+
+        Args:
+            free_index: Indices of the free (solved-for) nodes.
+            clamp_index: Indices of the clamped (observed) nodes.
+
+        Returns:
+            A :class:`ReducedSystem` whose factorization can be reused for
+            every right-hand side sharing this observed set.
+        """
+        free_index = np.asarray(free_index, dtype=int).reshape(-1)
+        clamp_index = np.asarray(clamp_index, dtype=int).reshape(-1)
+        if sp.issparse(self._J):
+            A = self._J[free_index][:, free_index] + sp.diags(self.h[free_index])
+            B = -self._J[free_index][:, clamp_index]
+        else:
+            A = self._J[np.ix_(free_index, free_index)] + np.diag(
+                self.h[free_index]
+            )
+            B = -self._J[np.ix_(free_index, clamp_index)]
+        return ReducedSystem(A, B, self.backend)

@@ -10,7 +10,12 @@ from .patterns import PATTERNS, pattern_mask, pe_pairs_allowed, wormhole_pairs
 from .pipeline import DecompositionConfig, DecomposedSystem, decompose
 from .report import DecompositionReport, analyze
 from .redistribute import PlacementResult, redistribute, split_oversized
-from .sparsify import coupling_density, prune_below, prune_to_density
+from .sparsify import (
+    coupling_density,
+    prune_below,
+    prune_to_density,
+    sparse_coupling,
+)
 
 __all__ = [
     "PATTERNS",
@@ -30,6 +35,7 @@ __all__ = [
     "prune_below",
     "prune_to_density",
     "redistribute",
+    "sparse_coupling",
     "split_oversized",
     "wormhole_pairs",
 ]

@@ -114,6 +114,17 @@ class DecomposedSystem:
         """Achieved off-diagonal density of the sparse coupling matrix."""
         return coupling_density(self.model.J)
 
+    def operator(self, backend: str = "auto", **kwargs):
+        """A :class:`~repro.core.operators.CouplingOperator` over the
+        decomposed system.
+
+        Decomposed couplings are sparse by construction (the pipeline
+        prunes to density ``D``), so ``backend="auto"`` typically yields
+        CSR storage — large systems serve drift, energy, and the
+        clamped-reduced solves without ever densifying.
+        """
+        return self.model.operator(backend=backend, **kwargs)
+
     def inter_pe_fraction(self) -> float:
         """Fraction of surviving couplings that cross PE boundaries."""
         J = self.model.J

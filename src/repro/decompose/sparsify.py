@@ -9,18 +9,40 @@ off-diagonal entries (sparsity = 1 - density).
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse as sp
 
-__all__ = ["coupling_density", "prune_to_density", "prune_below"]
+__all__ = [
+    "coupling_density",
+    "prune_to_density",
+    "prune_below",
+    "sparse_coupling",
+]
 
 
-def coupling_density(J: np.ndarray) -> float:
-    """Fraction of non-zero off-diagonal couplings."""
-    J = np.asarray(J)
+def coupling_density(J) -> float:
+    """Fraction of non-zero off-diagonal couplings (dense or sparse)."""
     n = J.shape[0]
     if n < 2:
         return 0.0
+    if sp.issparse(J):
+        nnz = J.count_nonzero() - int(np.count_nonzero(J.diagonal()))
+        return float(nnz) / (n * (n - 1))
+    J = np.asarray(J)
     off = J[~np.eye(n, dtype=bool)]
     return float(np.count_nonzero(off) / off.size)
+
+
+def sparse_coupling(J: np.ndarray) -> sp.csr_matrix:
+    """A pruned coupling matrix as CSR storage for the sparse backends.
+
+    The decomposition pipeline keeps couplings dense while masks are being
+    fitted; once the support is final, the annealing hot paths (see
+    :mod:`repro.core.operators`) run on CSR so large decomposed systems
+    never multiply an ``(n, n)`` dense matrix again.
+    """
+    if sp.issparse(J):
+        return J.tocsr()
+    return sp.csr_matrix(np.asarray(J, dtype=float))
 
 
 def prune_to_density(
@@ -95,16 +117,18 @@ def prune_to_density(
         pruned[b, a] = J[b, a]
     remaining = keep_pairs - len(forced)
     if remaining > 0:
+        # Fill the budget in global magnitude order, vectorized: rank all
+        # pairs, drop the zero-strength tail and the already-forced pairs,
+        # and keep the strongest `remaining` of what is left.
         order = np.argsort(strengths)[::-1]
-        for k in order:
-            if remaining == 0 or strengths[k] == 0.0:
-                break
-            a, b = int(iu[k]), int(ju[k])
-            if (a, b) in forced:
-                continue
-            pruned[a, b] = J[a, b]
-            pruned[b, a] = J[b, a]
-            remaining -= 1
+        candidates = order[strengths[order] > 0.0]
+        if forced:
+            forced_ids = np.asarray([a * n + b for a, b in forced])
+            pair_ids = iu[candidates] * n + ju[candidates]
+            candidates = candidates[~np.isin(pair_ids, forced_ids)]
+        selected = candidates[:remaining]
+        pruned[iu[selected], ju[selected]] = J[iu[selected], ju[selected]]
+        pruned[ju[selected], iu[selected]] = J[ju[selected], iu[selected]]
     return pruned
 
 

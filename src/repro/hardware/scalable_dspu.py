@@ -32,14 +32,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import sparse as sp
 from scipy.linalg import expm
 
+from ..core.operators import select_backend
 from ..decompose.pipeline import DecomposedSystem
 from .config import HardwareConfig
 from .pe import ProcessingElement
 from .scheduler import CoAnnealingSchedule, build_schedule
 
 __all__ = ["AnnealingOutcome", "ScalableDSPU"]
+
+#: ``backend="auto"`` only switches the per-phase matrices to CSR storage
+#: for systems at least this large; small grids gain nothing from sparsity.
+SPARSE_AUTO_MIN_NODES = 128
 
 
 @dataclass
@@ -71,6 +77,10 @@ class ScalableDSPU:
         node_time_constant_ns: Time constant assigned to the fastest node
             after conductance normalization.
         seed: Initialization randomness seed.
+        backend: Storage of the per-phase dynamics matrices — ``"dense"``,
+            ``"sparse"`` (CSR), or ``"auto"``, which picks sparse for
+            large low-density decompositions so every switch phase avoids
+            holding (and multiplying) an ``(n, n)`` dense matrix.
     """
 
     def __init__(
@@ -79,6 +89,7 @@ class ScalableDSPU:
         config: HardwareConfig | None = None,
         node_time_constant_ns: float = 1.0,
         seed: int = 0,
+        backend: str = "auto",
     ):
         if config is None:
             rows, cols = system.placement.grid_shape
@@ -91,6 +102,13 @@ class ScalableDSPU:
         self.seed = seed
         model = system.model
         self.model = model
+        if backend not in ("auto", "dense", "sparse"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if backend == "auto":
+            backend = select_backend(
+                model.J, min_sparse_size=SPARSE_AUTO_MIN_NODES
+            )
+        self.backend = backend
 
         self.pes = [
             ProcessingElement(
@@ -123,26 +141,42 @@ class ScalableDSPU:
         rows_nz, cols_nz = np.nonzero(model.J)
         crossing = pe_of[rows_nz] != pe_of[cols_nz]
         inter_mask[rows_nz[crossing], cols_nz[crossing]] = True
-        self._A_local = np.where(inter_mask, 0.0, self._A)
-        self._A_inter_phase: list[np.ndarray] = []
-        self._A_inter_boosted: list[np.ndarray] = []
+        sparse = self.backend == "sparse"
+
+        def _store(dense: np.ndarray):
+            return sp.csr_matrix(dense) if sparse else dense
+
+        def _pairs_matrix(entries: list[tuple[int, int, float]]):
+            """Symmetric matrix from ``(i, j, weight)`` coupling pairs."""
+            if not sparse:
+                M = np.zeros((n, n))
+                for i, j, w in entries:
+                    M[i, j] = M[j, i] = w
+                return M
+            rows = [i for i, _j, _w in entries] + [j for _i, j, _w in entries]
+            cols = [j for _i, j, _w in entries] + [i for i, _j, _w in entries]
+            data = [w for _i, _j, w in entries] * 2
+            return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+        self._A_local = _store(np.where(inter_mask, 0.0, self._A))
+        self._A_inter_phase: list = []
+        self._A_inter_boosted: list = []
         for phase in range(self.schedule.num_phases):
-            live = np.zeros((n, n))
-            boosted = np.zeros((n, n))
+            live: list[tuple[int, int, float]] = []
+            boosted: list[tuple[int, int, float]] = []
             for a in self.schedule.active_in_phase(phase):
                 weight = self._A[a.node_a, a.node_b]
-                live[a.node_a, a.node_b] = live[a.node_b, a.node_a] = weight
+                live.append((a.node_a, a.node_b, weight))
                 # Duty-cycle compensation: a coupler time-shared by s
                 # slices conducts for 1/s of the time, so its programmed
                 # conductance is scaled by s — the time-averaged coupling
                 # then equals the trained parameter (Weight Select swaps
                 # the stronger value in at switch time).
                 s = self.schedule.slices_per_cu[a.cu]
-                boosted[a.node_a, a.node_b] = weight * s
-                boosted[a.node_b, a.node_a] = weight * s
-            self._A_inter_phase.append(live)
-            self._A_inter_boosted.append(boosted)
-        self._A_inter_total = np.where(inter_mask, self._A, 0.0)
+                boosted.append((a.node_a, a.node_b, weight * s))
+            self._A_inter_phase.append(_pairs_matrix(live))
+            self._A_inter_boosted.append(_pairs_matrix(boosted))
+        self._A_inter_total = _store(np.where(inter_mask, self._A, 0.0))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -244,27 +278,40 @@ class ScalableDSPU:
             if force_spatial_only
             else self._A_inter_boosted
         )
-        A_live: list[np.ndarray] = []
+        A_live: list = []
         for A_s in inter_source:
             if coupler_noise is not None:
-                A_s = A_s * coupler_noise
+                if sp.issparse(A_s):
+                    A_s = A_s.multiply(coupler_noise).tocsr()
+                else:
+                    A_s = A_s * coupler_noise
             A_local = self._A_local
             if coupler_noise is not None:
-                off = A_local * coupler_noise
                 # The self-reaction resistor is inside the node, not a
                 # coupler; its conductance keeps the nominal value.
-                np.fill_diagonal(off, np.diag(self._A_local))
-                A_local = off
+                if sp.issparse(A_local):
+                    off = A_local.multiply(coupler_noise).tolil()
+                    off.setdiag(A_local.diagonal())
+                    A_local = off.tocsr()
+                else:
+                    off = A_local * coupler_noise
+                    np.fill_diagonal(off, np.diag(self._A_local))
+                    A_local = off
             A_live.append(A_local + A_s)
 
         propagators = self._build_propagators(A_live, free, interval)
+        # The clamped-node forcing of each phase is constant across the
+        # whole run, so it is computed once instead of per interval.
+        forcing = [
+            np.asarray(self._submatrix(A, free, observed_index) @ clamp)
+            for A in A_live
+        ]
 
         def propagate(phase: int, state: np.ndarray) -> np.ndarray:
             phi, integral, A_ff_damped = propagators[phase]
             del A_ff_damped
-            u = A_live[phase][np.ix_(free, observed_index)] @ clamp
             out = state.copy()
-            out[free] = phi @ state[free] + integral @ u
+            out[free] = phi @ state[free] + integral @ forcing[phase]
             return out
 
         phases_completed = 0
@@ -303,9 +350,16 @@ class ScalableDSPU:
             energy_trace=np.asarray(energy_trace) if record_energy else None,
         )
 
+    @staticmethod
+    def _submatrix(A, rows: np.ndarray, cols: np.ndarray):
+        """``A[rows, cols]`` block for dense or CSR storage."""
+        if sp.issparse(A):
+            return A[rows][:, cols]
+        return A[np.ix_(rows, cols)]
+
     def _build_propagators(
         self,
-        A_live: list[np.ndarray],
+        A_live: list,
         free: np.ndarray,
         interval: float,
         growth_cap: float = 30.0,
@@ -327,7 +381,12 @@ class ScalableDSPU:
             identity = np.zeros((0, 0))
             return [(identity, identity, identity) for _ in A_live]
 
-        blocks = [A[np.ix_(free, free)] for A in A_live]
+        # The matrix exponential is inherently dense, so only the reduced
+        # free-node block is densified — never the full (n, n) system.
+        blocks = []
+        for A in A_live:
+            block = self._submatrix(A, free, free)
+            blocks.append(block.toarray() if sp.issparse(block) else block)
         # Step 1: cap per-phase exponential growth to avoid overflow.
         lams = [
             float(np.max(np.linalg.eigvalsh((B + B.T) / 2.0))) for B in blocks

@@ -1,0 +1,277 @@
+"""Performance harness for the annealing hot paths (``repro bench``).
+
+Times the optimized execution paths introduced by the operator/batching
+engine against their pre-existing baselines and writes ``BENCH_core.json``
+for the performance trajectory:
+
+* **drift** — dense vs sparse drift evaluation (the ``J @ sigma`` inside
+  the circuit integrator) at several graph sizes and densities,
+* **circuit batch** — looped :meth:`CircuitSimulator.run` vs one
+  vectorized :meth:`CircuitSimulator.run_batch` over the same samples,
+* **equilibrium** — per-sample fixed-point solves (the pre-operator
+  accuracy-sweep path) vs the cached/batched LU path of
+  :meth:`NaturalAnnealingEngine.infer_equilibrium_batch`.
+
+Each comparison also records the maximum deviation between baseline and
+optimized outputs, so the speedups are tied to a correctness bound.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .core.dynamics import CircuitSimulator, IntegrationConfig
+from .core.inference import NaturalAnnealingEngine
+from .core.model import DSGLModel
+from .core.operators import CouplingOperator
+
+__all__ = [
+    "random_sparse_system",
+    "run_core_benchmarks",
+    "format_bench",
+    "write_bench_json",
+]
+
+
+def random_sparse_system(
+    n: int, density: float, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """A random symmetric coupling matrix at a target off-diagonal density.
+
+    Couplings are drawn for a uniform random subset of node pairs;
+    ``h`` is set diagonally dominant (strictly negative, exceeding each
+    row's absolute coupling sum) so the system is convex and every
+    execution path converges to the same unique fixed point.
+
+    Returns:
+        ``(J, h)`` with ``J`` dense ``(n, n)`` and ``h`` of shape ``(n,)``.
+    """
+    if not 0 < density <= 1:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    iu, ju = np.triu_indices(n, k=1)
+    num_pairs = iu.size
+    keep = max(1, int(round(density * num_pairs)))
+    selected = rng.choice(num_pairs, size=keep, replace=False)
+    weights = rng.normal(size=keep) * 0.5
+    J = np.zeros((n, n))
+    J[iu[selected], ju[selected]] = weights
+    J[ju[selected], iu[selected]] = weights
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    return J, h
+
+
+def _best_of_ms(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in milliseconds."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def bench_drift(
+    n: int, density: float, steps: int, repeats: int, seed: int = 0
+) -> dict:
+    """Dense vs sparse drift evaluation over a fixed-step Euler loop."""
+    J, h = random_sparse_system(n, density, seed=seed)
+    dense = CouplingOperator(J, h, backend="dense")
+    sparse = CouplingOperator(J, h, backend="sparse")
+    rng = np.random.default_rng(seed + 1)
+    sigma0 = rng.uniform(-1.0, 1.0, size=n)
+
+    def loop(operator):
+        sigma = sigma0.copy()
+        for _ in range(steps):
+            sigma = sigma + 0.01 * operator.drift(sigma)
+        return sigma
+
+    deviation = float(np.max(np.abs(loop(dense) - loop(sparse))))
+    baseline_ms = _best_of_ms(lambda: loop(dense), repeats)
+    optimized_ms = _best_of_ms(lambda: loop(sparse), repeats)
+    return {
+        "name": "drift_sparse_vs_dense",
+        "n": n,
+        "density": density,
+        "steps": steps,
+        "baseline": "dense matvec per Euler step",
+        "optimized": "CSR matvec per Euler step",
+        "baseline_ms": baseline_ms,
+        "optimized_ms": optimized_ms,
+        "speedup": baseline_ms / max(optimized_ms, 1e-9),
+        "max_abs_diff": deviation,
+    }
+
+
+def bench_circuit_batch(
+    n: int,
+    density: float,
+    batch: int,
+    duration: float,
+    repeats: int,
+    seed: int = 0,
+) -> dict:
+    """Looped single-sample integration vs one batched integration."""
+    J, h = random_sparse_system(n, density, seed=seed)
+    operator = CouplingOperator(J, h, backend="auto")
+    rng = np.random.default_rng(seed + 1)
+    sigma0 = rng.uniform(-1.0, 1.0, size=(batch, n))
+    config = IntegrationConfig(dt=0.1, record_every=1_000_000)
+
+    def looped():
+        simulator = CircuitSimulator(config=config)
+        return np.stack(
+            [
+                simulator.run(operator.drift, sigma0[b], duration).final_state
+                for b in range(batch)
+            ]
+        )
+
+    def batched():
+        simulator = CircuitSimulator(config=config)
+        return simulator.run_batch(operator.drift, sigma0, duration).final_states
+
+    deviation = float(np.max(np.abs(looped() - batched())))
+    baseline_ms = _best_of_ms(looped, repeats)
+    optimized_ms = _best_of_ms(batched, repeats)
+    return {
+        "name": "circuit_batched_vs_looped",
+        "n": n,
+        "density": density,
+        "batch": batch,
+        "duration_ns": duration,
+        "backend": operator.backend,
+        "baseline": "per-sample CircuitSimulator.run loop",
+        "optimized": "one vectorized CircuitSimulator.run_batch",
+        "baseline_ms": baseline_ms,
+        "optimized_ms": optimized_ms,
+        "speedup": baseline_ms / max(optimized_ms, 1e-9),
+        "max_abs_diff": deviation,
+    }
+
+
+def bench_equilibrium(
+    n: int, density: float, batch: int, repeats: int, seed: int = 0
+) -> dict:
+    """Per-sample fixed-point solves vs the cached/batched LU path."""
+    J, h = random_sparse_system(n, density, seed=seed)
+    model = DSGLModel(J=J, h=h)
+    hamiltonian = model.hamiltonian()
+    rng = np.random.default_rng(seed + 1)
+    observed = np.arange(n // 2)
+    free = np.arange(n // 2, n)
+    values = rng.uniform(-1.0, 1.0, size=(batch, observed.size))
+
+    def looped():
+        # The pre-operator accuracy-sweep path: one full solve per sample.
+        return np.stack(
+            [
+                hamiltonian.fixed_point(observed, v)[free]
+                for v in values
+            ]
+        )
+
+    engine = NaturalAnnealingEngine(model)
+    engine.infer_equilibrium_batch(observed, values)  # warm the LU cache
+
+    def batched():
+        return engine.infer_equilibrium_batch(observed, values)
+
+    deviation = float(np.max(np.abs(looped() - batched())))
+    baseline_ms = _best_of_ms(looped, repeats)
+    optimized_ms = _best_of_ms(batched, repeats)
+    return {
+        "name": "equilibrium_cached_batch_vs_looped",
+        "n": n,
+        "density": density,
+        "batch": batch,
+        "backend": engine.operator.backend,
+        "baseline": "per-sample fixed_point solve",
+        "optimized": "memoized LU + one batched back-substitution",
+        "baseline_ms": baseline_ms,
+        "optimized_ms": optimized_ms,
+        "speedup": baseline_ms / max(optimized_ms, 1e-9),
+        "max_abs_diff": deviation,
+    }
+
+
+def run_core_benchmarks(
+    smoke: bool = False, batch: int = 64, repeats: int = 3
+) -> dict:
+    """Run the full hot-path benchmark suite.
+
+    Args:
+        smoke: Use tiny problem sizes (seconds, for CI smoke runs) instead
+            of the trajectory-grade sizes.
+        batch: Batch size for the batched-inference comparisons.
+        repeats: Best-of repeats per timing.
+
+    Returns:
+        A JSON-serializable payload (see ``BENCH_core.json``).
+    """
+    results = []
+    if smoke:
+        results.append(bench_drift(n=96, density=0.05, steps=20, repeats=repeats))
+        results.append(
+            bench_circuit_batch(
+                n=64, density=0.2, batch=min(batch, 8), duration=2.0,
+                repeats=repeats,
+            )
+        )
+        results.append(
+            bench_equilibrium(
+                n=96, density=0.1, batch=min(batch, 8), repeats=repeats
+            )
+        )
+    else:
+        for n, density in ((2048, 0.02), (2048, 0.05), (1024, 0.10)):
+            results.append(
+                bench_drift(n=n, density=density, steps=50, repeats=repeats)
+            )
+        results.append(
+            bench_circuit_batch(
+                n=256, density=0.1, batch=max(32, batch // 2),
+                duration=20.0, repeats=repeats,
+            )
+        )
+        results.append(
+            bench_equilibrium(n=1024, density=0.05, batch=batch, repeats=repeats)
+        )
+    return {
+        "benchmark": "core_hot_paths",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "smoke": smoke,
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def format_bench(payload: dict) -> str:
+    """Human-readable table of a benchmark payload."""
+    lines = [
+        f"{'benchmark':<36s} {'n':>5s} {'dens':>5s} {'base ms':>9s} "
+        f"{'opt ms':>9s} {'speedup':>8s} {'max|diff|':>10s}"
+    ]
+    for r in payload["results"]:
+        lines.append(
+            f"{r['name']:<36s} {r['n']:>5d} {r['density']:>5.2f} "
+            f"{r['baseline_ms']:>9.2f} {r['optimized_ms']:>9.2f} "
+            f"{r['speedup']:>7.1f}x {r['max_abs_diff']:>10.2e}"
+        )
+    return "\n".join(lines)
+
+
+def write_bench_json(payload: dict, path: str | Path) -> Path:
+    """Write the benchmark payload as ``BENCH_*.json``."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -7,6 +7,7 @@ from repro.core import (
     CircuitSimulator,
     IntegrationConfig,
     RealValuedHamiltonian,
+    Trajectory,
     symmetrize_coupling,
 )
 
@@ -157,3 +158,167 @@ class TestTrajectory:
         sim = CircuitSimulator(IntegrationConfig(dt=0.05))
         run = sim.run(_drift(ham), np.zeros(6), 10.0, energy=ham.energy)
         assert np.isclose(run.final_energy, ham.energy(run.final_state))
+
+
+def _batch_drift(ham):
+    return lambda states: states @ ham.J + ham.h * states
+
+
+class TestBatchedIntegration:
+    @pytest.mark.parametrize("method", ["euler", "rk4"])
+    def test_run_batch_matches_per_sample_runs(self, method):
+        ham = _system(seed=20)
+        rng = np.random.default_rng(21)
+        sigma0 = rng.uniform(-1, 1, size=(4, 6))
+        clamp_index = np.asarray([1, 3])
+        clamp_value = np.asarray([0.4, -0.2])
+        config = IntegrationConfig(dt=0.05, method=method)
+
+        batch = CircuitSimulator(config).run_batch(
+            _batch_drift(ham), sigma0, 20.0, clamp_index, clamp_value,
+            energy=ham.energy_batch,
+        )
+        for b in range(4):
+            single = CircuitSimulator(config).run(
+                _drift(ham), sigma0[b], 20.0, clamp_index, clamp_value,
+                energy=ham.energy,
+            )
+            assert np.allclose(batch.states[:, b, :], single.states, atol=1e-10)
+            assert np.allclose(batch.energies[:, b], single.energies, atol=1e-8)
+        assert np.array_equal(batch.times, single.times)
+
+    def test_shapes_and_sample_view(self):
+        ham = _system(seed=22)
+        batch = CircuitSimulator(IntegrationConfig(dt=0.1)).run_batch(
+            _batch_drift(ham), np.zeros((3, 6)), 5.0, energy=ham.energy_batch
+        )
+        T = len(batch.times)
+        assert batch.batch_size == 3
+        assert batch.states.shape == (T, 3, 6)
+        assert batch.energies.shape == (T, 3)
+        assert batch.final_states.shape == (3, 6)
+        assert batch.final_energies.shape == (3,)
+        member = batch.sample(1)
+        assert np.array_equal(member.states, batch.states[:, 1, :])
+        assert np.array_equal(member.energies, batch.energies[:, 1])
+
+    def test_per_sample_clamp_values(self):
+        ham = _system(seed=23)
+        clamp_index = np.asarray([0, 5])
+        clamp_value = np.asarray([[0.1, -0.1], [0.8, -0.8], [0.0, 0.5]])
+        batch = CircuitSimulator(IntegrationConfig(dt=0.05)).run_batch(
+            _batch_drift(ham), np.zeros((3, 6)), 10.0, clamp_index, clamp_value
+        )
+        assert np.allclose(batch.states[:, :, clamp_index], clamp_value)
+
+    def test_validates_batch_shapes(self):
+        sim = CircuitSimulator()
+        with pytest.raises(ValueError, match="batch"):
+            sim.run_batch(lambda s: -s, np.zeros(6), 1.0)
+        with pytest.raises(ValueError, match="per-sample clamp_value"):
+            sim.run_batch(
+                lambda s: -s,
+                np.zeros((3, 6)),
+                1.0,
+                np.asarray([0]),
+                np.zeros((2, 1)),
+            )
+
+
+class TestClampNoiseInteraction:
+    """Clamps must be re-asserted after noise injection and at every
+    intermediate RK4 stage (the observed capacitors are driven)."""
+
+    @pytest.mark.parametrize("method", ["euler", "rk4"])
+    def test_recorded_states_hold_clamps_under_noise(self, method):
+        ham = _system(seed=24)
+        clamp_index = np.asarray([0, 2])
+        clamp_value = np.asarray([0.3, -0.6])
+        sim = CircuitSimulator(
+            IntegrationConfig(dt=0.05, method=method, node_noise_std=0.2),
+            rng=np.random.default_rng(25),
+        )
+        run = sim.run(_drift(ham), np.zeros(6), 20.0, clamp_index, clamp_value)
+        # Exact equality: noise must never displace a clamped node.
+        assert np.all(run.states[:, clamp_index] == clamp_value)
+
+    def test_rk4_stages_see_clamped_states(self):
+        ham = _system(seed=26)
+        clamp_index = np.asarray([1, 4])
+        clamp_value = np.asarray([0.5, -0.5])
+        seen = []
+
+        def recording_drift(sigma):
+            seen.append(np.array(sigma))
+            return ham.J @ sigma + ham.h * sigma
+
+        sim = CircuitSimulator(
+            IntegrationConfig(dt=0.1, method="rk4", node_noise_std=0.1),
+            rng=np.random.default_rng(27),
+        )
+        sim.run(recording_drift, np.zeros(6), 5.0, clamp_index, clamp_value)
+        assert len(seen) >= 4  # four stages per step
+        for state in seen:
+            assert np.all(state[clamp_index] == clamp_value)
+
+    def test_batched_noise_respects_clamps(self):
+        ham = _system(seed=28)
+        clamp_index = np.asarray([3])
+        clamp_value = np.asarray([[0.9], [-0.9]])
+        sim = CircuitSimulator(
+            IntegrationConfig(dt=0.05, method="rk4", node_noise_std=0.3),
+            rng=np.random.default_rng(29),
+        )
+        batch = sim.run_batch(
+            _batch_drift(ham), np.zeros((2, 6)), 10.0, clamp_index, clamp_value
+        )
+        assert np.all(batch.states[:, :, clamp_index] == clamp_value[None])
+
+
+class TestPerturbedCouplingInvariants:
+    def test_noisy_coupling_keeps_matrix_invariants(self):
+        sim = CircuitSimulator(
+            IntegrationConfig(coupling_noise_std=0.2),
+            rng=np.random.default_rng(30),
+        )
+        J = symmetrize_coupling(np.random.default_rng(31).normal(size=(8, 8)))
+        for _ in range(5):  # several draws, all must stay valid couplings
+            noisy = sim.perturbed_coupling(J)
+            assert np.array_equal(noisy, noisy.T)
+            assert np.all(np.diag(noisy) == 0.0)
+            # Multiplicative noise preserves the sparsity pattern.
+            assert np.array_equal(noisy == 0.0, J == 0.0)
+
+
+class TestSettleTimeNeverSettled:
+    def test_oscillation_until_final_sample_returns_full_duration(self):
+        """Regression: a trajectory that oscillates until the very last
+        recorded sample must report the full duration, not a bogus early
+        settle point."""
+        times = np.arange(6, dtype=float)
+        base = np.zeros((6, 3))
+        base[:, 0] = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0]  # flips at every sample
+        trajectory = Trajectory(
+            times=times, states=base, energies=np.zeros(6)
+        )
+        assert trajectory.settle_time(tolerance=1e-3) == times[-1]
+        assert not trajectory.settled(tolerance=1e-3)
+
+    def test_settled_trajectory_reports_early_time(self):
+        times = np.arange(5, dtype=float)
+        states = np.zeros((5, 2))
+        states[0] = [1.0, 1.0]  # settles right after the first sample
+        trajectory = Trajectory(
+            times=times, states=states, energies=np.zeros(5)
+        )
+        assert trajectory.settle_time(tolerance=1e-3) == times[1]
+        assert trajectory.settled(tolerance=1e-3)
+
+    def test_constant_trajectory_settles_immediately(self):
+        trajectory = Trajectory(
+            times=np.arange(4, dtype=float),
+            states=np.ones((4, 2)),
+            energies=np.zeros(4),
+        )
+        assert trajectory.settle_time() == 0.0
+        assert trajectory.settled()

@@ -120,3 +120,89 @@ class TestEndToEnd:
         model_rmse = rmse(np.asarray(predictions), np.asarray(targets))
         persistence_rmse = rmse(np.asarray(persistence), np.asarray(targets))
         assert model_rmse < persistence_rmse
+
+
+class TestFactorizationCache:
+    def test_cache_starts_empty_and_grows_per_observed_set(self):
+        engine = _engine()
+        assert engine.cache_size == 0
+        observed = np.asarray([0, 2, 5])
+        raw = np.asarray([1.0, -0.5, 0.3])
+        engine.infer_equilibrium(observed, raw)
+        assert engine.cache_size == 1
+        # Same observed set: the factorization is reused, not re-added.
+        engine.infer_equilibrium(observed, raw * 0.5)
+        assert engine.cache_size == 1
+        # A different observed set gets its own entry.
+        engine.infer_equilibrium(np.asarray([1, 4]), np.asarray([0.2, 0.1]))
+        assert engine.cache_size == 2
+
+    def test_single_and_batch_share_one_entry(self):
+        engine = _engine()
+        observed = np.asarray([0, 3, 6])
+        engine.infer_equilibrium(observed, np.asarray([0.1, 0.2, 0.3]))
+        engine.infer_equilibrium_batch(
+            observed, np.asarray([[0.1, 0.2, 0.3], [-0.4, 0.0, 0.9]])
+        )
+        assert engine.cache_size == 1
+
+    def test_clear_cache_resets(self):
+        engine = _engine()
+        engine.infer_equilibrium(np.asarray([0]), np.asarray([0.5]))
+        assert engine.cache_size == 1
+        engine.clear_cache()
+        assert engine.cache_size == 0
+
+    def test_cached_path_matches_fresh_engine(self):
+        """A warm cache must not change results."""
+        warm = _engine()
+        observed = np.asarray([0, 2, 5])
+        first = np.asarray([1.0, -0.5, 0.3])
+        second = np.asarray([-0.7, 0.9, 0.0])
+        warm.infer_equilibrium(observed, first)
+        cached = warm.infer_equilibrium(observed, second).prediction
+        fresh = _engine().infer_equilibrium(observed, second).prediction
+        assert np.allclose(cached, fresh)
+
+
+class TestBatchInference:
+    def test_equilibrium_batch_matches_per_sample(self):
+        engine = _engine()
+        observed = np.asarray([0, 2, 5])
+        rng = np.random.default_rng(9)
+        values = rng.uniform(-1, 1, size=(6, observed.size))
+        batched = engine.infer_equilibrium_batch(observed, values)
+        assert batched.shape == (6, 8 - observed.size)
+        for i in range(values.shape[0]):
+            single = engine.infer_equilibrium(observed, values[i]).prediction
+            assert np.allclose(batched[i], single, atol=1e-10)
+
+    def test_circuit_batch_converges_to_equilibrium(self):
+        engine = _engine()
+        observed = np.asarray([0, 3])
+        values = np.asarray([[0.5, -0.2], [-0.1, 0.8], [0.0, 0.0]])
+        result = engine.infer_batch(observed, values, duration=300.0)
+        expected = engine.infer_equilibrium_batch(observed, values)
+        assert result.predictions.shape == expected.shape
+        assert np.allclose(result.predictions, expected, atol=1e-4)
+
+    def test_batch_trajectory_shapes_and_energy(self):
+        engine = _engine(seed=1)
+        observed = np.asarray([1, 4])
+        values = np.asarray([[0.4, -0.3], [0.2, 0.6]])
+        result = engine.infer_batch(observed, values, duration=20.0)
+        trajectory = result.trajectory
+        assert trajectory.batch_size == 2
+        assert trajectory.states.shape[1:] == (2, 8)
+        assert trajectory.energies.shape[1] == 2
+        # Noiseless annealing descends energy for every sample.
+        assert np.all(np.diff(trajectory.energies, axis=0) <= 1e-9)
+        assert result.annealing_time_ns == 20.0
+
+    def test_batch_rejects_bad_shapes(self):
+        engine = _engine()
+        observed = np.asarray([0, 2])
+        with pytest.raises(ValueError, match="batch, num_observed"):
+            engine.infer_batch(observed, np.asarray([0.1, 0.2]))
+        with pytest.raises(ValueError, match="batch, num_observed"):
+            engine.infer_equilibrium_batch(observed, np.zeros((3, 5)))

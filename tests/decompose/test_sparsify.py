@@ -77,3 +77,34 @@ class TestPruneBelow:
     def test_rejects_negative_threshold(self):
         with pytest.raises(ValueError, match="non-negative"):
             prune_below(np.zeros((2, 2)), -1.0)
+
+
+class TestSparseCoupling:
+    def test_round_trips_pruned_matrix(self):
+        import scipy.sparse as sp
+
+        from repro.decompose import sparse_coupling
+
+        pruned = prune_to_density(_J(), 0.3)
+        csr = sparse_coupling(pruned)
+        assert sp.issparse(csr) and csr.format == "csr"
+        assert np.allclose(csr.toarray(), pruned)
+        assert csr.nnz == np.count_nonzero(pruned)
+
+    def test_accepts_sparse_input(self):
+        import scipy.sparse as sp
+
+        from repro.decompose import sparse_coupling
+
+        pruned = prune_to_density(_J(), 0.25)
+        csr = sparse_coupling(sp.coo_matrix(pruned))
+        assert csr.format == "csr"
+        assert np.allclose(csr.toarray(), pruned)
+
+    def test_density_agrees_between_storages(self):
+        from repro.decompose import sparse_coupling
+
+        pruned = prune_to_density(_J(), 0.4)
+        assert np.isclose(
+            coupling_density(sparse_coupling(pruned)), coupling_density(pruned)
+        )

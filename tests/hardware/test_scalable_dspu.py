@@ -180,3 +180,70 @@ class TestEnergyTrace:
         history = tw.history_of(traffic_setup["test"].series, 3)
         outcome = dspu.anneal(tw.observed_index, history, duration_ns=1000.0)
         assert outcome.energy_trace is None
+
+
+class TestSparseBackend:
+    def test_backend_attribute_and_validation(self, decomposed_traffic):
+        config = HardwareConfig(
+            grid_shape=(3, 3),
+            pe_capacity=decomposed_traffic.placement.capacity,
+            lanes=8,
+        )
+        for backend in ("dense", "sparse"):
+            dspu = ScalableDSPU(
+                decomposed_traffic,
+                config,
+                node_time_constant_ns=500.0,
+                backend=backend,
+            )
+            assert dspu.backend == backend
+        with pytest.raises(ValueError, match="backend"):
+            ScalableDSPU(
+                decomposed_traffic,
+                config,
+                node_time_constant_ns=500.0,
+                backend="tpu",
+            )
+
+    def test_sparse_anneal_matches_dense(self, decomposed_traffic, traffic_setup):
+        """The CSR phase matrices must reproduce dense anneal outcomes
+        bit-for-bit given identical seeds, clean and noisy alike."""
+        config = HardwareConfig(
+            grid_shape=(3, 3),
+            pe_capacity=decomposed_traffic.placement.capacity,
+            lanes=8,
+        )
+        tw = traffic_setup["windowing"]
+        test = traffic_setup["test"].series
+        history = tw.history_of(test, 3)
+        kwargs_grid = [
+            dict(duration_ns=20000.0),
+            dict(
+                duration_ns=20000.0,
+                node_noise_std=0.01,
+                coupling_noise_std=0.05,
+            ),
+        ]
+        for kwargs in kwargs_grid:
+            outcomes = {}
+            for backend in ("dense", "sparse"):
+                dspu = ScalableDSPU(
+                    decomposed_traffic,
+                    config,
+                    node_time_constant_ns=500.0,
+                    backend=backend,
+                )
+                outcomes[backend] = dspu.anneal(
+                    tw.observed_index,
+                    history,
+                    rng=np.random.default_rng(7),
+                    **kwargs,
+                )
+            assert np.allclose(
+                outcomes["dense"].prediction,
+                outcomes["sparse"].prediction,
+                atol=1e-8,
+            )
+            assert np.isclose(
+                outcomes["dense"].latency_ns, outcomes["sparse"].latency_ns
+            )

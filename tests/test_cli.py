@@ -66,3 +66,26 @@ class TestCommands:
         assert main(["figure", "4"]) == 0
         out = capsys.readouterr().out
         assert "DSPU final" in out and "BRIM final" in out
+
+
+class TestBenchCommand:
+    def test_bench_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.out == "BENCH_core.json"
+        assert args.smoke is False
+        assert args.batch == 64
+        assert args.repeats == 3
+
+    def test_bench_smoke_writes_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_core.json"
+        assert main(["bench", "--smoke", "--out", str(out), "--repeats", "1"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "core_hot_paths"
+        assert payload["smoke"] is True
+        for result in payload["results"]:
+            assert result["max_abs_diff"] < 1e-8
+        stdout = capsys.readouterr().out
+        assert "speedup" in stdout
+        assert str(out) in stdout
