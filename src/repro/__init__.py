@@ -32,7 +32,7 @@ Quickstart::
     prediction = engine.infer_equilibrium(tw.observed_index, history).prediction
 """
 
-from . import core, datasets, decompose, experiments, gnn, hardware, ising, nn
+from . import core, datasets, decompose, experiments, gnn, hardware, ising, nn, obs
 
 __version__ = "1.0.0"
 
@@ -46,4 +46,5 @@ __all__ = [
     "hardware",
     "ising",
     "nn",
+    "obs",
 ]

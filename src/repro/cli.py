@@ -13,7 +13,16 @@ Commands
     Regenerate one paper artifact and print it.
 ``bench``
     Time the annealing hot paths (sparse vs dense, batched vs looped)
-    and write ``BENCH_core.json``.
+    and write ``BENCH_core.json`` (with per-repeat timing samples and a
+    metrics snapshot embedded).
+``obs summarize PATH``
+    Aggregate a recorded trace JSONL into a span/metric table.
+
+Every command accepts the observability options ``--trace PATH`` (record
+a JSONL trace of spans/events plus a final metrics snapshot),
+``--metrics`` (print the metrics snapshot on completion), and
+``-v``/``-q`` (console log verbosity through the stdlib ``repro.*``
+loggers).
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ import sys
 
 import numpy as np
 
+from . import obs
 from .datasets import ALL_DATASETS, load_dataset
 from .experiments import (
     ExperimentContext,
@@ -56,25 +66,75 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _observability_options() -> argparse.ArgumentParser:
+    """Shared ``--trace``/``--metrics``/``-v``/``-q`` options.
+
+    Defined on a parent parser attached to every subcommand so the flags
+    may appear before or after the positional arguments.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a JSONL trace of spans/events (plus a final metrics "
+        "snapshot) to PATH; summarize with `repro obs summarize PATH`",
+    )
+    group.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the collected metrics snapshot when the command ends",
+    )
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v INFO, -vv DEBUG)",
+    )
+    group.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="only log errors",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DS-GL reproduction: nature-powered graph learning.",
     )
+    common = _observability_options()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("datasets", help="list registered datasets")
+    sub.add_parser(
+        "datasets", help="list registered datasets", parents=[common]
+    )
 
-    train = sub.add_parser("train", help="train and evaluate a dense system")
+    train = sub.add_parser(
+        "train", help="train and evaluate a dense system", parents=[common]
+    )
     train.add_argument("dataset", choices=ALL_DATASETS)
     train.add_argument("--size", default="small", choices=("small", "paper"))
     train.add_argument("--window", type=int, default=3)
     train.add_argument("--ridge", type=float, default=5e-2)
     train.add_argument("--save", default=None, help="path for the .npz model")
+    train.add_argument(
+        "--anneal-windows",
+        type=int,
+        default=4,
+        help="test windows to anneal through the circuit simulator as a "
+        "finite-time check (0 disables)",
+    )
 
     decompose_cmd = sub.add_parser(
-        "decompose", help="train, decompose, and report structure"
+        "decompose",
+        help="train, decompose, and report structure",
+        parents=[common],
     )
     decompose_cmd.add_argument("dataset", choices=ALL_DATASETS)
     decompose_cmd.add_argument("--size", default="small", choices=("small", "paper"))
@@ -84,16 +144,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     decompose_cmd.add_argument("--grid", type=int, nargs=2, default=(3, 3))
 
-    table = sub.add_parser("table", help="regenerate a paper table")
+    table = sub.add_parser(
+        "table", help="regenerate a paper table", parents=[common]
+    )
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))
     table.add_argument("--size", default="small", choices=("small", "paper"))
 
-    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure = sub.add_parser(
+        "figure", help="regenerate a paper figure", parents=[common]
+    )
     figure.add_argument("number", type=int, choices=(4, 10, 11, 12, 13))
     figure.add_argument("--size", default="small", choices=("small", "paper"))
 
     bench = sub.add_parser(
-        "bench", help="time the annealing hot paths, write BENCH_core.json"
+        "bench",
+        help="time the annealing hot paths, write BENCH_core.json",
+        parents=[common],
     )
     bench.add_argument(
         "--out", default="BENCH_core.json", help="output JSON path"
@@ -105,6 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--batch", type=_positive_int, default=64)
     bench.add_argument("--repeats", type=_positive_int, default=3)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="observability utilities", parents=[common]
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help="aggregate a trace JSONL into a span/metric table"
+    )
+    summarize.add_argument("path", help="trace JSONL recorded with --trace")
     return parser
 
 
@@ -117,7 +192,14 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from .core import TemporalWindowing, TrainingConfig, fit_precision
+    from .core import (
+        IntegrationConfig,
+        NaturalAnnealingEngine,
+        TemporalWindowing,
+        TrainingConfig,
+        fit_precision,
+        rmse,
+    )
 
     dataset = load_dataset(args.dataset, size=args.size)
     train, _val, test = dataset.split()
@@ -128,11 +210,35 @@ def _cmd_train(args: argparse.Namespace) -> int:
         TrainingConfig(ridge=args.ridge),
         metadata={"dataset": args.dataset},
     )
-    score = evaluate_equilibrium(model, windowing, test.flat_series())
+    test_series = test.flat_series()
+    score = evaluate_equilibrium(model, windowing, test_series)
     print(
         f"{args.dataset}: {model.n} variables, margin "
         f"{model.convexity_margin():.3f}, test RMSE {score:.4f}"
     )
+    num_windows = max(0, args.anneal_windows)
+    if num_windows:
+        # Finite-time circuit check: anneal a few test windows through the
+        # full simulator so annealing-time observables (step counts,
+        # settled fraction, energy descent) exist alongside the
+        # equilibrium RMSE — and land in the trace when --trace is on.
+        frames = windowing.prediction_frames(test_series)[:num_windows]
+        histories = np.stack(
+            [windowing.history_of(test_series, t) for t in frames]
+        )
+        engine = NaturalAnnealingEngine(
+            model,
+            config=IntegrationConfig(record_every=5, energy_probe_every=25),
+        )
+        result = engine.infer_batch(windowing.observed_index, histories)
+        targets = np.stack([test_series[t] for t in frames])
+        circuit_rmse = rmse(result.predictions, targets)
+        settled = result.trajectory.settled_fraction()
+        print(
+            f"circuit check: {len(frames)} windows annealed for "
+            f"{result.annealing_time_ns:.0f} ns, settled fraction "
+            f"{settled:.2f}, RMSE {circuit_rmse:.4f}"
+        )
     if args.save:
         model.save(args.save)
         print(f"model saved to {args.save}")
@@ -212,9 +318,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "summarize":
+        print(obs.format_summary(obs.summarize_trace(args.path)))
+        return 0
+    return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "train":
@@ -227,7 +338,34 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    verbosity = -1 if getattr(args, "quiet", False) else getattr(args, "verbose", 0)
+    obs.configure_logging(verbosity)
+    trace_path = getattr(args, "trace", None)
+    want_metrics = bool(getattr(args, "metrics", False))
+    configured = trace_path is not None or want_metrics
+    if configured:
+        # --trace implies metrics collection so the final snapshot (cache
+        # hit rates, run timings) can be embedded into the trace file.
+        obs.configure(collect_metrics=True, trace_path=trace_path)
+    try:
+        return _dispatch(args)
+    finally:
+        if configured:
+            if want_metrics:
+                rendered = obs.format_metrics(obs.metrics().snapshot())
+                if rendered:
+                    print(rendered)
+            obs.disable()
+            if trace_path is not None:
+                print(f"trace written to {trace_path}")
 
 
 if __name__ == "__main__":

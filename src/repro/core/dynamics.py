@@ -25,9 +25,14 @@ circuit simulator: explicit integrators over the node ODEs, with support for
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from .. import obs
+
+logger = logging.getLogger("repro.core")
 
 __all__ = [
     "IntegrationConfig",
@@ -60,6 +65,12 @@ class IntegrationConfig:
         coupling_noise_std: Standard deviation of multiplicative Gaussian
             noise on coupling conductances, as a fraction of each ``J_ij``.
         record_every: Record the state every this many steps (1 = all).
+        energy_probe_every: When positive *and* tracing is enabled, sample
+            the Hamiltonian every this many integration steps and emit a
+            ``circuit.energy_probe`` trace event — the energy-descent /
+            polarization observable of the Fig. 4 circuit validation.
+            ``0`` (default) disables the probe; with tracing off it costs
+            nothing either way.
     """
 
     dt: float = 0.1
@@ -69,6 +80,7 @@ class IntegrationConfig:
     node_noise_std: float = 0.0
     coupling_noise_std: float = 0.0
     record_every: int = 1
+    energy_probe_every: int = 0
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
@@ -81,6 +93,8 @@ class IntegrationConfig:
             raise ValueError("record_every must be >= 1")
         if self.node_noise_std < 0 or self.coupling_noise_std < 0:
             raise ValueError("noise standard deviations must be non-negative")
+        if self.energy_probe_every < 0:
+            raise ValueError("energy_probe_every must be >= 0")
 
 
 @dataclass
@@ -181,6 +195,25 @@ class BatchTrajectory:
             energies=self.energies[:, index],
         )
 
+    def settled_fraction(self, tolerance: float = 1e-3) -> float:
+        """Fraction of batch members that settled before the run ended.
+
+        A member counts as settled under the same criterion as
+        :meth:`Trajectory.settled`: its state reached (and held) the
+        ``tolerance`` band around its final state strictly before the
+        last recorded sample.
+        """
+        if self.batch_size == 0 or len(self.times) < 2:
+            return 1.0
+        # Per sample, `settled` reduces to the deviation at the
+        # second-to-last recorded state: the last one trivially matches
+        # itself, and settle_time only looks at the final non-settled
+        # index.  One vectorized comparison replaces batch_size
+        # per-sample Trajectory constructions (this runs on the
+        # instrumented run_batch boundary, so it must stay cheap).
+        deviations = np.max(np.abs(self.states[-2] - self.states[-1]), axis=1)
+        return float(np.mean(deviations <= tolerance))
+
 
 @dataclass
 class CircuitSimulator:
@@ -242,13 +275,21 @@ class CircuitSimulator:
             def energy_batch(states: np.ndarray) -> np.ndarray:
                 return np.asarray([float(energy(states[0]))])
 
-        times, states, energies = self._integrate(
-            drift_batch, sigma[None, :], duration, clamp_index, clamp_value,
-            energy_batch,
-        )
-        return Trajectory(
-            times=times, states=states[:, 0, :], energies=energies[:, 0]
-        )
+        with obs.tracer().span(
+            "circuit.run", n=n, method=self.config.method
+        ) as span:
+            with obs.metrics().timer("circuit.run_ms"):
+                times, states, energies = self._integrate(
+                    drift_batch, sigma[None, :], duration, clamp_index,
+                    clamp_value, energy_batch,
+                )
+            trajectory = Trajectory(
+                times=times, states=states[:, 0, :], energies=energies[:, 0]
+            )
+            if obs.enabled():
+                self._observe_run(span, duration, batch=1)
+                span.set("settled", bool(trajectory.settled()))
+        return trajectory
 
     def run_batch(
         self,
@@ -292,10 +333,36 @@ class CircuitSimulator:
             n, clamp_index, clamp_value, batch=batch
         )
         sigma[:, clamp_index] = clamp_value
-        times, states, energies = self._integrate(
-            drift, sigma, duration, clamp_index, clamp_value, energy
+        with obs.tracer().span(
+            "circuit.run_batch", batch=batch, n=n, method=self.config.method
+        ) as span:
+            with obs.metrics().timer("circuit.run_batch_ms"):
+                times, states, energies = self._integrate(
+                    drift, sigma, duration, clamp_index, clamp_value, energy
+                )
+            trajectory = BatchTrajectory(
+                times=times, states=states, energies=energies
+            )
+            if obs.enabled():
+                self._observe_run(span, duration, batch=batch)
+                fraction = trajectory.settled_fraction()
+                obs.metrics().gauge("circuit.settled_fraction").set(fraction)
+                span.set("settled_fraction", fraction)
+        return trajectory
+
+    def _observe_run(self, span, duration: float, batch: int) -> None:
+        """Record the per-run counters shared by :meth:`run`/:meth:`run_batch`."""
+        steps = max(1, int(round(duration / self.config.dt)))
+        registry = obs.metrics()
+        registry.counter("circuit.runs").inc()
+        registry.counter("circuit.steps").inc(steps)
+        registry.counter("circuit.samples").inc(batch)
+        span.set("steps", steps)
+        span.set("duration_ns", float(duration))
+        logger.debug(
+            "circuit run: batch=%d steps=%d duration=%.1fns method=%s",
+            batch, steps, duration, self.config.method,
         )
-        return BatchTrajectory(times=times, states=states, energies=energies)
 
     # ------------------------------------------------------------------
     # Shared integration core
@@ -344,6 +411,16 @@ class CircuitSimulator:
         cfg = self.config
         batch = sigma.shape[0]
 
+        # Energy-descent probe: only live when tracing is on AND an energy
+        # callable exists; otherwise the loop carries no probe branch cost
+        # beyond one integer comparison per step.
+        tracer = obs.tracer()
+        probe_every = (
+            cfg.energy_probe_every
+            if (cfg.energy_probe_every and energy is not None and tracer.enabled)
+            else 0
+        )
+
         n_steps = max(1, int(round(duration / cfg.dt)))
         times = [0.0]
         states = [sigma.copy()]
@@ -374,6 +451,16 @@ class CircuitSimulator:
             # Clamps are re-asserted *after* noise injection: the observed
             # capacitors are driven, so noise cannot displace them.
             sigma = self._project(sigma, clamp_index, clamp_value)
+            if probe_every and (step % probe_every == 0 or step == n_steps):
+                values = np.asarray(energy(sigma), dtype=float)
+                tracer.event(
+                    "circuit.energy_probe",
+                    step=step,
+                    t_ns=step * cfg.dt,
+                    energy_mean=float(values.mean()),
+                    energy_min=float(values.min()),
+                    energy_max=float(values.max()),
+                )
             if step % cfg.record_every == 0 or step == n_steps:
                 times.append(step * cfg.dt)
                 states.append(sigma.copy())

@@ -26,10 +26,12 @@ of densifying — select with the engine's ``backend`` field.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from .annealing import AnnealingController
 from .dynamics import (
     BatchTrajectory,
@@ -41,6 +43,8 @@ from .model import DSGLModel
 from .operators import CouplingOperator, ReducedSystem
 
 __all__ = ["InferenceResult", "BatchInferenceResult", "NaturalAnnealingEngine"]
+
+logger = logging.getLogger("repro.core")
 
 
 @dataclass
@@ -96,6 +100,9 @@ class NaturalAnnealingEngine:
     from the model, and one factored :class:`ReducedSystem` per
     observed-index set (the expensive part of equilibrium inference).  If
     the model's parameters are mutated in place, call :meth:`clear_cache`.
+    Cache effectiveness is visible through :attr:`cache_hits` /
+    :attr:`cache_misses` (and :meth:`cache_hit_rate`), which
+    :meth:`clear_cache` resets alongside the cache itself.
     """
 
     model: DSGLModel
@@ -103,6 +110,8 @@ class NaturalAnnealingEngine:
     controller: AnnealingController | None = None
     seed: int = 0
     backend: str = "auto"
+    cache_hits: int = field(default=0, init=False)
+    cache_misses: int = field(default=0, init=False)
     _operator: CouplingOperator | None = field(
         default=None, init=False, repr=False
     )
@@ -125,10 +134,21 @@ class NaturalAnnealingEngine:
         """Number of factored reduced systems currently memoized."""
         return len(self._reduced_cache)
 
+    def cache_hit_rate(self) -> float:
+        """Fraction of reduced-system lookups served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
     def clear_cache(self) -> None:
-        """Drop the cached operator and reduced-system factorizations."""
+        """Drop the cached operator and reduced-system factorizations.
+
+        Also resets the hit/miss counters — the statistics describe the
+        cache they were collected against.
+        """
         self._operator = None
         self._reduced_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def _reduced(
         self, observed_index: np.ndarray, free_index: np.ndarray
@@ -137,8 +157,26 @@ class NaturalAnnealingEngine:
         key = (observed_index.size, observed_index.tobytes())
         reduced = self._reduced_cache.get(key)
         if reduced is None:
-            reduced = self.operator.reduced_system(free_index, observed_index)
+            self.cache_misses += 1
+            obs.metrics().counter("engine.cache_misses").inc()
+            with obs.tracer().span(
+                "engine.factorize",
+                num_free=int(free_index.size),
+                num_observed=int(observed_index.size),
+            ):
+                with obs.metrics().timer("engine.factorize_ms"):
+                    reduced = self.operator.reduced_system(
+                        free_index, observed_index
+                    )
             self._reduced_cache[key] = reduced
+            logger.debug(
+                "reduced-system cache miss: %d free / %d observed nodes "
+                "factored (cache size now %d)",
+                free_index.size, observed_index.size, len(self._reduced_cache),
+            )
+        else:
+            self.cache_hits += 1
+            obs.metrics().counter("engine.cache_hits").inc()
         return reduced
 
     # ------------------------------------------------------------------
@@ -196,14 +234,15 @@ class NaturalAnnealingEngine:
         operator = self.operator
         drift = self._drift_function(simulator, operator)
 
-        trajectory = simulator.run(
-            drift,
-            sigma0,
-            duration,
-            clamp_index=observed_index,
-            clamp_value=clamp_value,
-            energy=operator.energy,
-        )
+        with obs.tracer().span("engine.infer", n=n):
+            trajectory = simulator.run(
+                drift,
+                sigma0,
+                duration,
+                clamp_index=observed_index,
+                clamp_value=clamp_value,
+                energy=operator.energy,
+            )
         state = trajectory.final_state
         prediction = self._denormalized_subset(model, free_index, state)
         return InferenceResult(
@@ -261,14 +300,15 @@ class NaturalAnnealingEngine:
         operator = self.operator
         drift = self._drift_function(simulator, operator)
 
-        trajectory = simulator.run_batch(
-            drift,
-            sigma0,
-            duration,
-            clamp_index=observed_index,
-            clamp_value=clamp,
-            energy=operator.energy,
-        )
+        with obs.tracer().span("engine.infer_batch", batch=batch, n=n):
+            trajectory = simulator.run_batch(
+                drift,
+                sigma0,
+                duration,
+                clamp_index=observed_index,
+                clamp_value=clamp,
+                energy=operator.energy,
+            )
         states = trajectory.final_states
         predictions = self._denormalized_free(
             model, free_index, states[:, free_index]
@@ -324,7 +364,8 @@ class NaturalAnnealingEngine:
         reduced = self._reduced(observed_index, free_index)
         state = np.zeros(model.n)
         state[observed_index] = clamp_value
-        state[free_index] = reduced.solve(clamp_value)
+        with obs.metrics().timer("engine.solve_ms"):
+            state[free_index] = reduced.solve(clamp_value)
         prediction = self._denormalized_subset(model, free_index, state)
         return InferenceResult(
             prediction=prediction,
@@ -362,9 +403,15 @@ class NaturalAnnealingEngine:
                 "observed_values must be (batch, num_observed), got "
                 f"{observed_values.shape}"
             )
-        clamp = self._normalized_subset(model, observed_index, observed_values)
-        reduced = self._reduced(observed_index, free_index)
-        states = reduced.solve(clamp)
+        with obs.tracer().span(
+            "engine.infer_equilibrium_batch",
+            batch=observed_values.shape[0],
+            n=model.n,
+        ):
+            clamp = self._normalized_subset(model, observed_index, observed_values)
+            reduced = self._reduced(observed_index, free_index)
+            with obs.metrics().timer("engine.solve_ms"):
+                states = reduced.solve(clamp)
         return self._denormalized_free(model, free_index, states)
 
     # ------------------------------------------------------------------

@@ -8,10 +8,12 @@ with memoization so a benchmark session never trains the same model twice.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..core import (
     NaturalAnnealingEngine,
     TemporalWindowing,
@@ -33,6 +35,8 @@ __all__ = [
     "evaluate_equilibrium",
     "evaluate_hardware",
 ]
+
+logger = logging.getLogger("repro.experiments")
 
 #: History window used when unrolling temporal tasks into one system.
 DSGL_WINDOW = 3
@@ -142,15 +146,21 @@ class ExperimentContext:
             series = train.flat_series()
             windowing = TemporalWindowing(series.shape[1], DSGL_WINDOW)
             samples = windowing.windows(series)
-            if self.ridge is None:
-                _ridge, model = select_ridge(samples)
-                model.metadata["dataset"] = name
-            else:
-                model = fit_precision(
-                    samples,
-                    TrainingConfig(ridge=self.ridge),
-                    metadata={"dataset": name},
-                )
+            with obs.tracer().span(
+                "experiments.train_dense", dataset=name,
+                variables=int(samples.shape[1]),
+            ), obs.metrics().timer("experiments.train_ms"):
+                if self.ridge is None:
+                    _ridge, model = select_ridge(samples)
+                    model.metadata["dataset"] = name
+                else:
+                    model = fit_precision(
+                        samples,
+                        TrainingConfig(ridge=self.ridge),
+                        metadata={"dataset": name},
+                    )
+            logger.info("trained dense system for %s (%d variables)",
+                        name, samples.shape[1])
             self._dense[name] = TrainedDSGL(
                 dataset=ds,
                 train=train,
@@ -182,8 +192,16 @@ class ExperimentContext:
                 # history frames regardless of the global magnitude cut.
                 anchor_index=tuple(trained.windowing.target_index.tolist()),
             )
-            self._decomposed[key] = decompose(
-                trained.model, trained.samples, config
+            with obs.tracer().span(
+                "experiments.decompose", dataset=name, density=density,
+                pattern=pattern,
+            ), obs.metrics().timer("experiments.decompose_ms"):
+                self._decomposed[key] = decompose(
+                    trained.model, trained.samples, config
+                )
+            logger.info(
+                "decomposed %s at density %.3f (%s pattern)",
+                name, density, pattern,
             )
         return self._decomposed[key]
 
@@ -233,7 +251,10 @@ class ExperimentContext:
             trainer = GNNTrainer(
                 model, GNNTrainConfig(window=6, epochs=self.gnn_epochs)
             )
-            trainer.fit(train, val)
+            with obs.tracer().span(
+                "experiments.train_gnn", baseline=baseline, dataset=name
+            ), obs.metrics().timer("experiments.train_gnn_ms"):
+                trainer.fit(train, val)
             self._gnn[key] = trainer
         return self._gnn[key]
 

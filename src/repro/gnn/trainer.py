@@ -8,17 +8,21 @@ the quantities Tables II-IV report for the baselines.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..core.metrics import rmse
 from ..datasets.base import SpatioTemporalDataset
 from ..datasets.graphs import normalized_adjacency
 from ..nn import Adam, Module, Tensor, clip_grad_norm, no_grad, ops
 
 __all__ = ["WindowBatches", "GNNTrainConfig", "GNNTrainer", "build_windows"]
+
+logger = logging.getLogger("repro.gnn")
 
 
 def build_windows(
@@ -111,31 +115,71 @@ class GNNTrainer:
         best_val = np.inf
         best_state: dict[str, np.ndarray] | None = None
         stall = 0
-        for _epoch in range(cfg.epochs):
-            self.model.train()
-            batches = WindowBatches(X_train, y_train, cfg.batch_size, rng)
-            losses = []
-            for xb, yb in batches:
-                optimizer.zero_grad()
-                prediction = self.model(Tensor(xb))
-                loss = ops.mse_loss(prediction, yb)
-                loss.backward()
-                clip_grad_norm(optimizer.parameters, cfg.grad_clip)
-                optimizer.step()
-                losses.append(loss.item())
-            if X_val is not None:
-                val_rmse = self._score(X_val, y_val)
-            else:
-                val_rmse = float(np.sqrt(np.mean(losses)))
-            self.history.append((float(np.mean(losses)), val_rmse))
-            if val_rmse < best_val - 1e-6:
-                best_val = val_rmse
-                best_state = self.model.state_dict()
-                stall = 0
-            else:
-                stall += 1
-                if stall >= cfg.patience:
-                    break
+        with obs.tracer().span(
+            "gnn.fit",
+            model=type(self.model).__name__,
+            max_epochs=cfg.epochs,
+            samples=int(X_train.shape[0]),
+        ) as fit_span:
+            epochs_run = 0
+            for epoch in range(cfg.epochs):
+                epoch_start = time.perf_counter()
+                self.model.train()
+                batches = WindowBatches(X_train, y_train, cfg.batch_size, rng)
+                losses = []
+                grad_norms = []
+                for xb, yb in batches:
+                    optimizer.zero_grad()
+                    prediction = self.model(Tensor(xb))
+                    loss = ops.mse_loss(prediction, yb)
+                    loss.backward()
+                    grad_norms.append(
+                        clip_grad_norm(optimizer.parameters, cfg.grad_clip)
+                    )
+                    optimizer.step()
+                    losses.append(loss.item())
+                if X_val is not None:
+                    val_rmse = self._score(X_val, y_val)
+                else:
+                    val_rmse = float(np.sqrt(np.mean(losses)))
+                train_loss = float(np.mean(losses))
+                self.history.append((train_loss, val_rmse))
+                epochs_run = epoch + 1
+                epoch_ms = (time.perf_counter() - epoch_start) * 1000.0
+                grad_norm = float(np.mean(grad_norms)) if grad_norms else 0.0
+                if obs.enabled():
+                    registry = obs.metrics()
+                    registry.histogram("gnn.epoch_loss").observe(train_loss)
+                    registry.histogram("gnn.epoch_ms").observe(epoch_ms)
+                    registry.histogram("gnn.grad_norm").observe(grad_norm)
+                    registry.counter("gnn.epochs").inc()
+                    obs.tracer().event(
+                        "gnn.epoch",
+                        epoch=epoch,
+                        train_loss=train_loss,
+                        val_rmse=val_rmse,
+                        grad_norm=grad_norm,
+                        epoch_ms=epoch_ms,
+                    )
+                logger.info(
+                    "epoch %d: train_loss=%.5f val_rmse=%.5f grad_norm=%.3f "
+                    "(%.0f ms)",
+                    epoch, train_loss, val_rmse, grad_norm, epoch_ms,
+                )
+                if val_rmse < best_val - 1e-6:
+                    best_val = val_rmse
+                    best_state = self.model.state_dict()
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= cfg.patience:
+                        logger.info(
+                            "early stop at epoch %d (best val RMSE %.5f)",
+                            epoch, best_val,
+                        )
+                        break
+            fit_span.set("epochs_run", epochs_run)
+            fit_span.set("best_val_rmse", float(best_val))
         if best_state is not None:
             self.model.load_state_dict(best_state)
         return self

@@ -29,12 +29,15 @@ nanoseconds like the paper's circuit.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse as sp
 from scipy.linalg import expm
 
+from .. import obs
 from ..core.operators import select_backend
 from ..decompose.pipeline import DecomposedSystem
 from .config import HardwareConfig
@@ -42,6 +45,8 @@ from .pe import ProcessingElement
 from .scheduler import CoAnnealingSchedule, build_schedule
 
 __all__ = ["AnnealingOutcome", "ScalableDSPU"]
+
+logger = logging.getLogger("repro.hardware")
 
 #: ``backend="auto"`` only switches the per-phase matrices to CSR storage
 #: for systems at least this large; small grids gain nothing from sparsity.
@@ -299,53 +304,97 @@ class ScalableDSPU:
                     A_local = off
             A_live.append(A_local + A_s)
 
-        propagators = self._build_propagators(A_live, free, interval)
-        # The clamped-node forcing of each phase is constant across the
-        # whole run, so it is computed once instead of per interval.
-        forcing = [
-            np.asarray(self._submatrix(A, free, observed_index) @ clamp)
-            for A in A_live
-        ]
+        mode = (
+            "spatial"
+            if (force_spatial_only or self.mode == "spatial")
+            else "temporal+spatial"
+        )
+        span = obs.tracer().span(
+            "dspu.anneal",
+            mode=mode,
+            n=n,
+            num_phases=num_phases,
+            sync_interval_ns=float(interval),
+            num_intervals=num_intervals,
+            clamped_nodes=int(observed_index.size),
+            free_nodes=int(free.size),
+        )
+        with span:
+            with obs.metrics().timer("dspu.build_propagators_ms"):
+                propagators = self._build_propagators(A_live, free, interval)
+            # The clamped-node forcing of each phase is constant across the
+            # whole run, so it is computed once instead of per interval.
+            forcing = [
+                np.asarray(self._submatrix(A, free, observed_index) @ clamp)
+                for A in A_live
+            ]
 
-        def propagate(phase: int, state: np.ndarray) -> np.ndarray:
-            phi, integral, A_ff_damped = propagators[phase]
-            del A_ff_damped
-            out = state.copy()
-            out[free] = phi @ state[free] + integral @ forcing[phase]
-            return out
+            def propagate(phase: int, state: np.ndarray) -> np.ndarray:
+                phi, integral, A_ff_damped = propagators[phase]
+                del A_ff_damped
+                out = state.copy()
+                out[free] = phi @ state[free] + integral @ forcing[phase]
+                return out
 
-        phases_completed = 0
-        rotation = min(num_phases, num_intervals)
-        tail_states: list[np.ndarray] = []
-        hamiltonian = self.model.hamiltonian() if record_energy else None
-        energy_trace: list[float] = []
-        for k in range(num_intervals):
-            phase = k % num_phases
-            if k > 0 and phase == 0:
-                phases_completed += num_phases
-            sigma = propagate(phase, sigma)
-            if node_noise_std > 0:
-                sigma[free] += rng.normal(
-                    0.0, node_noise_std * cfg.rail_volts, size=free.size
+            collect = obs.metrics().enabled
+            phase_elapsed = [0.0] * num_phases
+            phases_completed = 0
+            rotation = min(num_phases, num_intervals)
+            tail_states: list[np.ndarray] = []
+            hamiltonian = self.model.hamiltonian() if record_energy else None
+            energy_trace: list[float] = []
+            for k in range(num_intervals):
+                phase = k % num_phases
+                if k > 0 and phase == 0:
+                    phases_completed += num_phases
+                if collect:
+                    started = time.perf_counter()
+                    sigma = propagate(phase, sigma)
+                    phase_elapsed[phase] += time.perf_counter() - started
+                else:
+                    sigma = propagate(phase, sigma)
+                if node_noise_std > 0:
+                    sigma[free] += rng.normal(
+                        0.0, node_noise_std * cfg.rail_volts, size=free.size
+                    )
+                np.clip(sigma, -cfg.rail_volts, cfg.rail_volts, out=sigma)
+                sigma[observed_index] = clamp
+                if hamiltonian is not None:
+                    energy_trace.append(hamiltonian.energy(sigma))
+                if k >= num_intervals - rotation:
+                    tail_states.append(sigma.copy())
+
+            if collect:
+                registry = obs.metrics()
+                registry.counter("dspu.anneal_runs").inc()
+                # Every interval boundary is a digital control event: an
+                # inter-PE synchronization plus one clamp re-assert per
+                # observed node and one forcing application per phase.
+                registry.counter("dspu.sync_events").inc(num_intervals)
+                registry.counter("dspu.clamp_asserts").inc(
+                    num_intervals * int(observed_index.size)
                 )
-            np.clip(sigma, -cfg.rail_volts, cfg.rail_volts, out=sigma)
-            sigma[observed_index] = clamp
-            if hamiltonian is not None:
-                energy_trace.append(hamiltonian.energy(sigma))
-            if k >= num_intervals - rotation:
-                tail_states.append(sigma.copy())
+                registry.counter("dspu.forcing_applies").inc(num_intervals)
+                for phase, elapsed in enumerate(phase_elapsed):
+                    registry.histogram(f"dspu.phase{phase}_ms").observe(
+                        elapsed * 1000.0
+                    )
 
-        # Ripple filtering: read out the mean over the final rotation.
-        readout = np.mean(tail_states, axis=0)
-        readout[observed_index] = clamp
-        prediction = self._denormalize_subset(free, readout)
+            # Ripple filtering: read out the mean over the final rotation.
+            readout = np.mean(tail_states, axis=0)
+            readout[observed_index] = clamp
+            prediction = self._denormalize_subset(free, readout)
+            span.set("phases_completed", phases_completed)
+            logger.debug(
+                "dspu anneal: mode=%s intervals=%d phases_completed=%d "
+                "latency=%.0fns",
+                mode, num_intervals, phases_completed, num_intervals * interval,
+            )
         return AnnealingOutcome(
             prediction=prediction,
             state=readout,
             latency_ns=num_intervals * interval,
-            mode="spatial"
-            if (force_spatial_only or self.mode == "spatial")
-            else "temporal+spatial",
+            mode=mode,
             phases_completed=phases_completed,
             energy_trace=np.asarray(energy_trace) if record_energy else None,
         )
@@ -415,6 +464,10 @@ class ScalableDSPU:
         if radius >= 0.999:
             total_time = interval * len(propagators)
             delta = np.log(radius / 0.99) / total_time
+            logger.debug(
+                "rotation map radius %.4f >= 0.999; applying uniform "
+                "damping delta=%.3e", radius, delta,
+            )
             damped = [B - delta * np.eye(free.size) for B in capped]
             propagators = make(damped)
         return propagators

@@ -1,0 +1,167 @@
+"""``repro.obs`` — observability for the whole annealing stack.
+
+One process-wide pair of sinks, disabled by default:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  timers, histograms) reachable through :func:`metrics`, and
+* a :class:`~repro.obs.trace.Tracer` (nested spans + events, JSONL
+  export) reachable through :func:`tracer`.
+
+Instrumented code calls both unconditionally::
+
+    from .. import obs
+
+    with obs.tracer().span("circuit.run_batch", batch=batch) as span:
+        ...
+        if obs.enabled():
+            obs.metrics().counter("circuit.steps").inc(steps)
+            span.set("settled_fraction", fraction)
+
+With observability off (the default) those calls hit shared no-op
+singletons — a couple of attribute lookups per *run*, nothing per
+integration step — so the hot loops pay effectively zero overhead
+(enforced by ``benchmarks/perf/test_perf_obs.py``).  Enable collection
+with :func:`configure` / :func:`disable`, or scoped with the
+:func:`observe` context manager (what the CLI's ``--trace`` /
+``--metrics`` flags and the tests use).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+
+from .logconfig import configure_logging, verbosity_level
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Timer,
+)
+from .summary import (
+    format_metrics,
+    format_summary,
+    summarize_records,
+    summarize_trace,
+)
+from .trace import NULL_TRACER, NullTracer, Span, Tracer, read_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Timer",
+    "Tracer",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "configure",
+    "configure_logging",
+    "disable",
+    "enabled",
+    "format_metrics",
+    "format_summary",
+    "metrics",
+    "metrics_enabled",
+    "observe",
+    "read_trace",
+    "summarize_records",
+    "summarize_trace",
+    "tracer",
+    "verbosity_level",
+]
+
+_metrics: MetricsRegistry | NullMetricsRegistry = NULL_METRICS
+_tracer: Tracer | NullTracer = NULL_TRACER
+
+
+def metrics() -> MetricsRegistry | NullMetricsRegistry:
+    """The active metrics registry (the no-op singleton when disabled)."""
+    return _metrics
+
+
+def tracer() -> Tracer | NullTracer:
+    """The active tracer (the no-op singleton when disabled)."""
+    return _tracer
+
+
+def enabled() -> bool:
+    """Whether any observability sink is collecting."""
+    return _metrics.enabled or _tracer.enabled
+
+
+def configure(
+    collect_metrics: bool = True,
+    trace_path: str | Path | None = None,
+) -> tuple[MetricsRegistry | NullMetricsRegistry, Tracer | NullTracer]:
+    """Install process-wide observability sinks.
+
+    Args:
+        collect_metrics: Install a fresh :class:`MetricsRegistry`.
+        trace_path: When given, install a :class:`Tracer` streaming JSONL
+            to this path; tracing always implies an in-memory record list.
+
+    Returns:
+        The ``(metrics, tracer)`` pair now active.
+    """
+    global _metrics, _tracer
+    disable()
+    if collect_metrics:
+        _metrics = MetricsRegistry()
+    if trace_path is not None:
+        _tracer = Tracer(trace_path)
+    return _metrics, _tracer
+
+
+def disable() -> None:
+    """Close any active sinks and restore the no-op defaults.
+
+    If both sinks are live, the final metrics snapshot is embedded into
+    the trace stream first, so one JSONL file tells the whole story.
+    """
+    global _metrics, _tracer
+    if _tracer.enabled and _metrics.enabled:
+        _tracer.embed_metrics(_metrics.snapshot())
+    _tracer.close()
+    _metrics = NULL_METRICS
+    _tracer = NULL_TRACER
+
+
+@contextmanager
+def observe(
+    collect_metrics: bool = True, trace_path: str | Path | None = None
+):
+    """Scoped observability: configure on entry, restore on exit.
+
+    Yields the ``(metrics, tracer)`` pair.  The tracer object stays
+    readable (``tracer.records``) after the block closes.
+    """
+    pair = configure(collect_metrics=collect_metrics, trace_path=trace_path)
+    try:
+        yield pair
+    finally:
+        disable()
+
+
+@contextmanager
+def metrics_enabled():
+    """Yield an enabled registry, installing one only if metrics are off.
+
+    Used by the benchmark harness: it wants counters regardless of the
+    caller's configuration but must not tear down sinks the CLI installed.
+    """
+    global _metrics
+    if _metrics.enabled:
+        yield _metrics
+        return
+    _metrics = MetricsRegistry()
+    try:
+        yield _metrics
+    finally:
+        _metrics = NULL_METRICS

@@ -1,0 +1,62 @@
+"""Stdlib-logging configuration for the ``repro`` logger hierarchy.
+
+Every subsystem logs to a child of the ``repro`` logger (``repro.core``,
+``repro.hardware``, ``repro.gnn``, ...), so one call configures them all.
+The CLI maps ``-q`` / ``-v`` / ``-vv`` onto :func:`configure_logging`
+verbosity levels instead of growing more bare ``print`` paths.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging", "verbosity_level"]
+
+#: Marker attribute identifying the handler installed by this module, so
+#: repeated configuration replaces it instead of duplicating output.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-q``/``-v`` count onto a stdlib logging level.
+
+    ``-1`` (quiet) -> ERROR, ``0`` -> WARNING, ``1`` -> INFO,
+    ``>= 2`` -> DEBUG.
+    """
+    if verbosity < 0:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the root ``repro`` logger for console output.
+
+    Args:
+        verbosity: ``-1`` for quiet, ``0`` default, ``1`` verbose,
+            ``2+`` debug (see :func:`verbosity_level`).
+        stream: Output stream; defaults to ``sys.stderr`` so diagnostics
+            never pollute machine-readable stdout (tables, JSON).
+
+    Returns:
+        The configured ``repro`` logger.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(verbosity_level(verbosity))
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    # Diagnostics stop here; they must not double-print through the root
+    # logger if the host application configured one.
+    logger.propagate = False
+    return logger

@@ -1,0 +1,249 @@
+"""Process-local metrics: counters, gauges, timers, and histograms.
+
+The registry is deliberately tiny — no labels, no exporters, no threads —
+because its job is to make the annealing stack's internal quantities
+(integration steps, LU-cache hits, per-phase durations) visible to the CLI
+and the benchmark harness, not to feed a monitoring backend.  Two design
+rules keep the hot paths honest:
+
+* Instruments are created on first use and **aggregate in place**; reading
+  them (``snapshot``) is the only operation that allocates.
+* The disabled default is :data:`NULL_METRICS`, whose instruments are
+  shared do-nothing singletons, so instrumented code can call
+  ``metrics().counter("x").inc()`` unconditionally and pay only a couple
+  of attribute lookups when observability is off.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events, cache hits, steps)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that may move both ways (settled fraction)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A sample accumulator with summary statistics.
+
+    Keeps every observation (these are per-run quantities, not per-step,
+    so cardinality stays small) and summarizes as count/mean/min/max and
+    the p50/p90 quantiles used throughout the bench reporting.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @staticmethod
+    def _quantile(ordered: list[float], q: float) -> float:
+        """Linear-interpolation quantile of pre-sorted samples."""
+        if not ordered:
+            return math.nan
+        position = q * (len(ordered) - 1)
+        low = int(math.floor(position))
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def summary(self) -> dict:
+        """Summary statistics of the observations so far."""
+        if not self.samples:
+            return {"count": 0}
+        ordered = sorted(self.samples)
+        return {
+            "count": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": self._quantile(ordered, 0.50),
+            "p90": self._quantile(ordered, 0.90),
+        }
+
+
+class Timer:
+    """Context manager recording elapsed milliseconds into a histogram."""
+
+    __slots__ = ("histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.histogram.observe((time.perf_counter() - self._start) * 1000.0)
+
+
+class MetricsRegistry:
+    """Name-keyed collection of instruments, created on first use."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        """A fresh timing context over the histogram named ``name``.
+
+        Timer objects are throwaway (one per ``with`` block) so nested and
+        concurrent timings of the same name cannot clobber each other.
+        """
+        return Timer(self.histogram(name))
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of every instrument's current state."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {
+                k: g.value
+                for k, g in sorted(self._gauges.items())
+                if g.value is not None
+            },
+            "histograms": {
+                k: h.summary() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (used between benchmark sections)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    value = None
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+    samples: list = []
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {"count": 0}
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class NullMetricsRegistry:
+    """The disabled default: every instrument is a shared no-op singleton."""
+
+    enabled = False
+
+    _counter = _NullCounter()
+    _gauge = _NullGauge()
+    _histogram = _NullHistogram()
+    _timer = _NullTimer()
+
+    def counter(self, name: str) -> _NullCounter:
+        return self._counter
+
+    def gauge(self, name: str) -> _NullGauge:
+        return self._gauge
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return self._histogram
+
+    def timer(self, name: str) -> _NullTimer:
+        return self._timer
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared disabled registry installed by default.
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,190 @@
+"""Aggregation of a recorded trace into a readable report.
+
+Backs ``repro obs summarize PATH``: spans are grouped by name with timing
+totals, numeric span/event attributes are aggregated (sum/mean/min/max),
+and the last embedded metrics snapshot — counters, gauges, histogram
+summaries — is appended, together with the derived LU-cache hit rate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .trace import read_trace
+
+__all__ = [
+    "summarize_records",
+    "summarize_trace",
+    "format_summary",
+    "format_metrics",
+]
+
+
+def _aggregate_numeric(values: list[float]) -> dict:
+    return {
+        "count": len(values),
+        "sum": sum(values),
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+def summarize_records(records: list[dict]) -> dict:
+    """Aggregate raw trace records (see :func:`repro.obs.trace.read_trace`).
+
+    Returns:
+        A dict with ``spans`` (per-name timing stats), ``span_attributes``
+        and ``event_attributes`` (per name+attribute numeric aggregates),
+        ``events`` (per-name counts), and ``metrics`` (the last embedded
+        snapshot, or ``None``).
+    """
+    span_times: dict[str, list[float]] = {}
+    span_attrs: dict[tuple[str, str], list[float]] = {}
+    event_counts: dict[str, int] = {}
+    event_attrs: dict[tuple[str, str], list[float]] = {}
+    metrics = None
+
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span":
+            name = record["name"]
+            span_times.setdefault(name, []).append(
+                float(record.get("duration_ms") or 0.0)
+            )
+            for key, value in (record.get("attributes") or {}).items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                span_attrs.setdefault((name, key), []).append(float(value))
+        elif kind == "event":
+            name = record["name"]
+            event_counts[name] = event_counts.get(name, 0) + 1
+            for key, value in (record.get("attributes") or {}).items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                event_attrs.setdefault((name, key), []).append(float(value))
+        elif kind == "metrics":
+            metrics = record.get("snapshot")
+
+    spans = {}
+    for name, durations in span_times.items():
+        spans[name] = {
+            "count": len(durations),
+            "total_ms": sum(durations),
+            "mean_ms": sum(durations) / len(durations),
+            "max_ms": max(durations),
+        }
+    return {
+        "spans": spans,
+        "span_attributes": {
+            f"{name}.{key}": _aggregate_numeric(values)
+            for (name, key), values in span_attrs.items()
+        },
+        "events": event_counts,
+        "event_attributes": {
+            f"{name}.{key}": _aggregate_numeric(values)
+            for (name, key), values in event_attrs.items()
+        },
+        "metrics": metrics,
+    }
+
+
+def summarize_trace(path: str | Path) -> dict:
+    """Read and aggregate a trace JSONL file."""
+    return summarize_records(read_trace(path))
+
+
+def _cache_hit_rate(counters: dict) -> float | None:
+    hits = counters.get("engine.cache_hits")
+    misses = counters.get("engine.cache_misses")
+    if hits is None and misses is None:
+        return None
+    hits = hits or 0
+    misses = misses or 0
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def format_summary(summary: dict) -> str:
+    """Render an aggregated summary as the ``obs summarize`` table."""
+    lines: list[str] = []
+
+    lines.append(
+        f"{'span':<34s} {'count':>6s} {'total ms':>10s} {'mean ms':>9s} "
+        f"{'max ms':>9s}"
+    )
+    if summary["spans"]:
+        for name in sorted(summary["spans"]):
+            s = summary["spans"][name]
+            lines.append(
+                f"{name:<34s} {s['count']:>6d} {s['total_ms']:>10.2f} "
+                f"{s['mean_ms']:>9.2f} {s['max_ms']:>9.2f}"
+            )
+    else:
+        lines.append("(no spans recorded)")
+
+    if summary["span_attributes"] or summary["event_attributes"]:
+        lines.append("")
+        lines.append(
+            f"{'attribute':<44s} {'count':>6s} {'mean':>10s} {'min':>10s} "
+            f"{'max':>10s}"
+        )
+        merged = dict(summary["span_attributes"])
+        merged.update(summary["event_attributes"])
+        for name in sorted(merged):
+            a = merged[name]
+            lines.append(
+                f"{name:<44s} {a['count']:>6d} {a['mean']:>10.4g} "
+                f"{a['min']:>10.4g} {a['max']:>10.4g}"
+            )
+
+    if summary["events"]:
+        lines.append("")
+        lines.append("events: " + ", ".join(
+            f"{name} x{count}" for name, count in sorted(summary["events"].items())
+        ))
+
+    metrics = summary.get("metrics")
+    if metrics:
+        rendered = format_metrics(metrics)
+        if rendered:
+            lines.append("")
+            lines.append(rendered)
+    return "\n".join(lines)
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Render a metrics-registry snapshot (counters, gauges, histograms).
+
+    Appends the derived LU-cache hit rate when the engine counters are
+    present.  Returns an empty string for an empty snapshot.
+    """
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters or gauges:
+        lines.append(f"{'metric':<44s} {'value':>12s}")
+        for name, value in sorted(counters.items()):
+            lines.append(f"{'counter ' + name:<44s} {value:>12d}")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"{'gauge ' + name:<44s} {value:>12.4g}")
+    populated = {name: h for name, h in histograms.items() if h.get("count")}
+    if populated:
+        if lines:
+            lines.append("")
+        lines.append(
+            f"{'histogram':<34s} {'count':>6s} {'mean':>9s} {'p50':>9s} "
+            f"{'p90':>9s} {'max':>9s}"
+        )
+        for name in sorted(populated):
+            h = populated[name]
+            lines.append(
+                f"{name:<34s} {h['count']:>6d} {h['mean']:>9.3f} "
+                f"{h['p50']:>9.3f} {h['p90']:>9.3f} {h['max']:>9.3f}"
+            )
+    rate = _cache_hit_rate(counters)
+    if rate is not None:
+        lines.append("")
+        lines.append(f"LU-cache hit rate: {100.0 * rate:.1f}%")
+    return "\n".join(lines)

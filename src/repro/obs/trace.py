@@ -1,0 +1,214 @@
+"""Span-based tracing with JSONL export.
+
+A :class:`Tracer` records a tree of nested :class:`Span` context managers
+(one per annealing run, training epoch, factorization, ...), each carrying
+free-form attributes, plus point-in-time *events* (the energy-descent
+probe samples).  Finished records stream to a JSONL file when a path is
+configured and always accumulate in ``tracer.records`` for in-process
+inspection.
+
+JSONL schema — one object per line, ``kind`` selects the shape:
+
+``{"kind": "span", "name", "span_id", "parent_id", "start_ms",
+"duration_ms", "attributes"}``
+    A completed span.  ``start_ms`` is relative to tracer creation;
+    children are written before their parents (they finish first).
+
+``{"kind": "event", "name", "span_id", "at_ms", "attributes"}``
+    A zero-duration event attached to the span open at emission time
+    (``span_id`` is ``None`` at top level).
+
+``{"kind": "metrics", "at_ms", "snapshot"}``
+    A metrics-registry snapshot, embedded by the CLI teardown so one
+    trace file carries the whole observability story.
+
+The disabled default is :data:`NULL_TRACER`, whose ``span()`` returns a
+shared no-op context manager — instrumented code never branches on
+whether tracing is on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "read_trace"]
+
+
+class Span:
+    """One timed, attributed section of work inside a :class:`Tracer`."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "_tracer",
+        "_start",
+        "start_ms",
+        "duration_ms",
+    )
+
+    def __init__(
+        self, tracer: "Tracer", name: str, span_id: int,
+        parent_id: int | None, attributes: dict,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self._tracer = tracer
+        self._start = 0.0
+        self.start_ms = 0.0
+        self.duration_ms: float | None = None
+
+    def set(self, key: str, value) -> None:
+        """Attach (or overwrite) one attribute on the open span."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        self.start_ms = (self._start - self._tracer._epoch) * 1000.0
+        self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.duration_ms = (time.perf_counter() - self._start) * 1000.0
+        self._tracer._finish(self)
+
+    def to_record(self) -> dict:
+        return {
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ms": self.start_ms,
+            "duration_ms": self.duration_ms,
+            "attributes": self.attributes,
+        }
+
+
+class Tracer:
+    """Collects nested spans and events; optionally streams JSONL."""
+
+    enabled = True
+
+    def __init__(self, path: str | Path | None = None):
+        self._epoch = time.perf_counter()
+        self._stack: list[Span] = []
+        self._next_id = 0
+        self.records: list[dict] = []
+        self.path = Path(path) if path is not None else None
+        self._file = (
+            self.path.open("w", encoding="utf-8") if self.path else None
+        )
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes) -> Span:
+        """A new span; nest by entering it (``with tracer.span(...)``)."""
+        parent = self._stack[-1].span_id if self._stack else None
+        self._next_id += 1
+        return Span(self, name, self._next_id, parent, dict(attributes))
+
+    def event(self, name: str, **attributes) -> None:
+        """A point-in-time record attached to the currently open span."""
+        self._emit(
+            {
+                "kind": "event",
+                "name": name,
+                "span_id": self._stack[-1].span_id if self._stack else None,
+                "at_ms": (time.perf_counter() - self._epoch) * 1000.0,
+                "attributes": attributes,
+            }
+        )
+
+    def embed_metrics(self, snapshot: dict) -> None:
+        """Write a metrics snapshot into the trace stream."""
+        self._emit(
+            {
+                "kind": "metrics",
+                "at_ms": (time.perf_counter() - self._epoch) * 1000.0,
+                "snapshot": snapshot,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def _finish(self, span: Span) -> None:
+        popped = self._stack.pop()
+        if popped is not span:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"span {span.name!r} closed while {popped.name!r} was open"
+            )
+        self._emit(span.to_record())
+
+    def _emit(self, record: dict) -> None:
+        self.records.append(record)
+        if self._file is not None:
+            self._file.write(json.dumps(record) + "\n")
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Flush and release the JSONL file (records stay readable)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class _NullSpan:
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = None
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class NullTracer:
+    """The disabled default: spans and events vanish at near-zero cost."""
+
+    enabled = False
+    records: list = []
+    path = None
+
+    _span = _NullSpan()
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return self._span
+
+    def event(self, name: str, **attributes) -> None:
+        pass
+
+    def embed_metrics(self, snapshot: dict) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared disabled tracer installed by default.
+NULL_TRACER = NullTracer()
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a trace JSONL file back into its records (blank-line safe)."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

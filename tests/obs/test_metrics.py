@@ -1,0 +1,121 @@
+"""Tests of the metrics registry: instruments, summaries, null path."""
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_counts_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("steps")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(3)
+        registry.counter("x").inc(4)
+        assert registry.counter("x").value == 7
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_holds_last_value(self):
+        gauge = MetricsRegistry().gauge("fraction")
+        gauge.set(0.25)
+        gauge.set(0.75)
+        assert gauge.value == 0.75
+
+    def test_unset_gauge_omitted_from_snapshot(self):
+        registry = MetricsRegistry()
+        registry.gauge("never_set")
+        assert registry.snapshot()["gauges"] == {}
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 10
+        assert summary["mean"] == pytest.approx(5.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["p50"] == pytest.approx(5.5)
+        assert summary["p90"] == pytest.approx(9.1)
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().histogram("empty").summary() == {"count": 0}
+
+    def test_single_sample_quantiles(self):
+        histogram = MetricsRegistry().histogram("one")
+        histogram.observe(3.0)
+        summary = histogram.summary()
+        assert summary["p50"] == 3.0
+        assert summary["p90"] == 3.0
+
+
+class TestTimer:
+    def test_records_elapsed_ms(self):
+        registry = MetricsRegistry()
+        with registry.timer("block_ms"):
+            pass
+        summary = registry.histogram("block_ms").summary()
+        assert summary["count"] == 1
+        assert 0.0 <= summary["mean"] < 1000.0
+
+    def test_nested_timers_do_not_clobber(self):
+        registry = MetricsRegistry()
+        with registry.timer("outer_ms"):
+            with registry.timer("outer_ms"):
+                pass
+        assert registry.histogram("outer_ms").summary()["count"] == 2
+
+
+class TestRegistry:
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 0.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        json.dumps(snapshot)  # must round-trip through JSON
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.counter("x").inc(5)
+        NULL_METRICS.gauge("y").set(1.0)
+        NULL_METRICS.histogram("z").observe(2.0)
+        with NULL_METRICS.timer("t"):
+            pass
+        assert NULL_METRICS.counter("x").value == 0
+        assert NULL_METRICS.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_shared_singletons(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.counter("b")

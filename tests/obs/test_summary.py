@@ -1,0 +1,87 @@
+"""Tests of trace aggregation and the ``obs summarize`` rendering."""
+
+import pytest
+
+from repro import obs
+from repro.obs import format_metrics, format_summary, summarize_trace
+from repro.obs.summary import summarize_records
+
+
+def _recorded_trace(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with obs.observe(trace_path=path) as (registry, tracer):
+        with tracer.span("circuit.run_batch", batch=4, steps=100) as span:
+            span.set("settled_fraction", 0.75)
+            tracer.event("circuit.energy_probe", step=50, energy_mean=-2.0)
+        with tracer.span("circuit.run_batch", batch=2, steps=100):
+            pass
+        registry.counter("engine.cache_hits").inc(9)
+        registry.counter("engine.cache_misses").inc(1)
+        registry.histogram("engine.solve_ms").observe(0.5)
+    return path
+
+
+class TestSummarizeRecords:
+    def test_groups_spans_by_name(self, tmp_path):
+        summary = summarize_trace(_recorded_trace(tmp_path))
+        spans = summary["spans"]["circuit.run_batch"]
+        assert spans["count"] == 2
+        assert spans["total_ms"] >= spans["max_ms"]
+        assert spans["mean_ms"] * 2 == pytest.approx(spans["total_ms"])
+
+    def test_aggregates_numeric_attributes(self, tmp_path):
+        summary = summarize_trace(_recorded_trace(tmp_path))
+        steps = summary["span_attributes"]["circuit.run_batch.steps"]
+        assert steps == {
+            "count": 2, "sum": 200.0, "mean": 100.0, "min": 100.0,
+            "max": 100.0,
+        }
+        batch = summary["span_attributes"]["circuit.run_batch.batch"]
+        assert batch["sum"] == 6.0
+
+    def test_collects_events_and_metrics(self, tmp_path):
+        summary = summarize_trace(_recorded_trace(tmp_path))
+        assert summary["events"] == {"circuit.energy_probe": 1}
+        probe = summary["event_attributes"]["circuit.energy_probe.energy_mean"]
+        assert probe["mean"] == -2.0
+        assert summary["metrics"]["counters"]["engine.cache_hits"] == 9
+
+    def test_non_numeric_attributes_ignored(self):
+        summary = summarize_records(
+            [
+                {
+                    "kind": "span",
+                    "name": "s",
+                    "duration_ms": 1.0,
+                    "attributes": {"mode": "spatial", "n": 8, "flag": True},
+                }
+            ]
+        )
+        assert set(summary["span_attributes"]) == {"s.n"}
+
+    def test_empty_records(self):
+        summary = summarize_records([])
+        assert summary["spans"] == {}
+        assert summary["metrics"] is None
+
+
+class TestFormatting:
+    def test_format_summary_mentions_key_observables(self, tmp_path):
+        text = format_summary(summarize_trace(_recorded_trace(tmp_path)))
+        assert "circuit.run_batch" in text
+        assert "settled_fraction" in text
+        assert "steps" in text
+        assert "LU-cache hit rate: 90.0%" in text
+
+    def test_format_summary_without_spans(self):
+        text = format_summary(summarize_records([]))
+        assert "(no spans recorded)" in text
+
+    def test_format_metrics_empty_snapshot(self):
+        assert format_metrics({"counters": {}, "gauges": {}, "histograms": {}}) == ""
+
+    def test_format_metrics_hit_rate_with_only_misses(self):
+        text = format_metrics(
+            {"counters": {"engine.cache_misses": 3}, "gauges": {}, "histograms": {}}
+        )
+        assert "LU-cache hit rate: 0.0%" in text

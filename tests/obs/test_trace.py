@@ -1,0 +1,151 @@
+"""Tests of span tracing: nesting, JSONL round-trip, global state."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_TRACER, Tracer, read_trace
+
+
+class TestSpanNesting:
+    def test_child_records_parent_id(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        records = {r["name"]: r for r in tracer.records}
+        assert records["inner"]["parent_id"] == records["outer"]["span_id"]
+        assert records["outer"]["parent_id"] is None
+
+    def test_children_close_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r["name"] for r in tracer.records] == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r["name"]: r for r in tracer.records}
+        assert by_name["a"]["parent_id"] == root.span_id
+        assert by_name["b"]["parent_id"] == root.span_id
+
+    def test_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("work", n=10) as span:
+            span.set("result", 1.5)
+        record = tracer.records[0]
+        assert record["attributes"] == {"n": 10, "result": 1.5}
+        assert record["duration_ms"] >= 0.0
+
+    def test_event_attaches_to_open_span(self):
+        tracer = Tracer()
+        with tracer.span("run") as span:
+            tracer.event("probe", step=5, energy=-1.0)
+        event = [r for r in tracer.records if r["kind"] == "event"][0]
+        assert event["span_id"] == span.span_id
+        assert event["attributes"] == {"step": 5, "energy": -1.0}
+
+    def test_top_level_event_has_no_span(self):
+        tracer = Tracer()
+        tracer.event("standalone")
+        assert tracer.records[0]["span_id"] is None
+
+
+class TestJsonlRoundTrip:
+    def test_spans_round_trip_through_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("outer", n=3):
+            with tracer.span("inner"):
+                tracer.event("tick", k=1)
+        tracer.embed_metrics({"counters": {"c": 1}})
+        tracer.close()
+
+        records = read_trace(path)
+        assert records == tracer.records
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["event", "span", "span", "metrics"]
+        by_name = {r["name"]: r for r in records if r["kind"] == "span"}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+
+    def test_jsonl_is_one_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("a"):
+            pass
+        tracer.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "a"
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", n=1) as span:
+            span.set("x", 2)
+            NULL_TRACER.event("nothing")
+        assert NULL_TRACER.records == []
+
+    def test_shared_span_singleton(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestGlobalState:
+    def test_disabled_by_default(self):
+        assert obs.enabled() is False
+        assert obs.metrics() is obs.NULL_METRICS
+        assert obs.tracer() is obs.NULL_TRACER
+
+    def test_observe_restores_disabled_state(self, tmp_path):
+        with obs.observe(trace_path=tmp_path / "t.jsonl") as (registry, tracer):
+            assert obs.enabled()
+            assert obs.metrics() is registry
+            assert obs.tracer() is tracer
+        assert not obs.enabled()
+
+    def test_disable_embeds_final_metrics_snapshot(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.observe(trace_path=path):
+            obs.metrics().counter("engine.cache_hits").inc(3)
+        records = read_trace(path)
+        assert records[-1]["kind"] == "metrics"
+        assert records[-1]["snapshot"]["counters"]["engine.cache_hits"] == 3
+
+    def test_metrics_enabled_installs_and_restores(self):
+        assert not obs.metrics().enabled
+        with obs.metrics_enabled() as registry:
+            assert registry.enabled
+            assert obs.metrics() is registry
+        assert not obs.metrics().enabled
+
+    def test_metrics_enabled_reuses_active_registry(self):
+        with obs.observe(collect_metrics=True) as (registry, _tracer):
+            with obs.metrics_enabled() as inner:
+                assert inner is registry
+
+    def test_configure_requires_explicit_sinks(self):
+        pair = obs.configure(collect_metrics=False, trace_path=None)
+        try:
+            assert pair == (obs.NULL_METRICS, obs.NULL_TRACER)
+            assert not obs.enabled()
+        finally:
+            obs.disable()
+
+
+class TestReadTrace:
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "event", "name": "x"}\n\n')
+        assert len(read_trace(path)) == 1
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_trace(tmp_path / "absent.jsonl")

@@ -32,6 +32,32 @@ class TestParser:
         assert tuple(args.grid) == (2, 4)
         assert args.pattern == "mesh"
 
+    def test_observability_flags_on_every_subcommand(self):
+        parser = build_parser()
+        for argv in (
+            ["datasets"],
+            ["train", "o3"],
+            ["decompose", "o3"],
+            ["table", "1"],
+            ["figure", "4"],
+            ["bench"],
+        ):
+            args = parser.parse_args(argv + ["--trace", "t.jsonl", "--metrics"])
+            assert args.trace == "t.jsonl"
+            assert args.metrics is True
+
+    def test_observability_flags_before_positionals(self):
+        args = build_parser().parse_args(
+            ["train", "--trace", "t.jsonl", "-vv", "o3"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.verbose == 2
+        assert args.dataset == "o3"
+
+    def test_obs_summarize_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "summarize"])
+
 
 class TestCommands:
     def test_datasets_lists_all(self, capsys):
@@ -68,6 +94,47 @@ class TestCommands:
         assert "DSPU final" in out and "BRIM final" in out
 
 
+class TestObservability:
+    def test_train_trace_then_summarize(self, capsys, tmp_path):
+        from repro import obs
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["train", "o3", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "circuit check" in out
+        assert "settled fraction" in out
+        assert f"trace written to {trace}" in out
+        assert not obs.enabled()  # main() restores the disabled state
+
+        records = obs.read_trace(trace)
+        span_names = {r["name"] for r in records if r["kind"] == "span"}
+        assert "circuit.run_batch" in span_names
+        assert "engine.factorize" in span_names
+        assert records[-1]["kind"] == "metrics"
+
+        assert main(["obs", "summarize", str(trace)]) == 0
+        summary = capsys.readouterr().out
+        assert "circuit.run_batch" in summary
+        assert "steps" in summary
+        assert "settled_fraction" in summary
+        assert "circuit.energy_probe" in summary
+        assert "LU-cache hit rate" in summary
+
+    def test_metrics_flag_prints_snapshot(self, capsys):
+        assert main(["train", "o3", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.cache_misses" in out
+        assert "circuit.runs" in out
+        assert "LU-cache hit rate" in out
+
+    def test_no_flags_leaves_observability_disabled(self, capsys):
+        from repro import obs
+
+        assert main(["datasets"]) == 0
+        assert not obs.enabled()
+        assert "trace written" not in capsys.readouterr().out
+
+
 class TestBenchCommand:
     def test_bench_parser_defaults(self):
         args = build_parser().parse_args(["bench"])
@@ -89,3 +156,30 @@ class TestBenchCommand:
         stdout = capsys.readouterr().out
         assert "speedup" in stdout
         assert str(out) in stdout
+
+    def test_bench_embeds_samples_and_metrics(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_core.json"
+        repeats = 2
+        assert main(
+            ["bench", "--smoke", "--out", str(out), "--repeats", str(repeats)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        for result in payload["results"]:
+            for stats_key in ("baseline_stats", "optimized_stats"):
+                stats = result[stats_key]
+                assert len(stats["samples_ms"]) == repeats
+                assert stats["best_ms"] == min(stats["samples_ms"])
+                assert stats["best_ms"] <= stats["median_ms"] <= stats["p90_ms"]
+        equilibrium = next(
+            r for r in payload["results"] if "equilibrium" in r["name"]
+        )
+        assert equilibrium["cache_hits"] > 0
+        assert equilibrium["cache_misses"] >= 1
+        counters = payload["metrics"]["counters"]
+        assert counters["engine.cache_hits"] > 0
+        assert counters["circuit.runs"] > 0
+        stdout = capsys.readouterr().out
+        assert "opt p50" in stdout
+        assert "LU-cache hit rate" in stdout
