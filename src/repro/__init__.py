@@ -12,6 +12,8 @@ as a Python library:
   placement, and pattern-constrained fine-tuning (Fig. 5).
 * :mod:`repro.hardware` - the Scalable DSPU grid: PEs, CUs, schedulers,
   co-annealing simulation, and cost models.
+* :mod:`repro.faults` - device fault injection (stuck nodes, open
+  couplers, conductance drift, missed syncs) and resilience policies.
 * :mod:`repro.nn` / :mod:`repro.gnn` - a from-scratch autograd engine and
   the GWN/MTGNN/DDGCRN baselines.
 * :mod:`repro.datasets` - seeded synthetic stand-ins for the paper's nine
@@ -32,7 +34,18 @@ Quickstart::
     prediction = engine.infer_equilibrium(tw.observed_index, history).prediction
 """
 
-from . import core, datasets, decompose, experiments, gnn, hardware, ising, nn, obs
+from . import (
+    core,
+    datasets,
+    decompose,
+    experiments,
+    faults,
+    gnn,
+    hardware,
+    ising,
+    nn,
+    obs,
+)
 
 __version__ = "1.0.0"
 
@@ -42,6 +55,7 @@ __all__ = [
     "datasets",
     "decompose",
     "experiments",
+    "faults",
     "gnn",
     "hardware",
     "ising",

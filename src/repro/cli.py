@@ -15,6 +15,10 @@ Commands
     Time the annealing hot paths (sparse vs dense, batched vs looped)
     and write ``BENCH_core.json`` (with per-repeat timing samples and a
     metrics snapshot embedded).
+``faults sweep``
+    Sweep co-annealing accuracy against a uniform device-fault rate
+    (stuck nodes, open couplers, conductance drift, missed syncs) and
+    optionally dump the table as JSON.
 ``obs summarize PATH``
     Aggregate a recorded trace JSONL into a span/metric table.
 
@@ -35,14 +39,17 @@ import numpy as np
 from . import obs
 from .datasets import ALL_DATASETS, load_dataset
 from .experiments import (
+    FAULT_RATE_GRID,
     ExperimentContext,
     evaluate_equilibrium,
+    fault_sweep_data,
     fig4_data,
     fig10_data,
     fig11_data,
     fig12_data,
     fig13_data,
     format_density_sweep,
+    format_fault_sweep,
     format_latency_sweep,
     format_noise_sweep,
     format_sync_sweep,
@@ -171,6 +178,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--batch", type=_positive_int, default=64)
     bench.add_argument("--repeats", type=_positive_int, default=3)
+
+    faults_cmd = sub.add_parser(
+        "faults", help="fault-injection utilities"
+    )
+    faults_sub = faults_cmd.add_subparsers(dest="faults_command", required=True)
+    sweep = faults_sub.add_parser(
+        "sweep",
+        help="accuracy vs device-fault rate on the Scalable DSPU",
+        parents=[common],
+    )
+    sweep.add_argument(
+        "--dataset",
+        action="append",
+        choices=ALL_DATASETS,
+        default=None,
+        help="dataset(s) to sweep (repeatable; default: traffic)",
+    )
+    sweep.add_argument("--size", default="small", choices=("small", "paper"))
+    sweep.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="R",
+        help=f"uniform fault rates to sweep (default: {FAULT_RATE_GRID})",
+    )
+    sweep.add_argument("--density", type=float, default=0.15)
+    sweep.add_argument(
+        "--pattern", default="dmesh", choices=("chain", "mesh", "dmesh")
+    )
+    sweep.add_argument("--duration-ns", type=float, default=20000.0)
+    sweep.add_argument("--max-windows", type=_positive_int, default=10)
+    sweep.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=1,
+        help="sampled fault scenarios averaged per rate",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--no-sync-skips",
+        action="store_true",
+        help="leave synchronization edges fault-free",
+    )
+    sweep.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid (two rates, short anneals) for CI smoke runs",
+    )
+    sweep.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the sweep data as JSON to PATH",
+    )
 
     obs_cmd = sub.add_parser(
         "obs", help="observability utilities", parents=[common]
@@ -318,6 +380,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.faults_command != "sweep":
+        return 1
+    if args.smoke:
+        rates = args.rates or (0.0, 0.02)
+        duration_ns = min(args.duration_ns, 5000.0)
+        max_windows = min(args.max_windows, 3)
+    else:
+        rates = args.rates or FAULT_RATE_GRID
+        duration_ns = args.duration_ns
+        max_windows = args.max_windows
+    context = ExperimentContext(size=args.size)
+    data = fault_sweep_data(
+        context,
+        datasets=tuple(args.dataset or ("traffic",)),
+        fault_rates=tuple(rates),
+        density=args.density,
+        pattern=args.pattern,
+        duration_ns=duration_ns,
+        max_windows=max_windows,
+        trials=args.trials,
+        include_sync_skips=not args.no_sync_skips,
+        seed=args.seed,
+    )
+    print(format_fault_sweep(data))
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "summarize":
         print(obs.format_summary(obs.summarize_trace(args.path)))
@@ -338,6 +434,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_figure(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "obs":
         return _cmd_obs(args)
     return 1

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
+from ..faults.model import NO_FAULTS, FaultScenario, NullFaultScenario
+from ..faults.resilience import check_finite
 
 logger = logging.getLogger("repro.core")
 
@@ -71,6 +73,13 @@ class IntegrationConfig:
             polarization observable of the Fig. 4 circuit validation.
             ``0`` (default) disables the probe; with tracing off it costs
             nothing either way.
+        divergence_check_every: When positive, verify the state is finite
+            every this many integration steps and raise
+            :class:`~repro.faults.resilience.DivergenceError` (with a
+            ``circuit.divergence`` trace event) instead of returning a
+            garbage trajectory.  ``0`` (default) disables the guard —
+            the polarization analysis runs unrailed and must be allowed
+            to observe divergence.
     """
 
     dt: float = 0.1
@@ -81,6 +90,7 @@ class IntegrationConfig:
     coupling_noise_std: float = 0.0
     record_every: int = 1
     energy_probe_every: int = 0
+    divergence_check_every: int = 0
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
@@ -95,6 +105,8 @@ class IntegrationConfig:
             raise ValueError("noise standard deviations must be non-negative")
         if self.energy_probe_every < 0:
             raise ValueError("energy_probe_every must be >= 0")
+        if self.divergence_check_every < 0:
+            raise ValueError("divergence_check_every must be >= 0")
 
 
 @dataclass
@@ -231,12 +243,21 @@ class CircuitSimulator:
         config: Integration settings.
         rng: Source of randomness for noise injection; a fixed seed makes
             runs reproducible.
+        faults: Device fault scenario injected into every run.  A node
+            stuck at a rail is physically a driven capacitor, so stuck
+            nodes are folded into the clamp set (overriding an observed
+            clamp on the same node) — the hot loop itself is untouched,
+            and the default :data:`~repro.faults.NO_FAULTS` scenario is
+            bit-for-bit invisible.  Coupler faults act on the coupling
+            matrix and are therefore applied by the caller that owns it
+            (see :class:`~repro.core.inference.NaturalAnnealingEngine`).
     """
 
     config: IntegrationConfig = field(default_factory=IntegrationConfig)
     rng: np.random.Generator = field(
         default_factory=lambda: np.random.default_rng(0)
     )
+    faults: FaultScenario | NullFaultScenario = NO_FAULTS
 
     def run(
         self,
@@ -265,6 +286,7 @@ class CircuitSimulator:
         sigma = np.array(sigma0, dtype=float).reshape(-1)
         n = sigma.shape[0]
         clamp_index, clamp_value = self._check_clamps(n, clamp_index, clamp_value)
+        clamp_index, clamp_value = self._with_stuck(clamp_index, clamp_value)
         sigma[clamp_index] = clamp_value
 
         def drift_batch(states: np.ndarray) -> np.ndarray:
@@ -332,6 +354,7 @@ class CircuitSimulator:
         clamp_index, clamp_value = self._check_clamps(
             n, clamp_index, clamp_value, batch=batch
         )
+        clamp_index, clamp_value = self._with_stuck(clamp_index, clamp_value)
         sigma[:, clamp_index] = clamp_value
         with obs.tracer().span(
             "circuit.run_batch", batch=batch, n=n, method=self.config.method
@@ -364,6 +387,40 @@ class CircuitSimulator:
             batch, steps, duration, self.config.method,
         )
 
+    def _with_stuck(
+        self, clamp_index: np.ndarray, clamp_value: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fold stuck-at-rail fault nodes into the clamp set.
+
+        A stuck node is a capacitor driven to a rail by the defect, so it
+        behaves exactly like an (involuntarily) observed node; a stuck
+        node that is also deliberately clamped is overridden — hardware
+        faults beat intent.  With :data:`~repro.faults.NO_FAULTS` this
+        returns the inputs unchanged.
+        """
+        stuck = self.faults.stuck_index
+        if not stuck.size:
+            return clamp_index, clamp_value
+        rail = self.config.rail if self.config.rail is not None else 1.0
+        stuck_value = self.faults.stuck_values(rail)
+        keep = ~np.isin(clamp_index, stuck)
+        merged_index = np.concatenate([clamp_index[keep], stuck])
+        if clamp_value.ndim == 2:
+            tiled = np.broadcast_to(
+                stuck_value, (clamp_value.shape[0], stuck.size)
+            )
+            merged_value = np.concatenate(
+                [clamp_value[:, keep], tiled], axis=1
+            )
+        else:
+            merged_value = np.concatenate([clamp_value[keep], stuck_value])
+        if obs.enabled():
+            obs.metrics().counter("faults.stuck_clamps").inc(int(stuck.size))
+            obs.tracer().event(
+                "faults.injected", where="circuit", **self.faults.summary()
+            )
+        return merged_index, merged_value
+
     # ------------------------------------------------------------------
     # Shared integration core
     # ------------------------------------------------------------------
@@ -375,6 +432,15 @@ class CircuitSimulator:
         batch: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Validate clamp arrays; supports shared and per-sample values."""
+        if (clamp_index is None) != (clamp_value is None):
+            # Catch the half-specified pair up front: np.asarray(None)
+            # would otherwise produce a NaN 0-d array and a misleading
+            # shape error (or, for a single clamp, a silent NaN clamp).
+            raise ValueError(
+                "clamp_index and clamp_value must be given together "
+                f"(got clamp_index={'set' if clamp_index is not None else None}, "
+                f"clamp_value={'set' if clamp_value is not None else None})"
+            )
         if clamp_index is None:
             clamp_index = np.zeros(0, dtype=int)
             clamp_value = np.zeros(0)
@@ -421,6 +487,7 @@ class CircuitSimulator:
             else 0
         )
 
+        check_every = cfg.divergence_check_every
         n_steps = max(1, int(round(duration / cfg.dt)))
         times = [0.0]
         states = [sigma.copy()]
@@ -451,6 +518,8 @@ class CircuitSimulator:
             # Clamps are re-asserted *after* noise injection: the observed
             # capacitors are driven, so noise cannot displace them.
             sigma = self._project(sigma, clamp_index, clamp_value)
+            if check_every and (step % check_every == 0 or step == n_steps):
+                check_finite(sigma, "circuit", step, step * cfg.dt)
             if probe_every and (step % probe_every == 0 or step == n_steps):
                 values = np.asarray(energy(sigma), dtype=float)
                 tracer.event(

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
+from ..faults.model import NO_FAULTS, FaultScenario, NullFaultScenario
 from .annealing import AnnealingController
 from .dynamics import (
     BatchTrajectory,
@@ -95,10 +96,21 @@ class NaturalAnnealingEngine:
         backend: Coupling-operator storage — ``"dense"``, ``"sparse"``, or
             ``"auto"`` (density-based selection; see
             :mod:`repro.core.operators`).
+        faults: Device fault scenario every inference path runs under.
+            Coupler faults (opens, gain/offset drift) are folded into the
+            cached coupling operator — so the circuit drift, the recorded
+            energies, *and* the equilibrium solves all see the faulted
+            system — while stuck-at-rail nodes are injected as forced
+            clamps by the circuit simulator.  The default
+            :data:`~repro.faults.NO_FAULTS` leaves every path bit-for-bit
+            unchanged.  Assign a new scenario only through
+            :meth:`set_faults` (or call :meth:`clear_cache` after
+            mutating the field) so the cached operator is rebuilt.
 
     The engine memoizes two things: the :class:`CouplingOperator` built
-    from the model, and one factored :class:`ReducedSystem` per
-    observed-index set (the expensive part of equilibrium inference).  If
+    from the (possibly fault-transformed) model, and one factored
+    :class:`ReducedSystem` per observed-index set (the expensive part of
+    equilibrium inference).  If
     the model's parameters are mutated in place, call :meth:`clear_cache`.
     Cache effectiveness is visible through :attr:`cache_hits` /
     :attr:`cache_misses` (and :meth:`cache_hit_rate`), which
@@ -110,6 +122,7 @@ class NaturalAnnealingEngine:
     controller: AnnealingController | None = None
     seed: int = 0
     backend: str = "auto"
+    faults: FaultScenario | NullFaultScenario = NO_FAULTS
     cache_hits: int = field(default=0, init=False)
     cache_misses: int = field(default=0, init=False)
     _operator: CouplingOperator | None = field(
@@ -122,12 +135,31 @@ class NaturalAnnealingEngine:
     # ------------------------------------------------------------------
     @property
     def operator(self) -> CouplingOperator:
-        """The backend-selected coupling operator (built lazily, cached)."""
+        """The backend-selected coupling operator (built lazily, cached).
+
+        When a fault scenario with coupler faults is installed, the
+        operator is built from the fault-transformed coupling matrix, so
+        every downstream consumer — drift, energy, reduced solves — sees
+        the faulted hardware.
+        """
         if self._operator is None:
+            J = self.faults.apply_coupling(self.model.J)
             self._operator = CouplingOperator(
-                self.model.J, self.model.h, backend=self.backend
+                J, self.model.h, backend=self.backend
             )
+            if self.faults.enabled and obs.enabled():
+                obs.tracer().event(
+                    "faults.injected", where="engine",
+                    **self.faults.summary(),
+                )
         return self._operator
+
+    def set_faults(
+        self, faults: FaultScenario | NullFaultScenario
+    ) -> None:
+        """Install a fault scenario and invalidate the cached operator."""
+        self.faults = faults
+        self.clear_cache()
 
     @property
     def cache_size(self) -> int:
@@ -230,7 +262,9 @@ class NaturalAnnealingEngine:
         sigma0 = rng.uniform(-rail, rail, size=n)
         sigma0[observed_index] = clamp_value
 
-        simulator = CircuitSimulator(config=self.config, rng=rng)
+        simulator = CircuitSimulator(
+            config=self.config, rng=rng, faults=self.faults
+        )
         operator = self.operator
         drift = self._drift_function(simulator, operator)
 
@@ -296,7 +330,9 @@ class NaturalAnnealingEngine:
         sigma0 = rng.uniform(-rail, rail, size=(batch, n))
         sigma0[:, observed_index] = clamp
 
-        simulator = CircuitSimulator(config=self.config, rng=rng)
+        simulator = CircuitSimulator(
+            config=self.config, rng=rng, faults=self.faults
+        )
         operator = self.operator
         drift = self._drift_function(simulator, operator)
 

@@ -1,6 +1,7 @@
 """Experiment harness: one entry point per table/figure of the paper."""
 
 from .ascii_plot import line_chart, sparkline
+from .faultsweep import FAULT_RATE_GRID, fault_sweep_data
 from .figures import (
     DENSITY_GRID,
     LATENCY_GRID_NS,
@@ -15,6 +16,7 @@ from .figures import (
 )
 from .reporting import (
     format_density_sweep,
+    format_fault_sweep,
     format_latency_sweep,
     format_noise_sweep,
     format_sync_sweep,
@@ -35,6 +37,7 @@ from .tables import table1_data, table2_data, table3_data, table4_data
 __all__ = [
     "DENSITY_GRID",
     "DSGL_WINDOW",
+    "FAULT_RATE_GRID",
     "GNN_BASELINES",
     "LATENCY_GRID_NS",
     "NOISE_GRID",
@@ -43,12 +46,14 @@ __all__ = [
     "ExperimentContext",
     "evaluate_equilibrium",
     "evaluate_hardware",
+    "fault_sweep_data",
     "fig4_data",
     "fig10_data",
     "fig11_data",
     "fig12_data",
     "fig13_data",
     "format_density_sweep",
+    "format_fault_sweep",
     "format_latency_sweep",
     "format_noise_sweep",
     "format_sync_sweep",

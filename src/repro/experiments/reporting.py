@@ -8,6 +8,7 @@ __all__ = [
     "format_table3",
     "format_table4",
     "format_density_sweep",
+    "format_fault_sweep",
     "format_latency_sweep",
     "format_sync_sweep",
     "format_noise_sweep",
@@ -135,4 +136,30 @@ def format_noise_sweep(data: dict) -> str:
                 f"D={d}:{v:.2e}" for d, v in zip(entry["densities"], values)
             )
             lines.append(f"   n={int(noise * 100):>2d}%  {cells}")
+    return "\n".join(lines)
+
+
+def format_fault_sweep(data: dict) -> str:
+    """Render the accuracy-vs-fault-rate table (hard-fault robustness)."""
+    lines = []
+    for name, entry in data.items():
+        lines.append(f"-- {name}  (trials per rate: {entry['trials']})")
+        header = ["rate", "rmse", "diverged", "stuck", "dead couplers"]
+        widths = [7, 10, 8, 5, 13]
+        lines.append("   " + _row(header, widths))
+        rows = zip(
+            entry["fault_rates"],
+            entry["rmse"],
+            entry["diverged"],
+            entry["scenarios"],
+        )
+        for rate, value, diverged, scenario in rows:
+            cells = [
+                f"{rate:.3f}",
+                "n/a" if value != value else f"{value:.2e}",
+                str(diverged),
+                str(scenario.get("stuck_nodes", 0)),
+                str(scenario.get("dead_couplers", 0)),
+            ]
+            lines.append("   " + _row(cells, widths))
     return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""``repro.faults`` — fault injection and resilience for the annealing stack.
+
+Describes hard device faults (stuck-at-rail nodes, open couplers, coupler
+gain/offset drift) and control faults (skipped synchronization events) as
+seeded, deterministic :class:`FaultScenario` realizations, threads them
+through every inference path (:class:`~repro.core.dynamics.
+CircuitSimulator`, :class:`~repro.core.inference.NaturalAnnealingEngine`,
+:meth:`~repro.hardware.scalable_dspu.ScalableDSPU.anneal`), and provides
+the resilience policies that keep a faulty run useful: the divergence
+guard and best-of-K random restarts.
+
+The disabled state is the :data:`NO_FAULTS` null scenario — the same
+null-object pattern as :mod:`repro.obs` — so inference with the fault
+layer off is bit-for-bit identical to inference before the layer existed.
+"""
+
+from .model import NO_FAULTS, FaultModel, FaultScenario, NullFaultScenario
+from .resilience import (
+    DivergenceError,
+    RestartOutcome,
+    RestartPolicy,
+    check_finite,
+)
+
+__all__ = [
+    "NO_FAULTS",
+    "DivergenceError",
+    "FaultModel",
+    "FaultScenario",
+    "NullFaultScenario",
+    "RestartOutcome",
+    "RestartPolicy",
+    "check_finite",
+]

@@ -1,0 +1,354 @@
+"""Device fault models for the annealing stack (Sec. V.G robustness).
+
+Analog Ising/GL hardware lives or dies by its behaviour under device
+non-idealities.  Beyond the paper's Gaussian noise study, real arrays
+exhibit *hard* faults — nodes latched to a supply rail, open (dead)
+couplers, couplers whose programmed conductance drifts — and *control*
+faults such as missed synchronization edges.  This module describes those
+faults declaratively:
+
+* :class:`FaultModel` — rates and drift magnitudes, plus a seed.  Its
+  :meth:`~FaultModel.sample` draws one concrete, deterministic
+  :class:`FaultScenario` for a system size (and optionally a coupling
+  matrix, so coupler faults target *programmed* devices only).
+* :class:`FaultScenario` — the sampled realization: which nodes are stuck
+  at which rail, which coupler pairs are open, per-coupler gain/offset
+  drift, and the synchronization skip rate.  Scenarios transform coupling
+  matrices (:meth:`~FaultScenario.apply_coupling`) and expose stuck-node
+  clamp assignments, so injection points stay tiny.
+* :data:`NO_FAULTS` — the shared null scenario.  Exactly like
+  :data:`repro.obs.NULL_METRICS`, instrumented code can thread it through
+  unconditionally: every method is a no-op returning its input untouched,
+  so the disabled fault layer is bit-for-bit invisible (enforced by
+  ``tests/faults`` and ``benchmarks/perf/test_perf_faults.py``).
+
+Determinism: sampling uses ``np.random.default_rng(seed)`` internally and
+never touches a caller's generator, so enabling the fault layer does not
+shift any downstream random stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse as sp
+
+__all__ = ["FaultModel", "FaultScenario", "NullFaultScenario", "NO_FAULTS"]
+
+
+def _symmetric_offdiag(matrix: np.ndarray) -> np.ndarray:
+    """Symmetrize and zero the diagonal of a drift-factor matrix."""
+    matrix = (matrix + matrix.T) / 2.0
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class NullFaultScenario:
+    """Shared do-nothing scenario: the fault layer's disabled state.
+
+    Mirrors the ``repro.obs`` null sinks: every query returns "no faults"
+    and every transform returns its input object unchanged (not even a
+    copy), so code threading :data:`NO_FAULTS` through is byte-identical
+    to code with no fault layer at all.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    affects_coupling = False
+    sync_skip_rate = 0.0
+    stuck_index = np.zeros(0, dtype=int)
+    stuck_sign = np.zeros(0)
+
+    def stuck_values(self, rail: float) -> np.ndarray:
+        return np.zeros(0)
+
+    def apply_coupling(self, matrix):
+        return matrix
+
+    def sync_skip_mask(self, num_intervals: int) -> None:
+        return None
+
+    def summary(self) -> dict:
+        return {"enabled": False}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NO_FAULTS"
+
+
+#: The process-shared null scenario (default everywhere).
+NO_FAULTS = NullFaultScenario()
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One sampled realization of device faults for an ``n``-node system.
+
+    Attributes:
+        n: System size the scenario was sampled for.
+        stuck_index: Node indices latched to a supply rail.
+        stuck_sign: ``+-1`` rail polarity per stuck node.
+        dead_pairs: ``(d, 2)`` coupler pairs (``i < j``) that are open
+            circuits — their conductance reads as zero.
+        gain: ``(n, n)`` symmetric multiplicative drift factor per coupler
+            (``None`` when gain drift is disabled).  Applied to every
+            programmed coupling; the diagonal (in-node self reaction) is
+            never touched.
+        offset: ``(n, n)`` symmetric additive drift per coupler as a
+            *fraction of the mean programmed magnitude* of the matrix it
+            is applied to (``None`` when disabled).  Relative offsets keep
+            the scenario reusable across conductance normalizations (the
+            DSPU rescales its matrices by a global time factor).
+        sync_skip_rate: Probability a digital synchronization edge is
+            missed (the mapping switch stalls for that interval).
+        seed: Seed that sampled this scenario; also seeds
+            :meth:`sync_skip_mask` so event-level faults replay
+            identically across runs.
+    """
+
+    n: int
+    stuck_index: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=int)
+    )
+    stuck_sign: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    dead_pairs: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 2), dtype=int)
+    )
+    gain: np.ndarray | None = None
+    offset: np.ndarray | None = None
+    sync_skip_rate: float = 0.0
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault is actually present in this realization."""
+        return bool(
+            self.stuck_index.size
+            or self.dead_pairs.size
+            or self.gain is not None
+            or self.offset is not None
+            or self.sync_skip_rate > 0
+        )
+
+    @property
+    def affects_coupling(self) -> bool:
+        """Whether :meth:`apply_coupling` would change a coupling matrix."""
+        return bool(
+            self.dead_pairs.size
+            or self.gain is not None
+            or self.offset is not None
+        )
+
+    # ------------------------------------------------------------------
+    def stuck_values(self, rail: float) -> np.ndarray:
+        """Rail voltages the stuck nodes are latched to."""
+        return self.stuck_sign * float(rail)
+
+    def apply_coupling(self, matrix):
+        """Return ``matrix`` with coupler faults applied.
+
+        Accepts a dense ndarray or a scipy sparse matrix and preserves the
+        storage kind, the symmetry, and — critically — the *diagonal*: the
+        self-reaction resistor sits inside the node, not in a coupler, so
+        drift and opens never touch it.  Offsets apply only to programmed
+        (non-zero) couplers, scaled by the mean programmed magnitude, so
+        sparse matrices stay sparse.
+        """
+        if not self.affects_coupling:
+            return matrix
+        if matrix.shape != (self.n, self.n):
+            raise ValueError(
+                f"scenario sampled for n={self.n} applied to matrix of "
+                f"shape {matrix.shape}"
+            )
+        if sp.issparse(matrix):
+            out = matrix.tocoo(copy=True)
+            rows, cols, data = out.row, out.col, np.asarray(
+                out.data, dtype=float
+            ).copy()
+            offdiag = rows != cols
+            if self.gain is not None:
+                data[offdiag] *= self.gain[rows[offdiag], cols[offdiag]]
+            if self.offset is not None:
+                reference = (
+                    float(np.mean(np.abs(data[offdiag])))
+                    if np.any(offdiag)
+                    else 0.0
+                )
+                live = offdiag & (data != 0)
+                data[live] += reference * self.offset[rows[live], cols[live]]
+            if self.dead_pairs.size:
+                dead = np.zeros((self.n, self.n), dtype=bool)
+                i, j = self.dead_pairs[:, 0], self.dead_pairs[:, 1]
+                dead[i, j] = dead[j, i] = True
+                data[dead[rows, cols] & offdiag] = 0.0
+            return sp.csr_matrix(
+                (data, (rows, cols)), shape=matrix.shape
+            )
+        out = np.array(matrix, dtype=float)
+        diagonal = np.diag(out).copy()
+        if self.gain is not None:
+            out *= self.gain
+        if self.offset is not None:
+            mask = out != 0
+            np.fill_diagonal(mask, False)
+            reference = (
+                float(np.mean(np.abs(out[mask]))) if mask.any() else 0.0
+            )
+            out[mask] += reference * self.offset[mask]
+        if self.dead_pairs.size:
+            i, j = self.dead_pairs[:, 0], self.dead_pairs[:, 1]
+            out[i, j] = out[j, i] = 0.0
+        np.fill_diagonal(out, diagonal)
+        return out
+
+    def sync_skip_mask(self, num_intervals: int) -> np.ndarray | None:
+        """Which control intervals miss their synchronization edge.
+
+        Deterministic given the scenario seed, so the same scenario
+        replays the same event-level fault pattern run after run.
+        Returns ``None`` when synchronization faults are disabled.
+        """
+        if self.sync_skip_rate <= 0:
+            return None
+        rng = np.random.default_rng((self.seed, 0x5C))
+        return rng.random(num_intervals) < self.sync_skip_rate
+
+    def summary(self) -> dict:
+        """Counts for trace events and log lines."""
+        return {
+            "enabled": self.enabled,
+            "stuck_nodes": int(self.stuck_index.size),
+            "dead_couplers": int(self.dead_pairs.shape[0]),
+            "gain_drift": self.gain is not None,
+            "offset_drift": self.offset is not None,
+            "sync_skip_rate": float(self.sync_skip_rate),
+        }
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Statistical description of device faults, with seeded sampling.
+
+    Attributes:
+        stuck_node_rate: Probability each node is latched to a rail
+            (polarity uniform).
+        dead_coupler_rate: Probability each (programmed) coupler pair is
+            an open circuit.
+        coupler_gain_std: Standard deviation of the multiplicative
+            conductance drift per coupler (0 disables).
+        coupler_offset_std: Standard deviation of the additive drift per
+            coupler, as a fraction of the mean programmed magnitude
+            (0 disables).
+        sync_skip_rate: Probability each synchronization edge is missed.
+        seed: Sampling seed; identical models sample identical scenarios.
+    """
+
+    stuck_node_rate: float = 0.0
+    dead_coupler_rate: float = 0.0
+    coupler_gain_std: float = 0.0
+    coupler_offset_std: float = 0.0
+    sync_skip_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "stuck_node_rate",
+            "dead_coupler_rate",
+            "sync_skip_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("coupler_gain_std", "coupler_offset_std"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault channel has a non-zero rate."""
+        return bool(
+            self.stuck_node_rate
+            or self.dead_coupler_rate
+            or self.coupler_gain_std
+            or self.coupler_offset_std
+            or self.sync_skip_rate
+        )
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "FaultModel":
+        """All four device-fault channels driven by one rate.
+
+        The robustness-sweep convenience: ``rate`` sets the stuck-node and
+        dead-coupler probabilities and the gain/offset drift standard
+        deviations alike, analogous to the paper's single noise axis.
+        """
+        return cls(
+            stuck_node_rate=rate,
+            dead_coupler_rate=rate,
+            coupler_gain_std=rate,
+            coupler_offset_std=rate,
+            seed=seed,
+        )
+
+    def sample(
+        self, n: int, J: np.ndarray | None = None
+    ) -> FaultScenario | NullFaultScenario:
+        """Draw one deterministic fault realization for an ``n``-node system.
+
+        Args:
+            n: System size.
+            J: Optional coupling matrix (dense or sparse); when given,
+                dead-coupler faults are drawn among *programmed* couplers
+                only, matching the physical picture of device opens.
+
+        Returns:
+            A :class:`FaultScenario`, or :data:`NO_FAULTS` when every
+            rate is zero (the scenario is then free to thread through any
+            hot path).
+        """
+        if not self.enabled:
+            return NO_FAULTS
+        rng = np.random.default_rng(self.seed)
+        # Sampling order is fixed so each channel's draw is independent of
+        # the other channels' rates being zero or not.
+        stuck = np.flatnonzero(rng.random(n) < self.stuck_node_rate)
+        stuck_sign = np.where(rng.random(n) < 0.5, -1.0, 1.0)[stuck]
+
+        if J is not None:
+            if sp.issparse(J):
+                rows, cols = J.nonzero()
+            else:
+                rows, cols = np.nonzero(np.asarray(J))
+            upper = rows < cols
+            candidates = np.stack([rows[upper], cols[upper]], axis=1)
+        else:
+            rows, cols = np.triu_indices(n, k=1)
+            candidates = np.stack([rows, cols], axis=1)
+        dead = candidates[
+            rng.random(len(candidates)) < self.dead_coupler_rate
+        ]
+
+        gain = None
+        if self.coupler_gain_std > 0:
+            gain = 1.0 + _symmetric_offdiag(
+                rng.normal(0.0, self.coupler_gain_std, size=(n, n))
+            )
+            np.fill_diagonal(gain, 1.0)
+        offset = None
+        if self.coupler_offset_std > 0:
+            offset = _symmetric_offdiag(
+                rng.normal(0.0, self.coupler_offset_std, size=(n, n))
+            )
+        return FaultScenario(
+            n=n,
+            stuck_index=stuck,
+            stuck_sign=stuck_sign,
+            dead_pairs=dead,
+            gain=gain,
+            offset=offset,
+            sync_skip_rate=self.sync_skip_rate,
+            seed=self.seed,
+        )

@@ -30,6 +30,7 @@ nanoseconds like the paper's circuit.
 from __future__ import annotations
 
 import logging
+import math
 import time
 from dataclasses import dataclass
 
@@ -40,6 +41,8 @@ from scipy.linalg import expm
 from .. import obs
 from ..core.operators import select_backend
 from ..decompose.pipeline import DecomposedSystem
+from ..faults.model import NO_FAULTS, FaultScenario, NullFaultScenario
+from ..faults.resilience import check_finite
 from .config import HardwareConfig
 from .pe import ProcessingElement
 from .scheduler import CoAnnealingSchedule, build_schedule
@@ -53,6 +56,61 @@ logger = logging.getLogger("repro.hardware")
 SPARSE_AUTO_MIN_NODES = 128
 
 
+def _pairs_matrix(
+    entries: list[tuple[int, int, float]], n: int, sparse: bool
+):
+    """Symmetric matrix from ``(i, j, weight)`` coupling pairs.
+
+    Duplicate ``(i, j)`` entries *accumulate* — two conductances wired in
+    parallel add — and they must do so identically in both storage
+    backends: the CSR constructor sums duplicate coordinates, so the
+    dense path accumulates with ``+=`` rather than assigning
+    (last-write-wins would silently diverge from the sparse backend;
+    regression-tested by ``tests/hardware/test_scalable_dspu.py``).
+    """
+    if not sparse:
+        M = np.zeros((n, n))
+        for i, j, w in entries:
+            M[i, j] += w
+            M[j, i] += w
+        return M
+    rows = [i for i, _j, _w in entries] + [j for _i, j, _w in entries]
+    cols = [j for _i, j, _w in entries] + [i for i, _j, _w in entries]
+    data = [w for _i, _j, w in entries] * 2
+    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def _forcing_integral(B: np.ndarray, t: float, phi: np.ndarray) -> np.ndarray:
+    """Forcing integral ``int_0^t e^{Bs} ds``, robust to singular ``B``.
+
+    The closed form ``B^{-1} (e^{Bt} - I)`` is the fast path, but a
+    free-node block can be exactly singular — an isolated free node with
+    zero self-reaction yields a zero 1x1 block, where the integral is
+    simply ``t * I`` — or close enough to singular that the solve returns
+    garbage without raising.  Both cases fall back to the augmented-matrix
+    identity (Van Loan)::
+
+        expm([[B*t, I*t], [0, 0]]) = [[e^{Bt}, int_0^t e^{Bs} ds], [0, I]]
+
+    which is well-defined for every ``B``.
+    """
+    m = B.shape[0]
+    identity = np.eye(m)
+    target = phi - identity
+    try:
+        integral = np.linalg.solve(B, target)
+    except np.linalg.LinAlgError:
+        integral = None
+    if integral is not None and np.isfinite(integral).all():
+        residual = float(np.abs(B @ integral - target).max())
+        if residual <= 1e-8 * max(float(np.abs(target).max()), 1.0):
+            return integral
+    augmented = np.zeros((2 * m, 2 * m))
+    augmented[:m, :m] = B * t
+    augmented[:m, m:] = identity * t
+    return expm(augmented)[:m, m:]
+
+
 @dataclass
 class AnnealingOutcome:
     """Result of one co-annealing inference run.
@@ -60,9 +118,14 @@ class AnnealingOutcome:
     Attributes:
         prediction: Denormalized free-node values.
         state: Final node voltages (normalized domain).
-        latency_ns: Simulated annealing time.
+        latency_ns: Simulated annealing time.  Quantized to whole control
+            intervals, rounding *up*: the machine always anneals at least
+            the requested ``duration_ns``.
         mode: ``"spatial"`` or ``"temporal+spatial"``.
-        phases_completed: Switch-in-turn phases executed.
+        phases_completed: Switch-in-turn phases executed — one per control
+            interval actually integrated.
+        sync_skips: Synchronization events lost to injected faults (the
+            mapping rotation stalls for each; 0 without fault injection).
     """
 
     prediction: np.ndarray
@@ -71,6 +134,7 @@ class AnnealingOutcome:
     mode: str
     phases_completed: int
     energy_trace: np.ndarray | None = None
+    sync_skips: int = 0
 
 
 class ScalableDSPU:
@@ -151,18 +215,6 @@ class ScalableDSPU:
         def _store(dense: np.ndarray):
             return sp.csr_matrix(dense) if sparse else dense
 
-        def _pairs_matrix(entries: list[tuple[int, int, float]]):
-            """Symmetric matrix from ``(i, j, weight)`` coupling pairs."""
-            if not sparse:
-                M = np.zeros((n, n))
-                for i, j, w in entries:
-                    M[i, j] = M[j, i] = w
-                return M
-            rows = [i for i, _j, _w in entries] + [j for _i, j, _w in entries]
-            cols = [j for _i, j, _w in entries] + [i for i, _j, _w in entries]
-            data = [w for _i, _j, w in entries] * 2
-            return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
-
         self._A_local = _store(np.where(inter_mask, 0.0, self._A))
         self._A_inter_phase: list = []
         self._A_inter_boosted: list = []
@@ -179,8 +231,8 @@ class ScalableDSPU:
                 # the stronger value in at switch time).
                 s = self.schedule.slices_per_cu[a.cu]
                 boosted.append((a.node_a, a.node_b, weight * s))
-            self._A_inter_phase.append(_pairs_matrix(live))
-            self._A_inter_boosted.append(_pairs_matrix(boosted))
+            self._A_inter_phase.append(_pairs_matrix(live, n, sparse))
+            self._A_inter_boosted.append(_pairs_matrix(boosted, n, sparse))
         self._A_inter_total = _store(np.where(inter_mask, self._A, 0.0))
 
     # ------------------------------------------------------------------
@@ -216,6 +268,7 @@ class ScalableDSPU:
         coupling_noise_std: float = 0.0,
         force_spatial_only: bool = False,
         record_energy: bool = False,
+        faults: FaultScenario | NullFaultScenario = NO_FAULTS,
     ) -> AnnealingOutcome:
         """Run co-annealing inference.
 
@@ -233,7 +286,11 @@ class ScalableDSPU:
         Args:
             observed_index: Clamped (observed) node indices.
             observed_values: Raw-domain observed values.
-            duration_ns: Total annealing time (the inference latency).
+            duration_ns: Requested annealing time.  Digital control
+                quantizes it to whole control intervals, rounding *up*, so
+                the realized ``latency_ns`` is the smallest whole number
+                of intervals covering the request (500 ns at a 200 ns sync
+                interval anneals 3 intervals = 600 ns, never 400 ns).
             sync_interval_ns: Interval between mapping switches (the
                 inter-tile synchronization interval of Sec. V.D);
                 defaults to the hardware's 200 ns.
@@ -247,9 +304,20 @@ class ScalableDSPU:
                 latency).
             record_energy: Record the trained Hamiltonian's value at each
                 control interval in ``energy_trace``.
+            faults: A sampled :class:`~repro.faults.model.FaultScenario`
+                to inject — stuck nodes anneal as forced rail clamps,
+                coupler faults transform every live coupling matrix, and
+                missed sync events stall the Switch-in-turn rotation.  The
+                default null scenario adds no work and leaves results
+                bit-for-bit unchanged.
 
         Returns:
             :class:`AnnealingOutcome`.
+
+        Raises:
+            DivergenceError: Fault injection is active and the state went
+                non-finite mid-run (fault-perturbed dynamics may lose the
+                trained system's contractivity).
         """
         if duration_ns <= 0:
             raise ValueError("duration_ns must be positive")
@@ -266,11 +334,28 @@ class ScalableDSPU:
         free = np.setdiff1d(np.arange(n), observed_index)
         clamp = self._normalize_subset(observed_index, observed_values)
 
-        sigma = rng.uniform(-cfg.rail_volts, cfg.rail_volts, size=n)
-        sigma[observed_index] = clamp
+        # Stuck-at-rail nodes are driven capacitors: exact within the
+        # clamp machinery.  The fault overrides an observation on the same
+        # node (the device pins the voltage regardless of the drive).
+        stuck = faults.stuck_index
+        if stuck.size:
+            keep = ~np.isin(observed_index, stuck)
+            clamp_index = np.concatenate([observed_index[keep], stuck])
+            clamp_value = np.concatenate(
+                [clamp[keep], faults.stuck_values(cfg.rail_volts)]
+            )
+            free_dyn = np.setdiff1d(np.arange(n), clamp_index)
+        else:
+            clamp_index, clamp_value = observed_index, clamp
+            free_dyn = free
 
+        sigma = rng.uniform(-cfg.rail_volts, cfg.rail_volts, size=n)
+        sigma[clamp_index] = clamp_value
+
+        # Digital control quantizes time to whole intervals, rounding up:
+        # the machine never anneals for less than the requested duration.
         interval = min(sync, duration_ns)
-        num_intervals = max(1, int(round(duration_ns / interval)))
+        num_intervals = max(1, math.ceil(duration_ns / interval - 1e-9))
 
         coupler_noise = None
         if coupling_noise_std > 0:
@@ -283,14 +368,16 @@ class ScalableDSPU:
             if force_spatial_only
             else self._A_inter_boosted
         )
+        A_local_base = faults.apply_coupling(self._A_local)
         A_live: list = []
         for A_s in inter_source:
+            A_s = faults.apply_coupling(A_s)
             if coupler_noise is not None:
                 if sp.issparse(A_s):
                     A_s = A_s.multiply(coupler_noise).tocsr()
                 else:
                     A_s = A_s * coupler_noise
-            A_local = self._A_local
+            A_local = A_local_base
             if coupler_noise is not None:
                 # The self-reaction resistor is inside the node, not a
                 # coupler; its conductance keeps the nominal value.
@@ -300,7 +387,7 @@ class ScalableDSPU:
                     A_local = off.tocsr()
                 else:
                     off = A_local * coupler_noise
-                    np.fill_diagonal(off, np.diag(self._A_local))
+                    np.fill_diagonal(off, np.diag(A_local_base))
                     A_local = off
             A_live.append(A_local + A_s)
 
@@ -320,12 +407,20 @@ class ScalableDSPU:
             free_nodes=int(free.size),
         )
         with span:
+            if faults.enabled and obs.enabled():
+                obs.tracer().event(
+                    "faults.injected", where="dspu", **faults.summary()
+                )
             with obs.metrics().timer("dspu.build_propagators_ms"):
-                propagators = self._build_propagators(A_live, free, interval)
+                propagators = self._build_propagators(
+                    A_live, free_dyn, interval
+                )
             # The clamped-node forcing of each phase is constant across the
             # whole run, so it is computed once instead of per interval.
             forcing = [
-                np.asarray(self._submatrix(A, free, observed_index) @ clamp)
+                np.asarray(
+                    self._submatrix(A, free_dyn, clamp_index) @ clamp_value
+                )
                 for A in A_live
             ]
 
@@ -333,32 +428,51 @@ class ScalableDSPU:
                 phi, integral, A_ff_damped = propagators[phase]
                 del A_ff_damped
                 out = state.copy()
-                out[free] = phi @ state[free] + integral @ forcing[phase]
+                out[free_dyn] = (
+                    phi @ state[free_dyn] + integral @ forcing[phase]
+                )
                 return out
 
+            skip_mask = faults.sync_skip_mask(num_intervals)
+            guard = faults.enabled
             collect = obs.metrics().enabled
             phase_elapsed = [0.0] * num_phases
             phases_completed = 0
+            sync_skips = 0
+            phase_cursor = 0
             rotation = min(num_phases, num_intervals)
             tail_states: list[np.ndarray] = []
             hamiltonian = self.model.hamiltonian() if record_energy else None
             energy_trace: list[float] = []
             for k in range(num_intervals):
-                phase = k % num_phases
-                if k > 0 and phase == 0:
-                    phases_completed += num_phases
+                phase = phase_cursor % num_phases
                 if collect:
                     started = time.perf_counter()
                     sigma = propagate(phase, sigma)
                     phase_elapsed[phase] += time.perf_counter() - started
                 else:
                     sigma = propagate(phase, sigma)
+                # Every integrated interval executes one switch phase
+                # (counting only completed rotations undercounted: 4
+                # intervals over 4 phases used to report 0).
+                phases_completed += 1
+                if skip_mask is not None and skip_mask[k]:
+                    # The sync edge was missed: the PEs keep integrating
+                    # the same live slice, and the Weight Select rotation
+                    # stalls for one interval.
+                    sync_skips += 1
+                else:
+                    phase_cursor += 1
                 if node_noise_std > 0:
                     sigma[free] += rng.normal(
                         0.0, node_noise_std * cfg.rail_volts, size=free.size
                     )
                 np.clip(sigma, -cfg.rail_volts, cfg.rail_volts, out=sigma)
-                sigma[observed_index] = clamp
+                sigma[clamp_index] = clamp_value
+                if guard:
+                    check_finite(
+                        sigma, "dspu.anneal", k + 1, (k + 1) * interval
+                    )
                 if hamiltonian is not None:
                     energy_trace.append(hamiltonian.energy(sigma))
                 if k >= num_intervals - rotation:
@@ -369,12 +483,16 @@ class ScalableDSPU:
                 registry.counter("dspu.anneal_runs").inc()
                 # Every interval boundary is a digital control event: an
                 # inter-PE synchronization plus one clamp re-assert per
-                # observed node and one forcing application per phase.
-                registry.counter("dspu.sync_events").inc(num_intervals)
+                # clamped node and one forcing application per phase.
+                registry.counter("dspu.sync_events").inc(
+                    num_intervals - sync_skips
+                )
                 registry.counter("dspu.clamp_asserts").inc(
-                    num_intervals * int(observed_index.size)
+                    num_intervals * int(clamp_index.size)
                 )
                 registry.counter("dspu.forcing_applies").inc(num_intervals)
+                if sync_skips:
+                    registry.counter("dspu.sync_skips").inc(sync_skips)
                 for phase, elapsed in enumerate(phase_elapsed):
                     registry.histogram(f"dspu.phase{phase}_ms").observe(
                         elapsed * 1000.0
@@ -382,9 +500,11 @@ class ScalableDSPU:
 
             # Ripple filtering: read out the mean over the final rotation.
             readout = np.mean(tail_states, axis=0)
-            readout[observed_index] = clamp
+            readout[clamp_index] = clamp_value
             prediction = self._denormalize_subset(free, readout)
             span.set("phases_completed", phases_completed)
+            if sync_skips:
+                span.set("sync_skips", sync_skips)
             logger.debug(
                 "dspu anneal: mode=%s intervals=%d phases_completed=%d "
                 "latency=%.0fns",
@@ -397,6 +517,7 @@ class ScalableDSPU:
             mode=mode,
             phases_completed=phases_completed,
             energy_trace=np.asarray(energy_trace) if record_energy else None,
+            sync_skips=sync_skips,
         )
 
     @staticmethod
@@ -451,7 +572,7 @@ class ScalableDSPU:
             out = []
             for B in blocks_damped:
                 phi = expm(B * interval)
-                integral = np.linalg.solve(B, phi - np.eye(free.size))
+                integral = _forcing_integral(B, interval, phi)
                 out.append((phi, integral, B))
             return out
 

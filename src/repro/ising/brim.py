@@ -122,11 +122,13 @@ class BRIMMachine:
         if sigma0 is None:
             sigma0 = rng.uniform(-0.1 * rail, 0.1 * rail, size=n)
         sigma = np.asarray(sigma0, dtype=float).copy()
-        if clamp_index is None:
-            clamp_index = np.zeros(0, dtype=int)
-            clamp_value = np.zeros(0)
-        clamp_index = np.asarray(clamp_index, dtype=int)
-        clamp_value = np.asarray(clamp_value, dtype=float)
+        # Shared validation with the circuit simulator: rejects a
+        # half-specified clamp pair (clamp_index without clamp_value used
+        # to turn into a NaN 0-d array and a misleading shape error) and
+        # out-of-range indices.
+        clamp_index, clamp_value = CircuitSimulator._check_clamps(
+            n, clamp_index, clamp_value
+        )
         free = np.setdiff1d(np.arange(n), clamp_index)
 
         simulator = CircuitSimulator(config=cfg.integration, rng=rng)

@@ -40,6 +40,32 @@ class TestIntegrationConfig:
         with pytest.raises(ValueError, match="record_every"):
             IntegrationConfig(record_every=0)
 
+    def test_rejects_negative_divergence_check(self):
+        with pytest.raises(ValueError, match="divergence_check_every"):
+            IntegrationConfig(divergence_check_every=-1)
+
+
+class TestClampPairValidation:
+    def test_half_specified_pair_rejected(self):
+        """Regression: ``clamp_index`` without ``clamp_value`` slipped into
+        ``np.asarray(None)`` (a NaN 0-d array) and failed later with a
+        misleading shape mismatch."""
+        sim = CircuitSimulator(IntegrationConfig(dt=0.05))
+        with pytest.raises(ValueError, match="together"):
+            sim.run(lambda s: -s, np.zeros(4), 1.0, clamp_index=np.asarray([0]))
+        with pytest.raises(ValueError, match="together"):
+            sim.run(
+                lambda s: -s, np.zeros(4), 1.0, clamp_value=np.asarray([0.5])
+            )
+
+    def test_batch_path_rejects_half_specified_pair(self):
+        sim = CircuitSimulator(IntegrationConfig(dt=0.05))
+        with pytest.raises(ValueError, match="together"):
+            sim.run_batch(
+                lambda s: -s, np.zeros((2, 4)), 1.0,
+                clamp_index=np.asarray([0]),
+            )
+
 
 class TestCircuitSimulator:
     def test_converges_to_algebraic_fixed_point(self):

@@ -1,0 +1,149 @@
+"""Tests of the declarative fault model and scenario sampling."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.faults import NO_FAULTS, FaultModel, FaultScenario
+
+
+def _coupling(n=12, density=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    J = rng.normal(size=(n, n)) * (rng.random((n, n)) < density)
+    J = (J + J.T) / 2.0
+    np.fill_diagonal(J, 0.0)
+    return J
+
+
+class TestFaultModel:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="stuck_node_rate"):
+            FaultModel(stuck_node_rate=1.5)
+        with pytest.raises(ValueError, match="sync_skip_rate"):
+            FaultModel(sync_skip_rate=-0.1)
+        with pytest.raises(ValueError, match="coupler_gain_std"):
+            FaultModel(coupler_gain_std=-1.0)
+
+    def test_uniform_drives_all_device_channels(self):
+        model = FaultModel.uniform(0.05, seed=3)
+        assert model.stuck_node_rate == 0.05
+        assert model.dead_coupler_rate == 0.05
+        assert model.coupler_gain_std == 0.05
+        assert model.coupler_offset_std == 0.05
+        assert model.seed == 3
+
+    def test_disabled_model_samples_shared_null(self):
+        scenario = FaultModel().sample(64)
+        assert scenario is NO_FAULTS
+        assert not scenario.enabled
+
+    def test_sampling_is_deterministic(self):
+        model = FaultModel.uniform(0.1, seed=11)
+        a = model.sample(40)
+        b = model.sample(40)
+        assert np.array_equal(a.stuck_index, b.stuck_index)
+        assert np.array_equal(a.stuck_sign, b.stuck_sign)
+        assert np.array_equal(a.dead_pairs, b.dead_pairs)
+        assert np.allclose(a.gain, b.gain)
+        assert np.allclose(a.offset, b.offset)
+
+    def test_different_seeds_differ(self):
+        model_a = FaultModel.uniform(0.2, seed=1)
+        model_b = FaultModel.uniform(0.2, seed=2)
+        a, b = model_a.sample(80), model_b.sample(80)
+        assert not (
+            np.array_equal(a.stuck_index, b.stuck_index)
+            and np.array_equal(a.dead_pairs, b.dead_pairs)
+        )
+
+    def test_dead_pairs_target_programmed_couplers(self):
+        J = _coupling()
+        scenario = FaultModel(dead_coupler_rate=1.0, seed=0).sample(
+            J.shape[0], J=J
+        )
+        assert scenario.dead_pairs.size
+        for i, j in scenario.dead_pairs:
+            assert i < j
+            assert J[i, j] != 0
+
+    def test_sampling_never_touches_caller_rng(self):
+        rng = np.random.default_rng(5)
+        before = rng.bit_generator.state
+        FaultModel.uniform(0.1, seed=0).sample(32)
+        assert rng.bit_generator.state == before
+
+
+class TestNullScenario:
+    def test_apply_coupling_returns_same_object(self):
+        J = _coupling()
+        assert NO_FAULTS.apply_coupling(J) is J
+
+    def test_null_queries(self):
+        assert NO_FAULTS.stuck_index.size == 0
+        assert NO_FAULTS.stuck_values(1.0).size == 0
+        assert NO_FAULTS.sync_skip_mask(100) is None
+        assert NO_FAULTS.summary() == {"enabled": False}
+
+
+class TestScenarioCoupling:
+    def test_dense_sparse_parity(self):
+        J = _coupling()
+        scenario = FaultModel.uniform(0.15, seed=4).sample(J.shape[0], J=J)
+        dense = scenario.apply_coupling(J)
+        sparse = scenario.apply_coupling(sp.csr_matrix(J))
+        assert sp.issparse(sparse)
+        assert np.allclose(dense, sparse.toarray(), atol=1e-12)
+
+    def test_diagonal_and_symmetry_preserved(self):
+        J = _coupling()
+        A = J + np.diag(-np.arange(1.0, J.shape[0] + 1.0))
+        scenario = FaultModel.uniform(0.2, seed=9).sample(J.shape[0])
+        out = scenario.apply_coupling(A)
+        assert np.allclose(np.diag(out), np.diag(A))
+        assert np.allclose(out, out.T)
+
+    def test_dead_pairs_zeroed(self):
+        J = _coupling()
+        scenario = FaultScenario(
+            n=J.shape[0], dead_pairs=np.array([[0, 1], [2, 5]])
+        )
+        out = scenario.apply_coupling(J)
+        assert out[0, 1] == out[1, 0] == 0.0
+        assert out[2, 5] == out[5, 2] == 0.0
+        untouched = J.copy()
+        untouched[[0, 1, 2, 5], [1, 0, 5, 2]] = 0.0
+        assert np.allclose(out, untouched)
+
+    def test_offset_only_hits_programmed_couplers(self):
+        J = _coupling()
+        rng = np.random.default_rng(0)
+        offset = rng.normal(0.0, 0.5, size=J.shape)
+        offset = (offset + offset.T) / 2.0
+        np.fill_diagonal(offset, 0.0)
+        scenario = FaultScenario(n=J.shape[0], offset=offset)
+        out = scenario.apply_coupling(J)
+        assert np.array_equal(out == 0, J == 0)
+
+    def test_shape_mismatch_rejected(self):
+        scenario = FaultModel.uniform(0.2, seed=0).sample(8)
+        with pytest.raises(ValueError, match="n=8"):
+            scenario.apply_coupling(np.zeros((9, 9)))
+
+
+class TestSyncSkips:
+    def test_mask_deterministic_and_rate_bounded(self):
+        scenario = FaultScenario(n=4, sync_skip_rate=0.3, seed=7)
+        a = scenario.sync_skip_mask(500)
+        b = scenario.sync_skip_mask(500)
+        assert np.array_equal(a, b)
+        assert 0.15 < a.mean() < 0.45
+
+    def test_zero_rate_returns_none(self):
+        assert FaultScenario(n=4).sync_skip_mask(10) is None
+
+    def test_summary_counts(self):
+        scenario = FaultModel.uniform(0.5, seed=1).sample(20)
+        summary = scenario.summary()
+        assert summary["enabled"] is True
+        assert summary["stuck_nodes"] == scenario.stuck_index.size
+        assert summary["dead_couplers"] == scenario.dead_pairs.shape[0]

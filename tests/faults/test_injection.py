@@ -1,0 +1,211 @@
+"""Tests of fault-injection hooks across the annealing stack.
+
+Covers the three injection points (circuit simulator, annealing engine,
+Scalable DSPU) and the bit-for-bit null-object guarantee of
+:data:`repro.faults.NO_FAULTS`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IntegrationConfig, NaturalAnnealingEngine
+from repro.core.dynamics import CircuitSimulator
+from repro.faults import NO_FAULTS, FaultModel, FaultScenario
+from repro.hardware import HardwareConfig, ScalableDSPU
+
+
+@pytest.fixture(scope="module")
+def dspu(decomposed_traffic):
+    config = HardwareConfig(
+        grid_shape=(3, 3),
+        pe_capacity=decomposed_traffic.placement.capacity,
+        lanes=8,
+    )
+    return ScalableDSPU(
+        decomposed_traffic, config, node_time_constant_ns=500.0
+    )
+
+
+def _anneal(dspu, traffic_setup, seed=5, **kwargs):
+    tw = traffic_setup["windowing"]
+    history = tw.history_of(traffic_setup["test"].series, 3)
+    kwargs.setdefault("duration_ns", 2000.0)
+    return dspu.anneal(
+        tw.observed_index,
+        history,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+class TestCircuitInjection:
+    def _settle(self, faults=NO_FAULTS, rail=1.0):
+        n = 4
+        J = np.zeros((n, n))
+        J[0, 1] = J[1, 0] = 0.4
+        h = -2.0
+
+        def drift(sigma):
+            return J @ sigma + h * sigma
+
+        simulator = CircuitSimulator(
+            config=IntegrationConfig(dt=0.05, rail=rail),
+            rng=np.random.default_rng(0),
+            faults=faults,
+        )
+        return simulator.run(drift, np.zeros(n), 40.0)
+
+    def test_stuck_node_pinned_to_rail(self):
+        scenario = FaultScenario(
+            n=4,
+            stuck_index=np.array([2]),
+            stuck_sign=np.array([-1.0]),
+        )
+        run = self._settle(faults=scenario)
+        assert run.final_state[2] == -1.0
+        assert np.all(run.states[:, 2] == -1.0)
+
+    def test_stuck_node_overrides_observation(self):
+        scenario = FaultScenario(
+            n=4,
+            stuck_index=np.array([1]),
+            stuck_sign=np.array([1.0]),
+        )
+        simulator = CircuitSimulator(
+            config=IntegrationConfig(dt=0.05, rail=1.0),
+            rng=np.random.default_rng(0),
+            faults=scenario,
+        )
+        run = simulator.run(
+            lambda s: -s,
+            np.zeros(4),
+            10.0,
+            clamp_index=np.array([1]),
+            clamp_value=np.array([0.25]),
+        )
+        # The defect wins: the clamp drive cannot move a latched node.
+        assert run.final_state[1] == 1.0
+
+    def test_null_scenario_bit_for_bit(self):
+        baseline = self._settle()
+        nulled = self._settle(faults=FaultModel().sample(4))
+        assert np.array_equal(baseline.states, nulled.states)
+
+
+class TestEngineInjection:
+    def test_dead_coupler_reshapes_operator(self, trained_model):
+        engine = NaturalAnnealingEngine(trained_model, backend="dense")
+        i, j = np.nonzero(np.triu(trained_model.J, k=1))
+        pair = np.array([[i[0], j[0]]])
+        engine.set_faults(FaultScenario(n=trained_model.n, dead_pairs=pair))
+        J_eff = np.asarray(engine.operator._J)
+        assert J_eff[pair[0, 0], pair[0, 1]] == 0.0
+        assert trained_model.J[pair[0, 0], pair[0, 1]] != 0.0
+
+    def test_set_faults_invalidates_operator_cache(self, trained_model):
+        engine = NaturalAnnealingEngine(trained_model, backend="dense")
+        before = np.asarray(engine.operator._J).copy()
+        i, j = np.nonzero(np.triu(trained_model.J, k=1))
+        engine.set_faults(
+            FaultScenario(n=trained_model.n, dead_pairs=np.array([[i[0], j[0]]]))
+        )
+        after = np.asarray(engine.operator._J)
+        assert not np.array_equal(before, after)
+
+    def test_stuck_node_threads_to_simulator(self, trained_model):
+        n = trained_model.n
+        engine = NaturalAnnealingEngine(
+            trained_model,
+            faults=FaultScenario(
+                n=n, stuck_index=np.array([n - 1]), stuck_sign=np.array([1.0])
+            ),
+        )
+        observed = np.arange(3)
+        result = engine.infer(observed, np.zeros(3), duration=10.0)
+        rail = engine.config.rail if engine.config.rail is not None else 1.0
+        assert result.state[n - 1] == rail
+
+    def test_null_faults_identical_inference(self, trained_model):
+        observed = np.arange(3)
+        values = np.zeros((2, 3))
+        plain = NaturalAnnealingEngine(trained_model).infer_batch(
+            observed, values, duration=10.0
+        )
+        nulled = NaturalAnnealingEngine(
+            trained_model, faults=NO_FAULTS
+        ).infer_batch(observed, values, duration=10.0)
+        assert np.array_equal(plain.states, nulled.states)
+        assert np.array_equal(plain.predictions, nulled.predictions)
+
+
+class TestDSPUInjection:
+    def test_null_faults_bit_for_bit(self, dspu, traffic_setup):
+        baseline = _anneal(dspu, traffic_setup)
+        explicit = _anneal(dspu, traffic_setup, faults=NO_FAULTS)
+        sampled = _anneal(
+            dspu, traffic_setup, faults=FaultModel().sample(dspu.model.n)
+        )
+        for other in (explicit, sampled):
+            assert np.array_equal(baseline.prediction, other.prediction)
+            assert np.array_equal(baseline.state, other.state)
+            assert baseline.latency_ns == other.latency_ns
+            assert other.sync_skips == 0
+
+    def test_stuck_free_node_reads_rail(self, dspu, traffic_setup):
+        tw = traffic_setup["windowing"]
+        free = np.setdiff1d(np.arange(dspu.model.n), tw.observed_index)
+        node = int(free[0])
+        scenario = FaultScenario(
+            n=dspu.model.n,
+            stuck_index=np.array([node]),
+            stuck_sign=np.array([1.0]),
+        )
+        outcome = _anneal(dspu, traffic_setup, faults=scenario)
+        assert outcome.state[node] == dspu.config.rail_volts
+
+    def test_sync_skips_stall_rotation(self, dspu, traffic_setup):
+        scenario = FaultScenario(n=dspu.model.n, sync_skip_rate=0.5, seed=3)
+        outcome = _anneal(
+            dspu, traffic_setup, faults=scenario, duration_ns=4000.0
+        )
+        num_intervals = int(round(outcome.latency_ns / 200.0))
+        expected = int(scenario.sync_skip_mask(num_intervals).sum())
+        assert outcome.sync_skips == expected > 0
+        # Executed phases are counted per interval even when stalled.
+        assert outcome.phases_completed == num_intervals
+
+    def test_coupler_faults_change_outcome(self, dspu, traffic_setup):
+        scenario = FaultModel(
+            dead_coupler_rate=0.2, coupler_gain_std=0.1, seed=2
+        ).sample(dspu.model.n, J=dspu.model.J)
+        clean = _anneal(dspu, traffic_setup)
+        faulty = _anneal(dspu, traffic_setup, faults=scenario)
+        assert not np.allclose(clean.prediction, faulty.prediction)
+
+    def test_sparse_dense_parity_under_faults(
+        self, decomposed_traffic, traffic_setup
+    ):
+        config = HardwareConfig(
+            grid_shape=(3, 3),
+            pe_capacity=decomposed_traffic.placement.capacity,
+            lanes=8,
+        )
+        scenario = FaultModel.uniform(0.05, seed=8).sample(
+            decomposed_traffic.model.n, J=decomposed_traffic.model.J
+        )
+        outcomes = {}
+        for backend in ("dense", "sparse"):
+            machine = ScalableDSPU(
+                decomposed_traffic,
+                config,
+                node_time_constant_ns=500.0,
+                backend=backend,
+            )
+            outcomes[backend] = _anneal(
+                machine, traffic_setup, faults=scenario
+            )
+        assert np.allclose(
+            outcomes["dense"].prediction,
+            outcomes["sparse"].prediction,
+            atol=1e-8,
+        )

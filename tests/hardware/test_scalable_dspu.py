@@ -2,9 +2,14 @@
 
 import numpy as np
 import pytest
+from scipy.linalg import expm
 
 from repro.core import NaturalAnnealingEngine, rmse
+from repro.core.model import DSGLModel
+from repro.decompose.pipeline import DecomposedSystem, DecompositionConfig
+from repro.decompose.redistribute import PlacementResult
 from repro.hardware import HardwareConfig, ScalableDSPU
+from repro.hardware.scalable_dspu import _forcing_integral, _pairs_matrix
 
 
 @pytest.fixture(scope="module")
@@ -101,6 +106,38 @@ class TestAnnealing:
             dspu, traffic_setup, duration_ns=4000.0
         )
         assert np.isclose(outcome.latency_ns, 4000.0, rtol=0.1)
+
+    def test_latency_never_undershoots_request(self, dspu, traffic_setup):
+        """Regression: 500 ns at a 200 ns sync interval used to round down
+        to 2 intervals (400 ns), annealing less than requested."""
+        _tw, _test, outcome = self._one_inference(
+            dspu, traffic_setup, duration_ns=500.0, sync_interval_ns=200.0
+        )
+        assert outcome.latency_ns == 600.0
+        for duration in (100.0, 250.0, 999.0, 1000.0):
+            _tw, _test, out = self._one_inference(
+                dspu, traffic_setup,
+                duration_ns=duration, sync_interval_ns=200.0,
+            )
+            assert out.latency_ns >= duration
+            # Exact multiples stay exact — no spurious extra interval.
+            if duration % 200.0 == 0.0:
+                assert out.latency_ns == duration
+
+    def test_phases_completed_counts_executed_phases(
+        self, dspu, traffic_setup
+    ):
+        """Regression: the counter only advanced when a new rotation began,
+        so e.g. 4 intervals over 4 phases reported 0 phases."""
+        phases = dspu.num_phases
+        assert phases > 1  # the mapping must exercise the rotation
+        for extra in (0, 2):
+            intervals = phases + extra
+            _tw, _test, outcome = self._one_inference(
+                dspu, traffic_setup,
+                duration_ns=200.0 * intervals, sync_interval_ns=200.0,
+            )
+            assert outcome.phases_completed == intervals
 
     def test_spatial_only_mode_flagged(self, dspu, traffic_setup):
         _tw, _test, outcome = self._one_inference(
@@ -205,6 +242,17 @@ class TestSparseBackend:
                 backend="tpu",
             )
 
+    def test_duplicate_pairs_accumulate_identically(self):
+        """Regression: the dense path assigned (last-write-wins) while the
+        CSR constructor summed duplicate (i, j) entries, so any schedule
+        emitting the same pair twice silently diverged across backends."""
+        entries = [(0, 1, 2.0), (0, 1, 3.0), (1, 2, -1.0)]
+        dense = _pairs_matrix(entries, 4, sparse=False)
+        sparse = _pairs_matrix(entries, 4, sparse=True)
+        assert dense[0, 1] == dense[1, 0] == 5.0
+        assert np.allclose(dense, sparse.toarray())
+        assert np.allclose(dense, dense.T)
+
     def test_sparse_anneal_matches_dense(self, decomposed_traffic, traffic_setup):
         """The CSR phase matrices must reproduce dense anneal outcomes
         bit-for-bit given identical seeds, clean and noisy alike."""
@@ -247,3 +295,69 @@ class TestSparseBackend:
             assert np.isclose(
                 outcomes["dense"].latency_ns, outcomes["sparse"].latency_ns
             )
+
+
+class TestSingularPropagators:
+    def test_forcing_integral_zero_block(self):
+        """An isolated free node (zero self-dynamics) integrates to t*I."""
+        integral = _forcing_integral(np.zeros((1, 1)), 3.0, np.eye(1))
+        assert np.allclose(integral, 3.0)
+
+    def test_forcing_integral_singular_matches_quadrature(self):
+        B = np.array([[-1.0, 1.0], [1.0, -1.0]])  # eigenvalues 0 and -2
+        t = 2.0
+        phi = expm(B * t)
+        with pytest.raises(np.linalg.LinAlgError):
+            np.linalg.solve(B, phi - np.eye(2))  # the old closed form
+        integral = _forcing_integral(B, t, phi)
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        s = np.linspace(0.0, t, 4001)
+        samples = np.stack([expm(B * si) for si in s])
+        reference = trapezoid(samples, s, axis=0)
+        assert np.allclose(integral, reference, atol=1e-6)
+
+    def test_forcing_integral_regular_matches_solve(self):
+        rng = np.random.default_rng(0)
+        B = rng.normal(size=(5, 5))
+        B = -(B @ B.T) - np.eye(5)
+        t = 1.5
+        phi = expm(B * t)
+        expected = np.linalg.solve(B, phi - np.eye(5))
+        assert np.allclose(_forcing_integral(B, t, phi), expected, atol=1e-12)
+
+    def test_build_propagators_handle_singular_free_block(self, dspu):
+        B = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        propagators = dspu._build_propagators([B], np.array([0, 1]), 1.0)
+        phi, integral, _damped = propagators[0]
+        assert np.isfinite(phi).all()
+        assert np.isfinite(integral).all()
+
+    def test_anneal_with_singular_dynamics(self):
+        """Regression: a mapping whose free-node block is exactly singular
+        (here J12 = |h|, a realistic trained configuration) crashed
+        ``_build_propagators`` with ``LinAlgError: Singular matrix``."""
+        J = np.array([[0.0, 1.0], [1.0, 0.0]])
+        model = DSGLModel(J=J, h=np.array([-1.0, -1.0]))
+        placement = PlacementResult(
+            pe_of_node=np.zeros(2, dtype=int),
+            grid_shape=(1, 1),
+            capacity=2,
+            groups=[np.arange(2)],
+        )
+        system = DecomposedSystem(
+            model=model,
+            placement=placement,
+            mask=np.ones((2, 2), dtype=bool),
+            config=DecompositionConfig(grid_shape=(1, 1)),
+            dense_model=model,
+        )
+        machine = ScalableDSPU(
+            system,
+            HardwareConfig(grid_shape=(1, 1), pe_capacity=2),
+            node_time_constant_ns=500.0,
+        )
+        outcome = machine.anneal(
+            np.zeros(0, dtype=int), np.zeros(0), duration_ns=1000.0
+        )
+        assert np.isfinite(outcome.state).all()
+        assert np.isfinite(outcome.prediction).all()

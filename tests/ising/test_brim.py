@@ -20,6 +20,39 @@ class TestConfig:
             BRIMConfig(flip_fraction=1.5)
 
 
+class TestClampValidation:
+    def test_half_specified_clamp_rejected(self):
+        """Regression: clamp_index without clamp_value fed ``None`` through
+        ``np.asarray`` — a NaN 0-d array and a baffling shape error
+        downstream instead of a clear message up front."""
+        problem = random_ising_problem(5, rng=np.random.default_rng(0))
+        machine = BRIMMachine(problem)
+        with pytest.raises(ValueError, match="together"):
+            machine.anneal(duration=10.0, clamp_index=np.asarray([0]))
+        with pytest.raises(ValueError, match="together"):
+            machine.anneal(duration=10.0, clamp_value=np.asarray([0.5]))
+
+    def test_out_of_range_clamp_rejected(self):
+        problem = random_ising_problem(5, rng=np.random.default_rng(0))
+        machine = BRIMMachine(problem)
+        with pytest.raises(ValueError, match="out of range"):
+            machine.anneal(
+                duration=10.0,
+                clamp_index=np.asarray([7]),
+                clamp_value=np.asarray([0.5]),
+            )
+
+    def test_valid_clamp_still_honoured(self):
+        problem = random_ising_problem(5, rng=np.random.default_rng(0))
+        machine = BRIMMachine(problem)
+        result = machine.anneal(
+            duration=20.0,
+            clamp_index=np.asarray([1]),
+            clamp_value=np.asarray([0.5]),
+        )
+        assert result.spins[1] == 1.0
+
+
 class TestPolarization:
     def test_free_nodes_polarize_to_rails(self):
         """The binary limitation the paper fixes: BRIM voltages end at the
