@@ -44,3 +44,20 @@ def test_batched_and_cached_paths_beat_baselines():
         n=128, density=0.1, batch=32, duration=10.0, repeats=2
     )
     assert circuit["speedup"] > 1.5
+
+
+def test_parallel_sharding_is_bit_exact_and_records_hardware():
+    """The parallel layer's contract, measured: same shards on N worker
+    processes produce the same bits as on 1, and the payload records the
+    hardware (``cpu_count``) the speedup was measured on — speedup itself
+    is a property of the machine, not asserted here."""
+    from repro.perf import bench_parallel_batch
+
+    result = bench_parallel_batch(
+        n=96, density=0.1, batch=8, duration=2.0, workers=2, repeats=1
+    )
+    assert result["max_abs_diff"] == 0.0
+    assert result["bitwise_identical"] is True
+    assert result["workers"] == 2
+    assert result["shards"] == 2
+    assert result["cpu_count"] >= 1

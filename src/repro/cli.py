@@ -27,6 +27,12 @@ a JSONL trace of spans/events plus a final metrics snapshot),
 ``--metrics`` (print the metrics snapshot on completion), and
 ``-v``/``-q`` (console log verbosity through the stdlib ``repro.*``
 loggers).
+
+Commands that shard annealing work (``train``, ``table``, ``figure``,
+``bench``, ``faults sweep``) also accept ``--workers N`` to fan it out
+over N worker processes via :mod:`repro.parallel` — results are
+bit-for-bit identical for any worker count (seed-deterministic
+sharding), so ``--workers`` is purely a wall-clock knob.
 """
 
 from __future__ import annotations
@@ -109,6 +115,20 @@ def _observability_options() -> argparse.ArgumentParser:
     return common
 
 
+def _parallel_options() -> argparse.ArgumentParser:
+    """Shared ``--workers`` option for commands that shard work."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="fan annealing work out over N worker processes "
+        "(seed-deterministic: any N gives bit-for-bit identical results)",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -116,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="DS-GL reproduction: nature-powered graph learning.",
     )
     common = _observability_options()
+    parallel = _parallel_options()
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser(
@@ -123,7 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     train = sub.add_parser(
-        "train", help="train and evaluate a dense system", parents=[common]
+        "train",
+        help="train and evaluate a dense system",
+        parents=[common, parallel],
     )
     train.add_argument("dataset", choices=ALL_DATASETS)
     train.add_argument("--size", default="small", choices=("small", "paper"))
@@ -152,13 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
     decompose_cmd.add_argument("--grid", type=int, nargs=2, default=(3, 3))
 
     table = sub.add_parser(
-        "table", help="regenerate a paper table", parents=[common]
+        "table", help="regenerate a paper table", parents=[common, parallel]
     )
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))
     table.add_argument("--size", default="small", choices=("small", "paper"))
 
     figure = sub.add_parser(
-        "figure", help="regenerate a paper figure", parents=[common]
+        "figure", help="regenerate a paper figure", parents=[common, parallel]
     )
     figure.add_argument("number", type=int, choices=(4, 10, 11, 12, 13))
     figure.add_argument("--size", default="small", choices=("small", "paper"))
@@ -166,7 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="time the annealing hot paths, write BENCH_core.json",
-        parents=[common],
+        parents=[common, parallel],
     )
     bench.add_argument(
         "--out", default="BENCH_core.json", help="output JSON path"
@@ -186,7 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = faults_sub.add_parser(
         "sweep",
         help="accuracy vs device-fault rate on the Scalable DSPU",
-        parents=[common],
+        parents=[common, parallel],
     )
     sweep.add_argument(
         "--dataset",
@@ -292,7 +315,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
             model,
             config=IntegrationConfig(record_every=5, energy_probe_every=25),
         )
-        result = engine.infer_batch(windowing.observed_index, histories)
+        result = engine.infer_batch(
+            windowing.observed_index, histories, workers=args.workers
+        )
         targets = np.stack([test_series[t] for t in frames])
         circuit_rmse = rmse(result.predictions, targets)
         settled = result.trajectory.settled_fraction()
@@ -340,7 +365,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == 1:
         print(format_table1(table1_data()))
         return 0
-    context = ExperimentContext(size=args.size)
+    context = ExperimentContext(size=args.size, workers=args.workers)
     if args.number == 2:
         print(format_table2(table2_data(context)))
     elif args.number == 3:
@@ -356,7 +381,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print("DSPU final:", np.round(data["dspu_final"], 3))
         print("BRIM final:", np.round(data["brim_final"], 3))
         return 0
-    context = ExperimentContext(size=args.size)
+    context = ExperimentContext(size=args.size, workers=args.workers)
     if args.number == 10:
         print(format_density_sweep(fig10_data(context)))
     elif args.number == 11:
@@ -372,7 +397,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf import format_bench, run_core_benchmarks, write_bench_json
 
     payload = run_core_benchmarks(
-        smoke=args.smoke, batch=args.batch, repeats=args.repeats
+        smoke=args.smoke, batch=args.batch, repeats=args.repeats,
+        workers=args.workers,
     )
     print(format_bench(payload))
     path = write_bench_json(payload, args.out)
@@ -403,6 +429,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         trials=args.trials,
         include_sync_skips=not args.no_sync_skips,
         seed=args.seed,
+        workers=args.workers,
     )
     print(format_fault_sweep(data))
     if args.json:

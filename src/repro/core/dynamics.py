@@ -321,6 +321,10 @@ class CircuitSimulator:
         clamp_index: np.ndarray | None = None,
         clamp_value: np.ndarray | None = None,
         energy=None,
+        *,
+        workers: int | None = None,
+        shards: int | None = None,
+        root_seed: int = 0,
     ) -> BatchTrajectory:
         """Integrate a ``(batch, n)`` state matrix in one vectorized loop.
 
@@ -341,10 +345,32 @@ class CircuitSimulator:
                 sample or ``(batch, k)`` per-sample.
             energy: Optional callable ``(batch, n) -> (batch,)`` recorded
                 alongside the trajectory; defaults to zeros when omitted.
+            workers: ``None`` (default) integrates the whole batch jointly
+                in this process — the legacy path, bit-for-bit unchanged.
+                Any integer engages the sharded path of
+                :func:`repro.parallel.run_batch_sharded`: the batch splits
+                into ``shards`` slices whose noise streams derive from
+                ``(root_seed, shard_index)``, executed on ``workers``
+                processes.  Sharded results are identical for every
+                ``workers`` value (including 1) but differ from the legacy
+                path when noise is enabled, because the legacy path draws
+                noise over the whole batch jointly.  ``drift`` and
+                ``energy`` must be picklable in sharded mode.
+            shards / root_seed: Sharded-mode decomposition and seed root;
+                ignored when ``workers`` is ``None``.
 
         Returns:
             The recorded :class:`BatchTrajectory`.
         """
+        if workers is not None:
+            from ..parallel.circuit import run_batch_sharded
+
+            return run_batch_sharded(
+                self, drift, sigma0, duration,
+                clamp_index=clamp_index, clamp_value=clamp_value,
+                energy=energy, root_seed=root_seed, workers=workers,
+                shards=shards,
+            )
         sigma = np.array(sigma0, dtype=float)
         if sigma.ndim != 2:
             raise ValueError(

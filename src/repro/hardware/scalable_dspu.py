@@ -111,6 +111,35 @@ def _forcing_integral(B: np.ndarray, t: float, phi: np.ndarray) -> np.ndarray:
     return expm(augmented)[:m, m:]
 
 
+def _phase_propagator(
+    B: np.ndarray, interval: float, growth_cap: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact propagator of one switch phase: cap, exponentiate, integrate.
+
+    Module-level (rather than a closure in ``_build_propagators``) so the
+    per-phase builds can fan out over worker processes — each phase is
+    independent, and the computation is deterministic, so parallel and
+    serial builds are bit-for-bit identical.
+    """
+    lam = float(np.max(np.linalg.eigvalsh((B + B.T) / 2.0)))
+    excess = lam - growth_cap / interval
+    if excess > 0:
+        B = B - excess * np.eye(B.shape[0])
+    phi = expm(B * interval)
+    integral = _forcing_integral(B, interval, phi)
+    return phi, integral, B
+
+
+def _phase_propagator_damped(
+    B_capped: np.ndarray, interval: float, delta: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rebuild one phase propagator under uniform damping ``delta``."""
+    B = B_capped - delta * np.eye(B_capped.shape[0])
+    phi = expm(B * interval)
+    integral = _forcing_integral(B, interval, phi)
+    return phi, integral, B
+
+
 @dataclass
 class AnnealingOutcome:
     """Result of one co-annealing inference run.
@@ -269,6 +298,7 @@ class ScalableDSPU:
         force_spatial_only: bool = False,
         record_energy: bool = False,
         faults: FaultScenario | NullFaultScenario = NO_FAULTS,
+        workers: int | None = 1,
     ) -> AnnealingOutcome:
         """Run co-annealing inference.
 
@@ -310,6 +340,10 @@ class ScalableDSPU:
                 missed sync events stall the Switch-in-turn rotation.  The
                 default null scenario adds no work and leaves results
                 bit-for-bit unchanged.
+            workers: Worker processes for the per-phase propagator build
+                (the per-PE fan-out; see :meth:`_build_propagators`).
+                Deterministic, so any value — including the default
+                serial 1 — yields bit-for-bit identical outcomes.
 
         Returns:
             :class:`AnnealingOutcome`.
@@ -413,7 +447,7 @@ class ScalableDSPU:
                 )
             with obs.metrics().timer("dspu.build_propagators_ms"):
                 propagators = self._build_propagators(
-                    A_live, free_dyn, interval
+                    A_live, free_dyn, interval, workers=workers
                 )
             # The clamped-node forcing of each phase is constant across the
             # whole run, so it is computed once instead of per interval.
@@ -533,6 +567,7 @@ class ScalableDSPU:
         free: np.ndarray,
         interval: float,
         growth_cap: float = 30.0,
+        workers: int | None = 1,
     ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
         """Exact per-phase propagators with a rotation-level stability guard.
 
@@ -546,10 +581,18 @@ class ScalableDSPU:
         shifts every phase equally, so the bias on the averaged dynamics
         is the smallest that stabilizes the orbit (and is zero whenever
         the rotation is already contractive).
+
+        Each phase's eigen-bound/``expm``/forcing-integral build is
+        independent — the per-PE work of the mesh — so with ``workers > 1``
+        the phases fan out over a process pool (deterministic math, so the
+        result is bit-for-bit identical to a serial build).  The rotation
+        product (step ii) needs every phase and stays a barrier.
         """
         if free.size == 0:
             identity = np.zeros((0, 0))
             return [(identity, identity, identity) for _ in A_live]
+
+        from ..parallel.pool import parallel_map
 
         # The matrix exponential is inherently dense, so only the reduced
         # free-node block is densified — never the full (n, n) system.
@@ -557,26 +600,12 @@ class ScalableDSPU:
         for A in A_live:
             block = self._submatrix(A, free, free)
             blocks.append(block.toarray() if sp.issparse(block) else block)
-        # Step 1: cap per-phase exponential growth to avoid overflow.
-        lams = [
-            float(np.max(np.linalg.eigvalsh((B + B.T) / 2.0))) for B in blocks
-        ]
-        capped = []
-        for B, lam in zip(blocks, lams):
-            excess = lam - growth_cap / interval
-            if excess > 0:
-                B = B - excess * np.eye(free.size)
-            capped.append(B)
-
-        def make(blocks_damped: list[np.ndarray]):
-            out = []
-            for B in blocks_damped:
-                phi = expm(B * interval)
-                integral = _forcing_integral(B, interval, phi)
-                out.append((phi, integral, B))
-            return out
-
-        propagators = make(capped)
+        # Step 1: per-phase growth cap + exact propagator, one task each.
+        propagators = parallel_map(
+            _phase_propagator,
+            [(B, interval, growth_cap) for B in blocks],
+            workers,
+        )
         # Step 2: uniform damping until the rotation map contracts.
         rotation = np.eye(free.size)
         for phi, _integral, _B in propagators:
@@ -589,8 +618,11 @@ class ScalableDSPU:
                 "rotation map radius %.4f >= 0.999; applying uniform "
                 "damping delta=%.3e", radius, delta,
             )
-            damped = [B - delta * np.eye(free.size) for B in capped]
-            propagators = make(damped)
+            propagators = parallel_map(
+                _phase_propagator_damped,
+                [(B, interval, delta) for _phi, _integral, B in propagators],
+                workers,
+            )
         return propagators
 
     # ------------------------------------------------------------------

@@ -61,10 +61,13 @@ __all__ = [
     "Tracer",
     "NULL_METRICS",
     "NULL_TRACER",
+    "capture_worker_state",
     "configure",
     "configure_logging",
     "disable",
     "enabled",
+    "merge_worker_state",
+    "worker_reset",
     "format_metrics",
     "format_summary",
     "metrics",
@@ -147,6 +150,51 @@ def observe(
         yield pair
     finally:
         disable()
+
+
+def worker_reset() -> None:
+    """Drop inherited sinks in a forked worker *without* closing them.
+
+    A worker forked from an observing parent inherits live sink objects —
+    including the parent's open JSONL file handle.  :func:`disable` would
+    embed a metrics snapshot and close that shared handle, corrupting the
+    parent's stream, so workers call this instead: it abandons the
+    inherited references and restores the no-op defaults.  The parent's
+    own sinks (and file descriptors) are untouched.
+    """
+    global _metrics, _tracer
+    _metrics = NULL_METRICS
+    _tracer = NULL_TRACER
+
+
+@contextmanager
+def capture_worker_state():
+    """Collect observability in a worker and hand it back as plain data.
+
+    Installs a fresh in-memory registry + tracer, yields a dict that is
+    filled on exit with ``{"metrics": <export_state>, "trace": <records>}``
+    — both JSON/pickle-safe — then restores the no-op defaults.  The
+    parent folds the payload back in with :func:`merge_worker_state`.
+    """
+    global _metrics, _tracer
+    registry = MetricsRegistry()
+    tracer_ = Tracer(None)
+    _metrics, _tracer = registry, tracer_
+    state: dict = {}
+    try:
+        yield state
+    finally:
+        _metrics = NULL_METRICS
+        _tracer = NULL_TRACER
+        state["metrics"] = registry.export_state()
+        state["trace"] = list(tracer_.records)
+
+
+def merge_worker_state(state: dict) -> None:
+    """Merge a worker's :func:`capture_worker_state` payload into the
+    active sinks (a no-op while observability is disabled)."""
+    _metrics.merge_state(state.get("metrics", {}))
+    _tracer.absorb(state.get("trace", []))
 
 
 @contextmanager

@@ -175,6 +175,39 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
 
+    def export_state(self) -> dict:
+        """Full, lossless instrument state for cross-process transport.
+
+        Unlike :meth:`snapshot` (which summarizes histograms), this keeps
+        raw samples so a parent registry can :meth:`merge_state` worker
+        results without losing quantile fidelity.
+        """
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {
+                k: g.value
+                for k, g in self._gauges.items()
+                if g.value is not None
+            },
+            "histogram_samples": {
+                k: list(h.samples) for k, h in self._histograms.items()
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an :meth:`export_state` payload into this registry.
+
+        Counters add, gauges take the incoming value (last writer wins —
+        gauges are point-in-time by definition), and histogram samples
+        extend, so merged quantiles reflect every worker's observations.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, samples in state.get("histogram_samples", {}).items():
+            self.histogram(name).samples.extend(samples)
+
 
 class _NullCounter:
     __slots__ = ()
@@ -242,6 +275,12 @@ class NullMetricsRegistry:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
     def reset(self) -> None:
+        pass
+
+    def export_state(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histogram_samples": {}}
+
+    def merge_state(self, state: dict) -> None:
         pass
 
 

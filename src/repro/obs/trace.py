@@ -133,6 +133,20 @@ class Tracer:
             }
         )
 
+    def absorb(self, records: list[dict]) -> None:
+        """Append finished records captured by another tracer.
+
+        Used to merge worker-process traces into the parent stream.
+        Records keep their worker-relative ``span_id`` / ``start_ms``
+        values (the summary tooling aggregates by name, not by id); each
+        gains a ``worker: True`` attribute so origins stay visible.
+        """
+        for record in records:
+            merged = dict(record)
+            if "attributes" in merged:
+                merged["attributes"] = {**merged["attributes"], "worker": True}
+            self._emit(merged)
+
     # ------------------------------------------------------------------
     def _finish(self, span: Span) -> None:
         popped = self._stack.pop()
@@ -190,6 +204,9 @@ class NullTracer:
         pass
 
     def embed_metrics(self, snapshot: dict) -> None:
+        pass
+
+    def absorb(self, records: list) -> None:
         pass
 
     def flush(self) -> None:

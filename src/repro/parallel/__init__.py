@@ -1,0 +1,45 @@
+"""``repro.parallel`` — seed-deterministic multi-worker execution.
+
+The DSPU exists so annealing work can proceed in parallel beyond one
+coupling crossbar; this package is the software analogue: it shards
+independent annealing work — batched circuit runs, batched inference,
+restart pools, per-phase propagator builds, experiment window/trial
+loops — across a process pool.
+
+The load-bearing guarantee, pinned by ``tests/parallel/``: **results are
+bit-for-bit identical for any worker count.**  Three rules deliver it:
+
+1. Work is split into shards whose boundaries depend only on the problem
+   (:func:`shard_slices`), never on ``workers``.
+2. Shard ``i`` derives its RNG from ``(root_seed, i)`` via
+   :meth:`numpy.random.SeedSequence.spawn` (:func:`spawn_seeds`).
+3. ``workers=1`` executes the very same shard tasks serially in-process
+   (:func:`parallel_map`), so per-shard floating-point arithmetic is
+   byte-identical either way.
+
+Worker metrics and trace records merge back into the parent
+:mod:`repro.obs` sinks (see ``obs.capture_worker_state`` /
+``obs.merge_worker_state``).
+"""
+
+from .circuit import run_batch_sharded
+from .engine import EngineSpec, infer_batch_sharded, restart_fanout
+from .pool import (
+    DEFAULT_SHARDS,
+    parallel_map,
+    resolve_num_shards,
+    shard_slices,
+    spawn_seeds,
+)
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "EngineSpec",
+    "infer_batch_sharded",
+    "parallel_map",
+    "resolve_num_shards",
+    "restart_fanout",
+    "run_batch_sharded",
+    "shard_slices",
+    "spawn_seeds",
+]

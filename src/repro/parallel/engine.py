@@ -1,0 +1,229 @@
+"""Engine-level sharding: batched inference and restart fan-out.
+
+A :class:`~repro.core.inference.NaturalAnnealingEngine` cannot cross a
+process boundary directly — its memoized :class:`ReducedSystem` cache
+holds SuperLU factor objects and solver closures that do not pickle.
+:class:`EngineSpec` captures the picklable construction arguments instead;
+each worker rebuilds a fresh engine (and re-derives operator and caches)
+from the spec.  Rebuilding is deterministic, so worker-side results match
+what the same shard computes in-process.
+
+Per-shard randomness follows the same rule as the circuit layer: shard
+``i`` draws initialization (and integration noise) from
+``default_rng(SeedSequence(root_seed).spawn(num)[i])``, making results a
+pure function of ``(root_seed, shard decomposition)`` — never of worker
+count.  One semantic difference from the legacy joint path is inherent:
+with ``coupling_noise_std > 0`` each shard samples its own perturbed
+coupling matrix, i.e. shards model *independent device realizations*
+rather than one shared chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.inference import BatchInferenceResult, NaturalAnnealingEngine
+from ..core.dynamics import BatchTrajectory
+from .pool import parallel_map, resolve_num_shards, shard_slices, spawn_seeds
+
+__all__ = ["EngineSpec", "infer_batch_sharded", "restart_fanout"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Picklable recipe for rebuilding an engine inside a worker.
+
+    Carries exactly the engine's construction arguments (the controller is
+    omitted — neither ``infer_batch`` nor the restart policy consults it);
+    the unpicklable operator/factorization caches are rebuilt lazily by
+    the fresh engine.
+    """
+
+    model: object
+    config: object
+    seed: int
+    backend: str
+    faults: object
+
+    @classmethod
+    def from_engine(cls, engine: NaturalAnnealingEngine) -> "EngineSpec":
+        return cls(
+            model=engine.model,
+            config=engine.config,
+            seed=engine.seed,
+            backend=engine.backend,
+            faults=engine.faults,
+        )
+
+    def build(self) -> NaturalAnnealingEngine:
+        return NaturalAnnealingEngine(
+            model=self.model,
+            config=self.config,
+            seed=self.seed,
+            backend=self.backend,
+            faults=self.faults,
+        )
+
+
+def _infer_shard(
+    spec: EngineSpec,
+    observed_index: np.ndarray,
+    values_slice: np.ndarray,
+    duration: float,
+    seed: np.random.SeedSequence,
+) -> tuple:
+    """Run one batch slice on a freshly rebuilt engine."""
+    engine = spec.build()
+    result = engine.infer_batch(
+        observed_index,
+        values_slice,
+        duration=duration,
+        rng=np.random.default_rng(seed),
+    )
+    trajectory = result.trajectory
+    return (
+        result.predictions,
+        result.states,
+        trajectory.times,
+        trajectory.states,
+        trajectory.energies,
+    )
+
+
+def infer_batch_sharded(
+    engine: NaturalAnnealingEngine,
+    observed_index: np.ndarray,
+    observed_values: np.ndarray,
+    duration: float = 50.0,
+    *,
+    root_seed: int | np.random.SeedSequence | None = None,
+    workers: int = 1,
+    shards: int | None = None,
+) -> BatchInferenceResult:
+    """Shard :meth:`NaturalAnnealingEngine.infer_batch` across workers.
+
+    Args:
+        engine: The engine whose model/config/backend/faults apply.
+        observed_index / observed_values / duration: As in ``infer_batch``.
+        root_seed: Root of the per-shard seed tree; defaults to
+            ``engine.seed``.
+        workers: Process count (1 = same shards, serial, identical bits).
+        shards: Shard count, independent of ``workers``.
+
+    Returns:
+        The reassembled :class:`BatchInferenceResult`.
+    """
+    values = np.asarray(observed_values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(
+            f"observed_values must be (batch, num_observed), got {values.shape}"
+        )
+    batch = values.shape[0]
+    if batch == 0:
+        raise ValueError("cannot shard an empty batch")
+    num_shards = resolve_num_shards(batch, shards)
+    slices = shard_slices(batch, num_shards)
+    seeds = spawn_seeds(
+        engine.seed if root_seed is None else root_seed, num_shards
+    )
+    spec = EngineSpec.from_engine(engine)
+    tasks = [
+        (spec, observed_index, values[part], duration, seed)
+        for part, seed in zip(slices, seeds)
+    ]
+    parts = parallel_map(_infer_shard, tasks, workers)
+    trajectory = BatchTrajectory(
+        times=parts[0][2],
+        states=np.concatenate([p[3] for p in parts], axis=1),
+        energies=np.concatenate([p[4] for p in parts], axis=1),
+    )
+    return BatchInferenceResult(
+        predictions=np.concatenate([p[0] for p in parts], axis=0),
+        states=np.concatenate([p[1] for p in parts], axis=0),
+        trajectory=trajectory,
+        annealing_time_ns=duration,
+    )
+
+
+def _restart_shard(
+    spec: EngineSpec,
+    observed_index: np.ndarray,
+    values: np.ndarray,
+    count: int,
+    duration: float,
+    seed: np.random.SeedSequence,
+    max_retries: int,
+) -> dict:
+    """Anneal one shard of the restart pool, retrying on divergence.
+
+    Divergence is reported in-band (``"error"`` key) instead of raised:
+    a raising task would abort the whole pool map, and exceptions are
+    exactly the case the restart fan-out must survive.
+    """
+    from ..faults.resilience import DivergenceError
+
+    engine = spec.build()
+    batch = np.repeat(values.reshape(1, -1), count, axis=0)
+    rng = np.random.default_rng(seed)
+    diverged = 0
+    for _ in range(1 + max_retries):
+        try:
+            result = engine.infer_batch(
+                observed_index, batch, duration=duration, rng=rng
+            )
+            return {
+                "predictions": result.predictions,
+                "states": result.states,
+                "diverged": diverged,
+                "error": None,
+            }
+        except DivergenceError as error:
+            diverged += 1
+            last = error
+    return {
+        "predictions": None,
+        "states": None,
+        "diverged": diverged,
+        "error": (last.where, last.step, last.time_ns, last.bad_nodes),
+    }
+
+
+def restart_fanout(
+    engine: NaturalAnnealingEngine,
+    observed_index: np.ndarray,
+    observed_values: np.ndarray,
+    restarts: int,
+    duration: float,
+    root_seed: int,
+    max_retries: int,
+    workers: int | None,
+    shards: int | None,
+) -> tuple[list[dict], list[slice]]:
+    """Fan the restart pool out in shards; returns per-shard results.
+
+    Shard ``i`` of the pool initializes from
+    ``SeedSequence(root_seed).spawn(num)[i]`` and retries divergence
+    locally (up to ``max_retries`` times, reusing its own stream), so the
+    outcome is independent of worker count.  Interpretation of the result
+    dicts is up to :class:`~repro.faults.resilience.RestartPolicy`.
+    """
+    values = np.asarray(observed_values, dtype=float).reshape(-1)
+    num_shards = resolve_num_shards(restarts, shards)
+    slices = shard_slices(restarts, num_shards)
+    seeds = spawn_seeds(root_seed, num_shards)
+    spec = EngineSpec.from_engine(engine)
+    tasks = [
+        (
+            spec,
+            observed_index,
+            values,
+            part.stop - part.start,
+            duration,
+            seed,
+            max_retries,
+        )
+        for part, seed in zip(slices, seeds)
+    ]
+    return parallel_map(_restart_shard, tasks, workers), slices

@@ -236,8 +236,73 @@ def bench_equilibrium(
     }
 
 
+def bench_parallel_batch(
+    n: int,
+    density: float,
+    batch: int,
+    duration: float,
+    workers: int,
+    repeats: int,
+    seed: int = 0,
+) -> dict:
+    """Serial vs multi-worker execution of one sharded batched inference.
+
+    Both sides run the *same* shard decomposition and per-shard RNG
+    streams (``shards`` is fixed to ``workers`` for both, and the shard
+    seeds derive from ``root_seed`` only), so the comparison isolates the
+    process fan-out: ``max_abs_diff`` must be exactly ``0.0`` — the
+    parallel layer's bit-for-bit guarantee, measured rather than assumed.
+    Speedup scales with physical cores; ``cpu_count`` is recorded so a
+    ~1x result on a single-core runner reads as a hardware fact, not a
+    regression.
+    """
+    import os
+
+    J, h = random_sparse_system(n, density, seed=seed)
+    operator = CouplingOperator(J, h, backend="auto")
+    rng = np.random.default_rng(seed + 1)
+    sigma0 = rng.uniform(-1.0, 1.0, size=(batch, n))
+    config = IntegrationConfig(
+        dt=0.1, record_every=1_000_000, node_noise_std=0.01
+    )
+    simulator = CircuitSimulator(config=config)
+
+    def run(num_workers: int) -> np.ndarray:
+        return simulator.run_batch(
+            operator.drift,
+            sigma0,
+            duration,
+            energy=operator.energy,
+            workers=num_workers,
+            shards=workers,
+            root_seed=seed + 2,
+        ).final_states
+
+    serial, parallel = run(1), run(workers)
+    deviation = float(np.max(np.abs(serial - parallel)))
+    return {
+        "name": "parallel_shards_vs_serial",
+        "n": n,
+        "density": density,
+        "batch": batch,
+        "duration_ns": duration,
+        "workers": workers,
+        "shards": workers,
+        "cpu_count": os.cpu_count(),
+        "backend": operator.backend,
+        "baseline": "sharded run_batch on 1 process",
+        "optimized": f"same shards on {workers} worker processes",
+        **_timed_comparison(lambda: run(1), lambda: run(workers), repeats),
+        "max_abs_diff": deviation,
+        "bitwise_identical": bool(np.array_equal(serial, parallel)),
+    }
+
+
 def run_core_benchmarks(
-    smoke: bool = False, batch: int = 64, repeats: int = 3
+    smoke: bool = False,
+    batch: int = 64,
+    repeats: int = 3,
+    workers: int | None = None,
 ) -> dict:
     """Run the full hot-path benchmark suite.
 
@@ -246,6 +311,8 @@ def run_core_benchmarks(
             of the trajectory-grade sizes.
         batch: Batch size for the batched-inference comparisons.
         repeats: Best-of repeats per timing.
+        workers: Worker count of the serial-vs-parallel scaling
+            comparison; defaults to 4 (2 in smoke mode).
 
     Returns:
         A JSON-serializable payload (see ``BENCH_core.json``).  Includes a
@@ -253,7 +320,7 @@ def run_core_benchmarks(
         histograms) collected while the benchmarks ran.
     """
     with obs.metrics_enabled() as registry:
-        results = _run_benchmark_suite(smoke, batch, repeats)
+        results = _run_benchmark_suite(smoke, batch, repeats, workers)
         snapshot = registry.snapshot()
     return {
         "benchmark": "core_hot_paths",
@@ -266,7 +333,9 @@ def run_core_benchmarks(
     }
 
 
-def _run_benchmark_suite(smoke: bool, batch: int, repeats: int) -> list[dict]:
+def _run_benchmark_suite(
+    smoke: bool, batch: int, repeats: int, workers: int | None = None
+) -> list[dict]:
     results = []
     if smoke:
         results.append(bench_drift(n=96, density=0.05, steps=20, repeats=repeats))
@@ -279,6 +348,12 @@ def _run_benchmark_suite(smoke: bool, batch: int, repeats: int) -> list[dict]:
         results.append(
             bench_equilibrium(
                 n=96, density=0.1, batch=min(batch, 8), repeats=repeats
+            )
+        )
+        results.append(
+            bench_parallel_batch(
+                n=96, density=0.1, batch=min(batch, 8), duration=2.0,
+                workers=workers or 2, repeats=repeats,
             )
         )
     else:
@@ -294,6 +369,14 @@ def _run_benchmark_suite(smoke: bool, batch: int, repeats: int) -> list[dict]:
         )
         results.append(
             bench_equilibrium(n=1024, density=0.05, batch=batch, repeats=repeats)
+        )
+        # The large batched-inference case: per-shard matvecs are sized so
+        # the pickle/fork overhead amortizes, which is when sharding pays.
+        results.append(
+            bench_parallel_batch(
+                n=512, density=0.05, batch=max(batch, 256), duration=10.0,
+                workers=workers or 4, repeats=repeats,
+            )
         )
     return results
 

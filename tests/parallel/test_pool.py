@@ -1,0 +1,189 @@
+"""Tests of the process-pool primitives: sharding, seeding, obs merging."""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.faults import DivergenceError
+from repro.parallel import (
+    DEFAULT_SHARDS,
+    parallel_map,
+    resolve_num_shards,
+    shard_slices,
+    spawn_seeds,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _draw(seed):
+    return np.random.default_rng(seed).normal(size=4)
+
+
+def _bump(amount):
+    obs.metrics().counter("pool.test").inc(amount)
+    obs.tracer().event("pool.test_event", amount=amount)
+    return amount
+
+
+def _boom(_x):
+    raise DivergenceError(where="worker", step=3, time_ns=1.5, bad_nodes=2)
+
+
+class TestShardSlices:
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_partition_properties(self, total, num):
+        """Slices tile [0, total) exactly, in order, with balanced sizes."""
+        slices = shard_slices(total, num)
+        covered = np.concatenate(
+            [np.arange(total)[s] for s in slices]
+        ) if slices else np.array([], dtype=int)
+        assert np.array_equal(covered, np.arange(total))
+        sizes = [len(range(*s.indices(total))) for s in slices]
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            shard_slices(-1, 2)
+        with pytest.raises(ValueError):
+            shard_slices(4, 0)
+
+    def test_never_yields_empty_shards(self):
+        for total in range(1, 20):
+            for num in range(1, 8):
+                for s in shard_slices(total, num):
+                    assert len(range(*s.indices(total))) > 0
+
+
+class TestResolveNumShards:
+    def test_default_is_fixed_constant(self):
+        assert resolve_num_shards(100, None) == DEFAULT_SHARDS
+
+    def test_clamped_to_total(self):
+        assert resolve_num_shards(2, None) == 2
+        assert resolve_num_shards(3, 10) == 3
+        assert resolve_num_shards(0, None) == 1
+
+    def test_explicit_request_honoured(self):
+        assert resolve_num_shards(100, 7) == 7
+
+
+class TestSpawnSeeds:
+    def test_deterministic_and_distinct(self):
+        a = spawn_seeds(42, 4)
+        b = spawn_seeds(42, 4)
+        draws_a = [np.random.default_rng(s).random(3) for s in a]
+        draws_b = [np.random.default_rng(s).random(3) for s in b]
+        for x, y in zip(draws_a, draws_b):
+            assert np.array_equal(x, y)
+        flat = np.concatenate(draws_a)
+        assert len(np.unique(flat)) == len(flat)
+
+    def test_accepts_seed_sequence(self):
+        root = np.random.SeedSequence(42)
+        a = spawn_seeds(root, 2)
+        b = spawn_seeds(42, 2)
+        assert np.array_equal(
+            np.random.default_rng(a[0]).random(3),
+            np.random.default_rng(b[0]).random(3),
+        )
+
+    def test_seeds_pickle(self):
+        for seed in spawn_seeds(0, 3):
+            clone = pickle.loads(pickle.dumps(seed))
+            assert np.array_equal(
+                np.random.default_rng(seed).random(2),
+                np.random.default_rng(clone).random(2),
+            )
+
+
+class TestParallelMap:
+    def test_preserves_task_order(self):
+        tasks = [(i,) for i in range(10)]
+        assert parallel_map(_square, tasks, workers=1) == [
+            i * i for i in range(10)
+        ]
+        assert parallel_map(_square, tasks, workers=2) == [
+            i * i for i in range(10)
+        ]
+
+    def test_worker_count_does_not_change_results(self):
+        tasks = [(seed,) for seed in range(6)]
+        serial = parallel_map(_draw, tasks, workers=1)
+        pooled = parallel_map(_draw, tasks, workers=3)
+        for a, b in zip(serial, pooled):
+            assert np.array_equal(a, b)
+
+    def test_rejects_invalid_workers(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [(1,)], workers=0)
+
+    def test_none_means_serial(self):
+        assert parallel_map(_square, [(3,)], workers=None) == [9]
+
+    def test_empty_tasks(self):
+        assert parallel_map(_square, [], workers=2) == []
+
+    def test_divergence_error_crosses_process_boundary(self):
+        # Two tasks so the pool path (not the serial shortcut) runs.
+        with pytest.raises(DivergenceError) as excinfo:
+            parallel_map(_boom, [(0,), (1,)], workers=2)
+        err = excinfo.value
+        assert (err.where, err.step, err.time_ns, err.bad_nodes) == (
+            "worker", 3, 1.5, 2,
+        )
+
+
+class TestObsMerge:
+    def test_worker_metrics_merge_into_parent(self):
+        with obs.metrics_enabled() as registry:
+            parallel_map(_bump, [(3,), (4,), (5,)], workers=2)
+            assert registry.counter("pool.test").value == 12
+
+    def test_serial_path_also_counts(self):
+        with obs.metrics_enabled() as registry:
+            parallel_map(_bump, [(1,), (2,)], workers=1)
+            assert registry.counter("pool.test").value == 3
+
+    def test_worker_trace_records_are_tagged(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        with obs.observe(trace_path=trace_path):
+            # Two tasks: a single task short-circuits to the in-process
+            # path, whose records are (correctly) not worker-tagged.
+            parallel_map(_bump, [(7,), (8,)], workers=2)
+        import json
+
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if line
+        ]
+        events = [r for r in records if r.get("name") == "pool.test_event"]
+        assert events and all(
+            r["attributes"].get("worker") is True for r in events
+        )
+
+    def test_disabled_obs_stays_disabled(self):
+        assert parallel_map(_bump, [(2,)], workers=2) == [2]
+
+
+class TestDivergenceErrorPickling:
+    def test_round_trip_preserves_fields(self):
+        err = DivergenceError(where="circuit", step=9, time_ns=4.5, bad_nodes=3)
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, DivergenceError)
+        assert (clone.where, clone.step, clone.time_ns, clone.bad_nodes) == (
+            "circuit", 9, 4.5, 3,
+        )
+        assert str(clone) == str(err)

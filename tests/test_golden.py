@@ -1,0 +1,102 @@
+"""Golden-file regression tests of the user-facing report surfaces.
+
+Two fixed-seed toy problems are pinned against committed outputs in
+``tests/golden/``:
+
+* the ``repro faults sweep`` payload (schema exactly, float values to a
+  BLAS-tolerant relative tolerance), and
+* the ``repro obs summarize`` report over a committed trace JSONL
+  fixture — pure text aggregation, so the comparison is byte-exact.
+
+Regenerate deliberately (after verifying a change is intended) by
+re-running the builders at the bottom of this module's docstrings; a
+silent drift in either surface is a regression, not noise.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments import ExperimentContext, fault_sweep_data
+from repro.obs import format_summary, summarize_trace
+
+GOLDEN = Path(__file__).parent / "golden"
+
+#: Relative tolerance for golden floats: bitwise agreement holds on one
+#: machine, but BLAS build differences legitimately move the last bits.
+RTOL = 1e-6
+
+
+def _assert_matches_golden(actual, expected, path="$"):
+    """Structural equality with rtol on floats, exactness on the rest."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected mapping"
+        assert sorted(actual) == sorted(expected), f"{path}: keys differ"
+        for key in expected:
+            _assert_matches_golden(
+                actual[key], expected[key], f"{path}.{key}"
+            )
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected list"
+        assert len(actual) == len(expected), f"{path}: length differs"
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            _assert_matches_golden(a, e, f"{path}[{i}]")
+    elif isinstance(expected, bool):
+        assert actual is expected, f"{path}: {actual!r} != {expected!r}"
+    elif isinstance(expected, float):
+        assert np.isclose(actual, expected, rtol=RTOL, atol=0.0), (
+            f"{path}: {actual!r} != {expected!r} (rtol={RTOL})"
+        )
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+class TestFaultSweepGolden:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        # Builder of tests/golden/fault_sweep.json: dump this payload
+        # with json.dump(..., indent=2, sort_keys=True) to regenerate.
+        return fault_sweep_data(
+            ExperimentContext(size="small"),
+            datasets=("traffic",),
+            fault_rates=(0.0, 0.02),
+            duration_ns=1000.0,
+            max_windows=1,
+            trials=1,
+            seed=0,
+        )
+
+    def test_payload_matches_golden(self, sweep):
+        golden = json.loads((GOLDEN / "fault_sweep.json").read_text())
+        _assert_matches_golden(sweep, golden)
+
+    def test_schema_fields(self, sweep):
+        entry = sweep["traffic"]
+        assert sorted(entry) == [
+            "diverged", "fault_rates", "rmse", "scenarios", "trials",
+        ]
+        assert all(np.isfinite(v) for v in entry["rmse"])
+        assert entry["scenarios"][0] == {"enabled": False}
+
+
+class TestObsSummarizeGolden:
+    def test_report_matches_golden_exactly(self):
+        # Builder of tests/golden/obs_summary.txt: this expression plus a
+        # trailing newline.  The fixture is hand-written (fixed timings),
+        # so the aggregation is fully deterministic.
+        report = format_summary(
+            summarize_trace(GOLDEN / "trace_fixture.jsonl")
+        )
+        expected = (GOLDEN / "obs_summary.txt").read_text()
+        assert report + "\n" == expected
+
+    def test_cli_summarize_prints_the_report(self, capsys):
+        assert main(
+            ["obs", "summarize", str(GOLDEN / "trace_fixture.jsonl")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "LU-cache hit rate: 75.0%" in out
+        assert "circuit.run_batch" in out

@@ -267,3 +267,121 @@ class TestMaskedRefitProperties:
         assert np.allclose(model.J, model.J.T)
         assert model.convexity_margin() > 0
         assert np.all(model.h < 0)
+
+
+class TestCouplingOperatorProperties:
+    """Permutation equivariance: relabeling nodes commutes with the
+    operator's drift and leaves its energy invariant, for both storage
+    backends (the dense/CSR hot paths must agree on the algebra)."""
+
+    @given(convex_systems(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_drift_is_permutation_equivariant(self, system, perm_seed):
+        from scipy import sparse as sp
+
+        from repro.core.operators import CouplingOperator
+
+        J, h = system
+        n = J.shape[0]
+        perm = np.random.default_rng(perm_seed).permutation(n)
+        sigma = np.random.default_rng(perm_seed + 1).normal(size=n)
+        for backend, wrap in (("dense", lambda m: m),
+                              ("sparse", sp.csr_matrix)):
+            op = CouplingOperator(wrap(J), h, backend=backend)
+            op_perm = CouplingOperator(
+                wrap(J[np.ix_(perm, perm)]), h[perm], backend=backend
+            )
+            assert np.allclose(
+                op_perm.drift(sigma[perm]), op.drift(sigma)[perm],
+                atol=1e-12,
+            )
+
+    @given(convex_systems(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_energy_is_permutation_invariant(self, system, perm_seed):
+        from scipy import sparse as sp
+
+        from repro.core.operators import CouplingOperator
+
+        J, h = system
+        n = J.shape[0]
+        perm = np.random.default_rng(perm_seed).permutation(n)
+        batch = np.random.default_rng(perm_seed + 1).normal(size=(3, n))
+        for backend, wrap in (("dense", lambda m: m),
+                              ("sparse", sp.csr_matrix)):
+            op = CouplingOperator(wrap(J), h, backend=backend)
+            op_perm = CouplingOperator(
+                wrap(J[np.ix_(perm, perm)]), h[perm], backend=backend
+            )
+            assert np.allclose(
+                op_perm.energy(batch[:, perm]), op.energy(batch),
+                atol=1e-10,
+            )
+
+    @given(convex_systems())
+    @settings(max_examples=20, deadline=None)
+    def test_backends_agree_bitwise_on_energy_sign_structure(self, system):
+        from scipy import sparse as sp
+
+        from repro.core.operators import CouplingOperator
+
+        J, h = system
+        sigma = np.random.default_rng(0).normal(size=J.shape[0])
+        dense = CouplingOperator(J, h, backend="dense")
+        sparse = CouplingOperator(sp.csr_matrix(J), h, backend="sparse")
+        assert np.allclose(dense.drift(sigma), sparse.drift(sigma), atol=1e-12)
+        assert np.isclose(dense.energy(sigma), sparse.energy(sigma))
+
+
+class TestAnnealingEnergyDescent:
+    @given(convex_systems(max_n=6), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_noise_free_annealing_never_increases_energy(self, system, seed):
+        """The gradient-flow core of the paper: with zero injected noise
+        and a conservative step, the recorded Hamiltonian trajectory of a
+        quadratic (convex) anneal is monotonically non-increasing."""
+        from repro.core.dynamics import CircuitSimulator, IntegrationConfig
+        from repro.core.operators import CouplingOperator
+
+        J, h = system
+        op = CouplingOperator(J, h, backend="dense")
+        # dt below 1 / L for the drift's Lipschitz constant keeps explicit
+        # Euler inside the descent regime.
+        lipschitz = float(np.abs(J).sum() + np.abs(h).max() + 1.0)
+        simulator = CircuitSimulator(
+            config=IntegrationConfig(
+                dt=min(0.1, 0.5 / lipschitz), record_every=1,
+                node_noise_std=0.0,
+            )
+        )
+        sigma0 = np.random.default_rng(seed).uniform(-0.9, 0.9, size=J.shape[0])
+        trajectory = simulator.run(
+            op.drift, sigma0, duration=2.0, energy=op.energy
+        )
+        energies = np.asarray(trajectory.energies)
+        assert np.all(np.diff(energies) <= 1e-9)
+
+
+class TestFaultZeroRateIdentity:
+    @given(st.integers(min_value=2, max_value=30),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_rate_samples_the_null_scenario(self, n, seed):
+        from repro.faults import NO_FAULTS, FaultModel
+
+        model = FaultModel.uniform(0.0, seed=seed)
+        assert not model.enabled
+        assert model.sample(n) is NO_FAULTS
+
+    @given(coupling_matrices(max_n=8))
+    @settings(max_examples=30, deadline=None)
+    def test_null_scenario_is_exact_identity(self, raw):
+        from repro.faults import NO_FAULTS
+
+        J = symmetrize_coupling(raw)
+        # Identity, not a copy: the hot paths rely on `is` short-circuits.
+        assert NO_FAULTS.apply_coupling(J) is J
+        assert NO_FAULTS.stuck_values(1.0).size == 0
+        assert NO_FAULTS.sync_skip_mask(16) is None
+        assert NO_FAULTS.summary() == {"enabled": False}
+        assert not NO_FAULTS.enabled
