@@ -188,11 +188,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="time the annealing hot paths, write BENCH_core.json",
+        help="time the hot paths, write BENCH_core.json / BENCH_nn.json",
         parents=[common, parallel],
     )
     bench.add_argument(
-        "--out", default="BENCH_core.json", help="output JSON path"
+        "--suite",
+        default="core",
+        choices=("core", "nn"),
+        help="core = annealing hot paths, nn = GNN baseline fast path",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_<suite>.json)",
     )
     bench.add_argument(
         "--smoke",
@@ -396,12 +404,20 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf import format_bench, run_core_benchmarks, write_bench_json
 
-    payload = run_core_benchmarks(
-        smoke=args.smoke, batch=args.batch, repeats=args.repeats,
-        workers=args.workers,
-    )
+    if args.suite == "nn":
+        from .perf_nn import run_nn_benchmarks
+
+        payload = run_nn_benchmarks(
+            smoke=args.smoke, batch=args.batch, repeats=args.repeats
+        )
+    else:
+        payload = run_core_benchmarks(
+            smoke=args.smoke, batch=args.batch, repeats=args.repeats,
+            workers=args.workers,
+        )
     print(format_bench(payload))
-    path = write_bench_json(payload, args.out)
+    out = args.out if args.out is not None else f"BENCH_{args.suite}.json"
+    path = write_bench_json(payload, out)
     print(f"wrote {path}")
     return 0
 

@@ -152,39 +152,61 @@ class CouplingOperator:
     drift evaluation, real-valued Hamiltonian energy, and the
     clamped-reduced system — for single states and state batches alike.
 
+    The same storage/backend machinery also serves the GNN baselines'
+    graph propagation (``repro.nn.graph``): a normalized adjacency is in
+    general *asymmetric* with a non-zero diagonal, so ``symmetric=False``
+    skips the Ising-side validation and makes :meth:`matvec` /
+    :meth:`rmatvec` orientation-aware.
+
     Args:
-        J: Symmetric coupling matrix with zero diagonal; dense ndarray or
-            any scipy sparse matrix.
-        h: ``(n,)`` self-reaction vector.
+        J: Coupling matrix; dense ndarray or any scipy sparse matrix.
+            Must be symmetric with zero diagonal unless ``symmetric`` is
+            False.
+        h: ``(n,)`` self-reaction vector, or ``None`` for zeros (pure
+            linear-operator use).
         backend: ``"dense"``, ``"sparse"``, or ``"auto"`` (density-based).
         density_threshold: ``auto`` crossover density (see
             :func:`select_backend`).
         min_sparse_size: ``auto`` minimum size for sparse storage.
+        symmetric: Declare ``J`` symmetric with zero diagonal (validated).
+            Pass False for general matrices such as normalized graph
+            adjacencies.
+        dtype: Storage dtype; ``None`` keeps the historical float64.
     """
 
     def __init__(
         self,
         J,
-        h: np.ndarray,
+        h: np.ndarray | None = None,
         backend: str = "auto",
         density_threshold: float = DEFAULT_DENSITY_THRESHOLD,
         min_sparse_size: int = DEFAULT_MIN_SPARSE_SIZE,
+        symmetric: bool = True,
+        dtype=None,
     ):
         if backend not in ("auto", "dense", "sparse"):
             raise ValueError(f"unknown backend {backend!r}")
+        dtype = np.dtype(float if dtype is None else dtype)
+        if dtype.kind != "f":
+            raise TypeError(f"operator dtype must be floating, got {dtype}")
         if sp.issparse(J):
-            J = J.tocsr().astype(float)
+            J = J.tocsr().astype(dtype)
         else:
-            J = np.asarray(J, dtype=float)
+            J = np.asarray(J, dtype=dtype)
         if J.ndim != 2 or J.shape[0] != J.shape[1]:
             raise ValueError(f"coupling matrix must be square, got shape {J.shape}")
-        self.h = np.asarray(h, dtype=float).reshape(-1)
+        if h is None:
+            self.h = np.zeros(J.shape[0], dtype=dtype)
+        else:
+            self.h = np.asarray(h, dtype=dtype).reshape(-1)
         if self.h.shape[0] != J.shape[0]:
             raise ValueError(
                 f"self-reaction vector length {self.h.shape[0]} does not "
                 f"match system size {J.shape[0]}"
             )
-        self._validate_symmetric(J)
+        self.symmetric = bool(symmetric)
+        if self.symmetric:
+            self._validate_symmetric(J)
         if backend == "auto":
             backend = select_backend(J, density_threshold, min_sparse_size)
         self.backend = backend
@@ -192,6 +214,7 @@ class CouplingOperator:
             self._J = J if sp.issparse(J) else sp.csr_matrix(J)
         else:
             self._J = J.toarray() if sp.issparse(J) else J
+        self._JT = None
         self._density = _offdiag_density(self._J)
 
     @staticmethod
@@ -223,6 +246,11 @@ class CouplingOperator:
         return self._density
 
     @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the coupling matrix."""
+        return self._J.dtype
+
+    @property
     def nnz(self) -> int:
         """Number of stored non-zero couplings."""
         if sp.issparse(self._J):
@@ -251,15 +279,68 @@ class CouplingOperator:
         the dense backend a single BLAS GEMM, for the sparse backend one
         CSR multi-vector product.
         """
-        x = np.asarray(x, dtype=float)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim == 1:
             return self._J @ x
         if x.ndim != 2:
             raise ValueError(f"state must be 1-D or 2-D, got shape {x.shape}")
         if sp.issparse(self._J):
             return np.asarray((self._J @ x.T).T)
-        # J is symmetric, so x @ J == (J @ x.T).T in one GEMM.
+        if self.symmetric:
+            # J is symmetric, so x @ J == (J @ x.T).T in one GEMM.
+            return x @ self._J
+        return x @ self._J.T
+
+    def _transpose(self):
+        """``J.T`` in this operator's storage format (cached)."""
+        if self._JT is None:
+            if sp.issparse(self._J):
+                self._JT = self._J.T.tocsr()
+            else:
+                self._JT = self._J.T
+        return self._JT
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``J.T @ x`` — the adjoint of :meth:`matvec`, batch-aware.
+
+        For symmetric operators this is :meth:`matvec` itself; for
+        asymmetric ones (graph adjacencies) it is what reverse-mode
+        differentiation of ``y = J x`` needs.
+        """
+        if self.symmetric:
+            return self.matvec(x)
+        x = np.asarray(x, dtype=self.dtype)
+        JT = self._transpose()
+        if x.ndim == 1:
+            return np.asarray(JT @ x)
+        if x.ndim != 2:
+            raise ValueError(f"state must be 1-D or 2-D, got shape {x.shape}")
+        if sp.issparse(JT):
+            return np.asarray((JT @ x.T).T)
         return x @ self._J
+
+    def propagate(self, x: np.ndarray, adjoint: bool = False) -> np.ndarray:
+        """Apply ``J`` (or ``J.T``) along the node axis of ``(..., n, c)``.
+
+        The graph-propagation primitive: feature tensors carry arbitrary
+        leading batch/time axes and a trailing channel axis, and the
+        operator contracts the ``n`` axis.  Dense storage broadcasts a
+        single ``matmul``; sparse storage folds the leading/channel axes
+        into one CSR multi-vector product.
+        """
+        x = np.asarray(x)
+        if x.ndim < 2 or x.shape[-2] != self.n:
+            raise ValueError(
+                f"expected a (..., {self.n}, channels) tensor, got shape {x.shape}"
+            )
+        matrix = self._transpose() if adjoint and not self.symmetric else self._J
+        if not sp.issparse(matrix):
+            return np.matmul(matrix, x)
+        lead = x.shape[:-2]
+        folded = np.moveaxis(x, -2, 0).reshape(self.n, -1)
+        out = np.asarray(matrix @ folded)
+        out = out.reshape((self.n,) + lead + (x.shape[-1],))
+        return np.moveaxis(out, 0, -2)
 
     def drift(self, sigma: np.ndarray) -> np.ndarray:
         """Circuit drift ``J sigma + h * sigma`` (Eq. 8), batch-aware."""

@@ -70,14 +70,18 @@ class DDGCRN(nn.Module):
         # subtracting it leaves the residual branch the bursty remainder.
         self.template = nn.Parameter(np.zeros((num_nodes, in_features)))
 
+    def _cast_buffers(self, dtype: np.dtype) -> None:
+        self.adjacency = self.adjacency.astype(dtype, copy=False)
+
     def forward(self, x) -> Tensor:
         """Map ``(B, W, N, F_in)`` history to ``(B, N, F_out)`` prediction."""
         x = as_tensor(x)
         batch = x.shape[0]
         window = x.shape[1]
         dynamic = 0.5 * (self.dynamic_graph() + self.adjacency)
-        regular_state = Tensor(np.zeros((batch, self.num_nodes, self.hidden)))
-        residual_state = Tensor(np.zeros((batch, self.num_nodes, self.hidden)))
+        state_shape = (batch, self.num_nodes, self.hidden)
+        regular_state = Tensor(np.zeros(state_shape, dtype=x.data.dtype))
+        residual_state = Tensor(np.zeros(state_shape, dtype=x.data.dtype))
         for t in range(window):
             frame = x[:, t]
             # Decomposition: the learned per-node template is the regular

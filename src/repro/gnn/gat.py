@@ -69,10 +69,13 @@ class GraphAttentionNet(nn.Module):
             nn.GatedTemporalConv(hidden, hidden, kernel_size=2, dilation=b + 1, rng=rng)
             for b in range(blocks)
         ]
-        self.head1 = nn.Linear(hidden, hidden, rng=rng)
+        self.head1 = nn.Linear(hidden, hidden, rng=rng, activation="relu")
         self.head2 = nn.Linear(hidden, out_features, rng=rng)
         self.hidden = hidden
         self.blocks = blocks
+
+    def _cast_buffers(self, dtype: np.dtype) -> None:
+        self._attention_bias = self._attention_bias.astype(dtype, copy=False)
 
     def _attend(self, h: Tensor, block: int) -> Tensor:
         """One masked attention layer over the node axis.
@@ -99,7 +102,7 @@ class GraphAttentionNet(nn.Module):
             residual = h
             h = self.temporal[block](h)
             h = ops.relu(self._attend(h, block)) + residual
-        out = ops.relu(self.head1(h[:, -1]))
+        out = self.head1(h[:, -1])
         return self.head2(out)
 
     def flops_per_inference(self, window: int) -> int:

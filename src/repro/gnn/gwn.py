@@ -34,6 +34,10 @@ class GraphWaveNet(nn.Module):
         blocks: Number of WaveNet blocks (dilation doubles per block).
         embedding_dim: Node-embedding width of the adaptive adjacency.
         seed: Weight-initialization seed.
+        graph_backend: ``None`` contracts the fixed adjacency through
+            dense autograd matmuls (historical path); ``"auto"`` /
+            ``"dense"`` / ``"sparse"`` routes it through a cached
+            :class:`~repro.nn.GraphSupport` (CouplingOperator storage).
     """
 
     def __init__(
@@ -46,12 +50,15 @@ class GraphWaveNet(nn.Module):
         blocks: int = 2,
         embedding_dim: int = 8,
         seed: int = 0,
+        graph_backend: str | None = None,
     ):
         super().__init__()
         rng = np.random.default_rng(seed)
         self.adjacency = np.asarray(adjacency, dtype=float)
         if self.adjacency.shape != (num_nodes, num_nodes):
             raise ValueError("adjacency shape must match num_nodes")
+        self.graph_backend = graph_backend
+        self._graph_cache = nn.AdjacencyCache()
         self.input_proj = nn.Linear(in_features, hidden, rng=rng)
         self.adaptive = nn.AdaptiveAdjacency(num_nodes, embedding_dim, rng=rng)
         self.temporal = [
@@ -62,16 +69,28 @@ class GraphWaveNet(nn.Module):
             nn.GraphConv(hidden, hidden, order=2, rng=rng) for _ in range(blocks)
         ]
         self.skip_proj = [nn.Linear(hidden, hidden, rng=rng) for _ in range(blocks)]
-        self.head1 = nn.Linear(hidden, hidden, rng=rng)
+        self.head1 = nn.Linear(hidden, hidden, rng=rng, activation="relu")
         self.head2 = nn.Linear(hidden, out_features, rng=rng)
         self.hidden = hidden
         self.blocks = blocks
+
+    def _cast_buffers(self, dtype: np.dtype) -> None:
+        self.adjacency = self.adjacency.astype(dtype, copy=False)
+
+    def _fixed_support(self):
+        """The fixed adjacency prepared once per (array identity, dtype)."""
+        if self.graph_backend is None:
+            return self._graph_cache.tensor(self.adjacency, self.adjacency.dtype)
+        return self._graph_cache.support(
+            self.adjacency, self.graph_backend, self.adjacency.dtype
+        )
 
     def forward(self, x) -> Tensor:
         """Map ``(B, W, N, F_in)`` history to ``(B, N, F_out)`` prediction."""
         x = as_tensor(x)
         h = self.input_proj(x)
         adaptive = self.adaptive()
+        fixed = self._fixed_support()
         skip: Tensor | None = None
         for temporal, spatial, proj in zip(self.temporal, self.spatial, self.skip_proj):
             residual = h
@@ -79,12 +98,12 @@ class GraphWaveNet(nn.Module):
             # Diffusion over the fixed graph plus the learned one; the two
             # GraphConv hop stacks share weights across supports like the
             # compact variants of GWN.
-            h = spatial(h, self.adjacency) + spatial(h, adaptive)
+            h = spatial(h, fixed) + spatial(h, adaptive)
             h = h + residual
             s = proj(h[:, -1])  # (B, N, hidden) at the final step
             skip = s if skip is None else skip + s
         assert skip is not None
-        out = ops.relu(self.head1(ops.relu(skip)))
+        out = self.head1(ops.relu(skip))
         return self.head2(out)
 
     def flops_per_inference(self, window: int) -> int:

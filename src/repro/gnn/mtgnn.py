@@ -67,10 +67,13 @@ class MTGNN(nn.Module):
             nn.GraphConv(hidden, hidden, order=2, rng=rng) for _ in range(blocks)
         ]
         self.norms = [nn.LayerNorm(hidden) for _ in range(blocks)]
-        self.head1 = nn.Linear(hidden, hidden, rng=rng)
+        self.head1 = nn.Linear(hidden, hidden, rng=rng, activation="relu")
         self.head2 = nn.Linear(hidden, out_features, rng=rng)
         self.hidden = hidden
         self.blocks = blocks
+
+    def _cast_buffers(self, dtype: np.dtype) -> None:
+        self.adjacency = self.adjacency.astype(dtype, copy=False)
 
     def forward(self, x) -> Tensor:
         """Map ``(B, W, N, F_in)`` history to ``(B, N, F_out)`` prediction."""
@@ -87,7 +90,7 @@ class MTGNN(nn.Module):
             h = ops.relu(ops.concat([conv(h) for conv in branches], axis=-1))
             h = fwd(h, forward_support) + bwd(h, backward_support)
             h = norm(h + residual)
-        out = ops.relu(self.head1(h[:, -1]))
+        out = self.head1(h[:, -1])
         return self.head2(out)
 
     def flops_per_inference(self, window: int) -> int:

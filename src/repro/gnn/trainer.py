@@ -26,13 +26,17 @@ logger = logging.getLogger("repro.gnn")
 
 
 def build_windows(
-    series: np.ndarray, window: int
+    series: np.ndarray, window: int, dtype=None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sliding windows: ``X (S, window, N, F)`` history, ``y (S, N, F)`` next.
 
     Accepts ``(T, N)`` (expanded to one feature) or ``(T, N, F)`` series.
+    ``X`` is a zero-copy strided view of the series (every window shares
+    the underlying buffer); mini-batch fancy indexing materializes only
+    the rows it draws.  ``dtype`` casts the series first (``None`` keeps
+    float64).
     """
-    series = np.asarray(series, dtype=float)
+    series = np.asarray(series, dtype=float if dtype is None else dtype)
     if series.ndim == 2:
         series = series[:, :, None]
     if series.ndim != 3:
@@ -40,9 +44,23 @@ def build_windows(
     T = series.shape[0]
     if T <= window:
         raise ValueError(f"series of {T} frames too short for window {window}")
-    X = np.stack([series[s : s + window] for s in range(T - window)])
+    view = np.lib.stride_tricks.sliding_window_view(series, window, axis=0)
+    X = np.moveaxis(view[: T - window], -1, 1)
     y = series[window:]
     return X, y
+
+
+def _weighted_mean(values: list[float], weights: list[int]) -> float:
+    """Batch-size-weighted mean of per-batch statistics.
+
+    Equal weights take ``np.mean`` so the historical (and bitwise-pinned)
+    result is untouched whenever the batch size divides the split.
+    """
+    if not values:
+        return float("nan")
+    if len(set(weights)) == 1:
+        return float(np.mean(values))
+    return float(np.average(values, weights=weights))
 
 
 @dataclass
@@ -73,6 +91,12 @@ class GNNTrainConfig:
         grad_clip: Global gradient-norm bound.
         patience: Early-stopping patience in epochs.
         seed: Shuffling seed.
+        dtype: Training dtype (``"float32"`` for the fast path); ``None``
+            keeps the historical float64 and never touches the model.
+            When set, ``fit``/``evaluate`` cast model and windows to it.
+        eval_batch_size: Chunk size for validation/test scoring; ``None``
+            pushes the whole split through in one batch (historical
+            behaviour, ``O(split)`` peak memory).
     """
 
     window: int = 6
@@ -82,6 +106,8 @@ class GNNTrainConfig:
     grad_clip: float = 5.0
     patience: int = 6
     seed: int = 0
+    dtype: str | None = None
+    eval_batch_size: int | None = None
 
 
 @dataclass
@@ -105,9 +131,11 @@ class GNNTrainer:
     ) -> "GNNTrainer":
         """Train to convergence (early-stopped on validation RMSE)."""
         cfg = self.config
-        X_train, y_train = build_windows(train.series, cfg.window)
+        dtype = self._dtype()
+        self._align_model_dtype()
+        X_train, y_train = build_windows(train.series, cfg.window, dtype)
         if val is not None and val.num_frames > cfg.window:
-            X_val, y_val = build_windows(val.series, cfg.window)
+            X_val, y_val = build_windows(val.series, cfg.window, dtype)
         else:
             X_val = y_val = None
         rng = np.random.default_rng(cfg.seed)
@@ -127,6 +155,7 @@ class GNNTrainer:
                 self.model.train()
                 batches = WindowBatches(X_train, y_train, cfg.batch_size, rng)
                 losses = []
+                sizes = []
                 grad_norms = []
                 for xb, yb in batches:
                     optimizer.zero_grad()
@@ -138,11 +167,16 @@ class GNNTrainer:
                     )
                     optimizer.step()
                     losses.append(loss.item())
+                    sizes.append(int(xb.shape[0]))
+                train_mse = _weighted_mean(losses, sizes)
                 if X_val is not None:
                     val_rmse = self._score(X_val, y_val)
                 else:
-                    val_rmse = float(np.sqrt(np.mean(losses)))
-                train_loss = float(np.mean(losses))
+                    # Per-batch MSEs weighted by batch size: with a
+                    # non-divisible split the last partial batch must not
+                    # count as much as a full one.
+                    val_rmse = float(np.sqrt(train_mse))
+                train_loss = train_mse
                 self.history.append((train_loss, val_rmse))
                 epochs_run = epoch + 1
                 epoch_ms = (time.perf_counter() - epoch_start) * 1000.0
@@ -184,20 +218,47 @@ class GNNTrainer:
             self.model.load_state_dict(best_state)
         return self
 
+    def _dtype(self) -> np.dtype:
+        cfg = self.config
+        return np.dtype(float if cfg.dtype is None else cfg.dtype)
+
+    def _align_model_dtype(self) -> None:
+        """Cast the model to the configured dtype (explicit opt-in only)."""
+        if self.config.dtype is None:
+            return
+        dtype = self._dtype()
+        if any(p.data.dtype != dtype for p in self.model.parameters()):
+            self.model.astype(dtype)
+
     def _score(self, X: np.ndarray, y: np.ndarray) -> float:
         self.model.eval()
+        chunk = self.config.eval_batch_size
+        samples = X.shape[0]
         with no_grad():
-            prediction = self.model(Tensor(X))
-        return rmse(prediction.numpy(), y)
+            if chunk is None or chunk >= samples:
+                prediction = self.model(Tensor(X)).numpy()
+            else:
+                if chunk < 1:
+                    raise ValueError("eval_batch_size must be positive")
+                prediction = np.concatenate(
+                    [
+                        self.model(Tensor(X[start : start + chunk])).numpy()
+                        for start in range(0, samples, chunk)
+                    ],
+                    axis=0,
+                )
+        return rmse(prediction, y)
 
     def evaluate(self, test: SpatioTemporalDataset) -> float:
         """Test RMSE over all windows of the test split."""
-        X, y = build_windows(test.series, self.config.window)
+        self._align_model_dtype()
+        X, y = build_windows(test.series, self.config.window, self._dtype())
         return self._score(X, y)
 
     def predict(self, history: np.ndarray) -> np.ndarray:
         """One-step prediction from a single ``(W, N, F)`` history."""
-        history = np.asarray(history, dtype=float)
+        self._align_model_dtype()
+        history = np.asarray(history, dtype=self._dtype())
         if history.ndim == 2:
             history = history[:, :, None]
         self.model.eval()
@@ -209,7 +270,8 @@ class GNNTrainer:
         self, test: SpatioTemporalDataset, repeats: int = 10
     ) -> float:
         """Median wall-clock seconds of one single-window inference."""
-        X, _ = build_windows(test.series, self.config.window)
+        self._align_model_dtype()
+        X, _ = build_windows(test.series, self.config.window, self._dtype())
         sample = X[:1]
         self.model.eval()
         timings = []

@@ -1,6 +1,7 @@
 """From-scratch numpy autograd substrate for the GNN baselines."""
 
 from . import init, ops
+from .graph import AdjacencyCache, GraphSupport, graph_propagate
 from .layers import (
     AdaptiveAdjacency,
     Dropout,
@@ -15,16 +16,27 @@ from .layers import (
 )
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
-from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+from .tensor import (
+    Tensor,
+    as_tensor,
+    get_default_dtype,
+    grad_write_stats,
+    is_grad_enabled,
+    no_grad,
+    reset_grad_write_stats,
+    set_default_dtype,
+)
 
 __all__ = [
     "Adam",
     "AdaptiveAdjacency",
+    "AdjacencyCache",
     "Dropout",
     "Embedding",
     "GRUCell",
     "GatedTemporalConv",
     "GraphConv",
+    "GraphSupport",
     "LayerNorm",
     "Linear",
     "Module",
@@ -36,8 +48,12 @@ __all__ = [
     "Tensor",
     "as_tensor",
     "clip_grad_norm",
+    "get_default_dtype",
+    "grad_write_stats",
+    "graph_propagate",
     "init",
     "is_grad_enabled",
     "no_grad",
-    "ops",
+    "reset_grad_write_stats",
+    "set_default_dtype",
 ]

@@ -1,0 +1,135 @@
+"""CouplingOperator-backed graph propagation for the GNN fast path.
+
+The seed :class:`~repro.nn.layers.GraphConv` re-wrapped its adjacency with
+``as_tensor`` on every call and contracted the node axis through dense
+``Tensor`` matmuls.  For *static* adjacencies (the fixed normalized graph
+of GWN/MTGNN/DDGCRN) both halves are wasted work: the wrap can be built
+once, and the propagation can run through
+:class:`repro.core.operators.CouplingOperator` — the annealing engine's
+dense/CSR auto-backend — which turns an ``(n, n)`` dense GEMM per hop into
+an ``nnz``-proportional CSR product on sparse graphs.
+
+Three pieces:
+
+* :class:`GraphSupport` — an adjacency prepared once (backend-selected
+  operator at a fixed dtype).
+* :func:`graph_propagate` — the autograd node ``y = A x`` over the node
+  axis; backward is one :meth:`~repro.core.operators.CouplingOperator.
+  propagate` call with ``adjoint=True`` (``A.T g``).
+* :class:`AdjacencyCache` — identity-keyed per-model cache of prepared
+  tensors/supports.
+
+Static contract: a prepared support snapshots the adjacency values.
+Models invalidate by *reassigning* their adjacency attribute (identity
+key misses and the support is rebuilt); in-place writes to the original
+array are not observed by a cached support.  The zero-copy tensor wrap
+(legacy dense path) shares storage and therefore does observe them,
+matching seed behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.operators import CouplingOperator
+from .tensor import Tensor, as_tensor
+
+__all__ = ["GraphSupport", "AdjacencyCache", "graph_propagate"]
+
+
+class GraphSupport:
+    """A static adjacency prepared once for repeated node-axis products.
+
+    Args:
+        adjacency: ``(n, n)`` dense array (or scipy sparse matrix) —
+            asymmetric and diagonal-bearing adjacencies welcome.
+        backend: ``"dense"``, ``"sparse"``, or ``"auto"`` (density-based,
+            see :func:`repro.core.operators.select_backend`).
+        dtype: Storage dtype; ``None`` keeps the adjacency's floating
+            dtype (float64 for anything else).
+    """
+
+    def __init__(self, adjacency, backend: str = "auto", dtype=None):
+        if dtype is None:
+            source_dtype = getattr(adjacency, "dtype", None)
+            if source_dtype is not None and np.dtype(source_dtype).kind == "f":
+                dtype = np.dtype(source_dtype)
+            else:
+                dtype = np.dtype(np.float64)
+        self.operator = CouplingOperator(
+            adjacency, backend=backend, symmetric=False, dtype=dtype
+        )
+
+    @property
+    def backend(self) -> str:
+        """``"dense"`` or ``"sparse"`` — the selected storage."""
+        return self.operator.backend
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.operator.dtype
+
+    @property
+    def n(self) -> int:
+        return self.operator.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphSupport(n={self.n}, backend={self.backend!r}, "
+            f"dtype={self.dtype})"
+        )
+
+
+def graph_propagate(x, support: GraphSupport) -> Tensor:
+    """``A @ x`` over the node axis of ``(..., n, c)``, one graph node.
+
+    The cached-operator counterpart of ``adjacency @ x`` in
+    :class:`~repro.nn.layers.GraphConv`: forward and backward are each a
+    single :meth:`CouplingOperator.propagate` call (CSR or broadcast
+    GEMM), and the adjacency is a constant — no gradient flows to it.
+    """
+    x = as_tensor(x)
+    out_data = support.operator.propagate(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_owned(support.operator.propagate(grad, adjoint=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+class AdjacencyCache:
+    """Identity-keyed cache of per-model adjacency preparations.
+
+    Keys are ``(kind, id(array), dtype, backend)`` with a reference to
+    the array held alongside each entry, so an id can never be recycled
+    while its entry lives.  Reassigning the model's adjacency attribute
+    therefore misses and rebuilds; see the module docstring for the
+    static contract on in-place writes.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, tuple] = {}
+
+    def tensor(self, adjacency, dtype=None) -> Tensor:
+        """A constant :class:`Tensor` wrap, zero-copy when dtypes match."""
+        dtype = np.dtype(float if dtype is None else dtype)
+        key = ("tensor", id(adjacency), dtype)
+        entry = self._entries.get(key)
+        if entry is None or entry[0] is not adjacency:
+            wrapped = as_tensor(np.asarray(adjacency, dtype=dtype))
+            entry = (adjacency, wrapped)
+            self._entries[key] = entry
+        return entry[1]
+
+    def support(self, adjacency, backend: str = "auto", dtype=None) -> GraphSupport:
+        """A prepared :class:`GraphSupport` for a static adjacency."""
+        key = ("support", id(adjacency), backend, None if dtype is None else np.dtype(dtype))
+        entry = self._entries.get(key)
+        if entry is None or entry[0] is not adjacency:
+            entry = (adjacency, GraphSupport(adjacency, backend=backend, dtype=dtype))
+            self._entries[key] = entry
+        return entry[1]
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import init, ops
+from .graph import GraphSupport, graph_propagate
 from .module import Module, Parameter
 from .tensor import Tensor, as_tensor
 
@@ -29,7 +30,12 @@ __all__ = [
 
 
 class Linear(Module):
-    """Affine map over the trailing (channel) axis."""
+    """Affine map over the trailing (channel) axis.
+
+    ``activation`` (``None``/``"relu"``/``"tanh"``/``"sigmoid"``) fuses
+    the nonlinearity into the same graph node via
+    :func:`~repro.nn.ops.linear_act`.
+    """
 
     def __init__(
         self,
@@ -37,17 +43,16 @@ class Linear(Module):
         out_features: int,
         bias: bool = True,
         rng: np.random.Generator | None = None,
+        activation: str | None = None,
     ):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
+        self.activation = activation
 
     def forward(self, x: Tensor) -> Tensor:
-        out = as_tensor(x) @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return ops.linear_act(x, self.weight, self.bias, self.activation)
 
 
 class LayerNorm(Module):
@@ -83,6 +88,7 @@ class TemporalConv(Module):
         kernel_size: int = 2,
         dilation: int = 1,
         rng: np.random.Generator | None = None,
+        activation: str | None = None,
     ):
         super().__init__()
         if kernel_size < 1 or dilation < 1:
@@ -95,19 +101,12 @@ class TemporalConv(Module):
             for _ in range(kernel_size)
         ]
         self.bias = Parameter(init.zeros((out_channels,)))
+        self.activation = activation
 
     def forward(self, x: Tensor) -> Tensor:
-        x = as_tensor(x)
-        pad = (self.kernel_size - 1) * self.dilation
-        padded = ops.pad_time(x, pad, axis=1)
-        T = x.shape[1]
-        out: Tensor | None = None
-        for k, tap in enumerate(self.taps):
-            offset = pad - k * self.dilation
-            piece = padded[:, offset : offset + T] @ tap
-            out = piece if out is None else out + piece
-        assert out is not None
-        return out + self.bias
+        return ops.temporal_conv(
+            x, self.taps, self.bias, self.dilation, self.activation
+        )
 
 
 class GatedTemporalConv(Module):
@@ -124,14 +123,16 @@ class GatedTemporalConv(Module):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.filter_conv = TemporalConv(
-            in_channels, out_channels, kernel_size, dilation, rng
+            in_channels, out_channels, kernel_size, dilation, rng,
+            activation="tanh",
         )
         self.gate_conv = TemporalConv(
-            in_channels, out_channels, kernel_size, dilation, rng
+            in_channels, out_channels, kernel_size, dilation, rng,
+            activation="sigmoid",
         )
 
     def forward(self, x: Tensor) -> Tensor:
-        return ops.tanh(self.filter_conv(x)) * ops.sigmoid(self.gate_conv(x))
+        return self.filter_conv(x) * self.gate_conv(x)
 
 
 class GraphConv(Module):
@@ -161,7 +162,22 @@ class GraphConv(Module):
         self.bias = Parameter(init.zeros((out_channels,)))
 
     def forward(self, x: Tensor, adjacency) -> Tensor:
+        """Mix-hop convolution against ``adjacency``.
+
+        ``adjacency`` is a :class:`~repro.nn.graph.GraphSupport` (static
+        graph, cached dense/CSR operator — the fast path), or a
+        ``Tensor``/array contracted through dense autograd matmuls (the
+        path learned adjacencies must take, since gradients flow into
+        them).
+        """
         x = as_tensor(x)
+        if isinstance(adjacency, GraphSupport):
+            out = x @ self.hops[0]
+            propagated = x
+            for k in range(1, self.order + 1):
+                propagated = graph_propagate(propagated, adjacency)
+                out = out + propagated @ self.hops[k]
+            return out + self.bias
         adjacency = as_tensor(adjacency)
         out = x @ self.hops[0]
         propagated = x
@@ -188,10 +204,27 @@ class AdaptiveAdjacency(Module):
         rng = rng or np.random.default_rng(0)
         self.source = Parameter(init.normal((num_nodes, embedding_dim), rng, std=0.3))
         self.target = Parameter(init.normal((num_nodes, embedding_dim), rng, std=0.3))
+        self._eval_cache: tuple | None = None
 
     def forward(self) -> Tensor:
+        # In eval mode under no_grad the learned graph is a pure function
+        # of the (frozen) embeddings, so it is computed once and reused
+        # until an optimizer step reassigns a parameter's ``data``.
+        cached = self._eval_cache
+        if (
+            not self.training
+            and cached is not None
+            and cached[0] is self.source.data
+            and cached[1] is self.target.data
+        ):
+            return cached[2]
         scores = ops.relu(self.source @ self.target.T)
-        return ops.softmax(scores, axis=-1)
+        result = ops.softmax(scores, axis=-1)
+        if not self.training and not result.requires_grad:
+            self._eval_cache = (self.source.data, self.target.data, result)
+        else:
+            self._eval_cache = None
+        return result
 
 
 class GRUCell(Module):

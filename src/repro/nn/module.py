@@ -114,7 +114,28 @@ class Module:
                     f"parameter {index} shape mismatch: "
                     f"{value.shape} vs {parameter.data.shape}"
                 )
-            parameter.data = value.astype(float).copy()
+            parameter.data = value.astype(parameter.data.dtype)
+
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter (and module buffers) to ``dtype`` in place.
+
+        The float32 entry point of the fast path: build a model at the
+        default dtype, then ``model.astype(np.float32)``.  Submodules
+        that hold non-parameter arrays (attention masks, cached
+        adjacency supports) override :meth:`_cast_buffers`.
+        """
+        dtype = np.dtype(dtype)
+        if dtype.kind != "f":
+            raise TypeError(f"model dtype must be floating, got {dtype}")
+        for parameter in self.parameters():
+            parameter.data = parameter.data.astype(dtype, copy=False)
+            parameter.grad = None
+        for module in self.modules():
+            module._cast_buffers(dtype)
+        return self
+
+    def _cast_buffers(self, dtype: np.dtype) -> None:
+        """Hook for casting non-parameter arrays; default: nothing."""
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -1,0 +1,333 @@
+"""Performance harness for the GNN baseline stack (``repro bench --suite nn``).
+
+The paper's headline speedups are ratios of annealing latency to GNN
+baseline latency, so the baseline side needs the same benchmarked,
+regression-gated treatment the annealing engine gets from
+:mod:`repro.perf`.  This suite times the baseline *fast path* — float32
+training, the allocation-lean backward, fused ops, and cached
+CouplingOperator graph propagation — against the historical float64
+dense path, and writes ``BENCH_nn.json``:
+
+* **train epoch** — full training epochs of GraphWaveNet on the bundled
+  synthetic traffic dataset, float64 dense vs float32 + cached graph
+  support (and a float32-only variant isolating the dtype effect),
+  with backward-pass gradient-buffer allocation counts from
+  :func:`repro.nn.grad_write_stats`,
+* **single-window inference** — the Table III latency quantity,
+* **graph conv** — dense autograd matmuls vs the cached sparse
+  (CSR-backed) :class:`~repro.nn.GraphSupport` propagation on a large
+  sparse graph, forward + backward at matched dtype.
+
+Every comparison reuses the shared timing helpers of :mod:`repro.perf`
+(full per-repeat sample lists; best-of headline) and runs under
+:func:`repro.obs.metrics_enabled`, embedding the ``gnn.*`` metric
+snapshot in the payload.
+
+The float32 rows are *not* bit-comparable to their float64 baselines;
+their ``max_abs_diff`` records the observed accuracy gap (see the
+EXPERIMENTS.md caveat).  The graph-conv row compares at matched dtype,
+where agreement is at rounding level.
+"""
+
+from __future__ import annotations
+
+import platform
+
+import numpy as np
+
+from . import obs
+from .datasets import load_dataset
+from .datasets.base import SpatioTemporalDataset
+from .gnn import GNNTrainConfig, GNNTrainer, GraphWaveNet, default_adjacency
+from .gnn.trainer import build_windows
+from .nn import GraphConv, GraphSupport, Tensor, no_grad
+from .nn.tensor import grad_write_stats, reset_grad_write_stats
+from .perf import _timed_comparison
+
+__all__ = [
+    "random_adjacency",
+    "bench_graphconv",
+    "bench_train_epoch",
+    "bench_inference",
+    "run_nn_benchmarks",
+]
+
+
+def random_adjacency(n: int, density: float, seed: int = 0) -> np.ndarray:
+    """A random row-normalized directed adjacency at a target density.
+
+    The graph-conv benchmark needs what real sensor graphs look like
+    after :func:`~repro.datasets.graphs.normalized_adjacency`: asymmetric,
+    non-negative, rows summing to one — exactly what
+    ``CouplingOperator(symmetric=False)`` exists for.
+    """
+    if not 0 < density <= 1:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    weights = rng.random((n, n)) * (rng.random((n, n)) < density)
+    np.fill_diagonal(weights, 1.0)  # self-loops keep every row non-empty
+    return weights / weights.sum(axis=1, keepdims=True)
+
+
+def _traffic(size: str = "small") -> SpatioTemporalDataset:
+    return load_dataset("traffic", size=size)
+
+
+def bench_graphconv(
+    n: int,
+    density: float,
+    channels: int = 16,
+    batch: int = 4,
+    order: int = 2,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Dense autograd matmuls vs cached sparse propagation, fwd + bwd.
+
+    Both sides run at float64 on the *same* adjacency values, so
+    ``max_abs_diff`` is a rounding-level correctness bound, and the
+    speedup isolates the storage/backend choice.
+    """
+    rng = np.random.default_rng(seed)
+    adjacency = random_adjacency(n, density, seed=seed)
+    conv = GraphConv(channels, channels, order=order, rng=np.random.default_rng(1))
+    x_data = rng.standard_normal((batch, n, channels))
+    support = GraphSupport(adjacency, backend="sparse")
+    outputs: dict[str, np.ndarray] = {}
+
+    def run(adjacency_like, key: str) -> None:
+        conv.zero_grad()
+        x = Tensor(x_data, requires_grad=True)
+        out = conv(x, adjacency_like)
+        out.sum().backward()
+        outputs[key] = out.numpy()
+
+    comparison = _timed_comparison(
+        lambda: run(adjacency, "baseline"),
+        lambda: run(support, "optimized"),
+        repeats,
+    )
+    max_abs_diff = float(
+        np.max(np.abs(outputs["baseline"] - outputs["optimized"]))
+    )
+    return {
+        "name": f"nn.graphconv[sparse,order={order}]",
+        "n": n,
+        "density": density,
+        "channels": channels,
+        "batch": batch,
+        "backend": support.backend,
+        "max_abs_diff": max_abs_diff,
+        **comparison,
+    }
+
+
+def _epoch_runner(
+    dataset: SpatioTemporalDataset,
+    adjacency: np.ndarray,
+    hidden: int,
+    epochs: int,
+    batch_size: int,
+    dtype: str | None,
+    graph_backend: str | None,
+    sink: dict,
+    key: str,
+):
+    """A closure training a fresh GraphWaveNet for ``epochs`` epochs.
+
+    Fresh model + trainer per call keeps repeats independent and
+    deterministic; loss and gradient-allocation stats of the latest run
+    land in ``sink[key]``.
+    """
+    train, _val, _test = dataset.split()
+
+    def run() -> None:
+        model = GraphWaveNet(
+            dataset.num_nodes, adjacency, hidden=hidden, seed=0,
+            graph_backend=graph_backend,
+        )
+        trainer = GNNTrainer(
+            model,
+            GNNTrainConfig(
+                window=6, epochs=epochs, batch_size=batch_size, seed=0,
+                dtype=dtype,
+            ),
+        )
+        reset_grad_write_stats()
+        trainer.fit(train, None)
+        writes, copies = grad_write_stats()
+        sink[key] = {
+            "train_loss": trainer.history[-1][0],
+            "grad_writes": writes,
+            "grad_copies": copies,
+        }
+
+    return run
+
+
+def bench_train_epoch(
+    dataset: SpatioTemporalDataset,
+    hidden: int = 32,
+    epochs: int = 1,
+    batch_size: int = 32,
+    repeats: int = 3,
+    graph_backend: str | None = "auto",
+    name: str = "fastpath",
+) -> dict:
+    """Training epochs: float64 dense (historical) vs float32 fast path.
+
+    ``graph_backend=None`` benchmarks the dtype change alone.  The per-run
+    gradient-buffer write/copy counters quantify the allocation-lean
+    backward (copies avoided = fraction of first-writes that took
+    ownership of a temporary instead of allocating).
+    """
+    adjacency = default_adjacency(dataset)
+    sink: dict[str, dict] = {}
+    baseline = _epoch_runner(
+        dataset, adjacency, hidden, epochs, batch_size,
+        dtype=None, graph_backend=None, sink=sink, key="baseline",
+    )
+    optimized = _epoch_runner(
+        dataset, adjacency, hidden, epochs, batch_size,
+        dtype="float32", graph_backend=graph_backend, sink=sink, key="optimized",
+    )
+    comparison = _timed_comparison(baseline, optimized, repeats)
+    loss64 = sink["baseline"]["train_loss"]
+    loss32 = sink["optimized"]["train_loss"]
+    return {
+        "name": f"nn.train_epoch[GWN,{name}]",
+        "n": int(dataset.num_nodes),
+        "density": float(np.count_nonzero(adjacency)) / adjacency.size,
+        "hidden": hidden,
+        "epochs": epochs,
+        "batch_size": batch_size,
+        "graph_backend": graph_backend,
+        # Cross-dtype comparison: this is the float32 accuracy gap on the
+        # final epoch's train loss, not a rounding bound.
+        "max_abs_diff": abs(loss64 - loss32),
+        "train_loss_float64": loss64,
+        "train_loss_float32": loss32,
+        "grad_stats": {
+            "baseline": sink["baseline"],
+            "optimized": sink["optimized"],
+        },
+        **comparison,
+    }
+
+
+def bench_inference(
+    dataset: SpatioTemporalDataset,
+    hidden: int = 32,
+    repeats: int = 30,
+    graph_backend: str | None = "auto",
+) -> dict:
+    """Single-window inference latency, float64 dense vs float32 cached."""
+    adjacency = default_adjacency(dataset)
+    _train, _val, test = dataset.split()
+    window = 6
+    X64, _ = build_windows(test.series, window)
+    sample64 = np.ascontiguousarray(X64[:1])
+    sample32 = sample64.astype(np.float32)
+
+    model64 = GraphWaveNet(dataset.num_nodes, adjacency, hidden=hidden, seed=0)
+    model64.eval()
+    model32 = GraphWaveNet(
+        dataset.num_nodes, adjacency, hidden=hidden, seed=0,
+        graph_backend=graph_backend,
+    )
+    model32.astype(np.float32)
+    model32.eval()
+
+    with no_grad():
+        prediction64 = model64(Tensor(sample64)).numpy()
+        prediction32 = model32(Tensor(sample32)).numpy()
+
+        def baseline() -> None:
+            model64(Tensor(sample64))
+
+        def optimized() -> None:
+            model32(Tensor(sample32))
+
+        baseline()  # warm-up (adjacency caches, BLAS threads)
+        optimized()
+        comparison = _timed_comparison(baseline, optimized, repeats)
+    return {
+        "name": "nn.infer_window[GWN]",
+        "n": int(dataset.num_nodes),
+        "density": float(np.count_nonzero(adjacency)) / adjacency.size,
+        "hidden": hidden,
+        "window": window,
+        "graph_backend": graph_backend,
+        # Untrained same-seed weights: the float32 prediction gap.
+        "max_abs_diff": float(np.max(np.abs(prediction64 - prediction32))),
+        **comparison,
+    }
+
+
+def run_nn_benchmarks(
+    smoke: bool = False,
+    batch: int = 32,
+    repeats: int = 3,
+) -> dict:
+    """Run the GNN baseline benchmark suite.
+
+    Args:
+        smoke: Tiny sizes (seconds, for CI smoke runs).
+        batch: Training mini-batch size.
+        repeats: Best-of repeats per timing.
+
+    Returns:
+        A JSON-serializable payload (see ``BENCH_nn.json``) embedding a
+        ``gnn.*`` metrics snapshot collected while the benchmarks ran.
+    """
+    with obs.metrics_enabled() as registry:
+        dataset = _traffic("small")
+        results = []
+        if smoke:
+            results.append(
+                bench_train_epoch(
+                    dataset, hidden=8, epochs=1, batch_size=batch,
+                    repeats=repeats, graph_backend="auto", name="fastpath",
+                )
+            )
+            results.append(
+                bench_inference(
+                    dataset, hidden=8, repeats=max(repeats, 10),
+                )
+            )
+            results.append(
+                bench_graphconv(
+                    n=160, density=0.05, channels=8, batch=2, repeats=repeats
+                )
+            )
+        else:
+            results.append(
+                bench_train_epoch(
+                    dataset, hidden=32, epochs=2, batch_size=batch,
+                    repeats=repeats, graph_backend="auto", name="fastpath",
+                )
+            )
+            results.append(
+                bench_train_epoch(
+                    dataset, hidden=32, epochs=2, batch_size=batch,
+                    repeats=repeats, graph_backend=None, name="float32-only",
+                )
+            )
+            results.append(
+                bench_inference(dataset, hidden=32, repeats=max(repeats, 30))
+            )
+            results.append(
+                bench_graphconv(
+                    n=500, density=0.02, channels=16, batch=4, repeats=repeats
+                )
+            )
+        snapshot = registry.snapshot()
+    return {
+        "benchmark": "nn_fast_path",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "smoke": smoke,
+        "repeats": repeats,
+        "results": results,
+        "metrics": snapshot,
+    }

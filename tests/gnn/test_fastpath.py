@@ -1,0 +1,291 @@
+"""Tests of the GNN fast path: golden numerics, weighted validation,
+chunked evaluation, cached graph supports, and float32 training.
+
+The golden-history test is the determinism anchor for the whole refactor:
+the fused ops, the cached adjacency wrap, the strided window views, and
+the allocation-lean backward were all built to be bit-compatible with the
+seed float64 path, and this test pins the seed's loss history to a
+checked-in file.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.gnn import (
+    GNNTrainConfig,
+    GNNTrainer,
+    GraphWaveNet,
+    build_windows,
+    default_adjacency,
+)
+from repro.gnn.trainer import _weighted_mean
+from repro.nn import Tensor, no_grad
+from repro.nn.layers import AdaptiveAdjacency
+
+GOLDEN = Path(__file__).parent / "golden" / "gwn_history.json"
+
+# Cross-platform float agreement bound (matches tests/test_golden.py):
+# different BLAS builds may reassociate reductions.
+RTOL = 1e-6
+
+
+def _golden_fit() -> GNNTrainer:
+    """The exact run that produced tests/gnn/golden/gwn_history.json."""
+    ds = load_dataset("traffic", size="small")
+    train, val, _test = ds.split()
+    model = GraphWaveNet(ds.num_nodes, default_adjacency(ds), hidden=8, seed=7)
+    trainer = GNNTrainer(
+        model, GNNTrainConfig(window=6, epochs=3, batch_size=27, seed=11)
+    )
+    return trainer.fit(train, val)
+
+
+class TestGoldenHistory:
+    """Seed float64 numerics must be unchanged by the fast-path refactor."""
+
+    def test_history_matches_golden_file(self):
+        golden = json.loads(GOLDEN.read_text())
+        trainer = _golden_fit()
+        assert len(trainer.history) == len(golden["history"])
+        for (train_loss, val_rmse), (g_train, g_val) in zip(
+            trainer.history, golden["history"]
+        ):
+            # Golden stores repr() strings: full precision, no JSON
+            # float round-tripping ambiguity.
+            assert train_loss == pytest.approx(float(g_train), rel=RTOL)
+            assert val_rmse == pytest.approx(float(g_val), rel=RTOL)
+
+    def test_refit_is_bitwise_deterministic(self):
+        """Two identical fits on this machine agree to the last bit."""
+        first = _golden_fit().history
+        second = _golden_fit().history
+        assert [[repr(a), repr(b)] for a, b in first] == [
+            [repr(a), repr(b)] for a, b in second
+        ]
+
+
+class TestWeightedValidationFallback:
+    def test_equal_weights_take_the_bitwise_mean_path(self):
+        values = [0.125, 0.25, 0.5]
+        assert _weighted_mean(values, [32, 32, 32]) == float(np.mean(values))
+
+    def test_unequal_weights_are_respected(self):
+        # Seed bug: a 2-sample tail batch counted as much as a 32-sample
+        # one.  The weighted mean must tilt toward the larger batch.
+        assert _weighted_mean([1.0, 3.0], [3, 1]) == pytest.approx(1.5)
+        assert _weighted_mean([1.0, 3.0], [3, 1]) != pytest.approx(2.0)
+
+    def test_empty_batches_give_nan(self):
+        assert np.isnan(_weighted_mean([], []))
+
+    def test_no_val_fallback_weights_partial_batches(self, monkeypatch):
+        """With val=None and a non-divisible split, the reported val RMSE
+        is the sqrt of the *size-weighted* per-batch MSE mean."""
+        from repro.nn import ops
+
+        recorded: list[tuple[float, int]] = []
+        original = ops.mse_loss
+
+        def recording_mse(prediction, target):
+            loss = original(prediction, target)
+            recorded.append((loss.item(), int(prediction.shape[0])))
+            return loss
+
+        monkeypatch.setattr(
+            "repro.gnn.trainer.ops.mse_loss", recording_mse
+        )
+        ds = load_dataset("traffic", size="small")
+        train, _val, _test = ds.split()
+        model = GraphWaveNet(ds.num_nodes, default_adjacency(ds), hidden=4, seed=0)
+        trainer = GNNTrainer(
+            model, GNNTrainConfig(window=6, epochs=1, batch_size=20, seed=0)
+        )
+        trainer.fit(train, None)
+
+        losses = [loss for loss, _size in recorded]
+        sizes = [size for _loss, size in recorded]
+        assert len(set(sizes)) > 1, "split must not divide evenly"
+        expected = float(np.sqrt(np.average(losses, weights=sizes)))
+        train_loss, val_rmse = trainer.history[0]
+        assert val_rmse == expected
+        assert train_loss == float(np.average(losses, weights=sizes))
+
+
+class TestChunkedEvaluation:
+    def test_chunked_matches_full_batch_bit_for_bit(self):
+        ds = load_dataset("traffic", size="small")
+        _train, _val, test = ds.split()
+        model = GraphWaveNet(ds.num_nodes, default_adjacency(ds), hidden=8, seed=3)
+        full = GNNTrainer(model, GNNTrainConfig(window=6))
+        # 13 does not divide the split: exercises the ragged tail chunk.
+        chunked = GNNTrainer(
+            model, GNNTrainConfig(window=6, eval_batch_size=13)
+        )
+        assert chunked.evaluate(test) == full.evaluate(test)
+
+    def test_oversized_chunk_is_the_full_batch_path(self):
+        ds = load_dataset("traffic", size="small")
+        _train, _val, test = ds.split()
+        model = GraphWaveNet(ds.num_nodes, default_adjacency(ds), hidden=8, seed=3)
+        full = GNNTrainer(model, GNNTrainConfig(window=6))
+        big = GNNTrainer(
+            model, GNNTrainConfig(window=6, eval_batch_size=10_000)
+        )
+        assert big.evaluate(test) == full.evaluate(test)
+
+    def test_invalid_chunk_size_rejected(self):
+        ds = load_dataset("traffic", size="small")
+        _train, _val, test = ds.split()
+        model = GraphWaveNet(ds.num_nodes, default_adjacency(ds), hidden=4, seed=0)
+        trainer = GNNTrainer(
+            model, GNNTrainConfig(window=6, eval_batch_size=0)
+        )
+        with pytest.raises(ValueError, match="positive"):
+            trainer.evaluate(test)
+
+
+class TestStridedWindows:
+    def test_windows_are_zero_copy_views(self):
+        series = np.arange(40, dtype=float).reshape(20, 2)
+        X, y = build_windows(series, window=3)
+        assert np.shares_memory(X, series)
+        assert np.shares_memory(y, series)
+
+    def test_view_matches_materialized_stack(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=(15, 4, 2))
+        X, y = build_windows(series, window=5)
+        stacked = np.stack([series[t : t + 5] for t in range(10)])
+        np.testing.assert_array_equal(X, stacked)
+        np.testing.assert_array_equal(y, series[5:])
+
+    def test_dtype_casting(self):
+        series = np.arange(20, dtype=float).reshape(10, 2)
+        X, y = build_windows(series, window=3, dtype=np.float32)
+        assert X.dtype == np.float32
+        assert y.dtype == np.float32
+
+
+class TestGraphBackendEquivalence:
+    def _forward(self, backend):
+        ds = load_dataset("traffic", size="small")
+        model = GraphWaveNet(
+            ds.num_nodes, default_adjacency(ds), hidden=8, seed=0,
+            graph_backend=backend,
+        )
+        model.eval()
+        X, _ = build_windows(ds.series, 6)
+        with no_grad():
+            return model(Tensor(np.ascontiguousarray(X[:4]))).numpy()
+
+    def test_dense_support_matches_legacy_path(self):
+        np.testing.assert_allclose(
+            self._forward("dense"), self._forward(None), rtol=0, atol=1e-12
+        )
+
+    def test_sparse_support_matches_legacy_path(self):
+        np.testing.assert_allclose(
+            self._forward("sparse"), self._forward(None), rtol=0, atol=1e-12
+        )
+
+    def test_support_gradients_match_legacy_path(self):
+        ds = load_dataset("traffic", size="small")
+        X, y = build_windows(ds.series, 6)
+        xb, yb = np.ascontiguousarray(X[:4]), np.ascontiguousarray(y[:4])
+        grads = {}
+        for backend in (None, "sparse"):
+            model = GraphWaveNet(
+                ds.num_nodes, default_adjacency(ds), hidden=8, seed=0,
+                graph_backend=backend,
+            )
+            from repro.nn import ops
+
+            loss = ops.mse_loss(model(Tensor(xb)), yb)
+            loss.backward()
+            grads[backend] = np.concatenate(
+                [p.grad.ravel() for p in model.parameters()]
+            )
+        np.testing.assert_allclose(
+            grads["sparse"], grads[None], rtol=0, atol=1e-12
+        )
+
+    def test_reassigning_adjacency_invalidates_cached_support(self):
+        ds = load_dataset("traffic", size="small")
+        A = default_adjacency(ds)
+        model = GraphWaveNet(
+            ds.num_nodes, A, hidden=8, seed=0, graph_backend="sparse"
+        )
+        x = Tensor(
+            np.random.default_rng(5).normal(size=(1, 4, ds.num_nodes, 1))
+        )
+        with no_grad():
+            base = model(x).numpy().copy()
+            model.adjacency = np.zeros_like(A)
+            changed = model(x).numpy()
+        assert not np.allclose(base, changed)
+
+
+class TestAdaptiveAdjacencyEvalCache:
+    def test_eval_forward_is_cached_until_data_reassigned(self):
+        layer = AdaptiveAdjacency(6, embedding_dim=3)
+        layer.eval()
+        with no_grad():
+            first = layer()
+            second = layer()
+        assert second is first  # reused, not recomputed
+        # Optimizer steps reassign ``p.data`` — that must invalidate.
+        layer.source.data = layer.source.data.copy()
+        with no_grad():
+            third = layer()
+        assert third is not first
+        np.testing.assert_array_equal(third.numpy(), first.numpy())
+
+    def test_training_mode_never_caches(self):
+        layer = AdaptiveAdjacency(6, embedding_dim=3)
+        layer.train()
+        out = layer()
+        assert out.requires_grad
+        assert layer._eval_cache is None
+
+
+class TestFloat32Training:
+    def test_fit_casts_model_and_converges(self):
+        ds = load_dataset("traffic", size="small")
+        train, val, test = ds.split()
+        model = GraphWaveNet(ds.num_nodes, default_adjacency(ds), hidden=8, seed=7)
+        trainer = GNNTrainer(
+            model,
+            GNNTrainConfig(
+                window=6, epochs=3, batch_size=27, seed=11, dtype="float32"
+            ),
+        )
+        trainer.fit(train, val)
+        assert all(p.data.dtype == np.float32 for p in model.parameters())
+        assert all(np.isfinite(loss) for loss, _val in trainer.history)
+        assert np.isfinite(trainer.evaluate(test))
+        prediction = trainer.predict(train.series[:6])
+        assert prediction.dtype == np.float32
+
+    def test_float32_history_tracks_float64_closely(self):
+        """The accuracy caveat, quantified: same run at both dtypes stays
+        within loose float32 tolerance on every epoch's loss."""
+        golden = json.loads(GOLDEN.read_text())
+        ds = load_dataset("traffic", size="small")
+        train, val, _test = ds.split()
+        model = GraphWaveNet(ds.num_nodes, default_adjacency(ds), hidden=8, seed=7)
+        trainer = GNNTrainer(
+            model,
+            GNNTrainConfig(
+                window=6, epochs=3, batch_size=27, seed=11, dtype="float32"
+            ),
+        )
+        trainer.fit(train, val)
+        for (train32, val32), (g_train, g_val) in zip(
+            trainer.history, golden["history"]
+        ):
+            assert train32 == pytest.approx(float(g_train), rel=1e-2, abs=1e-4)
+            assert val32 == pytest.approx(float(g_val), rel=1e-2, abs=1e-4)

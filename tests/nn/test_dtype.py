@@ -1,0 +1,180 @@
+"""Tests of dtype support: tensor dtype rules, the configurable default,
+module-level casting, graph supports at float32, and the backward
+allocation counters.
+
+The dtype contract (see :mod:`repro.nn.tensor`):
+
+* floating inputs keep their own dtype — ``set_default_dtype`` governs
+  only integer/bool inputs;
+* every op preserves its input's dtype (gradients included) — enforced
+  op-by-op in tests/nn/test_gradcheck.py, spot-checked here at the
+  composition level;
+* python-scalar operands never promote float32 (NEP 50 weak scalars).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import (
+    AdjacencyCache,
+    GraphSupport,
+    Tensor,
+    get_default_dtype,
+    grad_write_stats,
+    graph_propagate,
+    ops,
+    reset_grad_write_stats,
+    set_default_dtype,
+)
+
+
+@pytest.fixture
+def float32_default():
+    set_default_dtype(np.float32)
+    yield
+    set_default_dtype(np.float64)
+
+
+class TestDefaultDtype:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+    def test_set_default_governs_non_floating_inputs(self, float32_default):
+        assert Tensor([1, 2]).data.dtype == np.float32
+        assert Tensor(np.array([1, 2])).data.dtype == np.float32
+        assert Tensor(np.array([True, False])).data.dtype == np.float32
+
+    def test_floating_arrays_keep_their_dtype(self, float32_default):
+        assert Tensor(np.zeros(3, dtype=np.float64)).data.dtype == np.float64
+        set_default_dtype(np.float64)
+        assert Tensor(np.zeros(3, dtype=np.float32)).data.dtype == np.float32
+
+    def test_rejects_non_floating(self):
+        with pytest.raises(ValueError, match="floating"):
+            set_default_dtype(np.int64)
+
+
+class TestDtypePreservation:
+    def test_python_scalars_do_not_promote_float32(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = ((x * 2.0 + 1.0) / 3.0 - 0.5) ** 2
+        assert out.data.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_composite_network_stays_float32(self):
+        rng = np.random.default_rng(0)
+        layer = nn.Linear(4, 3, rng=rng, activation="relu").astype(np.float32)
+        x = Tensor(
+            rng.normal(size=(5, 4)).astype(np.float32), requires_grad=True
+        )
+        loss = ops.mse_loss(layer(x), np.zeros((5, 3), dtype=np.float32))
+        assert loss.data.dtype == np.float32
+        loss.backward()
+        assert x.grad.dtype == np.float32
+        assert layer.weight.grad.dtype == np.float32
+
+    def test_astype_is_differentiable_across_dtypes(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = x.astype(np.float32).sum()
+        assert out.data.dtype == np.float32
+        out.backward()
+        assert x.grad.dtype == np.float64  # cast back in backward
+
+
+class TestModuleAstype:
+    def test_casts_all_parameters_and_clears_grads(self):
+        rng = np.random.default_rng(1)
+        layer = nn.Linear(3, 2, rng=rng)
+        layer(Tensor(np.ones((1, 3)), requires_grad=True)).sum().backward()
+        assert layer.weight.grad is not None
+        layer.astype(np.float32)
+        assert all(p.data.dtype == np.float32 for p in layer.parameters())
+        assert all(p.grad is None for p in layer.parameters())
+
+    def test_matching_dtype_is_zero_copy(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(1))
+        before = layer.weight.data
+        layer.astype(np.float64)
+        assert layer.weight.data is before
+
+    def test_rejects_non_floating(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(1))
+        with pytest.raises(TypeError, match="floating"):
+            layer.astype(np.int32)
+
+    def test_load_state_dict_preserves_model_dtype(self):
+        rng = np.random.default_rng(2)
+        layer = nn.Linear(3, 2, rng=rng)
+        state = layer.state_dict()  # float64 snapshot
+        layer.astype(np.float32)
+        layer.load_state_dict(state)
+        assert all(p.data.dtype == np.float32 for p in layer.parameters())
+
+
+class TestGraphSupportDtype:
+    def _adjacency(self, n=8):
+        rng = np.random.default_rng(3)
+        A = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+        np.fill_diagonal(A, 1.0)
+        return A / A.sum(axis=1, keepdims=True)
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_propagation_at_float32(self, backend):
+        A = self._adjacency()
+        support = GraphSupport(A.astype(np.float32), backend=backend)
+        assert support.dtype == np.float32
+        x = Tensor(
+            np.random.default_rng(4)
+            .normal(size=(2, 8, 3))
+            .astype(np.float32),
+            requires_grad=True,
+        )
+        out = graph_propagate(x, support)
+        assert out.data.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+        np.testing.assert_allclose(
+            out.numpy(),
+            A.astype(np.float32) @ x.numpy(),
+            rtol=1e-5,
+        )
+
+    def test_cache_is_identity_keyed_per_dtype(self):
+        A = self._adjacency()
+        cache = AdjacencyCache()
+        s64 = cache.support(A, backend="dense")
+        assert cache.support(A, backend="dense") is s64
+        s32 = cache.support(A, backend="dense", dtype=np.float32)
+        assert s32 is not s64
+        assert s32.dtype == np.float32
+        # Reassignment (a new array object) misses and rebuilds.
+        assert cache.support(A.copy(), backend="dense") is not s64
+
+    def test_tensor_wrap_is_zero_copy_and_cached(self):
+        A = self._adjacency()
+        cache = AdjacencyCache()
+        wrapped = cache.tensor(A, A.dtype)
+        assert np.shares_memory(wrapped.data, A)
+        assert cache.tensor(A, A.dtype) is wrapped
+        cache.clear()
+        assert cache.tensor(A, A.dtype) is not wrapped
+
+
+class TestGradWriteStats:
+    def test_counters_track_writes_and_copies(self):
+        reset_grad_write_stats()
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        w = Tensor(np.ones((3, 2)), requires_grad=True)
+        ops.mse_loss(
+            ops.linear_act(x, w, activation="relu"), np.zeros((4, 2))
+        ).backward()
+        writes, copies = grad_write_stats()
+        assert writes > 0
+        # The allocation-lean contract: most first writes take ownership
+        # of temporaries instead of allocating defensive copies.
+        assert copies < writes
+        reset_grad_write_stats()
+        assert grad_write_stats() == (0, 0)

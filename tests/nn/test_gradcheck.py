@@ -1,0 +1,329 @@
+"""Finite-difference gradcheck of every autograd op, at float64 AND float32.
+
+Complements ``test_tensor.py``/``test_ops.py`` (float64-only, per-op)
+with one systematic sweep: each op's analytic gradient at dtype ``D`` is
+checked against a float64 central-difference reference of the same
+function.  The float64 rows pin exactness (1e-6); the float32 rows bound
+the rounding the fast path introduces (5e-3) and double as dtype-
+preservation checks — the op's output and the gradient reaching the leaf
+must both stay at ``D``.  Closure constants are materialized at the
+input's dtype for the same reason (mixed tensor/tensor arithmetic
+promotes by design).
+
+Covers the fused fast-path ops (``linear_act``, ``temporal_conv``, fused
+``mse_loss``) and the CouplingOperator-backed ``graph_propagate`` in
+both dense and sparse storage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import GraphSupport, Tensor, graph_propagate, ops
+
+RNG = np.random.default_rng(7)
+
+#: (dtype, tolerance): float32 analytic gradients are compared against
+#: the float64 finite-difference reference, so the tolerance absorbs
+#: single-precision rounding of forward AND backward.
+DTYPES = [
+    pytest.param(np.float64, 1e-6, id="float64"),
+    pytest.param(np.float32, 5e-3, id="float32"),
+]
+
+
+def C(array, x):
+    """A constant Tensor at the dtype of ``x`` (no promotion)."""
+    return Tensor(np.asarray(array).astype(x.data.dtype))
+
+
+def numeric_gradient(f, x0, eps=1e-6):
+    """Central-difference gradient of scalar ``f`` at float64 ``x0``."""
+    x0 = np.asarray(x0, dtype=np.float64)
+    grad = np.zeros_like(x0)
+    flat = grad.reshape(-1)
+    for i in range(x0.size):
+        up = x0.copy().reshape(-1)
+        up[i] += eps
+        down = x0.copy().reshape(-1)
+        down[i] -= eps
+        up_val = f(Tensor(up.reshape(x0.shape))).data
+        down_val = f(Tensor(down.reshape(x0.shape))).data
+        flat[i] = (float(up_val) - float(down_val)) / (2 * eps)
+    return grad
+
+
+def gradcheck(f, x0, dtype, tol):
+    """Analytic-vs-numeric gradient check at ``dtype``.
+
+    ``f`` must map a Tensor to a scalar Tensor and preserve the input's
+    dtype (use :func:`C` for closure constants).
+    """
+    dtype = np.dtype(dtype)
+    x = Tensor(np.asarray(x0).astype(dtype), requires_grad=True)
+    y = f(x)
+    assert y.data.dtype == dtype, f"forward promoted {dtype} -> {y.data.dtype}"
+    y.backward()
+    assert x.grad is not None
+    assert x.grad.dtype == dtype, f"backward promoted {dtype} -> {x.grad.dtype}"
+    numeric = numeric_gradient(f, np.asarray(x0, dtype=np.float64))
+    scale = max(float(np.max(np.abs(numeric))), 1.0)
+    np.testing.assert_allclose(
+        np.asarray(x.grad, dtype=np.float64), numeric, atol=tol * scale,
+        rtol=tol,
+    )
+
+
+@pytest.mark.parametrize("dtype,tol", DTYPES)
+class TestTensorOps:
+    def test_add_broadcast(self, dtype, tol):
+        bias = RNG.normal(size=4)
+        gradcheck(
+            lambda x: ((x + C(bias, x)) * (x + 2.0)).sum(),
+            RNG.normal(size=(3, 4)), dtype, tol,
+        )
+
+    def test_sub_rsub_neg(self, dtype, tol):
+        gradcheck(
+            lambda x: ((1.0 - x) * (x - 0.5) * (-x)).sum(),
+            RNG.normal(size=(5,)), dtype, tol,
+        )
+
+    def test_mul_broadcast(self, dtype, tol):
+        w = RNG.normal(size=(1, 3))
+        gradcheck(lambda x: (x * C(w, x) * x).sum(), RNG.normal(size=(2, 3)), dtype, tol)
+
+    def test_div_rdiv(self, dtype, tol):
+        gradcheck(
+            lambda x: (x / 3.0 + 2.0 / x).sum(),
+            RNG.uniform(1.0, 2.0, size=(4,)), dtype, tol,
+        )
+
+    def test_pow(self, dtype, tol):
+        gradcheck(lambda x: (x**3).sum(), RNG.uniform(0.5, 1.5, size=(3, 2)), dtype, tol)
+
+    def test_matmul_2d(self, dtype, tol):
+        w = RNG.normal(size=(4, 2))
+        gradcheck(lambda x: (x @ C(w, x)).sum(), RNG.normal(size=(3, 4)), dtype, tol)
+
+    def test_matmul_batched(self, dtype, tol):
+        w = RNG.normal(size=(3, 2))
+        gradcheck(
+            lambda x: ((x @ C(w, x)) ** 2).sum(), RNG.normal(size=(2, 4, 3)), dtype, tol
+        )
+
+    def test_matmul_vector(self, dtype, tol):
+        v = RNG.normal(size=4)
+        gradcheck(lambda x: (x @ C(v, x)).sum(), RNG.normal(size=(3, 4)), dtype, tol)
+
+    def test_getitem(self, dtype, tol):
+        gradcheck(lambda x: (x[1:, ::2] ** 2).sum(), RNG.normal(size=(3, 4)), dtype, tol)
+
+    def test_reshape_transpose(self, dtype, tol):
+        gradcheck(
+            lambda x: (x.reshape(4, 3).T * x.reshape(3, 4)).sum(),
+            RNG.normal(size=(2, 6)), dtype, tol,
+        )
+
+    def test_sum_axis(self, dtype, tol):
+        gradcheck(lambda x: (x.sum(axis=1) ** 2).sum(), RNG.normal(size=(3, 4)), dtype, tol)
+
+    def test_mean_axis_keepdims(self, dtype, tol):
+        gradcheck(
+            lambda x: (x * x.mean(axis=-1, keepdims=True)).sum(),
+            RNG.normal(size=(2, 5)), dtype, tol,
+        )
+
+    def test_max(self, dtype, tol):
+        # Distinct values: max is non-differentiable at ties.
+        x0 = np.linspace(-1.0, 1.0, 12).reshape(3, 4)
+        gradcheck(lambda x: (x.max(axis=1) ** 2).sum(), RNG.permuted(x0), dtype, tol)
+
+    def test_astype_round_trip(self, dtype, tol):
+        gradcheck(
+            lambda x: (x.astype(np.float64) ** 2).sum().astype(x.data.dtype),
+            RNG.normal(size=(3,)), dtype, tol,
+        )
+
+
+@pytest.mark.parametrize("dtype,tol", DTYPES)
+class TestElementwiseOps:
+    def test_exp(self, dtype, tol):
+        gradcheck(lambda x: ops.exp(x).sum(), RNG.normal(size=(3, 2)), dtype, tol)
+
+    def test_log(self, dtype, tol):
+        gradcheck(lambda x: ops.log(x).sum(), RNG.uniform(0.5, 2.0, size=(4,)), dtype, tol)
+
+    def test_tanh(self, dtype, tol):
+        gradcheck(lambda x: ops.tanh(x).sum(), RNG.normal(size=(3, 3)), dtype, tol)
+
+    def test_sigmoid(self, dtype, tol):
+        gradcheck(lambda x: ops.sigmoid(x).sum(), RNG.normal(size=(3, 3)), dtype, tol)
+
+    def test_relu(self, dtype, tol):
+        # Keep values away from the kink.
+        x0 = RNG.normal(size=(4, 3))
+        x0[np.abs(x0) < 0.1] = 0.5
+        gradcheck(lambda x: (ops.relu(x) ** 2).sum(), x0, dtype, tol)
+
+    def test_leaky_relu(self, dtype, tol):
+        x0 = RNG.normal(size=(4, 3))
+        x0[np.abs(x0) < 0.1] = -0.5
+        gradcheck(lambda x: (ops.leaky_relu(x, 0.2) ** 2).sum(), x0, dtype, tol)
+
+    def test_softmax(self, dtype, tol):
+        w = RNG.normal(size=5)
+        gradcheck(
+            lambda x: (ops.softmax(x, axis=-1) * C(w, x)).sum(),
+            RNG.normal(size=(2, 5)), dtype, tol,
+        )
+
+    def test_dropout(self, dtype, tol):
+        # A fresh identically-seeded generator per call keeps the mask
+        # fixed across the finite-difference evaluations.
+        gradcheck(
+            lambda x: (ops.dropout(x, 0.4, np.random.default_rng(3), True) ** 2).sum(),
+            RNG.normal(size=(4, 4)), dtype, tol,
+        )
+
+    def test_concat(self, dtype, tol):
+        other = RNG.normal(size=(2, 3))
+        gradcheck(
+            lambda x: (ops.concat([x, C(other, x)], axis=0) ** 2).sum(),
+            RNG.normal(size=(2, 3)), dtype, tol,
+        )
+
+    def test_stack(self, dtype, tol):
+        other = RNG.normal(size=(2, 3))
+        gradcheck(
+            lambda x: (ops.stack([x, C(other, x)], axis=1) ** 2).sum(),
+            RNG.normal(size=(2, 3)), dtype, tol,
+        )
+
+    def test_pad_time(self, dtype, tol):
+        gradcheck(
+            lambda x: (ops.pad_time(x, 2, axis=1) ** 2).sum(),
+            RNG.normal(size=(2, 3, 2)), dtype, tol,
+        )
+
+
+@pytest.mark.parametrize("dtype,tol", DTYPES)
+class TestFusedOps:
+    @pytest.mark.parametrize("activation", [None, "relu", "tanh", "sigmoid"])
+    def test_linear_act_wrt_input(self, dtype, tol, activation):
+        w = RNG.normal(size=(4, 3))
+        b = RNG.normal(size=3)
+        gradcheck(
+            lambda x: (ops.linear_act(x, C(w, x), C(b, x), activation) ** 2).sum(),
+            RNG.normal(size=(2, 5, 4)) + 0.3, dtype, tol,
+        )
+
+    def test_linear_act_wrt_weight_and_bias(self, dtype, tol):
+        x0 = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=2)
+        gradcheck(
+            lambda w: (ops.linear_act(C(x0, w), w, C(b, w), "tanh") ** 2).sum(),
+            RNG.normal(size=(4, 2)), dtype, tol,
+        )
+        w0 = RNG.normal(size=(4, 2))
+        gradcheck(
+            lambda bias: (
+                ops.linear_act(C(x0, bias), C(w0, bias), bias, "sigmoid") ** 2
+            ).sum(),
+            RNG.normal(size=(2,)), dtype, tol,
+        )
+
+    def test_linear_act_vector_input(self, dtype, tol):
+        w = RNG.normal(size=(4, 3))
+        gradcheck(
+            lambda x: (ops.linear_act(x, C(w, x), None, "tanh") ** 2).sum(),
+            RNG.normal(size=(4,)), dtype, tol,
+        )
+
+    @pytest.mark.parametrize("activation", [None, "tanh", "sigmoid"])
+    def test_temporal_conv_wrt_input(self, dtype, tol, activation):
+        taps = [RNG.normal(size=(2, 3)) for _ in range(2)]
+        b = RNG.normal(size=3)
+        gradcheck(
+            lambda x: (
+                ops.temporal_conv(
+                    x, [C(t, x) for t in taps], C(b, x), 2, activation
+                ) ** 2
+            ).sum(),
+            RNG.normal(size=(2, 5, 3, 2)), dtype, tol,
+        )
+
+    def test_temporal_conv_wrt_taps_and_bias(self, dtype, tol):
+        x0 = RNG.normal(size=(2, 4, 3, 2))
+        tap1 = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=3)
+        gradcheck(
+            lambda tap0: (
+                ops.temporal_conv(
+                    C(x0, tap0), [tap0, C(tap1, tap0)], C(b, tap0), 1, "tanh"
+                ) ** 2
+            ).sum(),
+            RNG.normal(size=(2, 3)), dtype, tol,
+        )
+        tap0 = RNG.normal(size=(2, 3))
+        gradcheck(
+            lambda bias: (
+                ops.temporal_conv(
+                    C(x0, bias), [C(tap0, bias), C(tap1, bias)], bias, 1
+                ) ** 2
+            ).sum(),
+            RNG.normal(size=(3,)), dtype, tol,
+        )
+
+    def test_mse_loss(self, dtype, tol):
+        target = RNG.normal(size=(3, 4))
+        gradcheck(
+            lambda x: ops.mse_loss(x, target.astype(x.data.dtype)),
+            RNG.normal(size=(3, 4)), dtype, tol,
+        )
+
+    def test_mse_loss_wrt_target(self, dtype, tol):
+        prediction = RNG.normal(size=(3, 4))
+        gradcheck(
+            lambda t: ops.mse_loss(C(prediction, t), t),
+            RNG.normal(size=(3, 4)), dtype, tol,
+        )
+
+    def test_mae_loss(self, dtype, tol):
+        # Keep prediction-target gaps away from the |.| kink.
+        target = np.zeros((3, 4))
+        x0 = np.sign(RNG.normal(size=(3, 4))) * RNG.uniform(0.5, 1.5, size=(3, 4))
+        gradcheck(lambda x: ops.mae_loss(x, target.astype(x.data.dtype)), x0, dtype, tol)
+
+
+@pytest.mark.parametrize("dtype,tol", DTYPES)
+@pytest.mark.parametrize("backend", ["dense", "sparse"])
+class TestGraphPropagate:
+    def test_matches_finite_differences(self, dtype, tol, backend):
+        n = 6
+        adjacency = RNG.random((n, n)) * (RNG.random((n, n)) < 0.5)
+        np.fill_diagonal(adjacency, 1.0)
+        adjacency /= adjacency.sum(axis=1, keepdims=True)
+
+        def f(x):
+            support = GraphSupport(
+                adjacency.astype(x.data.dtype), backend=backend
+            )
+            return (graph_propagate(x, support) ** 2).sum()
+
+        gradcheck(f, RNG.normal(size=(2, n, 3)), dtype, tol)
+
+    def test_matches_dense_matmul(self, dtype, tol, backend):
+        n = 5
+        adjacency = RNG.random((n, n))
+        support = GraphSupport(adjacency.astype(dtype), backend=backend)
+        x = Tensor(RNG.normal(size=(n, 2)).astype(dtype), requires_grad=True)
+        out = graph_propagate(x, support)
+        np.testing.assert_allclose(
+            out.numpy(), adjacency.astype(dtype) @ x.numpy(), rtol=10 * tol
+        )
+        out.sum().backward()
+        np.testing.assert_allclose(
+            x.grad,
+            adjacency.astype(dtype).T @ np.ones((n, 2), dtype=dtype),
+            rtol=10 * tol,
+        )

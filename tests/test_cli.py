@@ -138,10 +138,32 @@ class TestObservability:
 class TestBenchCommand:
     def test_bench_parser_defaults(self):
         args = build_parser().parse_args(["bench"])
-        assert args.out == "BENCH_core.json"
+        assert args.suite == "core"
+        assert args.out is None  # resolved to BENCH_<suite>.json at run time
         assert args.smoke is False
         assert args.batch == 64
         assert args.repeats == 3
+
+    def test_bench_suite_nn_parses(self):
+        args = build_parser().parse_args(["bench", "--suite", "nn"])
+        assert args.suite == "nn"
+
+    def test_bench_suite_nn_smoke_writes_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_nn.json"
+        assert main(
+            ["bench", "--suite", "nn", "--smoke", "--out", str(out),
+             "--repeats", "1"]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "nn_fast_path"
+        assert payload["smoke"] is True
+        names = [r["name"] for r in payload["results"]]
+        assert any("train_epoch" in n for n in names)
+        assert any("graphconv" in n for n in names)
+        stdout = capsys.readouterr().out
+        assert "speedup" in stdout
 
     def test_bench_smoke_writes_json(self, capsys, tmp_path):
         import json
