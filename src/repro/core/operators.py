@@ -217,6 +217,33 @@ class CouplingOperator:
         self._JT = None
         self._density = _offdiag_density(self._J)
 
+    @classmethod
+    def _from_parts(
+        cls,
+        J,
+        h: np.ndarray,
+        *,
+        backend: str,
+        symmetric: bool,
+        density: float,
+    ) -> "CouplingOperator":
+        """Rebuild an operator around already-validated storage, zero-copy.
+
+        The shared-memory transport (:mod:`repro.parallel.shm`) hands
+        workers read-only views of a parent operator's ``J``/``h``; going
+        through ``__init__`` would copy them and re-run the O(n^2)
+        symmetry check the parent already passed.  ``J`` must match the
+        declared ``backend`` (CSR for ``"sparse"``, ndarray otherwise).
+        """
+        operator = object.__new__(cls)
+        operator._J = J
+        operator.h = h
+        operator.backend = backend
+        operator.symmetric = bool(symmetric)
+        operator._JT = None
+        operator._density = float(density)
+        return operator
+
     @staticmethod
     def _validate_symmetric(J) -> None:
         if sp.issparse(J):

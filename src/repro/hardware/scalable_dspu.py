@@ -140,6 +140,36 @@ def _phase_propagator_damped(
     return phi, integral, B
 
 
+def _phase_propagator_shm(
+    blocks_shared, index: int, interval: float, growth_cap: float, out
+) -> None:
+    """Shared-memory task wrapper around :func:`_phase_propagator`.
+
+    Reads phase ``index``'s free-node block from the shared stack and
+    writes ``(phi, integral, B_capped)`` into row ``index`` of the output
+    slab — the task pickles two descriptors instead of three dense
+    ``(m, m)`` matrices each way.
+    """
+    phi, integral, B = _phase_propagator(
+        blocks_shared.array[index], interval, growth_cap
+    )
+    out.array[index, 0] = phi
+    out.array[index, 1] = integral
+    out.array[index, 2] = B
+
+
+def _phase_propagator_damped_shm(
+    index: int, interval: float, delta: float, out
+) -> None:
+    """Damped rebuild reading the capped ``B`` back from the output slab."""
+    phi, integral, B = _phase_propagator_damped(
+        out.array[index, 2].copy(), interval, delta
+    )
+    out.array[index, 0] = phi
+    out.array[index, 1] = integral
+    out.array[index, 2] = B
+
+
 @dataclass
 class AnnealingOutcome:
     """Result of one co-annealing inference run.
@@ -593,6 +623,7 @@ class ScalableDSPU:
             return [(identity, identity, identity) for _ in A_live]
 
         from ..parallel.pool import parallel_map
+        from ..parallel.shm import shm_available
 
         # The matrix exponential is inherently dense, so only the reduced
         # free-node block is densified — never the full (n, n) system.
@@ -600,6 +631,18 @@ class ScalableDSPU:
         for A in A_live:
             block = self._submatrix(A, free, free)
             blocks.append(block.toarray() if sp.issparse(block) else block)
+
+        use_shm = (
+            workers is not None
+            and workers > 1
+            and len(blocks) > 1
+            and shm_available()
+        )
+        if use_shm:
+            return self._build_propagators_shm(
+                blocks, interval, growth_cap, workers, parallel_map
+            )
+
         # Step 1: per-phase growth cap + exact propagator, one task each.
         propagators = parallel_map(
             _phase_propagator,
@@ -607,22 +650,78 @@ class ScalableDSPU:
             workers,
         )
         # Step 2: uniform damping until the rotation map contracts.
-        rotation = np.eye(free.size)
-        for phi, _integral, _B in propagators:
-            rotation = phi @ rotation
-        radius = float(np.max(np.abs(np.linalg.eigvals(rotation))))
-        if radius >= 0.999:
-            total_time = interval * len(propagators)
-            delta = np.log(radius / 0.99) / total_time
-            logger.debug(
-                "rotation map radius %.4f >= 0.999; applying uniform "
-                "damping delta=%.3e", radius, delta,
-            )
+        delta = self._rotation_damping(propagators, interval)
+        if delta is not None:
             propagators = parallel_map(
                 _phase_propagator_damped,
                 [(B, interval, delta) for _phi, _integral, B in propagators],
                 workers,
             )
+        return propagators
+
+    @staticmethod
+    def _rotation_damping(propagators, interval: float) -> float | None:
+        """Uniform damping needed to contract the rotation map, if any."""
+        m = propagators[0][0].shape[0]
+        rotation = np.eye(m)
+        for phi, _integral, _B in propagators:
+            rotation = phi @ rotation
+        radius = float(np.max(np.abs(np.linalg.eigvals(rotation))))
+        if radius < 0.999:
+            return None
+        total_time = interval * len(propagators)
+        delta = np.log(radius / 0.99) / total_time
+        logger.debug(
+            "rotation map radius %.4f >= 0.999; applying uniform "
+            "damping delta=%.3e", radius, delta,
+        )
+        return delta
+
+    def _build_propagators_shm(
+        self,
+        blocks: list[np.ndarray],
+        interval: float,
+        growth_cap: float,
+        workers: int,
+        parallel_map,
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Shared-memory variant of the per-phase propagator fan-out.
+
+        The phase blocks travel once (one shared stack) instead of once
+        per task, and each worker writes its ``(phi, integral, B)`` into a
+        shared slab instead of returning three pickled dense matrices.
+        Same :func:`_phase_propagator` math, so bits are unchanged.
+        """
+        from ..parallel.shm import SharedArena
+
+        p = len(blocks)
+        m = blocks[0].shape[0]
+        with SharedArena(tag="dspu") as arena:
+            blocks_shared = arena.share(np.stack(blocks))
+            out = arena.empty((p, 3, m, m))
+            parallel_map(
+                _phase_propagator_shm,
+                [
+                    (blocks_shared, i, interval, growth_cap, out)
+                    for i in range(p)
+                ],
+                workers,
+            )
+            propagators = [
+                tuple(out.array[i, j].copy() for j in range(3))
+                for i in range(p)
+            ]
+            delta = self._rotation_damping(propagators, interval)
+            if delta is not None:
+                parallel_map(
+                    _phase_propagator_damped_shm,
+                    [(i, interval, delta, out) for i in range(p)],
+                    workers,
+                )
+                propagators = [
+                    tuple(out.array[i, j].copy() for j in range(3))
+                    for i in range(p)
+                ]
         return propagators
 
     # ------------------------------------------------------------------

@@ -94,6 +94,40 @@ def summarize_trace(path: str | Path) -> dict:
     return summarize_records(read_trace(path))
 
 
+def _shm_transport_lines(counters: dict) -> list[str]:
+    """Derived shared-memory transport lines (see :mod:`repro.parallel.shm`).
+
+    Reports bytes placed in shared blocks against bytes pickled into pool
+    tasks — the zero-copy ratio the transport exists for — plus the
+    attach/detach balance (unequal counts mean a worker leaked a mapping)
+    and halo-exchange volume of mesh runs.
+    """
+    lines: list[str] = []
+    shared = counters.get("parallel.shm.bytes_shared")
+    if shared is not None:
+        pickled = counters.get("parallel.bytes_pickled") or 0
+        tasks = counters.get("parallel.tasks") or 0
+        per_task = f", {pickled / tasks:.0f} B/task pickled" if tasks else ""
+        lines.append(
+            f"shm transport: {shared / 1e6:.2f} MB shared across "
+            f"{counters.get('parallel.shm.blocks', 0)} blocks{per_task}"
+        )
+        attaches = counters.get("parallel.shm.attaches") or 0
+        detaches = counters.get("parallel.shm.detaches") or 0
+        balance = "balanced" if attaches == detaches else "LEAKED"
+        lines.append(
+            f"shm attach/detach: {attaches}/{detaches} ({balance})"
+        )
+    rounds = counters.get("parallel.halo.rounds")
+    if rounds:
+        volume = counters.get("parallel.halo.bytes_exchanged") or 0
+        lines.append(
+            f"halo exchange: {rounds} rounds, {volume / 1e6:.2f} MB "
+            f"({volume / rounds / 1e3:.1f} kB/round)"
+        )
+    return lines
+
+
 def _cache_hit_rate(counters: dict) -> float | None:
     hits = counters.get("engine.cache_hits")
     misses = counters.get("engine.cache_misses")
@@ -156,8 +190,10 @@ def format_summary(summary: dict) -> str:
 def format_metrics(snapshot: dict) -> str:
     """Render a metrics-registry snapshot (counters, gauges, histograms).
 
-    Appends the derived LU-cache hit rate when the engine counters are
-    present.  Returns an empty string for an empty snapshot.
+    Appends derived lines when their counters are present: the LU-cache
+    hit rate, the shared-memory transport summary (bytes shared vs bytes
+    pickled, attach/detach balance), and mesh halo-exchange volume.
+    Returns an empty string for an empty snapshot.
     """
     lines: list[str] = []
     counters = snapshot.get("counters", {})
@@ -183,8 +219,12 @@ def format_metrics(snapshot: dict) -> str:
                 f"{name:<34s} {h['count']:>6d} {h['mean']:>9.3f} "
                 f"{h['p50']:>9.3f} {h['p90']:>9.3f} {h['max']:>9.3f}"
             )
+    derived: list[str] = []
     rate = _cache_hit_rate(counters)
     if rate is not None:
+        derived.append(f"LU-cache hit rate: {100.0 * rate:.1f}%")
+    derived.extend(_shm_transport_lines(counters))
+    if derived:
         lines.append("")
-        lines.append(f"LU-cache hit rate: {100.0 * rate:.1f}%")
+        lines.extend(derived)
     return "\n".join(lines)

@@ -4,42 +4,80 @@ The DSPU exists so annealing work can proceed in parallel beyond one
 coupling crossbar; this package is the software analogue: it shards
 independent annealing work — batched circuit runs, batched inference,
 restart pools, per-phase propagator builds, experiment window/trial
-loops — across a process pool.
+loops — across a process pool, and partitions single large meshes across
+node shards with halo exchange (:mod:`repro.parallel.mesh`).
 
 The load-bearing guarantee, pinned by ``tests/parallel/``: **results are
 bit-for-bit identical for any worker count.**  Three rules deliver it:
 
 1. Work is split into shards whose boundaries depend only on the problem
-   (:func:`shard_slices`), never on ``workers``.
+   (:func:`shard_slices`, :func:`partition_mesh`), never on ``workers``.
 2. Shard ``i`` derives its RNG from ``(root_seed, i)`` via
    :meth:`numpy.random.SeedSequence.spawn` (:func:`spawn_seeds`).
 3. ``workers=1`` executes the very same shard tasks serially in-process
    (:func:`parallel_map`), so per-shard floating-point arithmetic is
    byte-identical either way.
 
+Task transport is zero-copy where the platform allows: problem arrays
+and result slabs live in ``multiprocessing.shared_memory`` blocks owned
+by a :class:`~repro.parallel.shm.SharedArena`, and tasks pickle
+``(name, shape, dtype)`` descriptors instead of the arrays (see
+:mod:`repro.parallel.shm`).  The transport never changes result bits —
+the same shard functions run on the same values — only how many bytes
+each task serializes.
+
 Worker metrics and trace records merge back into the parent
 :mod:`repro.obs` sinks (see ``obs.capture_worker_state`` /
 ``obs.merge_worker_state``).
 """
 
-from .circuit import run_batch_sharded
+from .circuit import expected_record_count, run_batch_sharded, shard_task_bytes
 from .engine import EngineSpec, infer_batch_sharded, restart_fanout
+from .mesh import MeshPartition, MeshResult, anneal_mesh, partition_mesh
 from .pool import (
     DEFAULT_SHARDS,
     parallel_map,
     resolve_num_shards,
+    resolve_start_method,
     shard_slices,
     spawn_seeds,
+    worker_pool,
+)
+from .shm import (
+    SharedArena,
+    SharedArray,
+    SharedCSR,
+    SharedModel,
+    SharedOperator,
+    pickled_bytes,
+    shm_available,
+    shm_residue,
 )
 
 __all__ = [
     "DEFAULT_SHARDS",
     "EngineSpec",
+    "MeshPartition",
+    "MeshResult",
+    "SharedArena",
+    "SharedArray",
+    "SharedCSR",
+    "SharedModel",
+    "SharedOperator",
+    "anneal_mesh",
+    "expected_record_count",
     "infer_batch_sharded",
     "parallel_map",
+    "partition_mesh",
+    "pickled_bytes",
     "resolve_num_shards",
+    "resolve_start_method",
     "restart_fanout",
     "run_batch_sharded",
     "shard_slices",
+    "shard_task_bytes",
+    "shm_available",
+    "shm_residue",
     "spawn_seeds",
+    "worker_pool",
 ]

@@ -17,8 +17,24 @@ import numpy as np
 
 from ..core.dynamics import BatchTrajectory
 from .pool import parallel_map, resolve_num_shards, shard_slices, spawn_seeds
+from .shm import SharedArena, maybe_share_method, shm_available
 
-__all__ = ["run_batch_sharded"]
+__all__ = ["expected_record_count", "run_batch_sharded", "shard_task_bytes"]
+
+
+def expected_record_count(config, duration: float) -> int:
+    """How many frames :meth:`CircuitSimulator._integrate` will record.
+
+    Mirrors the integrator's recording rule exactly — the initial state,
+    then every ``record_every``-th step plus the final step — so the
+    shared-memory path can preallocate result slabs of the right height
+    before any worker runs.
+    """
+    n_steps = max(1, int(round(duration / config.dt)))
+    count = 1 + n_steps // config.record_every
+    if n_steps % config.record_every:
+        count += 1
+    return count
 
 
 def _circuit_shard(
@@ -49,6 +65,119 @@ def _circuit_shard(
     return trajectory.times, trajectory.states, trajectory.energies
 
 
+def _circuit_shard_shm(
+    config,
+    faults,
+    drift,
+    sigma_shared,
+    start: int,
+    stop: int,
+    duration: float,
+    clamp_index,
+    clamp_value,
+    energy,
+    seed: np.random.SeedSequence,
+    times_out,
+    states_out,
+    energies_out,
+) -> None:
+    """Shared-memory variant of :func:`_circuit_shard`.
+
+    Reads its batch slice from the shared initial-state block and writes
+    the trajectory into the preallocated output slabs — the task's pickled
+    payload and return value are both O(1) in problem size.  The shard
+    owning row 0 also writes the (identical-for-every-shard) time axis.
+    """
+    from ..core.dynamics import CircuitSimulator
+
+    simulator = CircuitSimulator(
+        config=config, rng=np.random.default_rng(seed), faults=faults
+    )
+    trajectory = simulator.run_batch(
+        drift,
+        sigma_shared.array[start:stop],
+        duration,
+        clamp_index=clamp_index,
+        clamp_value=clamp_value,
+        energy=energy,
+    )
+    slab = states_out.array
+    if trajectory.states.shape[0] != slab.shape[0]:
+        raise RuntimeError(
+            f"recorded {trajectory.states.shape[0]} frames but the output "
+            f"slab holds {slab.shape[0]} — expected_record_count drifted "
+            "from the integrator's recording rule"
+        )
+    slab[:, start:stop, :] = trajectory.states
+    energies_out.array[:, start:stop] = trajectory.energies
+    if start == 0:
+        times_out.array[...] = trajectory.times
+
+
+def shard_task_bytes(
+    simulator,
+    drift,
+    sigma0: np.ndarray,
+    duration: float,
+    *,
+    shards: int | None = None,
+    energy=None,
+) -> dict:
+    """Per-task serialized payload size of both sharding transports.
+
+    The scaling benchmark (and its perf gate) report how many bytes one
+    pool task pickles on the legacy path versus the shared-memory path;
+    this measures exactly the payloads :func:`run_batch_sharded` would
+    enqueue for shard 0, without running anything.
+    """
+    from .shm import pickled_bytes
+
+    sigma0 = np.asarray(sigma0, dtype=float)
+    num_shards = resolve_num_shards(sigma0.shape[0], shards)
+    part = shard_slices(sigma0.shape[0], num_shards)[0]
+    seed = spawn_seeds(0, num_shards)[0]
+    legacy = pickled_bytes(
+        (
+            simulator.config,
+            simulator.faults,
+            drift,
+            sigma0[part],
+            duration,
+            None,
+            None,
+            energy,
+            seed,
+        )
+    )
+    with SharedArena(tag="measure") as arena:
+        sigma_shared = arena.share(sigma0)
+        shared_drift = maybe_share_method(arena, drift)
+        shared_energy = maybe_share_method(arena, energy)
+        T = expected_record_count(simulator.config, duration)
+        times_out = arena.empty((T,))
+        states_out = arena.empty((T, sigma0.shape[0], sigma0.shape[1]))
+        energies_out = arena.empty((T, sigma0.shape[0]))
+        shm = pickled_bytes(
+            (
+                simulator.config,
+                simulator.faults,
+                shared_drift,
+                sigma_shared,
+                part.start,
+                part.stop,
+                duration,
+                None,
+                None,
+                shared_energy,
+                seed,
+                times_out,
+                states_out,
+                energies_out,
+            )
+        )
+    return {"legacy": legacy, "shm": shm}
+
+
 def run_batch_sharded(
     simulator,
     drift,
@@ -61,6 +190,7 @@ def run_batch_sharded(
     root_seed: int | np.random.SeedSequence = 0,
     workers: int = 1,
     shards: int | None = None,
+    shm: bool | None = None,
 ) -> BatchTrajectory:
     """Shard a batched circuit run and reassemble one trajectory.
 
@@ -80,6 +210,12 @@ def run_batch_sharded(
         root_seed: Root of the per-shard ``SeedSequence.spawn`` tree.
         workers: Process count; 1 runs the shards serially in-process.
         shards: Shard count; fixed independently of ``workers``.
+        shm: Transport selector.  ``None`` (default) uses shared memory
+            when the platform supports it; ``False`` forces the legacy
+            pickled transport; ``True`` requires shared memory.  Both
+            transports run the same shard functions on the same slices
+            with the same seeds, so the choice never changes output bits —
+            only how many bytes each task serializes.
 
     Returns:
         The reassembled :class:`BatchTrajectory` (recorded times are
@@ -93,30 +229,70 @@ def run_batch_sharded(
     batch = sigma0.shape[0]
     if batch == 0:
         raise ValueError("cannot shard an empty batch")
+    if shm is True and not shm_available():
+        raise RuntimeError("shared memory is unavailable on this platform")
+    use_shm = shm_available() if shm is None else bool(shm)
     num_shards = resolve_num_shards(batch, shards)
     slices = shard_slices(batch, num_shards)
     seeds = spawn_seeds(root_seed, num_shards)
 
     clamp_value = None if clamp_value is None else np.asarray(clamp_value, float)
     per_sample = clamp_value is not None and clamp_value.ndim == 2
-    tasks = [
-        (
-            simulator.config,
-            simulator.faults,
-            drift,
-            sigma0[part],
-            duration,
-            clamp_index,
-            clamp_value[part] if per_sample else clamp_value,
-            energy,
-            seed,
+
+    if not use_shm:
+        tasks = [
+            (
+                simulator.config,
+                simulator.faults,
+                drift,
+                sigma0[part],
+                duration,
+                clamp_index,
+                clamp_value[part] if per_sample else clamp_value,
+                energy,
+                seed,
+            )
+            for part, seed in zip(slices, seeds)
+        ]
+        parts = parallel_map(_circuit_shard, tasks, workers)
+        times = parts[0][0]
+        return BatchTrajectory(
+            times=times,
+            states=np.concatenate([states for _, states, _ in parts], axis=1),
+            energies=np.concatenate([e for _, _, e in parts], axis=1),
         )
-        for part, seed in zip(slices, seeds)
-    ]
-    parts = parallel_map(_circuit_shard, tasks, workers)
-    times = parts[0][0]
-    return BatchTrajectory(
-        times=times,
-        states=np.concatenate([states for _, states, _ in parts], axis=1),
-        energies=np.concatenate([e for _, _, e in parts], axis=1),
-    )
+
+    with SharedArena(tag="circuit") as arena:
+        sigma_shared = arena.share(sigma0)
+        shared_drift = maybe_share_method(arena, drift)
+        shared_energy = maybe_share_method(arena, energy)
+        T = expected_record_count(simulator.config, duration)
+        times_out = arena.empty((T,))
+        states_out = arena.empty((T, batch, sigma0.shape[1]))
+        energies_out = arena.empty((T, batch))
+        tasks = [
+            (
+                simulator.config,
+                simulator.faults,
+                shared_drift,
+                sigma_shared,
+                part.start,
+                part.stop,
+                duration,
+                clamp_index,
+                clamp_value[part] if per_sample else clamp_value,
+                shared_energy,
+                seed,
+                times_out,
+                states_out,
+                energies_out,
+            )
+            for part, seed in zip(slices, seeds)
+        ]
+        parallel_map(_circuit_shard_shm, tasks, workers)
+        # Copy out before the arena unlinks the slabs on __exit__.
+        return BatchTrajectory(
+            times=times_out.array.copy(),
+            states=states_out.array.copy(),
+            energies=energies_out.array.copy(),
+        )

@@ -26,7 +26,9 @@ import numpy as np
 
 from ..core.inference import BatchInferenceResult, NaturalAnnealingEngine
 from ..core.dynamics import BatchTrajectory
+from .circuit import expected_record_count
 from .pool import parallel_map, resolve_num_shards, shard_slices, spawn_seeds
+from .shm import SharedArena, SharedModel, shm_available
 
 __all__ = ["EngineSpec", "infer_batch_sharded", "restart_fanout"]
 
@@ -48,9 +50,18 @@ class EngineSpec:
     faults: object
 
     @classmethod
-    def from_engine(cls, engine: NaturalAnnealingEngine) -> "EngineSpec":
+    def from_engine(
+        cls, engine: NaturalAnnealingEngine, arena: SharedArena | None = None
+    ) -> "EngineSpec":
+        """Capture an engine's recipe, optionally with a shared model.
+
+        With an ``arena``, the model's arrays go into shared memory and the
+        spec carries only a :class:`~repro.parallel.shm.SharedModel`
+        descriptor — the spec then pickles in O(1) of the model size.
+        """
+        model = engine.model if arena is None else arena.share_model(engine.model)
         return cls(
-            model=engine.model,
+            model=model,
             config=engine.config,
             seed=engine.seed,
             backend=engine.backend,
@@ -58,8 +69,11 @@ class EngineSpec:
         )
 
     def build(self) -> NaturalAnnealingEngine:
+        model = self.model
+        if isinstance(model, SharedModel):
+            model = model.model()
         return NaturalAnnealingEngine(
-            model=self.model,
+            model=model,
             config=self.config,
             seed=self.seed,
             backend=self.backend,
@@ -92,6 +106,42 @@ def _infer_shard(
     )
 
 
+def _infer_shard_shm(
+    spec: EngineSpec,
+    observed_index: np.ndarray,
+    values_shared,
+    start: int,
+    stop: int,
+    duration: float,
+    seed: np.random.SeedSequence,
+    predictions_out,
+    states_out,
+    times_out,
+    traj_states_out,
+    traj_energies_out,
+) -> None:
+    """Shared-memory variant of :func:`_infer_shard`.
+
+    The spec's model and the observed-value matrix arrive as descriptors;
+    results land in the preallocated slabs — nothing problem-sized crosses
+    the pickle channel in either direction.
+    """
+    engine = spec.build()
+    result = engine.infer_batch(
+        observed_index,
+        values_shared.array[start:stop],
+        duration=duration,
+        rng=np.random.default_rng(seed),
+    )
+    predictions_out.array[start:stop] = result.predictions
+    states_out.array[start:stop] = result.states
+    trajectory = result.trajectory
+    traj_states_out.array[:, start:stop, :] = trajectory.states
+    traj_energies_out.array[:, start:stop] = trajectory.energies
+    if start == 0:
+        times_out.array[...] = trajectory.times
+
+
 def infer_batch_sharded(
     engine: NaturalAnnealingEngine,
     observed_index: np.ndarray,
@@ -101,6 +151,7 @@ def infer_batch_sharded(
     root_seed: int | np.random.SeedSequence | None = None,
     workers: int = 1,
     shards: int | None = None,
+    shm: bool | None = None,
 ) -> BatchInferenceResult:
     """Shard :meth:`NaturalAnnealingEngine.infer_batch` across workers.
 
@@ -111,6 +162,10 @@ def infer_batch_sharded(
             ``engine.seed``.
         workers: Process count (1 = same shards, serial, identical bits).
         shards: Shard count, independent of ``workers``.
+        shm: Transport selector — ``None`` auto-selects shared memory when
+            available, ``False`` forces the legacy pickled transport,
+            ``True`` requires shared memory.  Transport never changes
+            output bits (same shards, same seeds, same arithmetic).
 
     Returns:
         The reassembled :class:`BatchInferenceResult`.
@@ -123,28 +178,74 @@ def infer_batch_sharded(
     batch = values.shape[0]
     if batch == 0:
         raise ValueError("cannot shard an empty batch")
+    if shm is True and not shm_available():
+        raise RuntimeError("shared memory is unavailable on this platform")
+    use_shm = shm_available() if shm is None else bool(shm)
     num_shards = resolve_num_shards(batch, shards)
     slices = shard_slices(batch, num_shards)
     seeds = spawn_seeds(
         engine.seed if root_seed is None else root_seed, num_shards
     )
-    spec = EngineSpec.from_engine(engine)
-    tasks = [
-        (spec, observed_index, values[part], duration, seed)
-        for part, seed in zip(slices, seeds)
-    ]
-    parts = parallel_map(_infer_shard, tasks, workers)
-    trajectory = BatchTrajectory(
-        times=parts[0][2],
-        states=np.concatenate([p[3] for p in parts], axis=1),
-        energies=np.concatenate([p[4] for p in parts], axis=1),
-    )
-    return BatchInferenceResult(
-        predictions=np.concatenate([p[0] for p in parts], axis=0),
-        states=np.concatenate([p[1] for p in parts], axis=0),
-        trajectory=trajectory,
-        annealing_time_ns=duration,
-    )
+    if not use_shm:
+        spec = EngineSpec.from_engine(engine)
+        tasks = [
+            (spec, observed_index, values[part], duration, seed)
+            for part, seed in zip(slices, seeds)
+        ]
+        parts = parallel_map(_infer_shard, tasks, workers)
+        trajectory = BatchTrajectory(
+            times=parts[0][2],
+            states=np.concatenate([p[3] for p in parts], axis=1),
+            energies=np.concatenate([p[4] for p in parts], axis=1),
+        )
+        return BatchInferenceResult(
+            predictions=np.concatenate([p[0] for p in parts], axis=0),
+            states=np.concatenate([p[1] for p in parts], axis=0),
+            trajectory=trajectory,
+            annealing_time_ns=duration,
+        )
+
+    n = engine.model.n
+    index = np.asarray(observed_index, dtype=int).reshape(-1)
+    num_free = np.setdiff1d(np.arange(n), index).size
+    with SharedArena(tag="infer") as arena:
+        spec = EngineSpec.from_engine(engine, arena)
+        values_shared = arena.share(values)
+        T = expected_record_count(engine.config, duration)
+        predictions_out = arena.empty((batch, num_free))
+        states_out = arena.empty((batch, n))
+        times_out = arena.empty((T,))
+        traj_states_out = arena.empty((T, batch, n))
+        traj_energies_out = arena.empty((T, batch))
+        tasks = [
+            (
+                spec,
+                observed_index,
+                values_shared,
+                part.start,
+                part.stop,
+                duration,
+                seed,
+                predictions_out,
+                states_out,
+                times_out,
+                traj_states_out,
+                traj_energies_out,
+            )
+            for part, seed in zip(slices, seeds)
+        ]
+        parallel_map(_infer_shard_shm, tasks, workers)
+        trajectory = BatchTrajectory(
+            times=times_out.array.copy(),
+            states=traj_states_out.array.copy(),
+            energies=traj_energies_out.array.copy(),
+        )
+        return BatchInferenceResult(
+            predictions=predictions_out.array.copy(),
+            states=states_out.array.copy(),
+            trajectory=trajectory,
+            annealing_time_ns=duration,
+        )
 
 
 def _restart_shard(
@@ -208,22 +309,32 @@ def restart_fanout(
     locally (up to ``max_retries`` times, reusing its own stream), so the
     outcome is independent of worker count.  Interpretation of the result
     dicts is up to :class:`~repro.faults.resilience.RestartPolicy`.
+
+    The model ships through shared memory when available (per-restart
+    predictions are small and return by pickle as before).  Raises
+    ``ValueError`` for an empty fan-out — same contract as the empty-batch
+    checks in :func:`run_batch_sharded` / :func:`infer_batch_sharded`.
     """
+    if restarts < 1:
+        raise ValueError("cannot fan out an empty restart pool")
     values = np.asarray(observed_values, dtype=float).reshape(-1)
     num_shards = resolve_num_shards(restarts, shards)
     slices = shard_slices(restarts, num_shards)
     seeds = spawn_seeds(root_seed, num_shards)
-    spec = EngineSpec.from_engine(engine)
-    tasks = [
-        (
-            spec,
-            observed_index,
-            values,
-            part.stop - part.start,
-            duration,
-            seed,
-            max_retries,
+    with SharedArena(tag="restart") as arena:
+        spec = EngineSpec.from_engine(
+            engine, arena if shm_available() else None
         )
-        for part, seed in zip(slices, seeds)
-    ]
-    return parallel_map(_restart_shard, tasks, workers), slices
+        tasks = [
+            (
+                spec,
+                observed_index,
+                values,
+                part.stop - part.start,
+                duration,
+                seed,
+                max_retries,
+            )
+            for part, seed in zip(slices, seeds)
+        ]
+        return parallel_map(_restart_shard, tasks, workers), slices

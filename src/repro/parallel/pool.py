@@ -25,18 +25,24 @@ result back with each task's return value for the parent to merge.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
+from contextlib import contextmanager
 from typing import Callable, Sequence
 
 import numpy as np
 
 from .. import obs
+from .shm import detach_task_attachments
 
 __all__ = [
     "DEFAULT_SHARDS",
     "parallel_map",
     "resolve_num_shards",
+    "resolve_start_method",
     "shard_slices",
     "spawn_seeds",
+    "worker_pool",
 ]
 
 #: Default shard count when the caller does not pin one.  Fixed (never
@@ -44,9 +50,28 @@ __all__ = [
 #: the bit pattern of every result — is independent of worker count.
 DEFAULT_SHARDS = 4
 
-_START_METHOD = (
-    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-)
+#: Environment override for the pool start method; CI's spawn matrix leg
+#: sets it so Linux (where ``fork`` is the default) also exercises the
+#: pickle-everything spawn path the equivalence contract covers.
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+def resolve_start_method() -> str:
+    """The multiprocessing start method for this ``parallel_map`` call.
+
+    ``fork`` where available (cheap, inherits the parent image), ``spawn``
+    otherwise; :data:`START_METHOD_ENV` overrides either way.  Resolved
+    per call, not at import, so tests and CI can flip it at runtime.
+    """
+    requested = os.environ.get(START_METHOD_ENV)
+    available = multiprocessing.get_all_start_methods()
+    if requested:
+        if requested not in available:
+            raise ValueError(
+                f"{START_METHOD_ENV}={requested!r} is not one of {available}"
+            )
+        return requested
+    return "fork" if "fork" in available else "spawn"
 
 
 def shard_slices(total: int, num_shards: int) -> list[slice]:
@@ -104,19 +129,65 @@ def _worker_init() -> None:
 
 
 def _call_task(payload: tuple) -> tuple:
-    """Run one task in a worker, optionally capturing observability."""
+    """Run one task in a worker, optionally capturing observability.
+
+    Shared-memory views attached while the task ran are closed in the
+    ``finally`` — a long-lived pool worker must not accumulate mappings of
+    blocks the parent is about to unlink.
+    """
     fn, args, collect = payload
     if not collect:
-        return fn(*args), None
+        try:
+            return fn(*args), None
+        finally:
+            detach_task_attachments()
+    # Detach inside the capture scope so the detach counters ride back to
+    # the parent with the rest of this task's metrics.
     with obs.capture_worker_state() as state:
-        result = fn(*args)
+        try:
+            result = fn(*args)
+        finally:
+            detach_task_attachments()
     return result, state
+
+
+@contextmanager
+def worker_pool(workers: int, num_tasks: int | None = None):
+    """A reusable process pool for repeated ``parallel_map`` rounds.
+
+    Iterative fan-outs (the halo-exchange mesh integrator runs one map per
+    exchange round) would otherwise pay pool startup per round; pass the
+    yielded pool back via ``parallel_map(..., pool=...)``.
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    processes = workers if num_tasks is None else min(workers, num_tasks)
+    context = multiprocessing.get_context(resolve_start_method())
+    with context.Pool(processes=processes, initializer=_worker_init) as pool:
+        yield pool
+
+
+def _account_pickled(payloads: list) -> None:
+    """Record per-task serialized sizes (only when metrics are live)."""
+    registry = obs.metrics()
+    sizes = [
+        len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        for payload in payloads
+    ]
+    registry.counter("parallel.tasks").inc(len(sizes))
+    registry.counter("parallel.bytes_pickled").inc(sum(sizes))
+    histogram = registry.histogram("parallel.task_pickled_bytes")
+    for size in sizes:
+        histogram.observe(size)
 
 
 def parallel_map(
     fn: Callable,
     tasks: Sequence[tuple],
     workers: int | None = 1,
+    *,
+    pool=None,
 ) -> list:
     """``[fn(*task) for task in tasks]``, fanned out over ``workers``.
 
@@ -125,24 +196,38 @@ def parallel_map(
     function, same order, so parallel and serial runs are bit-for-bit
     interchangeable.  ``fn`` and every task argument must be picklable
     (``fn`` must be a module-level callable or bound method of one).
+    Passing a :func:`worker_pool` via ``pool`` reuses its processes
+    instead of creating a fresh pool (the serial shortcut still applies).
 
     When the parent has observability enabled, each worker task collects
     metrics/trace records locally and the parent merges them back (in
-    task order) into the live :mod:`repro.obs` sinks.
+    task order) into the live :mod:`repro.obs` sinks; the parent also
+    records per-task pickled payload sizes (``parallel.bytes_pickled``),
+    the quantity the shared-memory descriptors exist to shrink.
     """
     workers = 1 if workers is None else int(workers)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     tasks = list(tasks)
     if workers == 1 or len(tasks) <= 1:
-        return [fn(*args) for args in tasks]
+        try:
+            return [fn(*args) for args in tasks]
+        finally:
+            detach_task_attachments()
 
     collect = obs.enabled()
     payloads = [(fn, args, collect) for args in tasks]
-    context = multiprocessing.get_context(_START_METHOD)
-    processes = min(workers, len(tasks))
-    with context.Pool(processes=processes, initializer=_worker_init) as pool:
+    if collect:
+        _account_pickled(payloads)
+    if pool is not None:
         outputs = pool.map(_call_task, payloads, chunksize=1)
+    else:
+        context = multiprocessing.get_context(resolve_start_method())
+        processes = min(workers, len(tasks))
+        with context.Pool(
+            processes=processes, initializer=_worker_init
+        ) as fresh:
+            outputs = fresh.map(_call_task, payloads, chunksize=1)
     results = []
     for result, state in outputs:
         if state is not None:

@@ -40,6 +40,8 @@ from .core.operators import CouplingOperator
 
 __all__ = [
     "random_sparse_system",
+    "random_sparse_mesh",
+    "bench_parallel_scaling",
     "run_core_benchmarks",
     "format_bench",
     "write_bench_json",
@@ -72,6 +74,64 @@ def random_sparse_system(
     J[ju[selected], iu[selected]] = weights
     h = -(np.abs(J).sum(axis=1) + 1.0)
     return J, h
+
+
+def random_sparse_mesh(
+    n: int, density: float, seed: int = 0
+) -> tuple["object", np.ndarray]:
+    """A random symmetric CSR coupling matrix at mesh scale.
+
+    :func:`random_sparse_system` materializes every node pair via
+    ``np.triu_indices`` — fine to a few thousand nodes, hopeless at 100k
+    (5e9 pairs).  This generator samples ``density * n * (n-1) / 2``
+    upper-triangle pairs directly and never builds a dense matrix, so a
+    100k-node / 0.1%-density mesh costs ~10M entries, not 80 GB.
+
+    Returns:
+        ``(J, h)`` with ``J`` a ``scipy.sparse.csr_matrix`` of shape
+        ``(n, n)`` and ``h`` of shape ``(n,)``.
+    """
+    import scipy.sparse as sp
+
+    if not 0 < density <= 1:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    num_pairs = n * (n - 1) // 2
+    keep = max(1, min(num_pairs, int(round(density * num_pairs))))
+    # Sample pair indices with replacement, then dedupe: at low density
+    # collisions are rare and the realized density stays within a hair of
+    # the target, without a 5e9-element permutation.
+    flat = np.unique(rng.integers(0, num_pairs, size=int(keep * 1.05) + 8))
+    flat = flat[:keep]
+    # Invert the row-major upper-triangle linearization k = i*n - i(i+3)/2
+    # + j - 1 via the quadratic formula (float64 is exact for n <= ~1e6).
+    i = (
+        n - 2 - np.floor(
+            (np.sqrt(4.0 * n * (n - 1) - 8.0 * flat - 7.0) - 1.0) / 2.0
+        )
+    ).astype(np.int64)
+    j = (flat + i * (i + 3) // 2 - i * n + 1).astype(np.int64)
+    weights = rng.normal(size=flat.size) * 0.5
+    J = sp.coo_matrix(
+        (
+            np.concatenate([weights, weights]),
+            (np.concatenate([i, j]), np.concatenate([j, i])),
+        ),
+        shape=(n, n),
+    ).tocsr()
+    h = -(np.abs(J).sum(axis=1).A1 + 1.0)
+    return J, h
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident-set size of this process in MiB (Linux ru_maxrss KiB)."""
+    import resource
+    import sys
+
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # macOS reports bytes
+        return usage / (1024.0 * 1024.0)
+    return usage / 1024.0
 
 
 def _time_samples_ms(fn, repeats: int) -> list[float]:
@@ -280,6 +340,16 @@ def bench_parallel_batch(
 
     serial, parallel = run(1), run(workers)
     deviation = float(np.max(np.abs(serial - parallel)))
+    from .parallel import shard_task_bytes
+
+    task_bytes = shard_task_bytes(
+        simulator,
+        operator.drift,
+        sigma0,
+        duration,
+        shards=workers,
+        energy=operator.energy,
+    )
     return {
         "name": "parallel_shards_vs_serial",
         "n": n,
@@ -295,6 +365,104 @@ def bench_parallel_batch(
         **_timed_comparison(lambda: run(1), lambda: run(workers), repeats),
         "max_abs_diff": deviation,
         "bitwise_identical": bool(np.array_equal(serial, parallel)),
+        "task_pickled_bytes_legacy": task_bytes["legacy"],
+        "task_pickled_bytes_shm": task_bytes["shm"],
+        "pickle_reduction": task_bytes["legacy"] / max(task_bytes["shm"], 1),
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+
+
+def bench_parallel_scaling(
+    sizes: tuple[int, ...],
+    shards_grid: tuple[int, ...],
+    workers_grid: tuple[int, ...],
+    density: float = 0.05,
+    batch: int | None = None,
+    duration: float = 2.0,
+    seed: int = 0,
+) -> dict:
+    """Scaling curve of the sharded batch path over (n x shards x workers).
+
+    One row per grid point, each recording wall time of the shared-memory
+    transport, per-task pickled bytes on both transports (the zero-copy
+    win the curve exists to show — legacy payloads grow ~O(n^2 * density
+    + T*n), shm payloads stay O(1) descriptors), and the parent's peak
+    RSS.  Every (n, shards) cell also pins ``max_abs_diff == 0`` between
+    the legacy and shared-memory transports at ``workers=1``, so the
+    curve doubles as a transport-equivalence sweep.
+    """
+    import os
+
+    from .parallel import run_batch_sharded, shard_task_bytes, shm_available
+
+    rows: list[dict] = []
+    for n in sizes:
+        J, h = random_sparse_system(n, density, seed=seed)
+        operator = CouplingOperator(J, h, backend="auto")
+        rng = np.random.default_rng(seed + 1)
+        num_samples = batch if batch is not None else max(8, min(64, n // 8))
+        sigma0 = rng.uniform(-1.0, 1.0, size=(num_samples, n))
+        config = IntegrationConfig(
+            dt=0.1, record_every=1_000_000, node_noise_std=0.01
+        )
+        simulator = CircuitSimulator(config=config)
+        for shards in shards_grid:
+            task_bytes = shard_task_bytes(
+                simulator,
+                operator.drift,
+                sigma0,
+                duration,
+                shards=shards,
+                energy=operator.energy,
+            )
+
+            def run(num_workers: int, use_shm: bool | None) -> np.ndarray:
+                return run_batch_sharded(
+                    simulator,
+                    operator.drift,
+                    sigma0,
+                    duration,
+                    energy=operator.energy,
+                    workers=num_workers,
+                    shards=shards,
+                    root_seed=seed + 2,
+                    shm=use_shm,
+                ).final_states
+
+            reference = run(1, False)
+            transport_diff = float(
+                np.max(np.abs(reference - run(1, shm_available() or None)))
+            )
+            for workers in workers_grid:
+                start = time.perf_counter()
+                result = run(workers, None)
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                rows.append(
+                    {
+                        "n": n,
+                        "density": density,
+                        "batch": num_samples,
+                        "shards": shards,
+                        "workers": workers,
+                        "elapsed_ms": elapsed_ms,
+                        "max_abs_diff": float(
+                            np.max(np.abs(reference - result))
+                        ),
+                        "task_pickled_bytes_legacy": task_bytes["legacy"],
+                        "task_pickled_bytes_shm": task_bytes["shm"],
+                        "pickle_reduction": task_bytes["legacy"]
+                        / max(task_bytes["shm"], 1),
+                        "transport_max_abs_diff": transport_diff,
+                        "peak_rss_mb": _peak_rss_mb(),
+                    }
+                )
+    return {
+        "name": "parallel_scaling_curve",
+        "density": density,
+        "duration_ns": duration,
+        "cpu_count": os.cpu_count(),
+        "shm_available": shm_available(),
+        "rows": rows,
     }
 
 
@@ -356,6 +524,16 @@ def _run_benchmark_suite(
                 workers=workers or 2, repeats=repeats,
             )
         )
+        results.append(
+            bench_parallel_scaling(
+                sizes=(64, 128),
+                shards_grid=(2,),
+                workers_grid=(1, workers or 2),
+                density=0.1,
+                batch=min(batch, 8),
+                duration=1.0,
+            )
+        )
     else:
         for n, density in ((2048, 0.02), (2048, 0.05), (1024, 0.10)):
             results.append(
@@ -378,6 +556,18 @@ def _run_benchmark_suite(
                 workers=workers or 4, repeats=repeats,
             )
         )
+        # The zero-copy payoff curve: legacy per-task pickling grows with
+        # n (operator + result arrays), shm payloads stay descriptor-sized.
+        results.append(
+            bench_parallel_scaling(
+                sizes=(512, 2048, 8192),
+                shards_grid=(4, 8),
+                workers_grid=(1, workers or 4),
+                density=0.02,
+                batch=32,
+                duration=2.0,
+            )
+        )
     return results
 
 
@@ -393,6 +583,8 @@ def format_bench(payload: dict) -> str:
         f"{'max|diff|':>10s}"
     ]
     for r in payload["results"]:
+        if "baseline_ms" not in r:
+            continue
         stats = r.get("optimized_stats", {})
         lines.append(
             f"{r['name']:<36s} {r['n']:>5d} {r['density']:>5.2f} "
@@ -408,6 +600,21 @@ def format_bench(payload: dict) -> str:
                 f"{100.0 * r['cache_hit_rate']:.1f}% "
                 f"({r['cache_hits']} hits / {r['cache_misses']} misses)"
             )
+        if r.get("name") == "parallel_scaling_curve":
+            lines.append(
+                f"{'scaling curve':<22s} {'n':>6s} {'shards':>6s} "
+                f"{'workers':>7s} {'ms':>9s} {'pkl legacy':>10s} "
+                f"{'pkl shm':>8s} {'reduction':>9s} {'rss MB':>8s}"
+            )
+            for row in r["rows"]:
+                lines.append(
+                    f"{'':<22s} {row['n']:>6d} {row['shards']:>6d} "
+                    f"{row['workers']:>7d} {row['elapsed_ms']:>9.2f} "
+                    f"{row['task_pickled_bytes_legacy']:>10d} "
+                    f"{row['task_pickled_bytes_shm']:>8d} "
+                    f"{row['pickle_reduction']:>8.1f}x "
+                    f"{row['peak_rss_mb']:>8.1f}"
+                )
     return "\n".join(lines)
 
 

@@ -107,6 +107,36 @@ class TestSpawnSeeds:
                 np.random.default_rng(clone).random(2),
             )
 
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shard_seed_is_stable_across_shard_counts(self, root, a, b):
+        """Shard ``i``'s stream is f(root, i) only — growing the shard
+        count never reshuffles existing shards' randomness."""
+        small, large = sorted((a, b))
+        prefix = spawn_seeds(root, small)
+        extended = spawn_seeds(root, large)
+        for x, y in zip(prefix, extended):
+            assert x.spawn_key == y.spawn_key
+            assert np.array_equal(
+                np.random.default_rng(x).random(2),
+                np.random.default_rng(y).random(2),
+            )
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_seeds_are_collision_free(self, root, num):
+        seeds = spawn_seeds(root, num)
+        assert len({s.spawn_key for s in seeds}) == num
+        draws = {tuple(np.random.default_rng(s).random(2)) for s in seeds}
+        assert len(draws) == num
+
 
 class TestParallelMap:
     def test_preserves_task_order(self):

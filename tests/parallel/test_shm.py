@@ -1,0 +1,266 @@
+"""Tests of the zero-copy shared-memory transport (:mod:`repro.parallel.shm`).
+
+Covers the descriptor-pickling contract (tasks ship ~100-byte handles, not
+arrays), the arena's lifecycle guarantee (no ``/dev/shm`` residue on
+success *or* error — including a worker raising mid-shard), transport
+equivalence (shm vs legacy pickled results are bit-for-bit identical), and
+the attach/detach observability counters.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.operators import CouplingOperator
+from repro.parallel import (
+    SharedArena,
+    parallel_map,
+    pickled_bytes,
+    run_batch_sharded,
+    shard_task_bytes,
+    shm_available,
+    shm_residue,
+)
+from repro.parallel.shm import (
+    SharedArray,
+    SharedOperatorMethod,
+    detach_task_attachments,
+    maybe_share_method,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="named shared memory unavailable"
+)
+
+
+def _read_shared(handle):
+    """Worker task: attach a descriptor and return a private copy."""
+    return handle.array.copy()
+
+
+def _sum_shared(handle, start, stop):
+    return float(handle.array[start:stop].sum())
+
+
+def _boom_on_shard(handle, index):
+    """Worker task that fails mid-shard (after attaching its view)."""
+    _ = handle.array[0]
+    if index == 1:
+        raise RuntimeError("shard blew up")
+    return index
+
+
+class TestSharedArray:
+    def test_round_trips_through_pickle_as_descriptor(self):
+        rng = np.random.default_rng(0)
+        array = rng.normal(size=(7, 5))
+        with SharedArena(tag="t") as arena:
+            handle = arena.share(array)
+            clone = pickle.loads(pickle.dumps(handle))
+            assert np.array_equal(clone.array, array)
+            assert clone.name == handle.name
+            detach_task_attachments()
+
+    def test_descriptor_size_is_independent_of_array_size(self):
+        with SharedArena(tag="t") as arena:
+            small = pickled_bytes(arena.share(np.zeros(4)))
+            big = pickled_bytes(arena.share(np.zeros((512, 512))))
+        # Both are (name, shape, dtype) tuples; the payload must not grow
+        # with the data — that is the entire point of the transport.
+        assert big < small + 64
+
+    def test_shared_views_are_read_only(self):
+        with SharedArena(tag="t") as arena:
+            handle = arena.share(np.arange(3.0))
+            with pytest.raises(ValueError):
+                handle.array[0] = 9.0
+
+    def test_output_slabs_are_writable_and_zeroed(self):
+        with SharedArena(tag="t") as arena:
+            slab = arena.empty((4, 3))
+            assert np.array_equal(slab.array, np.zeros((4, 3)))
+            slab.array[2, 1] = 5.0
+            assert slab.array[2, 1] == 5.0
+
+    def test_workers_read_the_same_bits(self):
+        rng = np.random.default_rng(1)
+        array = rng.normal(size=(6, 4))
+        with SharedArena(tag="t") as arena:
+            handle = arena.share(array)
+            results = parallel_map(
+                _read_shared, [(handle,), (handle,)], workers=2
+            )
+        for result in results:
+            assert np.array_equal(result, array)
+
+
+class TestSharedOperator:
+    @pytest.fixture()
+    def operator(self):
+        rng = np.random.default_rng(2)
+        n = 10
+        raw = rng.normal(size=(n, n)) * 0.2
+        J = (raw + raw.T) / 2.0
+        np.fill_diagonal(J, 0.0)
+        return CouplingOperator(J, -(np.abs(J).sum(axis=1) + 1.0))
+
+    def test_shared_method_matches_bound_method(self, operator):
+        sigma = np.linspace(-1, 1, operator.n)
+        with SharedArena(tag="t") as arena:
+            drift = maybe_share_method(arena, operator.drift)
+            assert isinstance(drift, SharedOperatorMethod)
+            clone = pickle.loads(pickle.dumps(drift))
+            assert np.array_equal(clone(sigma), operator.drift(sigma))
+            detach_task_attachments()
+
+    def test_drift_and_energy_share_one_descriptor(self, operator):
+        with SharedArena(tag="t") as arena:
+            drift = maybe_share_method(arena, operator.drift)
+            energy = maybe_share_method(arena, operator.energy)
+            assert drift.shared is energy.shared
+
+    def test_non_operator_callables_pass_through(self):
+        with SharedArena(tag="t") as arena:
+            assert maybe_share_method(arena, _read_shared) is _read_shared
+            assert maybe_share_method(arena, None) is None
+
+
+class TestArenaLifecycle:
+    def test_no_residue_after_clean_exit(self):
+        with SharedArena(tag="t") as arena:
+            arena.share(np.zeros(100))
+            arena.empty((10, 10))
+        assert shm_residue() == []
+
+    def test_no_residue_when_body_raises(self):
+        with pytest.raises(RuntimeError, match="mid-arena"):
+            with SharedArena(tag="t") as arena:
+                arena.share(np.zeros(100))
+                raise RuntimeError("mid-arena failure")
+        assert shm_residue() == []
+
+    def test_close_is_idempotent(self):
+        arena = SharedArena(tag="t")
+        arena.share(np.zeros(5))
+        arena.close()
+        arena.close()
+        assert shm_residue() == []
+
+    def test_closed_arena_refuses_new_blocks(self):
+        arena = SharedArena(tag="t")
+        arena.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.share(np.zeros(2))
+
+    def test_worker_raising_mid_shard_leaves_no_residue(self):
+        """Satellite contract: a failed fan-out may not strand blocks."""
+        with pytest.raises(RuntimeError, match="shard blew up"):
+            with SharedArena(tag="t") as arena:
+                handle = arena.share(np.zeros(64))
+                parallel_map(
+                    _boom_on_shard,
+                    [(handle, 0), (handle, 1), (handle, 2)],
+                    workers=2,
+                )
+        assert shm_residue() == []
+
+    def test_serial_worker_raising_leaves_no_residue(self):
+        with pytest.raises(RuntimeError, match="shard blew up"):
+            with SharedArena(tag="t") as arena:
+                handle = arena.share(np.zeros(64))
+                parallel_map(_boom_on_shard, [(handle, 1)], workers=1)
+        assert shm_residue() == []
+
+
+class TestTransportEquivalence:
+    """shm and legacy transports run the same shard functions on the same
+    values; the result bits must be indistinguishable."""
+
+    @pytest.fixture()
+    def batch(self, small_operator):
+        rng = np.random.default_rng(3)
+        return rng.uniform(-1, 1, size=(9, small_operator.n))
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_shm_matches_legacy(
+        self, noisy_simulator, small_operator, batch, workers
+    ):
+        run = lambda shm: run_batch_sharded(  # noqa: E731
+            noisy_simulator,
+            small_operator.drift,
+            batch,
+            duration=2.0,
+            energy=small_operator.energy,
+            workers=workers,
+            shards=3,
+            root_seed=7,
+            shm=shm,
+        )
+        legacy, shared = run(False), run(True)
+        assert np.array_equal(legacy.times, shared.times)
+        assert np.array_equal(legacy.states, shared.states)
+        assert np.array_equal(legacy.energies, shared.energies)
+        assert shm_residue() == []
+
+    def test_task_bytes_report_both_transports(
+        self, noisy_simulator, small_operator, batch
+    ):
+        sizes = shard_task_bytes(
+            noisy_simulator,
+            small_operator.drift,
+            batch,
+            2.0,
+            shards=3,
+            energy=small_operator.energy,
+        )
+        assert sizes["shm"] < sizes["legacy"]
+        assert shm_residue() == []
+
+
+class TestObsCounters:
+    def test_attach_detach_balance_and_bytes(
+        self, noisy_simulator, small_operator
+    ):
+        rng = np.random.default_rng(4)
+        batch = rng.uniform(-1, 1, size=(6, small_operator.n))
+        with obs.metrics_enabled() as registry:
+            run_batch_sharded(
+                noisy_simulator,
+                small_operator.drift,
+                batch,
+                duration=1.0,
+                workers=2,
+                shards=3,
+                root_seed=5,
+                shm=True,
+            )
+            snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["parallel.shm.blocks"] >= 4
+        assert counters["parallel.shm.bytes_shared"] > 0
+        # Every worker-side attach must be balanced by a detach (the pool
+        # closes task views in a finally); imbalance means a leaked map.
+        assert counters["parallel.shm.attaches"] > 0
+        assert counters["parallel.shm.attaches"] == counters[
+            "parallel.shm.detaches"
+        ]
+        assert counters["parallel.tasks"] == 3
+        assert counters["parallel.bytes_pickled"] > 0
+
+    def test_summary_reports_transport_lines(
+        self, noisy_simulator, small_operator
+    ):
+        from repro.obs.summary import format_metrics
+
+        rng = np.random.default_rng(4)
+        batch = rng.uniform(-1, 1, size=(4, small_operator.n))
+        with obs.metrics_enabled() as registry:
+            run_batch_sharded(
+                noisy_simulator, small_operator.drift, batch,
+                duration=1.0, workers=2, shards=2, root_seed=5, shm=True,
+            )
+            rendered = format_metrics(registry.snapshot())
+        assert "shm transport:" in rendered
+        assert "(balanced)" in rendered

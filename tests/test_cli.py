@@ -174,9 +174,17 @@ class TestBenchCommand:
         assert payload["benchmark"] == "core_hot_paths"
         assert payload["smoke"] is True
         for result in payload["results"]:
+            if result["name"] == "parallel_scaling_curve":
+                # The scaling curve carries per-row deviations instead of
+                # one comparison pair.
+                for row in result["rows"]:
+                    assert row["max_abs_diff"] < 1e-8
+                    assert row["transport_max_abs_diff"] < 1e-8
+                continue
             assert result["max_abs_diff"] < 1e-8
         stdout = capsys.readouterr().out
         assert "speedup" in stdout
+        assert "scaling curve" in stdout
         assert str(out) in stdout
 
     def test_bench_embeds_samples_and_metrics(self, capsys, tmp_path):
@@ -189,6 +197,8 @@ class TestBenchCommand:
         ) == 0
         payload = json.loads(out.read_text())
         for result in payload["results"]:
+            if "baseline_stats" not in result:
+                continue
             for stats_key in ("baseline_stats", "optimized_stats"):
                 stats = result[stats_key]
                 assert len(stats["samples_ms"]) == repeats
