@@ -21,12 +21,25 @@ Commands
     optionally dump the table as JSON.
 ``obs summarize PATH``
     Aggregate a recorded trace JSONL into a span/metric table.
+``obs timeline PATH``
+    Reconstruct the causal timeline of a trace — stitched worker spans,
+    critical path, per-shard wall time, pool idle and halo-exchange wait.
+``obs export PATH``
+    Convert a trace's embedded metrics snapshot into OpenMetrics text
+    (Prometheus textfile-collector format) or a JSON snapshot document.
+``obs flame PATH``
+    Summarize a collapsed-stack profile (from ``--profile``) in the
+    terminal: hottest frames and stacks.
+``obs diff BASELINE CANDIDATE``
+    Compare two ``BENCH_*.json`` snapshots with a per-repeat noise band;
+    exit code 3 when a statistically meaningful regression is flagged.
 
 Every command accepts the observability options ``--trace PATH`` (record
 a JSONL trace of spans/events plus a final metrics snapshot),
-``--metrics`` (print the metrics snapshot on completion), and
-``-v``/``-q`` (console log verbosity through the stdlib ``repro.*``
-loggers).
+``--metrics`` (print the metrics snapshot on completion), ``--profile
+PATH`` (continuous sampling profiler, collapsed-stack output; see
+``--profile-interval``/``--profile-timer``), and ``-v``/``-q`` (console
+log verbosity through the stdlib ``repro.*`` loggers).
 
 Commands that shard annealing work (``train``, ``table``, ``figure``,
 ``bench``, ``faults sweep``) also accept ``--workers N`` to fan it out
@@ -98,6 +111,28 @@ def _observability_options() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print the collected metrics snapshot when the command ends",
+    )
+    group.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="sample the run with the continuous profiler and write a "
+        "collapsed-stack profile (flamegraph input) to PATH; inspect "
+        "with `repro obs flame PATH`",
+    )
+    group.add_argument(
+        "--profile-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="profiler sampling interval "
+        f"(default {obs.DEFAULT_INTERVAL}s = {1 / obs.DEFAULT_INTERVAL:.0f} Hz)",
+    )
+    group.add_argument(
+        "--profile-timer",
+        default="wall",
+        choices=("wall", "cpu"),
+        help="sample on wall-clock time (includes waits) or CPU time",
     )
     group.add_argument(
         "-v",
@@ -273,6 +308,71 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="aggregate a trace JSONL into a span/metric table"
     )
     summarize.add_argument("path", help="trace JSONL recorded with --trace")
+
+    timeline = obs_sub.add_parser(
+        "timeline",
+        help="reconstruct the causal timeline of a (multi-process) trace",
+    )
+    timeline.add_argument("path", help="trace JSONL recorded with --trace")
+    timeline.add_argument(
+        "--width",
+        type=_positive_int,
+        default=60,
+        help="gantt lane width in characters",
+    )
+
+    export = obs_sub.add_parser(
+        "export",
+        help="export a trace's metrics snapshot for external scraping",
+    )
+    export.add_argument("path", help="trace JSONL recorded with --trace")
+    export.add_argument(
+        "--format",
+        dest="export_format",
+        default="openmetrics",
+        choices=("openmetrics", "json"),
+        help="OpenMetrics text (Prometheus textfile collector) or a "
+        "schema-tagged JSON snapshot",
+    )
+    export.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write to PATH instead of stdout",
+    )
+
+    flame = obs_sub.add_parser(
+        "flame",
+        help="summarize a collapsed-stack profile (from --profile)",
+    )
+    flame.add_argument("path", help="collapsed-stack profile file")
+    flame.add_argument(
+        "--top",
+        type=_positive_int,
+        default=15,
+        help="rows per table (hottest frames / hottest stacks)",
+    )
+
+    diff = obs_sub.add_parser(
+        "diff",
+        help="compare two BENCH_*.json snapshots (exit 3 on regression)",
+    )
+    diff.add_argument("baseline", help="baseline BENCH_*.json")
+    diff.add_argument("candidate", help="candidate BENCH_*.json")
+    diff.add_argument(
+        "--min-band",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="noise-band floor as a fraction (default 0.10); the band "
+        "widens automatically with the per-repeat sample spread",
+    )
+    diff.add_argument(
+        "--all",
+        dest="show_all",
+        action="store_true",
+        help="list every compared timing, not just flagged ones",
+    )
     return parser
 
 
@@ -457,10 +557,107 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_records(path: str) -> list[dict]:
+    """Read a trace for an ``obs`` subcommand, with clean failures.
+
+    Raises ``ValueError`` with an actionable message (no traceback shown
+    to the user) when the file is missing, not valid JSONL (truncated
+    mid-write), or holds no records at all.
+    """
+    try:
+        records = obs.read_trace(path)
+    except FileNotFoundError:
+        raise ValueError(f"{path}: no such trace file") from None
+    except OSError as error:
+        raise ValueError(f"{path}: cannot read trace ({error})") from None
+    if not records:
+        raise ValueError(
+            f"{path}: trace is empty — was the run started with --trace, "
+            "and did it finish?"
+        )
+    return records
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
-    if args.obs_command == "summarize":
-        print(obs.format_summary(obs.summarize_trace(args.path)))
-        return 0
+    try:
+        if args.obs_command == "summarize":
+            records = _load_trace_records(args.path)
+            print(obs.format_summary(obs.summarize_records(records)))
+            return 0
+        if args.obs_command == "timeline":
+            from .obs.timeline import analyze_records, format_timeline
+
+            records = _load_trace_records(args.path)
+            print(format_timeline(analyze_records(records), width=args.width))
+            return 0
+        if args.obs_command == "export":
+            from .obs.export import (
+                latest_metrics,
+                snapshot_document,
+                to_openmetrics,
+            )
+
+            records = _load_trace_records(args.path)
+            snapshot = latest_metrics(records)
+            if snapshot is None:
+                raise ValueError(
+                    f"{args.path}: trace holds no embedded metrics snapshot "
+                    "(record the run with --trace so the final snapshot is "
+                    "embedded on teardown)"
+                )
+            if args.export_format == "json":
+                rendered = snapshot_document(
+                    snapshot, meta={"source": str(args.path)}
+                )
+            else:
+                rendered = to_openmetrics(snapshot)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    handle.write(rendered)
+                print(f"wrote {args.out}")
+            else:
+                print(rendered, end="")
+            return 0
+        if args.obs_command == "flame":
+            from .obs.profile import format_profile, read_profile
+
+            try:
+                samples = read_profile(args.path)
+            except FileNotFoundError:
+                raise ValueError(
+                    f"{args.path}: no such profile file"
+                ) from None
+            print(format_profile(samples, top=args.top))
+            return 0
+        if args.obs_command == "diff":
+            from .obs.regress import (
+                DEFAULT_MIN_BAND,
+                compare_bench,
+                format_diff,
+                load_bench,
+            )
+
+            try:
+                baseline = load_bench(args.baseline)
+                candidate = load_bench(args.candidate)
+            except FileNotFoundError as error:
+                raise ValueError(
+                    f"{error.filename}: no such bench snapshot"
+                ) from None
+            report = compare_bench(
+                baseline,
+                candidate,
+                min_band=(
+                    DEFAULT_MIN_BAND
+                    if args.min_band is None
+                    else args.min_band
+                ),
+            )
+            print(format_diff(report, verbose=args.show_all))
+            return 3 if report["regressions"] else 0
+    except (ValueError, obs.TraceReadError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 1
 
 
@@ -491,11 +688,25 @@ def main(argv: list[str] | None = None) -> int:
     obs.configure_logging(verbosity)
     trace_path = getattr(args, "trace", None)
     want_metrics = bool(getattr(args, "metrics", False))
-    configured = trace_path is not None or want_metrics
+    profile_path = getattr(args, "profile", None)
+    configured = (
+        trace_path is not None or want_metrics or profile_path is not None
+    )
     if configured:
         # --trace implies metrics collection so the final snapshot (cache
         # hit rates, run timings) can be embedded into the trace file.
-        obs.configure(collect_metrics=True, trace_path=trace_path)
+        profile_interval = getattr(args, "profile_interval", None)
+        obs.configure(
+            collect_metrics=True,
+            trace_path=trace_path,
+            profile_path=profile_path,
+            profile_interval=(
+                obs.DEFAULT_INTERVAL
+                if profile_interval is None
+                else profile_interval
+            ),
+            profile_timer=getattr(args, "profile_timer", "wall"),
+        )
     try:
         return _dispatch(args)
     finally:
@@ -507,6 +718,8 @@ def main(argv: list[str] | None = None) -> int:
             obs.disable()
             if trace_path is not None:
                 print(f"trace written to {trace_path}")
+            if profile_path is not None:
+                print(f"profile written to {profile_path}")
 
 
 if __name__ == "__main__":

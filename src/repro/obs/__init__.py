@@ -41,13 +41,28 @@ from .metrics import (
     NullMetricsRegistry,
     Timer,
 )
+from .profile import (
+    DEFAULT_INTERVAL,
+    NULL_PROFILER,
+    NullProfiler,
+    SamplingProfiler,
+    format_profile,
+    read_profile,
+)
 from .summary import (
     format_metrics,
     format_summary,
     summarize_records,
     summarize_trace,
 )
-from .trace import NULL_TRACER, NullTracer, Span, Tracer, read_trace
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceReadError,
+    Tracer,
+    read_trace,
+)
 
 __all__ = [
     "Counter",
@@ -55,11 +70,16 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullMetricsRegistry",
+    "NullProfiler",
     "NullTracer",
+    "SamplingProfiler",
     "Span",
     "Timer",
+    "TraceReadError",
     "Tracer",
+    "DEFAULT_INTERVAL",
     "NULL_METRICS",
+    "NULL_PROFILER",
     "NULL_TRACER",
     "capture_worker_state",
     "configure",
@@ -69,19 +89,25 @@ __all__ = [
     "merge_worker_state",
     "worker_reset",
     "format_metrics",
+    "format_profile",
     "format_summary",
     "metrics",
     "metrics_enabled",
     "observe",
+    "profiler",
+    "read_profile",
     "read_trace",
     "summarize_records",
     "summarize_trace",
+    "trace_context",
     "tracer",
     "verbosity_level",
 ]
 
 _metrics: MetricsRegistry | NullMetricsRegistry = NULL_METRICS
 _tracer: Tracer | NullTracer = NULL_TRACER
+_profiler: SamplingProfiler | NullProfiler = NULL_PROFILER
+_profile_path: Path | None = None
 
 
 def metrics() -> MetricsRegistry | NullMetricsRegistry:
@@ -94,14 +120,38 @@ def tracer() -> Tracer | NullTracer:
     return _tracer
 
 
+def profiler() -> SamplingProfiler | NullProfiler:
+    """The active sampling profiler (the no-op singleton when disabled)."""
+    return _profiler
+
+
 def enabled() -> bool:
     """Whether any observability sink is collecting."""
-    return _metrics.enabled or _tracer.enabled
+    return _metrics.enabled or _tracer.enabled or _profiler.enabled
+
+
+def trace_context() -> dict | None:
+    """The active tracer's cross-process propagation context.
+
+    ``None`` while tracing is disabled; otherwise the ``trace_id`` /
+    open-``span_id`` / ``epoch_unix`` dict that the parallel layer ships
+    in pool task descriptors (see :meth:`Tracer.context`).
+    """
+    return _tracer.context() if _tracer.enabled else None
+
+
+def _active_span_name() -> str | None:
+    """Name of the innermost open span, for profiler sample attribution."""
+    stack = getattr(_tracer, "_stack", None)
+    return stack[-1].name if stack else None
 
 
 def configure(
     collect_metrics: bool = True,
     trace_path: str | Path | None = None,
+    profile_path: str | Path | None = None,
+    profile_interval: float = DEFAULT_INTERVAL,
+    profile_timer: str = "wall",
 ) -> tuple[MetricsRegistry | NullMetricsRegistry, Tracer | NullTracer]:
     """Install process-wide observability sinks.
 
@@ -109,43 +159,73 @@ def configure(
         collect_metrics: Install a fresh :class:`MetricsRegistry`.
         trace_path: When given, install a :class:`Tracer` streaming JSONL
             to this path; tracing always implies an in-memory record list.
+        profile_path: When given, start a :class:`SamplingProfiler` whose
+            collapsed-stack output is written here by :func:`disable`.
+        profile_interval: Profiler sampling interval in seconds.
+        profile_timer: ``"wall"`` or ``"cpu"`` (see the profiler docs).
 
     Returns:
         The ``(metrics, tracer)`` pair now active.
     """
-    global _metrics, _tracer
+    global _metrics, _tracer, _profiler, _profile_path
     disable()
     if collect_metrics:
         _metrics = MetricsRegistry()
     if trace_path is not None:
         _tracer = Tracer(trace_path)
+    if profile_path is not None:
+        _profile_path = Path(profile_path)
+        _profiler = SamplingProfiler(
+            interval=profile_interval,
+            timer=profile_timer,
+            span_source=_active_span_name,
+        ).start()
     return _metrics, _tracer
 
 
 def disable() -> None:
     """Close any active sinks and restore the no-op defaults.
 
-    If both sinks are live, the final metrics snapshot is embedded into
-    the trace stream first, so one JSONL file tells the whole story.
+    If both metrics and tracing are live, the final metrics snapshot is
+    embedded into the trace stream first, so one JSONL file tells the
+    whole story; a live profiler is stopped and its collapsed-stack
+    profile written to the configured path.
     """
-    global _metrics, _tracer
+    global _metrics, _tracer, _profiler, _profile_path
+    if _profiler.enabled:
+        _profiler.stop()
+        if _profile_path is not None:
+            _profiler.write(_profile_path)
     if _tracer.enabled and _metrics.enabled:
         _tracer.embed_metrics(_metrics.snapshot())
     _tracer.close()
     _metrics = NULL_METRICS
     _tracer = NULL_TRACER
+    _profiler = NULL_PROFILER
+    _profile_path = None
 
 
 @contextmanager
 def observe(
-    collect_metrics: bool = True, trace_path: str | Path | None = None
+    collect_metrics: bool = True,
+    trace_path: str | Path | None = None,
+    profile_path: str | Path | None = None,
+    profile_interval: float = DEFAULT_INTERVAL,
+    profile_timer: str = "wall",
 ):
     """Scoped observability: configure on entry, restore on exit.
 
     Yields the ``(metrics, tracer)`` pair.  The tracer object stays
-    readable (``tracer.records``) after the block closes.
+    readable (``tracer.records``) after the block closes; a profile, when
+    requested, is written on exit.
     """
-    pair = configure(collect_metrics=collect_metrics, trace_path=trace_path)
+    pair = configure(
+        collect_metrics=collect_metrics,
+        trace_path=trace_path,
+        profile_path=profile_path,
+        profile_interval=profile_interval,
+        profile_timer=profile_timer,
+    )
     try:
         yield pair
     finally:
@@ -160,25 +240,42 @@ def worker_reset() -> None:
     embed a metrics snapshot and close that shared handle, corrupting the
     parent's stream, so workers call this instead: it abandons the
     inherited references and restores the no-op defaults.  The parent's
-    own sinks (and file descriptors) are untouched.
+    own sinks (and file descriptors) are untouched.  (An inherited
+    profiler's itimer does not survive fork — POSIX clears interval
+    timers in the child — so dropping the reference suffices.)
     """
-    global _metrics, _tracer
+    global _metrics, _tracer, _profiler, _profile_path
     _metrics = NULL_METRICS
     _tracer = NULL_TRACER
+    _profiler = NULL_PROFILER
+    _profile_path = None
 
 
 @contextmanager
-def capture_worker_state():
+def capture_worker_state(
+    parent: dict | None = None, task: int | None = None
+):
     """Collect observability in a worker and hand it back as plain data.
 
     Installs a fresh in-memory registry + tracer, yields a dict that is
     filled on exit with ``{"metrics": <export_state>, "trace": <records>}``
     — both JSON/pickle-safe — then restores the no-op defaults.  The
     parent folds the payload back in with :func:`merge_worker_state`.
+
+    Args:
+        parent: The dispatching process's :func:`trace_context`; when
+            given, the worker tracer inherits the parent ``trace_id`` and
+            the payload carries the parent span id + clock epoch needed
+            to stitch the records into the parent timeline.
+        task: Task index within the dispatching ``parallel_map``, stamped
+            onto absorbed records for straggler attribution.
     """
     global _metrics, _tracer
     registry = MetricsRegistry()
-    tracer_ = Tracer(None)
+    tracer_ = Tracer(
+        None,
+        trace_id=parent.get("trace_id") if parent else None,
+    )
     _metrics, _tracer = registry, tracer_
     state: dict = {}
     try:
@@ -188,13 +285,22 @@ def capture_worker_state():
         _tracer = NULL_TRACER
         state["metrics"] = registry.export_state()
         state["trace"] = list(tracer_.records)
+        state["epoch_unix"] = tracer_.epoch_unix
+        state["parent_ctx"] = parent
+        state["task"] = task
 
 
 def merge_worker_state(state: dict) -> None:
     """Merge a worker's :func:`capture_worker_state` payload into the
     active sinks (a no-op while observability is disabled)."""
     _metrics.merge_state(state.get("metrics", {}))
-    _tracer.absorb(state.get("trace", []))
+    ctx = state.get("parent_ctx") or {}
+    _tracer.absorb(
+        state.get("trace", []),
+        parent_id=ctx.get("span_id"),
+        epoch_unix=state.get("epoch_unix"),
+        task=state.get("task"),
+    )
 
 
 @contextmanager

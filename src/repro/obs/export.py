@@ -1,0 +1,114 @@
+"""Metrics export for external scraping (OpenMetrics + JSON snapshot).
+
+Backs ``repro obs export PATH``: converts an embedded metrics snapshot
+(the last ``{"kind": "metrics"}`` record of a trace) into either
+
+* the **OpenMetrics / Prometheus text exposition format** — suitable for
+  the node-exporter *textfile collector* (drop the output in its
+  directory and every counter/gauge/quantile lands in Prometheus), or
+* a schema-tagged **JSON snapshot** for archival diffing alongside the
+  ``BENCH_*.json`` baselines.
+
+Mapping rules: counters become ``<prefix>_<name>_total`` counter
+families; gauges map directly; histogram summaries become OpenMetrics
+``summary`` families with ``quantile`` labels for the p50/p90/p99
+(/p99.9 when present) quantiles plus ``_count`` and ``_sum`` series
+(``_sum`` is reconstructed as ``mean * count``, exact because the
+registry keeps raw samples).  Metric names are sanitized to the
+``[a-zA-Z0-9_:]`` alphabet (dots become underscores).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+__all__ = [
+    "latest_metrics",
+    "sanitize_metric_name",
+    "snapshot_document",
+    "to_openmetrics",
+]
+
+#: Schema tag stamped on JSON snapshot documents.
+SNAPSHOT_SCHEMA = "repro.obs.metrics/v1"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """``engine.cache_hits`` → ``repro_engine_cache_hits`` etc."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def latest_metrics(records: list[dict]) -> dict | None:
+    """The last embedded metrics snapshot in a trace, or ``None``."""
+    snapshot = None
+    for record in records:
+        if record.get("kind") == "metrics":
+            snapshot = record.get("snapshot")
+    return snapshot
+
+
+def _format_value(value: float) -> str:
+    """OpenMetrics number rendering: integers stay integral."""
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def to_openmetrics(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a metrics snapshot in OpenMetrics text exposition format.
+
+    The output is a complete scrape body, terminated by ``# EOF`` as the
+    OpenMetrics spec requires.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        family = sanitize_metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_format_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        family = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_value(value)}")
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        count = summary.get("count", 0)
+        if not count:
+            continue
+        family = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {family} summary")
+        for key, quantile in (
+            ("p50", "0.5"),
+            ("p90", "0.9"),
+            ("p99", "0.99"),
+            ("p999", "0.999"),
+        ):
+            if key in summary:
+                lines.append(
+                    f'{family}{{quantile="{quantile}"}} '
+                    f"{_format_value(summary[key])}"
+                )
+        lines.append(f"{family}_count {count}")
+        lines.append(
+            f"{family}_sum {_format_value(summary.get('mean', 0.0) * count)}"
+        )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_document(snapshot: dict, meta: dict | None = None) -> str:
+    """Render a snapshot as a schema-tagged JSON document (for archival)."""
+    return json.dumps(
+        {
+            "schema": SNAPSHOT_SCHEMA,
+            "meta": meta or {},
+            "snapshot": snapshot,
+        },
+        indent=2,
+        sort_keys=True,
+    ) + "\n"

@@ -64,7 +64,14 @@ class Histogram:
 
     Keeps every observation (these are per-run quantities, not per-step,
     so cardinality stays small) and summarizes as count/mean/min/max and
-    the p50/p90 quantiles used throughout the bench reporting.
+    the p50/p90/p99 quantiles used throughout the bench reporting (plus
+    p99.9 once a histogram holds ≥ 1000 samples — below that the tail
+    estimate would just repeat the max).
+
+    Quantile method: linear interpolation between closest ranks on the
+    sorted samples (``position = q * (n - 1)``), i.e. numpy's default /
+    Hyndman-Fan type 7.  Exact for the small per-run sample counts here
+    and consistent with ``numpy.percentile`` so bench numbers line up.
     """
 
     __slots__ = ("name", "samples")
@@ -92,14 +99,18 @@ class Histogram:
         if not self.samples:
             return {"count": 0}
         ordered = sorted(self.samples)
-        return {
+        summary = {
             "count": len(ordered),
             "mean": sum(ordered) / len(ordered),
             "min": ordered[0],
             "max": ordered[-1],
             "p50": self._quantile(ordered, 0.50),
             "p90": self._quantile(ordered, 0.90),
+            "p99": self._quantile(ordered, 0.99),
         }
+        if len(ordered) >= 1000:
+            summary["p999"] = self._quantile(ordered, 0.999)
+        return summary
 
 
 class Timer:

@@ -1,0 +1,292 @@
+"""Continuous sampling profiler with span attribution (stdlib only).
+
+The metrics/trace layers say *what* ran and *how long*; this layer says
+*where the time went inside* a span without touching any instrumented
+code.  A :class:`SamplingProfiler` interrupts the process at a fixed
+interval and records the interrupted Python stack, prefixed with the
+:mod:`repro.obs` span open at that instant, so every sample is
+attributed to the phase that owns it (``span:engine.infer_batch;...``).
+
+Two sampling backends, picked automatically:
+
+* ``signal`` — ``signal.setitimer`` (wall clock via ``ITIMER_REAL`` /
+  ``SIGALRM``, or CPU time via ``ITIMER_PROF`` / ``SIGPROF``).  The
+  handler receives the interrupted frame directly; only available on the
+  main thread of POSIX platforms.
+* ``thread`` — a daemon thread that wakes every interval and reads the
+  target thread's frame from ``sys._current_frames()``.  Works anywhere,
+  at slightly coarser timing fidelity.
+
+Samples aggregate in-process as ``{stack tuple: count}`` and export in
+the *collapsed stack* format every flamegraph renderer consumes
+(``frame;frame;frame count`` — e.g. Brendan Gregg's ``flamegraph.pl``,
+speedscope, or ``repro obs flame`` for a terminal view).
+
+Cost model: the disabled default is :data:`NULL_PROFILER` and no
+instrumented code ever calls the profiler — it is pure interrupt-driven
+observation — so the disabled path adds **zero** per-step overhead by
+construction (the ``test_perf_obs.py`` null-sink gate is unaffected).
+Enabled at the default :data:`DEFAULT_INTERVAL` (5 ms, 200 Hz) one
+sample costs a few microseconds of stack walking, bounded well under
+10% end-to-end by ``benchmarks/perf/test_perf_profile.py``.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "SamplingProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "read_profile",
+    "format_profile",
+]
+
+#: Default sampling interval in seconds (200 Hz): fine enough to resolve
+#: millisecond-scale phases, coarse enough to stay under 10% overhead.
+DEFAULT_INTERVAL = 0.005
+
+#: Frames deeper than this are truncated (guards against pathological
+#: recursion making each sample arbitrarily expensive).
+MAX_STACK_DEPTH = 64
+
+
+class SamplingProfiler:
+    """Wall- or CPU-time sampling profiler for the current process.
+
+    Args:
+        interval: Seconds between samples (:data:`DEFAULT_INTERVAL`).
+        timer: ``"wall"`` (elapsed time — includes blocking waits, the
+            right default for straggler/IO analysis) or ``"cpu"``
+            (process CPU time via ``ITIMER_PROF``; signal backend only).
+        span_source: Zero-arg callable returning the name of the
+            currently-open :mod:`repro.obs` span (or ``None``); each
+            sample's stack is rooted at ``span:<name>``.  Wired by
+            :func:`repro.obs.configure`.
+        backend: ``"auto"`` (signal on the POSIX main thread, thread
+            otherwise), or force ``"signal"`` / ``"thread"``.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        timer: str = "wall",
+        span_source: Callable[[], str | None] | None = None,
+        backend: str = "auto",
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if timer not in ("wall", "cpu"):
+            raise ValueError(f"timer must be 'wall' or 'cpu', got {timer!r}")
+        if backend not in ("auto", "signal", "thread"):
+            raise ValueError(f"unknown profiler backend {backend!r}")
+        self.interval = float(interval)
+        self.timer = timer
+        self.samples: dict[tuple[str, ...], int] = {}
+        self.sample_count = 0
+        self._span_source = span_source
+        self._requested_backend = backend
+        self.backend: str | None = None
+        self._started_at: float | None = None
+        self.elapsed_s = 0.0
+        self._previous_handler = None
+        self._stop_event: threading.Event | None = None
+        self._sampler_thread: threading.Thread | None = None
+        self._target_thread_id: int | None = None
+
+    # ------------------------------------------------------------------
+    def _resolve_backend(self) -> str:
+        if self._requested_backend != "auto":
+            return self._requested_backend
+        if (
+            hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        ):
+            return "signal"
+        return "thread"
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling; returns self so ``start()`` chains."""
+        if self._started_at is not None:
+            raise RuntimeError("profiler is already running")
+        self.backend = self._resolve_backend()
+        self._started_at = time.perf_counter()
+        if self.backend == "signal":
+            which, signum = (
+                (signal.ITIMER_PROF, signal.SIGPROF)
+                if self.timer == "cpu"
+                else (signal.ITIMER_REAL, signal.SIGALRM)
+            )
+            self._previous_handler = signal.signal(signum, self._handle_signal)
+            signal.setitimer(which, self.interval, self.interval)
+        else:
+            # The thread backend samples whichever thread called start().
+            self._target_thread_id = threading.get_ident()
+            self._stop_event = threading.Event()
+            self._sampler_thread = threading.Thread(
+                target=self._thread_loop, name="repro-obs-profiler", daemon=True
+            )
+            self._sampler_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling (idempotent); totals stay readable."""
+        if self._started_at is None:
+            return
+        self.elapsed_s += time.perf_counter() - self._started_at
+        self._started_at = None
+        if self.backend == "signal":
+            which, signum = (
+                (signal.ITIMER_PROF, signal.SIGPROF)
+                if self.timer == "cpu"
+                else (signal.ITIMER_REAL, signal.SIGALRM)
+            )
+            signal.setitimer(which, 0.0, 0.0)
+            signal.signal(signum, self._previous_handler or signal.SIG_DFL)
+            self._previous_handler = None
+        else:
+            self._stop_event.set()
+            self._sampler_thread.join(timeout=2.0)
+            self._sampler_thread = None
+            self._stop_event = None
+
+    # ------------------------------------------------------------------
+    def _handle_signal(self, signum, frame) -> None:
+        self._record(frame)
+
+    def _thread_loop(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            frame = sys._current_frames().get(self._target_thread_id)
+            if frame is not None:
+                self._record(frame)
+
+    def _record(self, frame) -> None:
+        """Fold one interrupted stack into the sample table.
+
+        Frames are keyed ``module:function`` (no line numbers, so samples
+        landing on different lines of one function aggregate), walked
+        leaf-to-root then reversed into flamegraph root-first order, and
+        rooted at the currently-open span.
+        """
+        stack: list[str] = []
+        depth = 0
+        while frame is not None and depth < MAX_STACK_DEPTH:
+            stack.append(
+                f"{frame.f_globals.get('__name__', '?')}:"
+                f"{frame.f_code.co_name}"
+            )
+            frame = frame.f_back
+            depth += 1
+        stack.reverse()
+        span_name = self._span_source() if self._span_source else None
+        root = f"span:{span_name}" if span_name else "span:(no span)"
+        key = (root, *stack)
+        self.samples[key] = self.samples.get(key, 0) + 1
+        self.sample_count += 1
+
+    # ------------------------------------------------------------------
+    def collapsed(self) -> str:
+        """The samples in collapsed-stack format, one stack per line."""
+        return "\n".join(
+            ";".join(stack) + f" {count}"
+            for stack, count in sorted(self.samples.items())
+        )
+
+    def write(self, path: str | Path) -> Path:
+        """Write the collapsed-stack profile to ``path``."""
+        path = Path(path)
+        text = self.collapsed()
+        path.write_text(text + ("\n" if text else ""), encoding="utf-8")
+        return path
+
+
+class NullProfiler:
+    """The disabled default: never samples, never installs timers."""
+
+    enabled = False
+    samples: dict = {}
+    sample_count = 0
+    elapsed_s = 0.0
+    backend = None
+
+    def start(self) -> "NullProfiler":
+        return self
+
+    def stop(self) -> None:
+        pass
+
+    def collapsed(self) -> str:
+        return ""
+
+    def write(self, path: str | Path) -> Path:
+        return Path(path)
+
+
+#: Shared disabled profiler installed by default.
+NULL_PROFILER = NullProfiler()
+
+
+def read_profile(path: str | Path) -> dict[tuple[str, ...], int]:
+    """Parse a collapsed-stack file back into ``{stack tuple: count}``."""
+    samples: dict[tuple[str, ...], int] = {}
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        stack_text, _, count_text = line.rpartition(" ")
+        if not stack_text or not count_text.isdigit():
+            raise ValueError(
+                f"{path}: line {lineno} is not collapsed-stack format "
+                "('frame;frame count')"
+            )
+        key = tuple(stack_text.split(";"))
+        samples[key] = samples.get(key, 0) + int(count_text)
+    return samples
+
+
+def format_profile(
+    samples: dict[tuple[str, ...], int], top: int = 15
+) -> str:
+    """Terminal flame summary: hottest leaf frames and hottest stacks.
+
+    *Self* samples attribute to the leaf frame (where the CPU actually
+    was); the stack table shows the ``top`` heaviest full stacks with
+    their span root, which is what a flamegraph renders as widest boxes.
+    """
+    total = sum(samples.values())
+    if not total:
+        return "(no samples recorded)"
+    lines = [f"{total} samples across {len(samples)} distinct stacks"]
+
+    self_counts: dict[str, int] = {}
+    for stack, count in samples.items():
+        leaf = stack[-1]
+        self_counts[leaf] = self_counts.get(leaf, 0) + count
+    lines.append("")
+    lines.append(f"{'self%':>6s} {'samples':>8s}  hottest frames")
+    for leaf, count in sorted(
+        self_counts.items(), key=lambda item: (-item[1], item[0])
+    )[:top]:
+        lines.append(f"{100.0 * count / total:>5.1f}% {count:>8d}  {leaf}")
+
+    lines.append("")
+    lines.append(f"{'stack%':>6s} {'samples':>8s}  hottest stacks (root;...;leaf)")
+    for stack, count in sorted(
+        samples.items(), key=lambda item: (-item[1], item[0])
+    )[:top]:
+        rendered = ";".join(stack)
+        if len(rendered) > 110:
+            rendered = rendered[:53] + " ... " + rendered[-52:]
+        lines.append(f"{100.0 * count / total:>5.1f}% {count:>8d}  {rendered}")
+    return "\n".join(lines)

@@ -211,13 +211,15 @@ def format_metrics(snapshot: dict) -> str:
             lines.append("")
         lines.append(
             f"{'histogram':<34s} {'count':>6s} {'mean':>9s} {'p50':>9s} "
-            f"{'p90':>9s} {'max':>9s}"
+            f"{'p90':>9s} {'p99':>9s} {'max':>9s}"
         )
         for name in sorted(populated):
             h = populated[name]
+            p99 = h.get("p99", h["max"])
             lines.append(
                 f"{name:<34s} {h['count']:>6d} {h['mean']:>9.3f} "
-                f"{h['p50']:>9.3f} {h['p90']:>9.3f} {h['max']:>9.3f}"
+                f"{h['p50']:>9.3f} {h['p90']:>9.3f} {p99:>9.3f} "
+                f"{h['max']:>9.3f}"
             )
     derived: list[str] = []
     rate = _cache_hit_rate(counters)

@@ -22,6 +22,17 @@ JSONL schema — one object per line, ``kind`` selects the shape:
     A metrics-registry snapshot, embedded by the CLI teardown so one
     trace file carries the whole observability story.
 
+Cross-process stitching: a tracer carries a ``trace_id`` and can export
+its current position as a :meth:`Tracer.context` — ``(trace_id, open
+span id, wall-clock epoch)`` — which the parallel layer ships inside
+every pool task descriptor.  Worker records come back through
+:meth:`Tracer.absorb`, which remaps worker-local span ids into the
+parent's id space, re-parents worker root spans onto the propagated
+parent span, and rebases ``start_ms``/``at_ms`` onto the parent's clock
+via the wall-clock epoch delta, so one JSONL stream holds a single
+causally-linked timeline with no orphan spans (see
+:mod:`repro.obs.timeline`).
+
 The disabled default is :data:`NULL_TRACER`, whose ``span()`` returns a
 shared no-op context manager — instrumented code never branches on
 whether tracing is on.
@@ -30,10 +41,28 @@ whether tracing is on.
 from __future__ import annotations
 
 import json
+import os
 import time
+import uuid
 from pathlib import Path
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "read_trace"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceReadError",
+    "read_trace",
+]
+
+
+class TraceReadError(ValueError):
+    """A trace JSONL file could not be parsed (empty line aside).
+
+    Raised with the offending line number so ``repro obs summarize`` /
+    ``timeline`` can report a clean, actionable error for truncated or
+    corrupt trace files instead of a ``json`` traceback.
+    """
 
 
 class Span:
@@ -94,8 +123,20 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, path: str | Path | None = None):
+    def __init__(
+        self, path: str | Path | None = None, trace_id: str | None = None
+    ):
         self._epoch = time.perf_counter()
+        #: Wall-clock instant of ``_epoch`` — the bridge that lets records
+        #: from tracers in other processes be rebased onto this timeline.
+        self.epoch_unix = time.time()
+        #: Process-unique id shared by every span of this trace; workers
+        #: inherit the parent's id through the propagated context.
+        self.trace_id = (
+            trace_id
+            if trace_id is not None
+            else f"{os.getpid():x}-{uuid.uuid4().hex[:12]}"
+        )
         self._stack: list[Span] = []
         self._next_id = 0
         self.records: list[dict] = []
@@ -133,18 +174,75 @@ class Tracer:
             }
         )
 
-    def absorb(self, records: list[dict]) -> None:
-        """Append finished records captured by another tracer.
+    def context(self) -> dict:
+        """The propagation context for work dispatched to another process.
 
-        Used to merge worker-process traces into the parent stream.
-        Records keep their worker-relative ``span_id`` / ``start_ms``
-        values (the summary tooling aggregates by name, not by id); each
-        gains a ``worker: True`` attribute so origins stay visible.
+        Returns the trace id, the currently-open span id (``None`` at top
+        level), and this tracer's wall-clock epoch.  The parallel layer
+        pickles this dict into pool task descriptors; the worker's records
+        are later stitched back through :meth:`absorb`.
         """
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self._stack[-1].span_id if self._stack else None,
+            "epoch_unix": self.epoch_unix,
+        }
+
+    def absorb(
+        self,
+        records: list[dict],
+        *,
+        parent_id: int | None = None,
+        epoch_unix: float | None = None,
+        task: int | None = None,
+    ) -> None:
+        """Stitch finished records captured by a worker-process tracer.
+
+        Worker span ids are remapped into this tracer's id space (a fresh
+        contiguous block, so merges from any number of workers never
+        collide), worker *root* spans (``parent_id`` of ``None``) are
+        re-parented onto ``parent_id`` — the parent-side span that was
+        open when the task was dispatched — and, when the worker's
+        wall-clock ``epoch_unix`` is known, ``start_ms``/``at_ms`` are
+        rebased onto this tracer's clock so the merged stream is one
+        consistent timeline.  Each record gains a ``worker: True``
+        attribute (plus the dispatching ``task`` index when known) so
+        origins stay visible to the summary and timeline tooling.
+        """
+        if not records:
+            return
+        max_id = 0
+        for record in records:
+            for key in ("span_id", "parent_id"):
+                value = record.get(key)
+                if isinstance(value, int) and value > max_id:
+                    max_id = value
+        base = self._next_id
+        self._next_id += max_id
+        offset_ms = (
+            (epoch_unix - self.epoch_unix) * 1000.0
+            if epoch_unix is not None
+            else None
+        )
         for record in records:
             merged = dict(record)
             if "attributes" in merged:
-                merged["attributes"] = {**merged["attributes"], "worker": True}
+                attributes = {**merged["attributes"], "worker": True}
+                if task is not None:
+                    attributes.setdefault("task", task)
+                merged["attributes"] = attributes
+            span_id = merged.get("span_id")
+            if isinstance(span_id, int) and span_id > 0:
+                merged["span_id"] = base + span_id
+            worker_parent = merged.get("parent_id")
+            if isinstance(worker_parent, int):
+                merged["parent_id"] = base + worker_parent
+            elif merged.get("kind") == "span" and parent_id is not None:
+                merged["parent_id"] = parent_id
+            if offset_ms is not None:
+                for key in ("start_ms", "at_ms"):
+                    if isinstance(merged.get(key), (int, float)):
+                        merged[key] = merged[key] + offset_ms
             self._emit(merged)
 
     # ------------------------------------------------------------------
@@ -194,6 +292,7 @@ class NullTracer:
     enabled = False
     records: list = []
     path = None
+    trace_id = ""
 
     _span = _NullSpan()
 
@@ -206,7 +305,10 @@ class NullTracer:
     def embed_metrics(self, snapshot: dict) -> None:
         pass
 
-    def absorb(self, records: list) -> None:
+    def context(self) -> None:
+        return None
+
+    def absorb(self, records: list, **kwargs) -> None:
         pass
 
     def flush(self) -> None:
@@ -221,11 +323,24 @@ NULL_TRACER = NullTracer()
 
 
 def read_trace(path: str | Path) -> list[dict]:
-    """Parse a trace JSONL file back into its records (blank-line safe)."""
+    """Parse a trace JSONL file back into its records (blank-line safe).
+
+    Raises :class:`TraceReadError` (a ``ValueError``) with the offending
+    line number when a line is not valid JSON — the signature of a trace
+    truncated mid-write or not a trace file at all.
+    """
     records = []
     with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise TraceReadError(
+                    f"{path}: line {lineno} is not valid JSON ({error.msg}) "
+                    "— the trace may be truncated mid-write or not a "
+                    "JSONL trace file"
+                ) from None
     return records

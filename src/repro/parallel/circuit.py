@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..core.dynamics import BatchTrajectory
 from .pool import parallel_map, resolve_num_shards, shard_slices, spawn_seeds
 from .shm import SharedArena, maybe_share_method, shm_available
@@ -54,14 +55,17 @@ def _circuit_shard(
     simulator = CircuitSimulator(
         config=config, rng=np.random.default_rng(seed), faults=faults
     )
-    trajectory = simulator.run_batch(
-        drift,
-        sigma_slice,
-        duration,
-        clamp_index=clamp_index,
-        clamp_value=clamp_value,
-        energy=energy,
-    )
+    with obs.tracer().span(
+        "circuit.shard", batch=int(sigma_slice.shape[0])
+    ):
+        trajectory = simulator.run_batch(
+            drift,
+            sigma_slice,
+            duration,
+            clamp_index=clamp_index,
+            clamp_value=clamp_value,
+            energy=energy,
+        )
     return trajectory.times, trajectory.states, trajectory.energies
 
 
@@ -93,14 +97,17 @@ def _circuit_shard_shm(
     simulator = CircuitSimulator(
         config=config, rng=np.random.default_rng(seed), faults=faults
     )
-    trajectory = simulator.run_batch(
-        drift,
-        sigma_shared.array[start:stop],
-        duration,
-        clamp_index=clamp_index,
-        clamp_value=clamp_value,
-        energy=energy,
-    )
+    with obs.tracer().span(
+        "circuit.shard", batch=stop - start, start=start, stop=stop
+    ):
+        trajectory = simulator.run_batch(
+            drift,
+            sigma_shared.array[start:stop],
+            duration,
+            clamp_index=clamp_index,
+            clamp_value=clamp_value,
+            energy=energy,
+        )
     slab = states_out.array
     if trajectory.states.shape[0] != slab.shape[0]:
         raise RuntimeError(

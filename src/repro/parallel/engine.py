@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..core.inference import BatchInferenceResult, NaturalAnnealingEngine
 from ..core.dynamics import BatchTrajectory
 from .circuit import expected_record_count
@@ -90,12 +91,15 @@ def _infer_shard(
 ) -> tuple:
     """Run one batch slice on a freshly rebuilt engine."""
     engine = spec.build()
-    result = engine.infer_batch(
-        observed_index,
-        values_slice,
-        duration=duration,
-        rng=np.random.default_rng(seed),
-    )
+    with obs.tracer().span(
+        "engine.shard", batch=int(values_slice.shape[0])
+    ):
+        result = engine.infer_batch(
+            observed_index,
+            values_slice,
+            duration=duration,
+            rng=np.random.default_rng(seed),
+        )
     trajectory = result.trajectory
     return (
         result.predictions,
@@ -127,12 +131,15 @@ def _infer_shard_shm(
     the pickle channel in either direction.
     """
     engine = spec.build()
-    result = engine.infer_batch(
-        observed_index,
-        values_shared.array[start:stop],
-        duration=duration,
-        rng=np.random.default_rng(seed),
-    )
+    with obs.tracer().span(
+        "engine.shard", batch=stop - start, start=start, stop=stop
+    ):
+        result = engine.infer_batch(
+            observed_index,
+            values_shared.array[start:stop],
+            duration=duration,
+            rng=np.random.default_rng(seed),
+        )
     predictions_out.array[start:stop] = result.predictions
     states_out.array[start:stop] = result.states
     trajectory = result.trajectory
@@ -269,20 +276,23 @@ def _restart_shard(
     batch = np.repeat(values.reshape(1, -1), count, axis=0)
     rng = np.random.default_rng(seed)
     diverged = 0
-    for _ in range(1 + max_retries):
-        try:
-            result = engine.infer_batch(
-                observed_index, batch, duration=duration, rng=rng
-            )
-            return {
-                "predictions": result.predictions,
-                "states": result.states,
-                "diverged": diverged,
-                "error": None,
-            }
-        except DivergenceError as error:
-            diverged += 1
-            last = error
+    with obs.tracer().span("engine.restart_shard", count=count) as span:
+        for _ in range(1 + max_retries):
+            try:
+                result = engine.infer_batch(
+                    observed_index, batch, duration=duration, rng=rng
+                )
+                span.set("diverged", diverged)
+                return {
+                    "predictions": result.predictions,
+                    "states": result.states,
+                    "diverged": diverged,
+                    "error": None,
+                }
+            except DivergenceError as error:
+                diverged += 1
+                last = error
+        span.set("diverged", diverged)
     return {
         "predictions": None,
         "states": None,

@@ -472,7 +472,7 @@ def anneal_mesh(
         def run_rounds(map_pool) -> int:
             steps_left = n_steps
             parity = 0
-            for _ in range(rounds):
+            for round_index in range(rounds):
                 steps = min(exchange_every, steps_left)
                 tasks = [
                     (
@@ -491,18 +491,29 @@ def anneal_mesh(
                     )
                     for s in range(num_shards)
                 ]
-                parallel_map(
-                    _mesh_shard_round, tasks, workers, pool=map_pool
-                )
+                with obs.tracer().span(
+                    "mesh.round", round=round_index, steps=steps
+                ):
+                    parallel_map(
+                        _mesh_shard_round, tasks, workers, pool=map_pool
+                    )
                 steps_left -= steps
                 parity = 1 - parity
             return parity
 
-        if workers > 1 and num_shards > 1:
-            with worker_pool(workers, num_shards) as map_pool:
-                parity = run_rounds(map_pool)
-        else:
-            parity = run_rounds(None)
+        with obs.tracer().span(
+            "mesh.anneal",
+            n=n,
+            shards=num_shards,
+            rounds=rounds,
+            workers=workers,
+            exchange_every=exchange_every,
+        ):
+            if workers > 1 and num_shards > 1:
+                with worker_pool(workers, num_shards) as map_pool:
+                    parity = run_rounds(map_pool)
+            else:
+                parity = run_rounds(None)
         final = buffers[parity].array.copy()
 
     return MeshResult(

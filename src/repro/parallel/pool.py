@@ -134,8 +134,13 @@ def _call_task(payload: tuple) -> tuple:
     Shared-memory views attached while the task ran are closed in the
     ``finally`` — a long-lived pool worker must not accumulate mappings of
     blocks the parent is about to unlink.
+
+    ``ctx`` is the parent's :func:`repro.obs.trace_context` and ``index``
+    the task's position in the dispatching ``parallel_map``; together they
+    let the worker's records stitch back into the parent timeline (same
+    trace id, re-parented under the parent's open span, task-tagged).
     """
-    fn, args, collect = payload
+    fn, args, collect, ctx, index = payload
     if not collect:
         try:
             return fn(*args), None
@@ -143,9 +148,10 @@ def _call_task(payload: tuple) -> tuple:
             detach_task_attachments()
     # Detach inside the capture scope so the detach counters ride back to
     # the parent with the rest of this task's metrics.
-    with obs.capture_worker_state() as state:
+    with obs.capture_worker_state(parent=ctx, task=index) as state:
         try:
-            result = fn(*args)
+            with obs.tracer().span("parallel.task", task=index):
+                result = fn(*args)
         finally:
             detach_task_attachments()
     return result, state
@@ -210,27 +216,50 @@ def parallel_map(
         raise ValueError(f"workers must be >= 1, got {workers}")
     tasks = list(tasks)
     if workers == 1 or len(tasks) <= 1:
+        if not obs.enabled():
+            try:
+                return [fn(*args) for args in tasks]
+            finally:
+                detach_task_attachments()
+        # Mirror the pooled span structure (parallel.map wrapping one
+        # parallel.task per task, in task order) so the recorded span-name
+        # sequence is identical at any worker count.
         try:
-            return [fn(*args) for args in tasks]
+            with obs.tracer().span(
+                "parallel.map", tasks=len(tasks), workers=1
+            ):
+                results = []
+                for index, args in enumerate(tasks):
+                    with obs.tracer().span("parallel.task", task=index):
+                        results.append(fn(*args))
+                return results
         finally:
             detach_task_attachments()
 
     collect = obs.enabled()
-    payloads = [(fn, args, collect) for args in tasks]
-    if collect:
-        _account_pickled(payloads)
-    if pool is not None:
-        outputs = pool.map(_call_task, payloads, chunksize=1)
-    else:
-        context = multiprocessing.get_context(resolve_start_method())
-        processes = min(workers, len(tasks))
-        with context.Pool(
-            processes=processes, initializer=_worker_init
-        ) as fresh:
-            outputs = fresh.map(_call_task, payloads, chunksize=1)
-    results = []
-    for result, state in outputs:
-        if state is not None:
-            obs.merge_worker_state(state)
-        results.append(result)
-    return results
+    with obs.tracer().span(
+        "parallel.map", tasks=len(tasks), workers=workers
+    ):
+        # Captured *inside* the map span: worker roots re-parent onto it.
+        ctx = obs.trace_context()
+        payloads = [
+            (fn, args, collect, ctx, index)
+            for index, args in enumerate(tasks)
+        ]
+        if collect:
+            _account_pickled(payloads)
+        if pool is not None:
+            outputs = pool.map(_call_task, payloads, chunksize=1)
+        else:
+            context = multiprocessing.get_context(resolve_start_method())
+            processes = min(workers, len(tasks))
+            with context.Pool(
+                processes=processes, initializer=_worker_init
+            ) as fresh:
+                outputs = fresh.map(_call_task, payloads, chunksize=1)
+        results = []
+        for result, state in outputs:
+            if state is not None:
+                obs.merge_worker_state(state)
+            results.append(result)
+        return results

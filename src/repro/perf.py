@@ -147,12 +147,19 @@ def _time_samples_ms(fn, repeats: int) -> list[float]:
 
 
 def _timing_stats(samples_ms: list[float]) -> dict:
-    """Dispersion summary of a timing-sample list."""
+    """Dispersion summary of a timing-sample list.
+
+    Quantiles use numpy's default linear interpolation (Hyndman-Fan
+    type 7), matching the obs-layer histograms so bench numbers and
+    telemetry quantiles line up; every raw sample is kept so that
+    ``repro obs diff`` can derive its noise band per benchmark.
+    """
     ordered = np.sort(np.asarray(samples_ms, dtype=float))
     return {
         "best_ms": float(ordered[0]),
         "median_ms": float(np.median(ordered)),
         "p90_ms": float(np.quantile(ordered, 0.9)),
+        "p99_ms": float(np.quantile(ordered, 0.99)),
         "samples_ms": [float(s) for s in samples_ms],
     }
 

@@ -1,0 +1,117 @@
+"""OpenMetrics / JSON snapshot export tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    SNAPSHOT_SCHEMA,
+    latest_metrics,
+    sanitize_metric_name,
+    snapshot_document,
+    to_openmetrics,
+)
+
+
+@pytest.fixture
+def snapshot():
+    return {
+        "counters": {"engine.cache_hits": 6, "circuit.runs": 4},
+        "gauges": {"engine.batch_size": 16},
+        "histograms": {
+            "engine.solve_ms": {
+                "count": 8,
+                "mean": 1.25,
+                "p50": 1.2,
+                "p90": 1.8,
+                "p99": 1.95,
+                "max": 2.0,
+            },
+            "engine.factorize_ms": {"count": 0},
+        },
+    }
+
+
+class TestSanitizeMetricName:
+    def test_dots_become_underscores_with_prefix(self):
+        assert (
+            sanitize_metric_name("engine.cache_hits")
+            == "repro_engine_cache_hits"
+        )
+
+    def test_invalid_characters_are_replaced(self):
+        assert sanitize_metric_name("a-b c/d", prefix="") == "a_b_c_d"
+
+    def test_leading_digit_is_guarded(self):
+        assert sanitize_metric_name("2pc.commits", prefix="") == "_2pc_commits"
+
+    def test_colons_survive(self):
+        assert sanitize_metric_name("ns:metric", prefix="") == "ns:metric"
+
+
+class TestLatestMetrics:
+    def test_picks_the_last_snapshot(self):
+        records = [
+            {"kind": "metrics", "snapshot": {"counters": {"x": 1}}},
+            {"kind": "span", "name": "s", "span_id": 1, "parent_id": None},
+            {"kind": "metrics", "snapshot": {"counters": {"x": 2}}},
+        ]
+        assert latest_metrics(records) == {"counters": {"x": 2}}
+
+    def test_none_when_no_snapshot_embedded(self):
+        assert latest_metrics([{"kind": "span"}]) is None
+
+
+class TestToOpenmetrics:
+    def test_counters_become_total_families(self, snapshot):
+        body = to_openmetrics(snapshot)
+        assert "# TYPE repro_engine_cache_hits_total counter" in body
+        assert "repro_engine_cache_hits_total 6" in body
+        assert "repro_circuit_runs_total 4" in body
+
+    def test_gauges_map_directly(self, snapshot):
+        body = to_openmetrics(snapshot)
+        assert "# TYPE repro_engine_batch_size gauge" in body
+        assert "repro_engine_batch_size 16" in body
+
+    def test_histograms_become_summaries_with_quantiles(self, snapshot):
+        body = to_openmetrics(snapshot)
+        assert "# TYPE repro_engine_solve_ms summary" in body
+        assert 'repro_engine_solve_ms{quantile="0.5"} 1.2' in body
+        assert 'repro_engine_solve_ms{quantile="0.9"} 1.8' in body
+        assert 'repro_engine_solve_ms{quantile="0.99"} 1.95' in body
+        assert "repro_engine_solve_ms_count 8" in body
+        # _sum reconstructed as mean * count = 1.25 * 8
+        assert "repro_engine_solve_ms_sum 10" in body
+
+    def test_p999_label_only_when_present(self, snapshot):
+        assert 'quantile="0.999"' not in to_openmetrics(snapshot)
+        snapshot["histograms"]["engine.solve_ms"]["p999"] = 1.99
+        body = to_openmetrics(snapshot)
+        assert 'repro_engine_solve_ms{quantile="0.999"} 1.99' in body
+
+    def test_empty_histograms_are_skipped(self, snapshot):
+        assert "factorize" not in to_openmetrics(snapshot)
+
+    def test_body_is_eof_terminated(self, snapshot):
+        assert to_openmetrics(snapshot).endswith("# EOF\n")
+        assert to_openmetrics({}) == "# EOF\n"
+
+    def test_custom_prefix(self, snapshot):
+        body = to_openmetrics(snapshot, prefix="dsgl")
+        assert "dsgl_engine_cache_hits_total 6" in body
+        assert "repro_" not in body
+
+
+class TestSnapshotDocument:
+    def test_schema_tag_and_round_trip(self, snapshot):
+        document = json.loads(snapshot_document(snapshot, meta={"run": "a"}))
+        assert document["schema"] == SNAPSHOT_SCHEMA
+        assert document["meta"] == {"run": "a"}
+        assert document["snapshot"] == snapshot
+
+    def test_deterministic_rendering(self, snapshot):
+        assert snapshot_document(snapshot) == snapshot_document(snapshot)
+        assert snapshot_document(snapshot).endswith("\n")

@@ -52,6 +52,8 @@ class TestHistogram:
         assert summary["max"] == 10.0
         assert summary["p50"] == pytest.approx(5.5)
         assert summary["p90"] == pytest.approx(9.1)
+        # Type-7 linear interpolation, same as numpy's default.
+        assert summary["p99"] == pytest.approx(9.91)
 
     def test_empty_summary(self):
         assert MetricsRegistry().histogram("empty").summary() == {"count": 0}
@@ -62,6 +64,40 @@ class TestHistogram:
         summary = histogram.summary()
         assert summary["p50"] == 3.0
         assert summary["p90"] == 3.0
+        assert summary["p99"] == 3.0
+
+    def test_p999_only_with_enough_samples(self):
+        import numpy as np
+
+        small = MetricsRegistry().histogram("small")
+        for value in range(999):
+            small.observe(float(value))
+        assert "p999" not in small.summary()
+
+        large = MetricsRegistry().histogram("large")
+        values = [float(value) for value in range(1000)]
+        for value in values:
+            large.observe(value)
+        summary = large.summary()
+        assert summary["p999"] == pytest.approx(
+            float(np.quantile(values, 0.999))
+        )
+        assert summary["p99"] == pytest.approx(
+            float(np.quantile(values, 0.99))
+        )
+
+    def test_quantiles_match_numpy_linear_interpolation(self):
+        import numpy as np
+
+        values = [0.3, 7.1, 2.2, 9.9, 4.4, 1.1, 8.8, 5.0]
+        histogram = MetricsRegistry().histogram("ref")
+        for value in values:
+            histogram.observe(value)
+        summary = histogram.summary()
+        for key, q in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99)):
+            assert summary[key] == pytest.approx(
+                float(np.quantile(values, q))
+            )
 
 
 class TestTimer:

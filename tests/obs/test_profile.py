@@ -1,0 +1,195 @@
+"""Sampling-profiler tests: backends, span attribution, formats."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import (
+    DEFAULT_INTERVAL,
+    NULL_PROFILER,
+    SamplingProfiler,
+    format_profile,
+    read_profile,
+)
+
+
+def _busy_wait(seconds: float) -> int:
+    """Spin the CPU (the signal backend only interrupts running code)."""
+    deadline = time.perf_counter() + seconds
+    count = 0
+    while time.perf_counter() < deadline:
+        count += 1
+    return count
+
+
+class TestSamplingProfiler:
+    @pytest.mark.parametrize("backend", ["signal", "thread"])
+    def test_collects_samples_from_busy_code(self, backend):
+        profiler = SamplingProfiler(interval=0.001, backend=backend)
+        profiler.start()
+        try:
+            _busy_wait(0.15)
+        finally:
+            profiler.stop()
+        assert profiler.sample_count > 0
+        assert profiler.backend == backend
+        leaves = {stack[-1] for stack in profiler.samples}
+        assert any("_busy_wait" in leaf for leaf in leaves)
+
+    def test_auto_backend_picks_signal_on_main_thread(self):
+        profiler = SamplingProfiler(interval=0.01)
+        profiler.start()
+        profiler.stop()
+        assert profiler.backend == "signal"
+
+    def test_thread_backend_works_off_main_thread(self):
+        import threading
+
+        outcome = {}
+
+        def run():
+            profiler = SamplingProfiler(interval=0.001)
+            profiler.start()
+            _busy_wait(0.1)
+            profiler.stop()
+            outcome["backend"] = profiler.backend
+            outcome["count"] = profiler.sample_count
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        worker.join()
+        assert outcome["backend"] == "thread"
+        assert outcome["count"] > 0
+
+    def test_span_attribution_roots_each_sample(self):
+        names = iter(["phase.a"] * 10_000)
+        profiler = SamplingProfiler(
+            interval=0.001,
+            backend="thread",
+            span_source=lambda: next(names, "phase.a"),
+        )
+        profiler.start()
+        _busy_wait(0.1)
+        profiler.stop()
+        assert profiler.sample_count > 0
+        assert all(
+            stack[0] == "span:phase.a" for stack in profiler.samples
+        )
+
+    def test_no_span_falls_back_to_placeholder_root(self):
+        profiler = SamplingProfiler(interval=0.001, backend="thread")
+        profiler.start()
+        _busy_wait(0.05)
+        profiler.stop()
+        assert all(
+            stack[0] == "span:(no span)" for stack in profiler.samples
+        )
+
+    def test_collapsed_round_trips_through_read_profile(self, tmp_path):
+        profiler = SamplingProfiler(interval=0.001, backend="thread")
+        profiler.start()
+        _busy_wait(0.1)
+        profiler.stop()
+        path = profiler.write(tmp_path / "prof.txt")
+        assert read_profile(path) == profiler.samples
+        for line in path.read_text().strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert ";" in stack or stack  # frame;frame count
+            assert count.isdigit()
+
+    def test_stop_is_idempotent_and_restores_handler(self):
+        import signal
+
+        before = signal.getsignal(signal.SIGALRM)
+        profiler = SamplingProfiler(interval=0.01, backend="signal")
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+        assert signal.getsignal(signal.SIGALRM) == before
+
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler(interval=0.01, backend="thread")
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError, match="interval"):
+            SamplingProfiler(interval=0.0)
+        with pytest.raises(ValueError, match="timer"):
+            SamplingProfiler(timer="gpu")
+        with pytest.raises(ValueError, match="backend"):
+            SamplingProfiler(backend="ptrace")
+        assert DEFAULT_INTERVAL == pytest.approx(0.005)
+
+
+class TestNullProfiler:
+    def test_is_inert(self, tmp_path):
+        assert NULL_PROFILER.enabled is False
+        assert NULL_PROFILER.start() is NULL_PROFILER
+        NULL_PROFILER.stop()
+        assert NULL_PROFILER.collapsed() == ""
+        assert NULL_PROFILER.sample_count == 0
+        target = tmp_path / "never.txt"
+        NULL_PROFILER.write(target)
+        assert not target.exists()
+
+    def test_default_process_profiler_is_null(self):
+        assert obs.profiler() is NULL_PROFILER
+
+
+class TestObserveIntegration:
+    def test_observe_profile_path_writes_collapsed_file(self, tmp_path):
+        path = tmp_path / "prof.txt"
+        with obs.observe(
+            trace_path=None, profile_path=path, profile_interval=0.001
+        ) as (metrics_, _tracer):
+            assert obs.profiler().enabled
+            assert obs.enabled()
+            _busy_wait(0.1)
+        assert obs.profiler() is NULL_PROFILER
+        assert path.exists()
+        samples = read_profile(path)
+        assert sum(samples.values()) > 0
+
+    def test_profiler_samples_carry_open_span_names(self, tmp_path):
+        path = tmp_path / "prof.txt"
+        with obs.observe(
+            trace_path=tmp_path / "t.jsonl",
+            profile_path=path,
+            profile_interval=0.001,
+        ):
+            with obs.tracer().span("hot.phase"):
+                _busy_wait(0.1)
+        samples = read_profile(path)
+        roots = {stack[0] for stack in samples}
+        assert "span:hot.phase" in roots
+
+
+class TestFormatProfile:
+    def test_reports_hottest_frames_and_stacks(self):
+        samples = {
+            ("span:a", "m:f", "m:g"): 7,
+            ("span:a", "m:f", "m:h"): 2,
+            ("span:b", "m:f"): 1,
+        }
+        rendered = format_profile(samples)
+        assert "10 samples across 3 distinct stacks" in rendered
+        assert "m:g" in rendered
+        assert "span:a;m:f;m:g" in rendered
+        assert "70.0%" in rendered
+
+    def test_empty_profile(self):
+        assert format_profile({}) == "(no samples recorded)"
+
+    def test_read_profile_rejects_malformed_lines(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("frame;frame notanumber\n")
+        with pytest.raises(ValueError, match="line 1"):
+            read_profile(bad)

@@ -1,0 +1,221 @@
+"""Bench-regression detection tests (``repro obs diff`` backend)."""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_MIN_BAND,
+    compare_bench,
+    format_diff,
+    load_bench,
+    result_key,
+)
+
+
+def _stats(samples):
+    ordered = sorted(samples)
+    return {
+        "best_ms": ordered[0],
+        "median_ms": ordered[len(ordered) // 2],
+        "p90_ms": ordered[-1],
+        "samples_ms": list(samples),
+    }
+
+
+def _bench(samples, *, name="engine_infer", n=96):
+    return {
+        "benchmark": "core",
+        "results": [
+            {
+                "name": name,
+                "n": n,
+                "batch": 8,
+                "optimized_stats": _stats(samples),
+            }
+        ],
+    }
+
+
+class TestResultKey:
+    def test_key_includes_name_and_identifying_fields(self):
+        row = {"name": "engine_infer", "n": 96, "batch": 8, "extra": "x"}
+        assert result_key(row) == "engine_infer n=96 batch=8"
+
+    def test_rows_with_different_parameters_never_match(self):
+        a = {"name": "engine_infer", "n": 96}
+        b = {"name": "engine_infer", "n": 128}
+        assert result_key(a) != result_key(b)
+
+
+class TestCompareBench:
+    def test_synthetic_2x_slowdown_is_flagged(self):
+        base = _bench([10.0, 10.2, 10.1])
+        cand = _bench([20.0, 20.4, 20.2])
+        report = compare_bench(base, cand)
+        assert report["regressions"] == 1
+        (row,) = report["rows"]
+        assert row["status"] == "regression"
+        assert row["ratio"] == pytest.approx(2.0, rel=0.05)
+        assert "REGRESSION" in format_diff(report)
+
+    def test_same_commit_jitter_stays_silent(self):
+        base = _bench([10.0, 10.3, 10.1])
+        cand = _bench([10.4, 10.2, 10.6])  # ~5% jitter, under the band
+        report = compare_bench(base, cand)
+        assert report["regressions"] == 0
+        assert report["improvements"] == 0
+        assert "REGRESSION" not in format_diff(report)
+
+    def test_band_widens_with_sample_spread(self):
+        # 40% spread in the baseline repeats: a 1.3x median shift with an
+        # overlapping best sample must not flag.
+        base = _bench([10.0, 12.0, 14.0])
+        cand = _bench([13.0, 15.6, 18.2])
+        report = compare_bench(base, cand)
+        (row,) = report["rows"]
+        assert row["band"] > DEFAULT_MIN_BAND
+        assert row["status"] == "ok"
+
+    def test_improvement_detected_symmetrically(self):
+        base = _bench([20.0, 20.2, 20.4])
+        cand = _bench([10.0, 10.1, 10.2])
+        report = compare_bench(base, cand)
+        assert report["improvements"] == 1
+        assert report["regressions"] == 0
+
+    def test_regression_needs_both_median_and_best_to_shift(self):
+        base = _bench([10.0, 10.1, 10.2])
+        cand = {
+            "results": [
+                {
+                    "name": "engine_infer",
+                    "n": 96,
+                    "batch": 8,
+                    "optimized_stats": {
+                        "best_ms": 10.1,  # best overlaps the baseline
+                        "median_ms": 15.0,
+                        "samples_ms": [10.1, 15.0, 15.2],
+                    },
+                }
+            ]
+        }
+        report = compare_bench(_bench([10.0, 10.1, 10.2]), cand)
+        del base
+        (row,) = report["rows"]
+        assert row["status"] == "ok"
+
+    def test_both_arms_of_comparison_rows_are_checked(self):
+        row = {
+            "name": "solver",
+            "n": 64,
+            "baseline_stats": _stats([30.0, 30.3, 30.1]),
+            "optimized_stats": _stats([10.0, 10.1, 10.2]),
+        }
+        base = {"results": [copy.deepcopy(row)]}
+        cand = {"results": [copy.deepcopy(row)]}
+        cand["results"][0]["baseline_stats"] = _stats([70.0, 70.3, 70.1])
+        report = compare_bench(base, cand)
+        assert report["compared"] == 2
+        assert report["regressions"] == 1
+        flagged = next(r for r in report["rows"] if r["status"] != "ok")
+        assert "[baseline]" in flagged["key"]
+
+    def test_missing_and_new_rows_are_reported_not_fatal(self):
+        base = _bench([10.0, 10.1, 10.2])
+        cand = _bench([10.0, 10.1, 10.2], name="other_bench")
+        report = compare_bench(base, cand)
+        assert report["compared"] == 0
+        assert report["only_in_baseline"] == ["engine_infer n=96 batch=8"]
+        assert report["only_in_candidate"] == ["other_bench n=96 batch=8"]
+        rendered = format_diff(report)
+        assert "only in baseline" in rendered
+        assert "only in candidate" in rendered
+
+    def test_min_band_floor_is_tunable(self):
+        base = _bench([10.0, 10.05, 10.1])
+        cand = _bench([11.5, 11.55, 11.6])  # 15% shift
+        assert compare_bench(base, cand)["regressions"] == 1
+        assert (
+            compare_bench(base, cand, min_band=0.25)["regressions"] == 0
+        )
+
+
+class TestScalingRows:
+    def _sweep(self, bytes_shm, reduction):
+        return {
+            "results": [
+                {
+                    "name": "parallel_scaling_curve",
+                    "rows": [
+                        {
+                            "n": 4096,
+                            "shards": 8,
+                            "workers": 4,
+                            "wall_s": 1.0,
+                            "task_pickled_bytes_shm": bytes_shm,
+                            "pickle_reduction": reduction,
+                        }
+                    ],
+                }
+            ]
+        }
+
+    def test_single_sample_timings_are_skipped(self):
+        report = compare_bench(self._sweep(4000, 250.0), self._sweep(4000, 250.0))
+        assert any("single-sample" in key for key in report["skipped"])
+        assert report["regressions"] == 0
+
+    def test_payload_bloat_is_a_regression(self):
+        report = compare_bench(self._sweep(4000, 250.0), self._sweep(8000, 250.0))
+        assert report["regressions"] == 1
+        flagged = next(r for r in report["rows"] if r["status"] != "ok")
+        assert "task_pickled_bytes_shm" in flagged["key"]
+
+    def test_pickle_reduction_regresses_downward(self):
+        report = compare_bench(self._sweep(4000, 250.0), self._sweep(4000, 120.0))
+        assert report["regressions"] == 1
+
+    def test_small_payload_drift_is_tolerated(self):
+        report = compare_bench(self._sweep(4000, 250.0), self._sweep(4100, 245.0))
+        assert report["regressions"] == 0
+
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestLoadBench:
+    def test_loads_committed_baselines(self):
+        for name in ("BENCH_core.json", "BENCH_nn.json"):
+            document = load_bench(_REPO_ROOT / name)
+            assert isinstance(document["results"], list)
+
+    def test_self_diff_of_committed_baseline_is_silent(self):
+        document = load_bench(_REPO_ROOT / "BENCH_core.json")
+        report = compare_bench(document, document)
+        assert report["regressions"] == 0
+        assert report["compared"] > 0
+
+    def test_rejects_non_bench_documents(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="results"):
+            load_bench(bogus)
+
+
+class TestFormatDiff:
+    def test_verbose_includes_quiet_rows(self):
+        base = _bench([10.0, 10.1, 10.2])
+        report = compare_bench(base, base)
+        assert "engine_infer" not in format_diff(report)
+        assert "engine_infer" in format_diff(report, verbose=True)
+
+    def test_summary_counts(self):
+        base = _bench([10.0, 10.1, 10.2])
+        cand = _bench([25.0, 25.2, 25.4])
+        rendered = format_diff(compare_bench(base, cand))
+        assert "1 timings compared: 1 regression(s), 0 improvement(s)" in rendered

@@ -215,3 +215,183 @@ class TestBenchCommand:
         stdout = capsys.readouterr().out
         assert "opt p50" in stdout
         assert "LU-cache hit rate" in stdout
+
+
+class TestObsCliErrors:
+    """Satellite: obs subcommands fail cleanly, never with a traceback."""
+
+    def _fails_cleanly(self, capsys, argv, fragment):
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert fragment in captured.err
+        assert "Traceback" not in captured.err
+        assert "Traceback" not in captured.out
+
+    def test_summarize_empty_trace(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        self._fails_cleanly(
+            capsys, ["obs", "summarize", str(empty)], "trace is empty"
+        )
+
+    def test_summarize_truncated_trace(self, capsys, tmp_path):
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text(
+            '{"kind": "span", "name": "a", "span_id": 1, "parent_id": null,'
+            ' "duration_ms": 1.0, "attributes": {}}\n'
+            '{"kind": "span", "name": "b", "span_id'
+        )
+        self._fails_cleanly(
+            capsys, ["obs", "summarize", str(truncated)], "line 2"
+        )
+
+    def test_summarize_missing_file(self, capsys, tmp_path):
+        self._fails_cleanly(
+            capsys,
+            ["obs", "summarize", str(tmp_path / "nope.jsonl")],
+            "no such trace file",
+        )
+
+    def test_timeline_shares_clean_error_handling(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        self._fails_cleanly(
+            capsys, ["obs", "timeline", str(empty)], "trace is empty"
+        )
+
+    def test_export_without_embedded_metrics(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(
+            '{"kind": "span", "name": "a", "span_id": 1, "parent_id": null,'
+            ' "duration_ms": 1.0, "attributes": {}}\n'
+        )
+        self._fails_cleanly(
+            capsys,
+            ["obs", "export", str(trace)],
+            "no embedded metrics snapshot",
+        )
+
+    def test_flame_missing_profile(self, capsys, tmp_path):
+        self._fails_cleanly(
+            capsys,
+            ["obs", "flame", str(tmp_path / "nope.txt")],
+            "no such profile file",
+        )
+
+    def test_diff_missing_snapshot(self, capsys, tmp_path):
+        self._fails_cleanly(
+            capsys,
+            ["obs", "diff", str(tmp_path / "a.json"), str(tmp_path / "b.json")],
+            "no such bench snapshot",
+        )
+
+
+class TestObsToolingCli:
+    """End-to-end smoke of the new obs subcommands on one traced run."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("obs-cli")
+        trace = tmp / "trace.jsonl"
+        profile = tmp / "profile.txt"
+        assert main(
+            [
+                "train", "o3",
+                "--trace", str(trace),
+                "--profile", str(profile),
+                "--profile-interval", "0.002",
+            ]
+        ) == 0
+        return trace, profile
+
+    def test_profile_flag_writes_collapsed_stacks(self, traced_run):
+        from repro import obs
+
+        _trace, profile = traced_run
+        assert profile.exists()
+        samples = obs.read_profile(profile)
+        assert sum(samples.values()) > 0
+        assert all(stack[0].startswith("span:") for stack in samples)
+
+    def test_timeline_renders_trace(self, capsys, traced_run):
+        trace, _profile = traced_run
+        assert main(["obs", "timeline", str(trace), "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "spans over" in out
+        assert "no orphan spans" in out
+        assert "critical path" in out
+
+    def test_export_openmetrics_to_stdout(self, capsys, traced_run):
+        trace, _profile = traced_run
+        assert main(["obs", "export", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_circuit_runs_total counter" in out
+        assert out.rstrip().endswith("# EOF")
+
+    def test_export_json_to_file(self, capsys, traced_run, tmp_path):
+        import json
+
+        trace, _profile = traced_run
+        out_path = tmp_path / "metrics.json"
+        assert main(
+            ["obs", "export", str(trace), "--format", "json",
+             "--out", str(out_path)]
+        ) == 0
+        assert f"wrote {out_path}" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro.obs.metrics/v1"
+        assert "circuit.runs" in document["snapshot"]["counters"]
+
+    def test_flame_summarizes_profile(self, capsys, traced_run):
+        _trace, profile = traced_run
+        assert main(["obs", "flame", str(profile), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "samples across" in out
+        assert "span:" in out
+
+
+class TestObsDiffCli:
+    def _bench(self, tmp_path, name, scale):
+        import json
+
+        samples = [scale * s for s in (10.0, 10.1, 10.2)]
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "benchmark": "core",
+            "results": [{
+                "name": "engine_infer",
+                "n": 96,
+                "optimized_stats": {
+                    "best_ms": min(samples),
+                    "median_ms": sorted(samples)[1],
+                    "samples_ms": samples,
+                },
+            }],
+        }))
+        return path
+
+    def test_identical_snapshots_exit_zero(self, capsys, tmp_path):
+        base = self._bench(tmp_path, "base.json", 1.0)
+        cand = self._bench(tmp_path, "cand.json", 1.0)
+        assert main(["obs", "diff", str(base), str(cand)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+        assert "REGRESSION" not in out
+
+    def test_synthetic_slowdown_exits_three(self, capsys, tmp_path):
+        base = self._bench(tmp_path, "base.json", 1.0)
+        cand = self._bench(tmp_path, "cand.json", 2.0)
+        assert main(["obs", "diff", str(base), str(cand)]) == 3
+        out = capsys.readouterr().out
+        assert "1 regression(s)" in out
+        assert "REGRESSION" in out
+
+    def test_min_band_flag_widens_tolerance(self, capsys, tmp_path):
+        base = self._bench(tmp_path, "base.json", 1.0)
+        cand = self._bench(tmp_path, "cand.json", 1.15)
+        assert main(["obs", "diff", str(base), str(cand)]) == 3
+        capsys.readouterr()
+        assert main(
+            ["obs", "diff", str(base), str(cand), "--min-band", "0.3"]
+        ) == 0
