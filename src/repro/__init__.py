@@ -19,6 +19,8 @@ as a Python library:
 * :mod:`repro.datasets` - seeded synthetic stand-ins for the paper's nine
   evaluation datasets.
 * :mod:`repro.experiments` - one entry point per table and figure.
+* :mod:`repro.serve` - dynamic-batching asyncio inference serving with
+  admission control and SLO benchmarks.
 
 Quickstart::
 
@@ -45,6 +47,7 @@ from . import (
     ising,
     nn,
     obs,
+    serve,
 )
 
 __version__ = "1.0.0"
@@ -61,4 +64,5 @@ __all__ = [
     "ising",
     "nn",
     "obs",
+    "serve",
 ]

@@ -33,6 +33,14 @@ Commands
 ``obs diff BASELINE CANDIDATE``
     Compare two ``BENCH_*.json`` snapshots with a per-repeat noise band;
     exit code 3 when a statistically meaningful regression is flagged.
+``serve run``
+    Start the dynamic-batching inference server on a seeded synthetic
+    model, drive a bursty open-loop workload through it, and print the
+    SLO summary (p50/p99/p99.9, throughput, shed counts).
+``serve bench``
+    Run the serving SLO benchmark suite (throughput-vs-batch-window
+    curve, batched-vs-serial burst, overload shedding) and write
+    ``BENCH_serve.json``.
 
 Every command accepts the observability options ``--trace PATH`` (record
 a JSONL trace of spans/events plus a final metrics snapshot),
@@ -300,6 +308,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the sweep data as JSON to PATH",
     )
 
+    serve_cmd = sub.add_parser(
+        "serve", help="dynamic-batching inference serving"
+    )
+    serve_sub = serve_cmd.add_subparsers(dest="serve_command", required=True)
+    serve_run = serve_sub.add_parser(
+        "run",
+        help="serve a seeded open-loop workload and print the SLO summary",
+        parents=[common],
+    )
+    serve_run.add_argument("--n", type=_positive_int, default=128)
+    serve_run.add_argument("--density", type=float, default=0.05)
+    serve_run.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=200,
+        help="number of requests in the seeded workload",
+    )
+    serve_run.add_argument(
+        "--rate",
+        type=float,
+        default=1000.0,
+        metavar="RPS",
+        help="mean offered arrival rate (requests per second)",
+    )
+    serve_run.add_argument(
+        "--burstiness",
+        type=float,
+        default=4.0,
+        help="burst/quiet rate multiplier of the arrival process (1 = "
+        "plain Poisson)",
+    )
+    serve_run.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="how long the batcher holds the first request for coalescing",
+    )
+    serve_run.add_argument(
+        "--max-batch-size",
+        type=_positive_int,
+        default=64,
+        help="coalesced batch cap (1 = serial serving)",
+    )
+    serve_run.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=256,
+        help="admission bound; requests beyond it are shed",
+    )
+    serve_run.add_argument(
+        "--closed-loop",
+        action="store_true",
+        help="drive with a fixed client population instead of the "
+        "open-loop arrival schedule (understates tail latency)",
+    )
+    serve_run.add_argument(
+        "--concurrency",
+        type=_positive_int,
+        default=8,
+        help="virtual clients in --closed-loop mode",
+    )
+    serve_run.add_argument("--seed", type=int, default=0)
+    serve_run.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the run summary as JSON to PATH",
+    )
+
+    serve_bench = serve_sub.add_parser(
+        "bench",
+        help="run the serving SLO suite, write BENCH_serve.json",
+        parents=[common],
+    )
+    serve_bench.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_serve.json)",
+    )
+    serve_bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload (CI smoke run, finishes in seconds)",
+    )
+    serve_bench.add_argument("--repeats", type=_positive_int, default=3)
+    serve_bench.add_argument("--seed", type=int, default=0)
+
     obs_cmd = sub.add_parser(
         "obs", help="observability utilities", parents=[common]
     )
@@ -557,6 +652,89 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .perf import write_bench_json
+    from .serve import (
+        InferenceServer,
+        ServeConfig,
+        closed_loop,
+        format_serve_bench,
+        open_loop,
+        run_serve_benchmarks,
+        summarize_latencies,
+        synthetic_workload,
+    )
+
+    if args.serve_command == "bench":
+        payload = run_serve_benchmarks(
+            smoke=args.smoke, repeats=args.repeats, seed=args.seed
+        )
+        print(format_serve_bench(payload))
+        out = args.out if args.out is not None else "BENCH_serve.json"
+        path = write_bench_json(payload, out)
+        print(f"wrote {path}")
+        return 0
+
+    # serve run: a seeded synthetic model under one workload replay.
+    from .core import NaturalAnnealingEngine
+    from .serve.bench import _serve_model
+
+    model = _serve_model(args.n, args.density, args.seed)
+    engine = NaturalAnnealingEngine(model=model, backend="sparse")
+    config = ServeConfig(
+        batch_window_ms=args.batch_window_ms,
+        max_batch_size=args.max_batch_size,
+        max_queue=args.max_queue,
+    )
+    workload = synthetic_workload(
+        model,
+        num_requests=args.requests,
+        rate_rps=args.rate,
+        burstiness=args.burstiness,
+        seed=args.seed,
+    )
+
+    async def drive() -> dict:
+        async with InferenceServer(engine, config) as server:
+            for group in workload.groups:
+                server.warm(group)
+            if args.closed_loop:
+                return await closed_loop(
+                    server, workload, concurrency=args.concurrency
+                )
+            return await open_loop(server, workload)
+
+    summary = asyncio.run(drive())
+    quantiles = summarize_latencies(summary["latencies_ms"])
+    print(
+        f"{summary['loop']}-loop: {summary['completed']}/"
+        f"{summary['requests']} served, "
+        f"{summary['statuses'].get('shed', 0)} shed, "
+        f"throughput {summary['throughput_rps']:.1f} rps, "
+        f"mean batch {summary['mean_batch_size']:.1f}"
+    )
+    print(
+        f"latency p50 {quantiles['p50_ms']:.2f} ms, "
+        f"p99 {quantiles['p99_ms']:.2f} ms, "
+        f"p99.9 {quantiles['p999_ms']:.2f} ms, "
+        f"max {quantiles['max_ms']:.2f} ms"
+    )
+    if args.json:
+        document = {
+            key: value
+            for key, value in summary.items()
+            if key != "latencies_ms" and key != "batch_sizes"
+        }
+        document["latency_quantiles"] = quantiles
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _load_trace_records(path: str) -> list[dict]:
     """Read a trace for an ``obs`` subcommand, with clean failures.
 
@@ -676,6 +854,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_bench(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "obs":
         return _cmd_obs(args)
     return 1

@@ -27,9 +27,11 @@ from .hamiltonian import (
     validate_coupling,
 )
 from .inference import (
+    DEFAULT_CACHE_CAPACITY,
     BatchInferenceResult,
     InferenceResult,
     NaturalAnnealingEngine,
+    model_fingerprint,
 )
 from .metrics import mae, mape, r2_score, rmse
 from .model import DSGLModel
@@ -65,7 +67,9 @@ __all__ = [
     "IntegrationConfig",
     "IsingHamiltonian",
     "LinearSchedule",
+    "DEFAULT_CACHE_CAPACITY",
     "NaturalAnnealingEngine",
+    "model_fingerprint",
     "RealValuedHamiltonian",
     "ReducedSystem",
     "Schedule",

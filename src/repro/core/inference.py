@@ -26,7 +26,9 @@ of densifying — select with the engine's ``backend`` field.
 
 from __future__ import annotations
 
+import hashlib
 import logging
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -43,9 +45,53 @@ from .dynamics import (
 from .model import DSGLModel
 from .operators import CouplingOperator, ReducedSystem
 
-__all__ = ["InferenceResult", "BatchInferenceResult", "NaturalAnnealingEngine"]
+__all__ = [
+    "DEFAULT_CACHE_CAPACITY",
+    "InferenceResult",
+    "BatchInferenceResult",
+    "NaturalAnnealingEngine",
+    "model_fingerprint",
+]
 
 logger = logging.getLogger("repro.core")
+
+#: Default bound on the per-engine reduced-system LRU cache.  Generous —
+#: a factored :class:`ReducedSystem` per *observed-index set* is only a
+#: problem under serving workloads that rotate through unbounded clamp
+#: sets, which is exactly what the bound protects against.
+DEFAULT_CACHE_CAPACITY = 128
+
+#: Number of elements sampled per array by :func:`model_fingerprint`.
+_FINGERPRINT_SAMPLES = 64
+
+
+def model_fingerprint(model: DSGLModel) -> str:
+    """Cheap content fingerprint of a model's parameter arrays.
+
+    Hashes each array's shape together with a strided sample of at most
+    :data:`_FINGERPRINT_SAMPLES` elements (plus the first and last
+    element), so the cost is a few microseconds regardless of model size.
+    The engine stores the fingerprint when it builds its caches and
+    re-checks it on every cache lookup: parameters mutated in place —
+    which would otherwise serve bit-stale solves — change the fingerprint
+    and auto-invalidate the caches.  A strided sample is a probabilistic
+    guard, not a cryptographic one: a mutation confined to never-sampled
+    elements can evade it, which is the price of per-lookup cheapness
+    (call :meth:`NaturalAnnealingEngine.clear_cache` explicitly for a
+    hard guarantee).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for array in (model.J, model.h, model.mean, model.scale):
+        if array is None:
+            digest.update(b"<none>")
+            continue
+        digest.update(repr(array.shape).encode())
+        flat = array.reshape(-1)
+        if flat.size:
+            stride = max(1, flat.size // _FINGERPRINT_SAMPLES)
+            digest.update(np.ascontiguousarray(flat[::stride]).tobytes())
+            digest.update(flat[-1].tobytes())
+    return digest.hexdigest()
 
 
 @dataclass
@@ -110,11 +156,22 @@ class NaturalAnnealingEngine:
     The engine memoizes two things: the :class:`CouplingOperator` built
     from the (possibly fault-transformed) model, and one factored
     :class:`ReducedSystem` per observed-index set (the expensive part of
-    equilibrium inference).  If
-    the model's parameters are mutated in place, call :meth:`clear_cache`.
-    Cache effectiveness is visible through :attr:`cache_hits` /
-    :attr:`cache_misses` (and :meth:`cache_hit_rate`), which
-    :meth:`clear_cache` resets alongside the cache itself.
+    equilibrium inference).  The reduced-system cache is LRU-bounded at
+    :attr:`cache_capacity` entries (default
+    :data:`DEFAULT_CACHE_CAPACITY`) so serving workloads that rotate
+    through many distinct clamp sets plateau instead of leaking;
+    evictions are counted in :attr:`cache_evictions` and the live entry
+    count is published as the ``engine.cache_size`` gauge.
+
+    Both caches are guarded by a cheap content fingerprint of the model
+    (see :func:`model_fingerprint`), re-checked on every lookup: mutating
+    the model's parameters in place auto-invalidates them (counted in
+    :attr:`stale_invalidations`) instead of serving stale solves.
+    Calling :meth:`clear_cache` after a mutation remains the explicit,
+    sample-proof way to invalidate.  Cache effectiveness is visible
+    through :attr:`cache_hits` / :attr:`cache_misses` (and
+    :meth:`cache_hit_rate`), which :meth:`clear_cache` resets alongside
+    the cache itself.
     """
 
     model: DSGLModel
@@ -123,12 +180,26 @@ class NaturalAnnealingEngine:
     seed: int = 0
     backend: str = "auto"
     faults: FaultScenario | NullFaultScenario = NO_FAULTS
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
     cache_hits: int = field(default=0, init=False)
     cache_misses: int = field(default=0, init=False)
+    cache_evictions: int = field(default=0, init=False)
+    stale_invalidations: int = field(default=0, init=False)
     _operator: CouplingOperator | None = field(
         default=None, init=False, repr=False
     )
-    _reduced_cache: dict = field(default_factory=dict, init=False, repr=False)
+    _reduced_cache: OrderedDict = field(
+        default_factory=OrderedDict, init=False, repr=False
+    )
+    _model_fingerprint: str | None = field(
+        default=None, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 1:
+            raise ValueError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
 
     # ------------------------------------------------------------------
     # Operator and factorization caches
@@ -142,6 +213,7 @@ class NaturalAnnealingEngine:
         every downstream consumer — drift, energy, reduced solves — sees
         the faulted hardware.
         """
+        self._check_model_fingerprint()
         if self._operator is None:
             J = self.faults.apply_coupling(self.model.J)
             self._operator = CouplingOperator(
@@ -153,6 +225,34 @@ class NaturalAnnealingEngine:
                     **self.faults.summary(),
                 )
         return self._operator
+
+    def _check_model_fingerprint(self) -> None:
+        """Detect in-place model mutations; auto-invalidate stale caches.
+
+        Runs on every cache lookup (operator access and reduced-system
+        retrieval).  The first check records the fingerprint; any later
+        mismatch means the model's parameters were mutated in place after
+        the caches were built, so both caches are dropped — the lookup
+        that triggered the check then rebuilds against the live
+        parameters instead of serving a stale solve.
+        """
+        current = model_fingerprint(self.model)
+        if self._model_fingerprint is None:
+            self._model_fingerprint = current
+            return
+        if current != self._model_fingerprint:
+            self.stale_invalidations += 1
+            obs.metrics().counter("engine.stale_invalidations").inc()
+            logger.warning(
+                "model parameters changed in place since the caches were "
+                "built; dropping %d cached factorization(s) and the "
+                "operator (stale invalidation #%d)",
+                len(self._reduced_cache), self.stale_invalidations,
+            )
+            self._operator = None
+            self._reduced_cache.clear()
+            obs.metrics().gauge("engine.cache_size").set(0)
+            self._model_fingerprint = current
 
     def set_faults(
         self, faults: FaultScenario | NullFaultScenario
@@ -174,20 +274,34 @@ class NaturalAnnealingEngine:
     def clear_cache(self) -> None:
         """Drop the cached operator and reduced-system factorizations.
 
-        Also resets the hit/miss counters — the statistics describe the
-        cache they were collected against.
+        Also resets the hit/miss/eviction counters and the stored model
+        fingerprint — the statistics describe the cache they were
+        collected against.  :attr:`stale_invalidations` is *not* reset:
+        it counts detected in-place mutations over the engine's lifetime.
         """
         self._operator = None
         self._reduced_cache.clear()
+        self._model_fingerprint = None
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
+        obs.metrics().gauge("engine.cache_size").set(0)
 
     def _reduced(
         self, observed_index: np.ndarray, free_index: np.ndarray
     ) -> ReducedSystem:
-        """The factored clamped system for this observed set (memoized)."""
+        """The factored clamped system for this observed set (memoized).
+
+        The memo is an LRU bounded at :attr:`cache_capacity` entries:
+        a lookup refreshes its entry's recency, an insert past capacity
+        evicts the least-recently-used factorization.  Under a serving
+        workload with unbounded distinct clamp sets the cache therefore
+        plateaus instead of growing one SuperLU factorization per set.
+        """
+        self._check_model_fingerprint()
         key = (observed_index.size, observed_index.tobytes())
-        reduced = self._reduced_cache.get(key)
+        cache = self._reduced_cache
+        reduced = cache.get(key)
         if reduced is None:
             self.cache_misses += 1
             obs.metrics().counter("engine.cache_misses").inc()
@@ -200,13 +314,20 @@ class NaturalAnnealingEngine:
                     reduced = self.operator.reduced_system(
                         free_index, observed_index
                     )
-            self._reduced_cache[key] = reduced
+            cache[key] = reduced
+            while len(cache) > self.cache_capacity:
+                cache.popitem(last=False)
+                self.cache_evictions += 1
+                obs.metrics().counter("engine.cache_evictions").inc()
+            obs.metrics().gauge("engine.cache_size").set(len(cache))
             logger.debug(
                 "reduced-system cache miss: %d free / %d observed nodes "
-                "factored (cache size now %d)",
-                free_index.size, observed_index.size, len(self._reduced_cache),
+                "factored (cache size now %d, %d evicted)",
+                free_index.size, observed_index.size, len(cache),
+                self.cache_evictions,
             )
         else:
+            cache.move_to_end(key)
             self.cache_hits += 1
             obs.metrics().counter("engine.cache_hits").inc()
         return reduced

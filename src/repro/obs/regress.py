@@ -58,6 +58,12 @@ KEY_FIELDS = (
     "epochs",
     "duration_ns",
     "graph_backend",
+    # Serving-benchmark rows (BENCH_serve.json) are identified by their
+    # load point: batching window, offered rate, loop mode, request count.
+    "batch_window_ms",
+    "rate_rps",
+    "mode",
+    "requests",
 )
 
 #: Default noise-band floor: differences under 10% never flag.

@@ -152,6 +152,44 @@ class Tracer:
         self._next_id += 1
         return Span(self, name, self._next_id, parent, dict(attributes))
 
+    def now_ms(self) -> float:
+        """Milliseconds elapsed on this tracer's clock (span time base)."""
+        return (time.perf_counter() - self._epoch) * 1000.0
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start_ms: float,
+        duration_ms: float,
+        parent_id: int | None = None,
+        **attributes,
+    ) -> int:
+        """Record an already-finished span without touching the stack.
+
+        Concurrent servers (``repro.serve``) interleave many request
+        lifetimes, so a request cannot be a ``with``-nested span — its
+        open/close would cross other spans on the single stack.  Instead
+        the server measures the request itself and records the completed
+        span here, parented explicitly (usually onto the ``serve.batch``
+        span that executed it).  ``start_ms`` is on this tracer's clock
+        (see :meth:`now_ms`).  Returns the new span id.
+        """
+        self._next_id += 1
+        span_id = self._next_id
+        self._emit(
+            {
+                "kind": "span",
+                "name": name,
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "start_ms": start_ms,
+                "duration_ms": duration_ms,
+                "attributes": dict(attributes),
+            }
+        )
+        return span_id
+
     def event(self, name: str, **attributes) -> None:
         """A point-in-time record attached to the currently open span."""
         self._emit(
@@ -298,6 +336,12 @@ class NullTracer:
 
     def span(self, name: str, **attributes) -> _NullSpan:
         return self._span
+
+    def now_ms(self) -> float:
+        return 0.0
+
+    def record_span(self, name: str, **kwargs) -> int:
+        return 0
 
     def event(self, name: str, **attributes) -> None:
         pass

@@ -25,7 +25,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import obs
-from ..core.inference import BatchInferenceResult, NaturalAnnealingEngine
+from ..core.inference import (
+    DEFAULT_CACHE_CAPACITY,
+    BatchInferenceResult,
+    NaturalAnnealingEngine,
+)
 from ..core.dynamics import BatchTrajectory
 from .circuit import expected_record_count
 from .pool import parallel_map, resolve_num_shards, shard_slices, spawn_seeds
@@ -49,6 +53,7 @@ class EngineSpec:
     seed: int
     backend: str
     faults: object
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
 
     @classmethod
     def from_engine(
@@ -67,6 +72,7 @@ class EngineSpec:
             seed=engine.seed,
             backend=engine.backend,
             faults=engine.faults,
+            cache_capacity=engine.cache_capacity,
         )
 
     def build(self) -> NaturalAnnealingEngine:
@@ -79,6 +85,7 @@ class EngineSpec:
             seed=self.seed,
             backend=self.backend,
             faults=self.faults,
+            cache_capacity=self.cache_capacity,
         )
 
 

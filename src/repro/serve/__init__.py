@@ -1,0 +1,47 @@
+"""``repro.serve`` — inference-as-a-service over the annealing engine.
+
+A stdlib-``asyncio`` serving layer: single-sample requests coalesce into
+dynamic batches over the batched engine paths, with fingerprint-keyed
+cache warmth, bounded-queue admission control, and graceful shutdown
+(:mod:`repro.serve.server`); seeded open/closed-loop bursty traffic
+generation (:mod:`repro.serve.traffic`); and the SLO benchmark suite
+behind ``repro serve bench`` / ``BENCH_serve.json``
+(:mod:`repro.serve.bench`).
+"""
+
+from .bench import format_serve_bench, run_serve_benchmarks
+from .server import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_SHUTDOWN,
+    InferenceServer,
+    ServeConfig,
+    ServeResult,
+)
+from .traffic import (
+    TrafficRequest,
+    Workload,
+    closed_loop,
+    open_loop,
+    summarize_latencies,
+    synthetic_workload,
+)
+
+__all__ = [
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "STATUS_SHUTDOWN",
+    "InferenceServer",
+    "ServeConfig",
+    "ServeResult",
+    "TrafficRequest",
+    "Workload",
+    "closed_loop",
+    "format_serve_bench",
+    "open_loop",
+    "run_serve_benchmarks",
+    "summarize_latencies",
+    "synthetic_workload",
+]

@@ -1,0 +1,377 @@
+"""End-to-end SLO benchmarks for the inference server.
+
+Produces ``BENCH_serve.json`` (same envelope as ``BENCH_core.json`` so
+``repro obs diff`` gates it):
+
+* ``serve_open_loop`` rows — one per batch-window setting — replay a
+  seeded bursty open-loop workload and record p50/p99/p99.9 request
+  latency plus completed throughput, giving the
+  throughput-vs-batch-window curve.  Each row's ``optimized_stats``
+  holds per-repeat *makespan* samples (the whole replay, wall time), the
+  distribution the regression gate compares.
+* ``serve_closed_loop`` — the same workload driven by a fixed client
+  population, for the open-vs-closed contrast documented in
+  EXPERIMENTS.md.
+* ``serve_batched_vs_serial`` — the headline comparison: a burst of
+  identical-fingerprint requests served by the dynamic batcher versus a
+  ``max_batch_size=1`` serial server.  Predictions must match
+  bit-for-bit (the engine's sparse reduced solve is column-independent,
+  so coalescing cannot change results), and batching must win on
+  throughput.
+* ``serve_overload_shed`` — drives a tiny admission queue far past
+  saturation and records the shed fraction: backpressure must engage
+  (sheds observed) while admitted requests still complete.
+
+Everything is seeded; the only nondeterminism left is wall time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import platform
+import time
+
+import numpy as np
+
+from .. import obs
+from ..core.inference import NaturalAnnealingEngine
+from ..core.model import DSGLModel
+from ..perf import _timing_stats, random_sparse_system
+from .server import InferenceServer, ServeConfig
+from .traffic import (
+    Workload,
+    closed_loop,
+    open_loop,
+    summarize_latencies,
+    synthetic_workload,
+)
+
+__all__ = ["run_serve_benchmarks", "format_serve_bench"]
+
+#: Batch windows (ms) swept by the open-loop SLO curve.
+SMOKE_WINDOWS = (0.0, 1.0, 4.0)
+FULL_WINDOWS = (0.0, 2.0, 8.0)
+
+
+def _serve_model(n: int, density: float, seed: int) -> DSGLModel:
+    """A convex random model with normalization stats (serving-shaped)."""
+    J, h = random_sparse_system(n, density, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    return DSGLModel(
+        J=J,
+        h=h,
+        mean=rng.normal(size=n),
+        scale=np.abs(rng.normal(size=n)) + 0.5,
+    )
+
+
+def _engine(model: DSGLModel) -> NaturalAnnealingEngine:
+    # Sparse backend: the SuperLU reduced solve is column-independent,
+    # which is what makes coalesced batches bit-identical to serial.
+    return NaturalAnnealingEngine(model=model, backend="sparse")
+
+
+def _warm(engine: NaturalAnnealingEngine, workload: Workload) -> None:
+    for group in workload.groups:
+        engine.infer_equilibrium_batch(group, np.zeros((1, group.size)))
+
+
+def _replay(
+    engine: NaturalAnnealingEngine,
+    config: ServeConfig,
+    workload: Workload,
+    loop_mode: str,
+) -> dict:
+    """One traffic replay on a fresh server; adds ``makespan_ms``."""
+
+    async def main() -> dict:
+        async with InferenceServer(engine, config) as server:
+            started = time.perf_counter()
+            if loop_mode == "open":
+                summary = await open_loop(server, workload)
+            else:
+                summary = await closed_loop(server, workload)
+            summary["makespan_ms"] = (
+                time.perf_counter() - started
+            ) * 1000.0
+        return summary
+
+    return asyncio.run(main())
+
+
+def _traffic_row(
+    name: str,
+    engine: NaturalAnnealingEngine,
+    config: ServeConfig,
+    workload: Workload,
+    loop_mode: str,
+    repeats: int,
+) -> dict:
+    """Repeat one load point; quantiles from the last replay, makespan
+    distribution across replays."""
+    _warm(engine, workload)
+    makespans: list[float] = []
+    summary: dict = {}
+    for _ in range(repeats):
+        summary = _replay(engine, config, workload, loop_mode)
+        makespans.append(summary["makespan_ms"])
+    quantiles = summarize_latencies(summary["latencies_ms"])
+    return {
+        "name": name,
+        "n": engine.model.n,
+        "mode": loop_mode,
+        "batch_window_ms": config.batch_window_ms,
+        "max_batch_size": config.max_batch_size,
+        "rate_rps": workload.rate_rps,
+        "requests": len(workload),
+        "completed": summary["completed"],
+        "statuses": summary["statuses"],
+        "shed": summary["statuses"].get("shed", 0),
+        "mean_batch_size": summary["mean_batch_size"],
+        "throughput_rps": summary["throughput_rps"],
+        "p50_ms": quantiles["p50_ms"],
+        "p99_ms": quantiles["p99_ms"],
+        "p999_ms": quantiles["p999_ms"],
+        "max_latency_ms": quantiles["max_ms"],
+        "optimized_stats": _timing_stats(makespans),
+    }
+
+
+def _burst_once(
+    engine: NaturalAnnealingEngine,
+    config: ServeConfig,
+    observed_index: np.ndarray,
+    values: np.ndarray,
+) -> tuple[float, np.ndarray]:
+    """Serve one simultaneous burst; returns (elapsed_ms, predictions)."""
+
+    async def main() -> tuple[float, np.ndarray]:
+        async with InferenceServer(engine, config) as server:
+            started = time.perf_counter()
+            futures = [
+                server.submit(observed_index, values[i])
+                for i in range(values.shape[0])
+            ]
+            results = await asyncio.gather(*futures)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+        bad = [r.status for r in results if not r.ok]
+        if bad:
+            raise RuntimeError(f"burst requests not served: {bad}")
+        return elapsed_ms, np.stack([r.prediction for r in results])
+
+    return asyncio.run(main())
+
+
+def bench_serve_burst(
+    n: int,
+    density: float,
+    burst: int,
+    repeats: int,
+    seed: int = 0,
+) -> dict:
+    """Dynamic batching vs serial (``max_batch_size=1``) on one burst."""
+    model = _serve_model(n, density, seed)
+    rng = np.random.default_rng(seed + 2)
+    observed_index = np.sort(
+        rng.choice(n, size=max(1, n // 2), replace=False)
+    )
+    values = rng.normal(size=(burst, observed_index.size))
+    serial_cfg = ServeConfig(
+        batch_window_ms=0.0,
+        max_batch_size=1,
+        max_queue=max(256, burst),
+    )
+    batched_cfg = ServeConfig(
+        batch_window_ms=0.5,
+        max_batch_size=burst,
+        max_queue=max(256, burst),
+    )
+    serial_engine = _engine(model)
+    batched_engine = _engine(model)
+    # Warm both caches so the comparison times steady-state serving.
+    serial_engine.infer_equilibrium_batch(
+        observed_index, np.zeros((1, observed_index.size))
+    )
+    batched_engine.infer_equilibrium_batch(
+        observed_index, np.zeros((1, observed_index.size))
+    )
+
+    serial_ms: list[float] = []
+    batched_ms: list[float] = []
+    serial_preds = batched_preds = None
+    for _ in range(repeats):
+        elapsed, serial_preds = _burst_once(
+            serial_engine, serial_cfg, observed_index, values
+        )
+        serial_ms.append(elapsed)
+        elapsed, batched_preds = _burst_once(
+            batched_engine, batched_cfg, observed_index, values
+        )
+        batched_ms.append(elapsed)
+    baseline = _timing_stats(serial_ms)
+    optimized = _timing_stats(batched_ms)
+    max_abs_diff = float(np.max(np.abs(serial_preds - batched_preds)))
+    return {
+        "name": "serve_batched_vs_serial",
+        "n": n,
+        "density": density,
+        "batch": burst,
+        "mode": "equilibrium",
+        "baseline_ms": baseline["best_ms"],
+        "optimized_ms": optimized["best_ms"],
+        "speedup": baseline["best_ms"] / max(optimized["best_ms"], 1e-9),
+        "baseline_stats": baseline,
+        "optimized_stats": optimized,
+        "throughput_serial_rps": burst / (baseline["best_ms"] / 1000.0),
+        "throughput_batched_rps": burst / (optimized["best_ms"] / 1000.0),
+        "max_abs_diff": max_abs_diff,
+        "bitwise_identical": bool(
+            np.array_equal(serial_preds, batched_preds)
+        ),
+    }
+
+
+def bench_serve_overload(
+    n: int, density: float, seed: int = 0
+) -> dict:
+    """Saturate a tiny admission queue; backpressure must shed."""
+    model = _serve_model(n, density, seed)
+    engine = _engine(model)
+    workload = synthetic_workload(
+        model,
+        num_requests=120,
+        rate_rps=50_000.0,
+        burstiness=1.0,
+        num_groups=1,
+        seed=seed + 3,
+    )
+    config = ServeConfig(
+        batch_window_ms=2.0, max_batch_size=8, max_queue=4
+    )
+    _warm(engine, workload)
+    summary = _replay(engine, config, workload, "open")
+    shed = summary["statuses"].get("shed", 0)
+    return {
+        "name": "serve_overload_shed",
+        "n": n,
+        "requests": len(workload),
+        "max_queue": config.max_queue,
+        "statuses": summary["statuses"],
+        "shed": shed,
+        "shed_fraction": shed / len(workload),
+        "completed": summary["completed"],
+        "throughput_rps": summary["throughput_rps"],
+    }
+
+
+def run_serve_benchmarks(
+    smoke: bool = False, repeats: int = 3, seed: int = 0
+) -> dict:
+    """Run the serving SLO suite; returns the ``BENCH_serve.json`` payload.
+
+    Args:
+        smoke: Tiny sizes and request counts for CI smoke runs.  Smoke
+            p99.9 numbers are statistically meaningless (few hundred
+            requests) — the committed baseline uses the full sizes.
+        repeats: Replay repetitions per load point (makespan samples).
+        seed: Workload / model seed.
+    """
+    if smoke:
+        n, density = 64, 0.1
+        num_requests, rate_rps = 80, 2000.0
+        windows = SMOKE_WINDOWS
+        burst = 16
+    else:
+        n, density = 256, 0.05
+        num_requests, rate_rps = 400, 1000.0
+        windows = FULL_WINDOWS
+        burst = 64
+    with obs.metrics_enabled() as registry:
+        model = _serve_model(n, density, seed)
+        workload = synthetic_workload(
+            model,
+            num_requests=num_requests,
+            rate_rps=rate_rps,
+            burstiness=4.0,
+            num_groups=4,
+            seed=seed,
+        )
+        results = []
+        for window in windows:
+            engine = _engine(model)
+            config = ServeConfig(
+                batch_window_ms=window,
+                max_batch_size=max(burst, 32),
+                max_queue=max(4 * num_requests, 256),
+            )
+            results.append(
+                _traffic_row(
+                    "serve_open_loop",
+                    engine, config, workload, "open", repeats,
+                )
+            )
+        mid_window = windows[len(windows) // 2]
+        results.append(
+            _traffic_row(
+                "serve_closed_loop",
+                _engine(model),
+                ServeConfig(
+                    batch_window_ms=mid_window,
+                    max_batch_size=max(burst, 32),
+                    max_queue=max(4 * num_requests, 256),
+                ),
+                workload,
+                "closed",
+                repeats,
+            )
+        )
+        results.append(
+            bench_serve_burst(n, density, burst, repeats, seed=seed)
+        )
+        results.append(bench_serve_overload(n, density, seed=seed))
+        snapshot = registry.snapshot()
+    return {
+        "benchmark": "serve_slo",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "smoke": smoke,
+        "repeats": repeats,
+        "results": results,
+        "metrics": snapshot,
+    }
+
+
+def format_serve_bench(payload: dict) -> str:
+    """Human-readable table of a serving benchmark payload."""
+    lines = [
+        f"{'row':<26s} {'loop':>6s} {'win ms':>7s} {'reqs':>6s} "
+        f"{'p50 ms':>8s} {'p99 ms':>8s} {'p99.9':>8s} {'rps':>9s} "
+        f"{'batch':>6s} {'shed':>5s}"
+    ]
+    for row in payload["results"]:
+        if "p50_ms" in row:
+            lines.append(
+                f"{row['name']:<26s} {row['mode']:>6s} "
+                f"{row['batch_window_ms']:>7.1f} {row['requests']:>6d} "
+                f"{row['p50_ms']:>8.2f} {row['p99_ms']:>8.2f} "
+                f"{row['p999_ms']:>8.2f} {row['throughput_rps']:>9.1f} "
+                f"{row['mean_batch_size']:>6.1f} {row['shed']:>5d}"
+            )
+    for row in payload["results"]:
+        if row.get("name") == "serve_batched_vs_serial":
+            lines.append(
+                f"batched vs serial (burst {row['batch']}): "
+                f"{row['speedup']:.1f}x throughput "
+                f"({row['throughput_serial_rps']:.0f} -> "
+                f"{row['throughput_batched_rps']:.0f} rps), "
+                f"max|diff| {row['max_abs_diff']:.1e}, "
+                f"bitwise_identical={row['bitwise_identical']}"
+            )
+        if row.get("name") == "serve_overload_shed":
+            lines.append(
+                f"overload (queue {row['max_queue']}): "
+                f"{row['shed']}/{row['requests']} shed "
+                f"({100.0 * row['shed_fraction']:.1f}%), "
+                f"{row['completed']} completed"
+            )
+    return "\n".join(lines)

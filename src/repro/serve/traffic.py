@@ -1,0 +1,313 @@
+"""Seeded synthetic traffic for the inference server.
+
+Two load-generation disciplines, both fully deterministic under a seed:
+
+* :func:`closed_loop` — a fixed set of ``concurrency`` virtual clients,
+  each submitting its next request the moment the previous one resolves.
+  Latency is measured submit-to-complete.  Closed loops self-throttle:
+  when the server slows down, the clients slow down with it, so the
+  offered load adapts and tail latency is flattered — a client stuck
+  behind a slow batch simply *doesn't issue* the requests that would
+  have queued behind it.
+* :func:`open_loop` — requests fire on a precomputed arrival schedule
+  regardless of how the server is doing, and latency is measured from
+  the *scheduled* arrival time, not from when the generator got around
+  to submitting.  This is the coordinated-omission-safe discipline: a
+  stall inflates the measured latency of every request scheduled during
+  it, which is exactly what a real user population experiences.  p99.9
+  claims are only honest under this mode (see EXPERIMENTS.md).
+
+Arrivals are *bursty*: a two-state modulated Poisson process alternates
+between a burst state (arrival rate multiplied by ``burstiness``) and a
+quiet state (divided by it), with geometrically-distributed run lengths
+— the "millions of users" shape where load comes in waves rather than a
+smooth stream.  ``burstiness=1`` degenerates to plain Poisson arrivals.
+
+A :class:`Workload` also rotates through ``num_groups`` distinct
+observed-index sets, exercising the server's fingerprint grouping and
+the engine's LRU factorization cache the way mixed production traffic
+would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.model import DSGLModel
+from .server import STATUS_OK, InferenceServer
+
+__all__ = [
+    "TrafficRequest",
+    "Workload",
+    "synthetic_workload",
+    "open_loop",
+    "closed_loop",
+    "summarize_latencies",
+]
+
+
+@dataclass(frozen=True)
+class TrafficRequest:
+    """One scheduled request: when it arrives and what it clamps."""
+
+    at_ms: float
+    observed_index: np.ndarray
+    observed_values: np.ndarray
+
+
+@dataclass
+class Workload:
+    """A seeded, replayable request schedule.
+
+    Attributes:
+        requests: Arrival-ordered requests (``at_ms`` non-decreasing).
+        rate_rps: Mean offered arrival rate the schedule was drawn at.
+        seed: Generator seed (same seed, same workload, bit-for-bit).
+        groups: The distinct observed-index sets the workload rotates
+            through (what the server's fingerprint grouping sees).
+    """
+
+    requests: list[TrafficRequest]
+    rate_rps: float
+    seed: int
+    groups: list[np.ndarray] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def duration_ms(self) -> float:
+        """Span of the arrival schedule (0 for an empty workload)."""
+        return self.requests[-1].at_ms if self.requests else 0.0
+
+
+def synthetic_workload(
+    model: DSGLModel,
+    num_requests: int,
+    *,
+    rate_rps: float = 500.0,
+    burstiness: float = 4.0,
+    num_observed: int | None = None,
+    num_groups: int = 4,
+    mean_run: int = 16,
+    seed: int = 0,
+) -> Workload:
+    """Draw a bursty, group-rotating request schedule for ``model``.
+
+    Args:
+        model: The served model; indices are drawn over its ``n`` nodes.
+        num_requests: Number of requests in the schedule.
+        rate_rps: Mean arrival rate (requests per second of wall time).
+        burstiness: Burst/quiet rate multiplier of the two-state
+            modulated Poisson arrivals (``1`` = plain Poisson).
+        num_observed: Observed (clamped) nodes per request; defaults to
+            half the model.
+        num_groups: Distinct observed-index sets rotated through.
+        mean_run: Mean arrivals per burst/quiet state before switching.
+        seed: Seed for arrivals, group choice, and clamp values.
+
+    Returns:
+        A :class:`Workload` whose requests are in arrival order.
+    """
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    if burstiness < 1:
+        raise ValueError(f"burstiness must be >= 1, got {burstiness}")
+    if not 1 <= num_groups:
+        raise ValueError(f"num_groups must be >= 1, got {num_groups}")
+    rng = np.random.default_rng(seed)
+    n = model.n
+    if num_observed is None:
+        num_observed = max(1, n // 2)
+    if not 1 <= num_observed < n:
+        raise ValueError(
+            f"num_observed must be in [1, {n - 1}], got {num_observed}"
+        )
+    groups = [
+        np.sort(rng.choice(n, size=num_observed, replace=False))
+        for _ in range(num_groups)
+    ]
+    # Two-state modulated Poisson arrivals: exponential gaps whose rate
+    # switches between rate*burstiness and rate/burstiness, state runs
+    # geometrically distributed around mean_run.  The raw modulated
+    # process has mean gap (1/b + b)/2 per nominal gap, so the gaps are
+    # rescaled afterwards: the *mean* offered rate is exactly rate_rps
+    # while the burst structure (overdispersion) is preserved.
+    gaps_ms = np.empty(num_requests)
+    bursty = True
+    switch = 1.0 / max(1, mean_run)
+    for i in range(num_requests):
+        rate = rate_rps * burstiness if bursty else rate_rps / burstiness
+        gaps_ms[i] = rng.exponential(1000.0 / rate)
+        if rng.random() < switch:
+            bursty = not bursty
+    gaps_ms *= (1000.0 / rate_rps) / gaps_ms.mean()
+    arrivals = np.cumsum(gaps_ms)
+    arrivals -= arrivals[0]  # first request fires at t=0
+    group_choice = rng.integers(0, num_groups, size=num_requests)
+    requests = [
+        TrafficRequest(
+            at_ms=float(arrivals[i]),
+            observed_index=groups[group_choice[i]],
+            observed_values=rng.normal(size=num_observed),
+        )
+        for i in range(num_requests)
+    ]
+    return Workload(
+        requests=requests, rate_rps=rate_rps, seed=seed, groups=groups
+    )
+
+
+async def open_loop(
+    server: InferenceServer, workload: Workload
+) -> dict:
+    """Replay ``workload`` on its arrival schedule; measure honestly.
+
+    Each request is submitted at (or as soon as possible after) its
+    scheduled arrival, and its latency is charged from the *scheduled*
+    time: if the event loop or the server stalls, every request that
+    should have arrived during the stall absorbs the delay instead of
+    the schedule silently stretching (coordinated omission).
+
+    Returns:
+        Summary dict — per-status counts, completed-request latencies
+        (``latencies_ms``, :data:`STATUS_OK` only), batch sizes,
+        ``throughput_rps`` (completed over makespan), and
+        ``offered_rps`` (requests over schedule span).
+    """
+    epoch = time.perf_counter()
+    results: list[tuple[asyncio.Future, float]] = []
+
+    for request in workload.requests:
+        scheduled = epoch + request.at_ms / 1000.0
+        delay = scheduled - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        # Submit lag (the generator waking late because the loop was
+        # busy executing a batch) is charged to the request: its clock
+        # started at the scheduled arrival, not at submission.
+        submit_lag_ms = max(
+            0.0, (time.perf_counter() - scheduled) * 1000.0
+        )
+        future = server.submit(
+            request.observed_index, request.observed_values
+        )
+        results.append((future, submit_lag_ms))
+    if results:
+        await asyncio.gather(*(future for future, _ in results))
+
+    statuses: dict[str, int] = {}
+    latencies_ms: list[float] = []
+    batch_sizes: list[int] = []
+    for future, submit_lag_ms in results:
+        result = future.result()
+        statuses[result.status] = statuses.get(result.status, 0) + 1
+        if result.status == STATUS_OK:
+            latencies_ms.append(submit_lag_ms + result.latency_ms)
+            batch_sizes.append(result.batch_size)
+    makespan_s = max(time.perf_counter() - epoch, 1e-9)
+    completed = statuses.get(STATUS_OK, 0)
+    return {
+        "loop": "open",
+        "requests": len(workload),
+        "statuses": statuses,
+        "completed": completed,
+        "latencies_ms": latencies_ms,
+        "batch_sizes": batch_sizes,
+        "mean_batch_size": (
+            float(np.mean(batch_sizes)) if batch_sizes else 0.0
+        ),
+        "throughput_rps": completed / makespan_s,
+        "offered_rps": (
+            len(workload) / max(workload.duration_ms / 1000.0, 1e-9)
+        ),
+    }
+
+
+async def closed_loop(
+    server: InferenceServer,
+    workload: Workload,
+    *,
+    concurrency: int = 8,
+) -> dict:
+    """Drive ``workload`` with a fixed population of virtual clients.
+
+    ``concurrency`` clients pull requests off the (shared) schedule in
+    order, each submitting its next the moment the previous resolves —
+    arrival times are ignored.  Latency is submit-to-complete; the
+    offered load self-throttles to whatever the server sustains, which
+    is why this mode understates tail latency (see module docstring).
+
+    Returns:
+        Summary dict shaped like :func:`open_loop` (``loop: "closed"``).
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    iterator = iter(workload.requests)
+    statuses: dict[str, int] = {}
+    latencies_ms: list[float] = []
+    batch_sizes: list[int] = []
+    started = time.perf_counter()
+
+    async def client() -> None:
+        for request in iterator:
+            submit_at = time.perf_counter()
+            result = await server.submit(
+                request.observed_index, request.observed_values
+            )
+            elapsed_ms = (time.perf_counter() - submit_at) * 1000.0
+            statuses[result.status] = statuses.get(result.status, 0) + 1
+            if result.status == STATUS_OK:
+                latencies_ms.append(elapsed_ms)
+                batch_sizes.append(result.batch_size)
+
+    await asyncio.gather(*(client() for _ in range(concurrency)))
+    makespan_s = max(time.perf_counter() - started, 1e-9)
+    completed = statuses.get(STATUS_OK, 0)
+    return {
+        "loop": "closed",
+        "requests": len(workload),
+        "concurrency": concurrency,
+        "statuses": statuses,
+        "completed": completed,
+        "latencies_ms": latencies_ms,
+        "batch_sizes": batch_sizes,
+        "mean_batch_size": (
+            float(np.mean(batch_sizes)) if batch_sizes else 0.0
+        ),
+        "throughput_rps": completed / makespan_s,
+        "offered_rps": float("inf"),
+    }
+
+
+def summarize_latencies(latencies_ms: list[float]) -> dict:
+    """SLO quantiles of a latency sample (type-7, matching obs/perf).
+
+    p99.9 is reported unconditionally — on small samples it degenerates
+    toward the max, which is exactly why EXPERIMENTS.md insists on
+    open-loop runs with enough requests before quoting it.
+    """
+    if not latencies_ms:
+        return {
+            "count": 0,
+            "mean_ms": 0.0,
+            "p50_ms": 0.0,
+            "p99_ms": 0.0,
+            "p999_ms": 0.0,
+            "max_ms": 0.0,
+        }
+    ordered = np.sort(np.asarray(latencies_ms, dtype=float))
+    return {
+        "count": int(ordered.size),
+        "mean_ms": float(ordered.mean()),
+        "p50_ms": float(np.quantile(ordered, 0.50)),
+        "p99_ms": float(np.quantile(ordered, 0.99)),
+        "p999_ms": float(np.quantile(ordered, 0.999)),
+        "max_ms": float(ordered[-1]),
+    }

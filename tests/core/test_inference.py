@@ -206,3 +206,129 @@ class TestBatchInference:
             engine.infer_batch(observed, np.asarray([0.1, 0.2]))
         with pytest.raises(ValueError, match="batch, num_observed"):
             engine.infer_equilibrium_batch(observed, np.zeros((3, 5)))
+
+
+class TestCacheBound:
+    """The reduced-system cache is an LRU bounded at cache_capacity.
+
+    Regression tests for the unbounded-growth leak: before the bound, a
+    serving workload rotating through distinct observed sets grew one
+    SuperLU factorization per set forever.
+    """
+
+    def _bounded_engine(self, capacity):
+        base = _engine()
+        return NaturalAnnealingEngine(
+            base.model, config=base.config, cache_capacity=capacity
+        )
+
+    def test_cache_plateaus_at_capacity(self):
+        engine = self._bounded_engine(3)
+        for start in range(10):
+            observed = np.asarray([start % 8, (start + 1) % 8])
+            engine.infer_equilibrium(observed, np.asarray([0.1, -0.2]))
+        assert engine.cache_size == 3
+        assert engine.cache_evictions == 10 - 3
+
+    def test_evicted_entry_refactors_and_matches(self):
+        engine = self._bounded_engine(1)
+        first = (np.asarray([0, 2]), np.asarray([0.5, -0.1]))
+        second = (np.asarray([1, 4]), np.asarray([0.3, 0.7]))
+        baseline = engine.infer_equilibrium(*first).prediction
+        engine.infer_equilibrium(*second)  # evicts the first entry
+        assert engine.cache_evictions == 1
+        again = engine.infer_equilibrium(*first).prediction
+        assert engine.cache_evictions == 2
+        assert np.allclose(again, baseline)
+
+    def test_lru_order_keeps_recently_used(self):
+        engine = self._bounded_engine(2)
+        a = np.asarray([0, 1])
+        b = np.asarray([2, 3])
+        c = np.asarray([4, 5])
+        values = np.asarray([0.1, 0.2])
+        engine.infer_equilibrium(a, values)
+        engine.infer_equilibrium(b, values)
+        engine.infer_equilibrium(a, values)  # refresh a's recency
+        engine.infer_equilibrium(c, values)  # must evict b, not a
+        hits = engine.cache_hits
+        engine.infer_equilibrium(a, values)
+        assert engine.cache_hits == hits + 1  # a survived
+
+    def test_capacity_validated(self):
+        base = _engine()
+        with pytest.raises(ValueError, match="cache_capacity"):
+            NaturalAnnealingEngine(base.model, cache_capacity=0)
+
+    def test_clear_cache_resets_eviction_counter(self):
+        engine = self._bounded_engine(1)
+        engine.infer_equilibrium(np.asarray([0]), np.asarray([0.5]))
+        engine.infer_equilibrium(np.asarray([1]), np.asarray([0.5]))
+        assert engine.cache_evictions == 1
+        engine.clear_cache()
+        assert engine.cache_evictions == 0
+
+
+class TestStaleFingerprint:
+    """In-place model mutations must not be served stale cached solves.
+
+    Regression tests for the documented stale-cache hazard: before the
+    fingerprint check, mutating ``model.J`` in place after a solve kept
+    serving the factorization of the old parameters.
+    """
+
+    def test_inplace_mutation_invalidates_equilibrium(self):
+        engine = _engine()
+        observed = np.asarray([0, 2, 5])
+        raw = np.asarray([1.0, -0.5, 0.3])
+        stale = engine.infer_equilibrium(observed, raw).prediction
+        engine.model.J *= 1.5  # in place, no clear_cache()
+        served = engine.infer_equilibrium(observed, raw).prediction
+        fresh = NaturalAnnealingEngine(engine.model).infer_equilibrium(
+            observed, raw
+        ).prediction
+        assert engine.stale_invalidations == 1
+        assert np.allclose(served, fresh)
+        assert not np.allclose(served, stale)
+
+    def test_inplace_mutation_invalidates_operator(self):
+        engine = _engine()
+        before = engine.operator.to_dense().copy()
+        engine.model.J *= 2.0
+        after = engine.operator.to_dense()
+        assert engine.stale_invalidations == 1
+        assert not np.allclose(before, after)
+
+    def test_h_mutation_detected(self):
+        engine = _engine()
+        observed = np.asarray([1, 3])
+        raw = np.asarray([0.4, -0.6])
+        engine.infer_equilibrium(observed, raw)
+        engine.model.h *= 1.1
+        engine.infer_equilibrium(observed, raw)
+        assert engine.stale_invalidations == 1
+        assert engine.cache_size == 1  # rebuilt against the new h
+
+    def test_unmutated_model_never_invalidates(self):
+        engine = _engine()
+        observed = np.asarray([0, 4])
+        for _ in range(5):
+            engine.infer_equilibrium(observed, np.asarray([0.2, 0.8]))
+        assert engine.stale_invalidations == 0
+        assert engine.cache_hits == 4
+
+    def test_explicit_clear_cache_still_works(self):
+        engine = _engine()
+        observed = np.asarray([0, 2])
+        raw = np.asarray([0.3, 0.1])
+        engine.infer_equilibrium(observed, raw)
+        engine.model.J *= 1.5
+        engine.clear_cache()  # the sample-proof path
+        served = engine.infer_equilibrium(observed, raw).prediction
+        fresh = NaturalAnnealingEngine(engine.model).infer_equilibrium(
+            observed, raw
+        ).prediction
+        assert np.allclose(served, fresh)
+        # clear_cache reset the stored fingerprint, so the rebuild does
+        # not double-count as a detected stale invalidation.
+        assert engine.stale_invalidations == 0

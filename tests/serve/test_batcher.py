@@ -1,0 +1,267 @@
+"""Batcher edge cases: windows, caps, grouping, shed, bit-exactness."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import NaturalAnnealingEngine, symmetrize_coupling
+from repro.core.model import DSGLModel
+from repro.serve import (
+    STATUS_OK,
+    STATUS_SHED,
+    InferenceServer,
+    ServeConfig,
+)
+
+
+def _model(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    J = symmetrize_coupling(rng.normal(size=(n, n)) * 0.4)
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    return DSGLModel(
+        J=J,
+        h=h,
+        mean=rng.normal(size=n),
+        scale=rng.uniform(0.5, 1.5, size=n),
+    )
+
+
+def _engine(n=10, seed=0, backend="sparse"):
+    return NaturalAnnealingEngine(model=_model(n, seed), backend=backend)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+OBSERVED = np.asarray([0, 2, 5])
+
+
+class TestBatching:
+    def test_single_request_batch(self):
+        async def main():
+            async with InferenceServer(_engine()) as server:
+                result = await server.submit(OBSERVED, [0.5, -0.2, 0.9])
+            return result
+
+        result = _run(main())
+        assert result.status == STATUS_OK
+        assert result.batch_size == 1
+        assert result.prediction.shape == (7,)
+        assert result.latency_ms >= result.service_ms > 0
+
+    def test_concurrent_requests_coalesce(self):
+        config = ServeConfig(batch_window_ms=20.0, max_batch_size=8)
+
+        async def main():
+            async with InferenceServer(_engine(), config) as server:
+                futures = [
+                    server.submit(OBSERVED, [0.1 * i, -0.2, 0.3])
+                    for i in range(5)
+                ]
+                return await asyncio.gather(*futures)
+
+        results = _run(main())
+        assert [r.status for r in results] == [STATUS_OK] * 5
+        assert all(r.batch_size == 5 for r in results)
+
+    def test_oversized_burst_splits_at_max_batch_size(self):
+        config = ServeConfig(batch_window_ms=20.0, max_batch_size=4)
+
+        async def main():
+            async with InferenceServer(_engine(), config) as server:
+                futures = [
+                    server.submit(OBSERVED, [0.1 * i, 0.0, 0.2])
+                    for i in range(10)
+                ]
+                return await asyncio.gather(*futures)
+
+        results = _run(main())
+        assert all(r.status == STATUS_OK for r in results)
+        assert max(r.batch_size for r in results) <= 4
+        # 10 requests through a cap of 4 is at least three batches.
+        assert sum(1 for r in results if r.batch_size == 4) >= 4
+
+    def test_zero_window_serves_immediately(self):
+        config = ServeConfig(batch_window_ms=0.0, max_batch_size=8)
+
+        async def main():
+            async with InferenceServer(_engine(), config) as server:
+                return await server.submit(OBSERVED, [0.4, 0.1, -0.3])
+
+        assert _run(main()).status == STATUS_OK
+
+    def test_mixed_observed_sets_batch_separately(self):
+        other = np.asarray([1, 3, 7])
+        config = ServeConfig(batch_window_ms=20.0, max_batch_size=8)
+
+        async def main():
+            async with InferenceServer(_engine(), config) as server:
+                futures = [
+                    server.submit(OBSERVED, [0.1, 0.2, 0.3]),
+                    server.submit(other, [0.4, 0.5, 0.6]),
+                    server.submit(OBSERVED, [0.7, 0.8, 0.9]),
+                ]
+                return await asyncio.gather(*futures)
+
+        first, second, third = _run(main())
+        assert first.status == second.status == third.status == STATUS_OK
+        # Same-fingerprint requests coalesce across the interloper...
+        assert first.batch_size == third.batch_size == 2
+        # ...while the different observed set rides its own batch.
+        assert second.batch_size == 1
+        assert first.prediction.shape == (7,)
+        assert second.prediction.shape == (7,)
+
+    def test_empty_window_tick_is_harmless(self):
+        """A tick that finds nothing executable must not wedge the loop."""
+        config = ServeConfig(batch_window_ms=1.0)
+
+        async def main():
+            async with InferenceServer(_engine(), config) as server:
+                # Wake the batcher with no queued work: it should tick
+                # empty and go back to waiting, then serve normally.
+                server._wake.set()
+                await asyncio.sleep(0.01)
+                result = await server.submit(OBSERVED, [0.2, 0.2, 0.2])
+            return result
+
+        assert _run(main()).status == STATUS_OK
+
+
+class TestAdmissionControl:
+    def test_all_shed_when_queue_full(self):
+        config = ServeConfig(
+            batch_window_ms=50.0, max_batch_size=4, max_queue=3
+        )
+
+        async def main():
+            async with InferenceServer(_engine(), config) as server:
+                futures = [
+                    server.submit(OBSERVED, [0.1, 0.1, 0.1])
+                    for _ in range(10)
+                ]
+                return await asyncio.gather(*futures), server.stats
+
+        results, stats = _run(main())
+        statuses = [r.status for r in results]
+        assert statuses.count(STATUS_SHED) == 7
+        assert statuses.count(STATUS_OK) == 3
+        assert stats["shed"] == 7
+        shed = [r for r in results if r.status == STATUS_SHED]
+        assert all(r.prediction is None for r in shed)
+
+    def test_shed_resolves_immediately(self):
+        config = ServeConfig(batch_window_ms=500.0, max_queue=1)
+
+        async def main():
+            async with InferenceServer(_engine(), config) as server:
+                server.submit(OBSERVED, [0.1, 0.1, 0.1])
+                shed_future = server.submit(OBSERVED, [0.2, 0.2, 0.2])
+                # Shed without waiting for the (long) batch window.
+                assert shed_future.done()
+                assert shed_future.result().status == STATUS_SHED
+                await server.shutdown(drain=False)
+
+        _run(main())
+
+    def test_queue_depth_tracks_admissions(self):
+        config = ServeConfig(batch_window_ms=100.0, max_queue=8)
+
+        async def main():
+            async with InferenceServer(_engine(), config) as server:
+                assert server.queue_depth == 0
+                futures = [
+                    server.submit(OBSERVED, [0.1, 0.1, 0.1])
+                    for _ in range(3)
+                ]
+                assert server.queue_depth == 3
+                await server.shutdown(drain=True)
+                return await asyncio.gather(*futures)
+
+        results = _run(main())
+        assert all(r.status == STATUS_OK for r in results)
+
+
+class TestBitForBitCoalescing:
+    @pytest.mark.parametrize("backend", ["sparse"])
+    def test_coalesced_equals_serial_bitwise(self, backend):
+        """One coalesced batch must be bit-identical to serial serving.
+
+        Pinned on the sparse backend: its reduced solve is structurally
+        column-independent (CSR matvec + SuperLU back-substitution per
+        RHS), so batching cannot change a single bit.
+        """
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=(6, OBSERVED.size))
+        batched_cfg = ServeConfig(batch_window_ms=20.0, max_batch_size=8)
+        serial_cfg = ServeConfig(batch_window_ms=0.0, max_batch_size=1)
+
+        async def run(engine, config, concurrent):
+            async with InferenceServer(engine, config) as server:
+                if concurrent:
+                    futures = [
+                        server.submit(OBSERVED, values[i])
+                        for i in range(values.shape[0])
+                    ]
+                    results = await asyncio.gather(*futures)
+                else:
+                    results = [
+                        await server.submit(OBSERVED, values[i])
+                        for i in range(values.shape[0])
+                    ]
+            return results
+
+        batched = _run(run(_engine(backend=backend), batched_cfg, True))
+        serial = _run(run(_engine(backend=backend), serial_cfg, False))
+        assert all(r.batch_size == 6 for r in batched)
+        assert all(r.batch_size == 1 for r in serial)
+        for got, want in zip(batched, serial):
+            assert np.array_equal(got.prediction, want.prediction), (
+                "coalesced batch diverged from serial execution"
+            )
+
+    def test_dense_backend_coalescing_rounding_level(self):
+        """Dense GEMM batching is rounding-level, not bitwise (documented)."""
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=(4, OBSERVED.size))
+        config = ServeConfig(batch_window_ms=20.0, max_batch_size=8)
+
+        async def run():
+            engine = _engine(backend="dense")
+            async with InferenceServer(engine, config) as server:
+                futures = [
+                    server.submit(OBSERVED, values[i])
+                    for i in range(values.shape[0])
+                ]
+                batched = await asyncio.gather(*futures)
+                serial = [
+                    engine.infer_equilibrium(OBSERVED, values[i]).prediction
+                    for i in range(values.shape[0])
+                ]
+            return batched, serial
+
+        batched, serial = _run(run())
+        for got, want in zip(batched, serial):
+            assert np.allclose(got.prediction, want, atol=1e-12)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError, match="batch_window_ms"):
+            ServeConfig(batch_window_ms=-1.0)
+        with pytest.raises(ValueError, match="max_batch_size"):
+            ServeConfig(max_batch_size=0)
+        with pytest.raises(ValueError, match="max_queue"):
+            ServeConfig(max_queue=0)
+        with pytest.raises(ValueError, match="mode"):
+            ServeConfig(mode="warp")
+
+    def test_rejects_mismatched_values(self):
+        async def main():
+            async with InferenceServer(_engine()) as server:
+                with pytest.raises(ValueError, match="length"):
+                    server.submit(OBSERVED, [0.1, 0.2])
+
+        _run(main())

@@ -1,0 +1,190 @@
+"""Traffic generation: determinism, burstiness, loop disciplines."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import NaturalAnnealingEngine, symmetrize_coupling
+from repro.core.model import DSGLModel
+from repro.serve import (
+    InferenceServer,
+    ServeConfig,
+    closed_loop,
+    open_loop,
+    summarize_latencies,
+    synthetic_workload,
+)
+
+
+def _model(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    J = symmetrize_coupling(rng.normal(size=(n, n)) * 0.4)
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    return DSGLModel(J=J, h=h)
+
+
+class TestSyntheticWorkload:
+    def test_same_seed_same_workload(self):
+        model = _model()
+        first = synthetic_workload(model, 50, seed=3)
+        second = synthetic_workload(model, 50, seed=3)
+        assert len(first) == len(second) == 50
+        for a, b in zip(first.requests, second.requests):
+            assert a.at_ms == b.at_ms
+            assert np.array_equal(a.observed_index, b.observed_index)
+            assert np.array_equal(a.observed_values, b.observed_values)
+
+    def test_different_seed_differs(self):
+        model = _model()
+        first = synthetic_workload(model, 50, seed=3)
+        second = synthetic_workload(model, 50, seed=4)
+        assert any(
+            a.at_ms != b.at_ms
+            for a, b in zip(first.requests, second.requests)
+        )
+
+    def test_arrivals_sorted_and_start_at_zero(self):
+        workload = synthetic_workload(_model(), 80, seed=0)
+        arrivals = [r.at_ms for r in workload.requests]
+        assert arrivals[0] == 0.0
+        assert arrivals == sorted(arrivals)
+
+    def test_mean_rate_roughly_honored(self):
+        workload = synthetic_workload(
+            _model(), 600, rate_rps=1000.0, burstiness=4.0, seed=1
+        )
+        realized = (len(workload) - 1) / (workload.duration_ms / 1000.0)
+        # Gaps are normalized to the nominal mean rate; only the t=0
+        # re-anchoring of the first arrival perturbs the realized value.
+        assert realized == pytest.approx(1000.0, rel=0.1)
+
+    def test_bursty_arrivals_more_dispersed_than_poisson(self):
+        model = _model()
+        bursty = synthetic_workload(
+            model, 600, rate_rps=1000.0, burstiness=6.0, seed=2
+        )
+        smooth = synthetic_workload(
+            model, 600, rate_rps=1000.0, burstiness=1.0, seed=2
+        )
+
+        def gap_cv(workload):
+            gaps = np.diff([r.at_ms for r in workload.requests])
+            return gaps.std() / gaps.mean()
+
+        # Poisson gaps have CV ~= 1; modulated bursts are overdispersed.
+        assert gap_cv(smooth) < 1.3
+        assert gap_cv(bursty) > gap_cv(smooth) + 0.3
+
+    def test_groups_rotate(self):
+        workload = synthetic_workload(_model(), 60, num_groups=3, seed=0)
+        assert len(workload.groups) == 3
+        seen = {
+            request.observed_index.tobytes()
+            for request in workload.requests
+        }
+        assert len(seen) == 3
+
+    def test_validation(self):
+        model = _model()
+        with pytest.raises(ValueError, match="num_requests"):
+            synthetic_workload(model, 0)
+        with pytest.raises(ValueError, match="rate_rps"):
+            synthetic_workload(model, 5, rate_rps=0.0)
+        with pytest.raises(ValueError, match="burstiness"):
+            synthetic_workload(model, 5, burstiness=0.5)
+        with pytest.raises(ValueError, match="num_observed"):
+            synthetic_workload(model, 5, num_observed=model.n)
+
+
+class TestLoadLoops:
+    def _serve(self, coro):
+        return asyncio.run(coro)
+
+    def test_open_loop_serves_everything_under_light_load(self):
+        model = _model()
+        engine = NaturalAnnealingEngine(model=model, backend="sparse")
+        workload = synthetic_workload(
+            model, 30, rate_rps=3000.0, num_groups=2, seed=5
+        )
+
+        async def main():
+            async with InferenceServer(
+                engine, ServeConfig(batch_window_ms=1.0)
+            ) as server:
+                return await open_loop(server, workload)
+
+        summary = self._serve(main())
+        assert summary["loop"] == "open"
+        assert summary["completed"] == 30
+        assert summary["statuses"] == {"ok": 30}
+        assert len(summary["latencies_ms"]) == 30
+        assert all(lat > 0 for lat in summary["latencies_ms"])
+        assert summary["throughput_rps"] > 0
+        assert summary["mean_batch_size"] >= 1.0
+
+    def test_closed_loop_serves_everything(self):
+        model = _model()
+        engine = NaturalAnnealingEngine(model=model, backend="sparse")
+        workload = synthetic_workload(model, 24, num_groups=2, seed=6)
+
+        async def main():
+            async with InferenceServer(
+                engine, ServeConfig(batch_window_ms=1.0)
+            ) as server:
+                return await closed_loop(server, workload, concurrency=4)
+
+        summary = self._serve(main())
+        assert summary["loop"] == "closed"
+        assert summary["completed"] == 24
+        assert summary["concurrency"] == 4
+        assert len(summary["latencies_ms"]) == 24
+
+    def test_open_loop_sheds_under_overload(self):
+        model = _model()
+        engine = NaturalAnnealingEngine(model=model, backend="sparse")
+        workload = synthetic_workload(
+            model, 80, rate_rps=50_000.0, burstiness=1.0,
+            num_groups=1, seed=7,
+        )
+        config = ServeConfig(
+            batch_window_ms=5.0, max_batch_size=4, max_queue=2
+        )
+
+        async def main():
+            async with InferenceServer(engine, config) as server:
+                return await open_loop(server, workload)
+
+        summary = self._serve(main())
+        assert summary["statuses"].get("shed", 0) > 0
+        assert summary["completed"] > 0
+        assert (
+            summary["completed"] + summary["statuses"]["shed"]
+            == len(workload)
+        )
+
+
+class TestLatencySummary:
+    def test_quantiles_ordered(self):
+        latencies = list(np.random.default_rng(0).exponential(5.0, 2000))
+        summary = summarize_latencies(latencies)
+        assert summary["count"] == 2000
+        assert (
+            summary["p50_ms"]
+            <= summary["p99_ms"]
+            <= summary["p999_ms"]
+            <= summary["max_ms"]
+        )
+
+    def test_empty_sample(self):
+        summary = summarize_latencies([])
+        assert summary["count"] == 0
+        assert summary["p999_ms"] == 0.0
+
+    def test_matches_numpy_quantiles(self):
+        latencies = [1.0, 2.0, 3.0, 4.0, 100.0]
+        summary = summarize_latencies(latencies)
+        assert summary["p50_ms"] == pytest.approx(
+            float(np.quantile(latencies, 0.5))
+        )
+        assert summary["max_ms"] == 100.0

@@ -395,3 +395,98 @@ class TestObsDiffCli:
         assert main(
             ["obs", "diff", str(base), str(cand), "--min-band", "0.3"]
         ) == 0
+
+
+class TestServeCli:
+    def test_serve_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_run_defaults(self):
+        args = build_parser().parse_args(["serve", "run"])
+        assert args.serve_command == "run"
+        assert args.batch_window_ms == 2.0
+        assert args.max_batch_size == 64
+        assert args.max_queue == 256
+        assert args.closed_loop is False
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve", "bench", "--smoke"])
+        assert args.serve_command == "bench"
+        assert args.smoke is True
+        assert args.repeats == 3
+
+    def test_serve_accepts_observability_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "run", "--trace", "t.jsonl", "--metrics"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.metrics is True
+
+    def test_serve_run_executes(self, capsys, tmp_path):
+        out = tmp_path / "serve_run.json"
+        code = main(
+            [
+                "serve", "run", "--n", "32", "--requests", "20",
+                "--rate", "4000", "--json", str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "open-loop: 20/20 served" in printed
+        assert "p99.9" in printed
+        import json
+
+        document = json.loads(out.read_text())
+        assert document["completed"] == 20
+        assert document["latency_quantiles"]["p999_ms"] > 0
+
+    def test_serve_run_closed_loop_executes(self, capsys):
+        code = main(
+            [
+                "serve", "run", "--n", "32", "--requests", "12",
+                "--closed-loop", "--concurrency", "3",
+            ]
+        )
+        assert code == 0
+        assert "closed-loop: 12/12 served" in capsys.readouterr().out
+
+    def test_serve_bench_smoke_writes_payload(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        code = main(
+            [
+                "serve", "bench", "--smoke", "--repeats", "1",
+                "--out", str(out), "--seed", "1",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "bitwise_identical=True" in printed
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "serve_slo"
+        names = {row["name"] for row in payload["results"]}
+        assert {
+            "serve_open_loop",
+            "serve_batched_vs_serial",
+            "serve_overload_shed",
+        } <= names
+
+    def test_serve_run_records_serve_spans(self, tmp_path):
+        trace = tmp_path / "serve.jsonl"
+        code = main(
+            [
+                "serve", "run", "--n", "32", "--requests", "10",
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        from repro import obs
+
+        records = obs.read_trace(trace)
+        names = {
+            r["name"] for r in records if r.get("kind") == "span"
+        }
+        assert "serve.batch" in names
+        assert "serve.request" in names
