@@ -395,6 +395,76 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--repeats", type=_positive_int, default=3)
     serve_bench.add_argument("--seed", type=int, default=0)
 
+    stream_cmd = sub.add_parser(
+        "stream", help="streaming graph deltas with incremental updates"
+    )
+    stream_sub = stream_cmd.add_subparsers(
+        dest="stream_command", required=True
+    )
+    stream_run = stream_sub.add_parser(
+        "run",
+        help="replay a seeded delta stream and print the per-window summary",
+        parents=[common],
+    )
+    stream_run.add_argument("--n", type=_positive_int, default=128)
+    stream_run.add_argument("--density", type=float, default=0.05)
+    stream_run.add_argument(
+        "--windows",
+        type=_positive_int,
+        default=8,
+        help="observation windows to replay",
+    )
+    stream_run.add_argument(
+        "--batch",
+        type=_positive_int,
+        default=16,
+        help="observations (samples) per window",
+    )
+    stream_run.add_argument(
+        "--observed-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of nodes clamped per window",
+    )
+    stream_run.add_argument(
+        "--edges",
+        type=int,
+        default=4,
+        help="edge edits sampled per window delta",
+    )
+    stream_run.add_argument(
+        "--h-edits",
+        type=int,
+        default=0,
+        help="self-reaction edits sampled per window delta",
+    )
+    stream_run.add_argument(
+        "--rotate-every",
+        type=int,
+        default=0,
+        help="re-draw the observed set every N windows (0 keeps one set)",
+    )
+    stream_run.add_argument("--seed", type=int, default=0)
+    stream_run.add_argument(
+        "--backend",
+        choices=("dense", "sparse", "auto"),
+        default="sparse",
+        help="engine coupling-operator backend",
+    )
+    stream_run.add_argument(
+        "--mode",
+        choices=("engine", "serve"),
+        default="engine",
+        help="replay directly against the engine, or through the "
+        "dynamic-batching server (delta applied mid-traffic)",
+    )
+    stream_run.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the replay summary as JSON to PATH",
+    )
+
     obs_cmd = sub.add_parser(
         "obs", help="observability utilities", parents=[common]
     )
@@ -735,6 +805,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+    from dataclasses import asdict
+
+    from .stream import StreamConfig, format_stream_summary, run_stream
+
+    try:
+        config = StreamConfig(
+            n=args.n,
+            density=args.density,
+            windows=args.windows,
+            batch=args.batch,
+            observed_fraction=args.observed_fraction,
+            edges_per_window=args.edges,
+            h_edits_per_window=args.h_edits,
+            rotate_observed_every=args.rotate_every,
+            seed=args.seed,
+            backend=args.backend,
+            mode=args.mode,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    result = run_stream(config)
+    print(format_stream_summary(result))
+    if args.json:
+        document = {
+            "config": asdict(config),
+            "windows": [asdict(w) for w in result.windows],
+            "mean_mae": result.mean_mae,
+            "incremental_updates": result.incremental_updates,
+            "refactorizations": result.refactorizations,
+            "residual_refactorizations": result.residual_refactorizations,
+            "total_s": result.total_s,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _load_trace_records(path: str) -> list[dict]:
     """Read a trace for an ``obs`` subcommand, with clean failures.
 
@@ -856,6 +967,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_faults(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "obs":
         return _cmd_obs(args)
     return 1

@@ -1,0 +1,97 @@
+"""Content fingerprints for cache invalidation across the system.
+
+Every cache that survives across calls — the engine's coupling operator
+and reduced-LU memo (:mod:`repro.core.inference`), the GNN adjacency
+preparations (:mod:`repro.nn.graph`), and the serving layer's batch
+groups (:mod:`repro.serve.server`) — needs one answer to the same
+question: *is this array still the one I prepared for?*  Identity keys
+(``id(array)``) answer it wrongly under in-place mutation; hashing every
+byte answers it too slowly on hot paths.  This module is the shared
+middle ground:
+
+* :func:`array_fingerprint` / :func:`content_fingerprint` — a blake2b
+  digest over each array's shape plus a strided sample of at most
+  :data:`FINGERPRINT_SAMPLES` elements (and the last element), a few
+  microseconds regardless of size.  A strided sample is a probabilistic
+  guard, not a cryptographic one: a mutation confined to never-sampled
+  elements can evade it, which is the price of per-lookup cheapness.
+* ``checksum=True`` adds the float64 sum of every element to the digest,
+  making *any* value change (not just sampled ones) observable at O(n)
+  cost.  Per-forward consumers (the adjacency cache, whose product cost
+  dwarfs one pass over the adjacency) use it; per-request consumers (the
+  serving group key) stay on the strided fast path.
+
+Scipy sparse matrices fingerprint by their CSR component arrays
+(``data``/``indices``/``indptr``), so a pattern-preserving value update
+and a pattern rebuild both change the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+from scipy import sparse as sp
+
+__all__ = [
+    "FINGERPRINT_SAMPLES",
+    "array_fingerprint",
+    "content_fingerprint",
+]
+
+#: Number of elements sampled per array by the strided digest.
+FINGERPRINT_SAMPLES = 64
+
+
+def _digest_array(digest, array, samples: int, checksum: bool) -> None:
+    digest.update(repr(array.shape).encode())
+    flat = np.asarray(array).reshape(-1)
+    if not flat.size:
+        return
+    stride = max(1, flat.size // samples)
+    digest.update(np.ascontiguousarray(flat[::stride]).tobytes())
+    digest.update(flat[-1].tobytes())
+    if checksum and flat.dtype.kind in "fiu":
+        digest.update(np.float64(flat.sum(dtype=np.float64)).tobytes())
+
+
+def content_fingerprint(
+    arrays,
+    samples: int = FINGERPRINT_SAMPLES,
+    checksum: bool = False,
+) -> str:
+    """Joint fingerprint of an iterable of arrays (``None`` entries kept).
+
+    Args:
+        arrays: ndarrays, scipy sparse matrices, or ``None`` placeholders
+            (hashed as a distinct token so optional fields still key).
+        samples: Strided sample budget per array.
+        checksum: Also fold each array's float64 element sum into the
+            digest, catching mutations the strided sample would miss.
+
+    Returns:
+        A hex digest string.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for array in arrays:
+        if array is None:
+            digest.update(b"<none>")
+            continue
+        if sp.issparse(array):
+            csr = array if array.format == "csr" else array.tocsr()
+            digest.update(b"<csr>")
+            _digest_array(digest, csr.data, samples, checksum)
+            _digest_array(digest, csr.indices, samples, checksum)
+            _digest_array(digest, csr.indptr, samples, checksum)
+            continue
+        _digest_array(digest, np.asarray(array), samples, checksum)
+    return digest.hexdigest()
+
+
+def array_fingerprint(
+    array,
+    samples: int = FINGERPRINT_SAMPLES,
+    checksum: bool = False,
+) -> str:
+    """Fingerprint of one array; see :func:`content_fingerprint`."""
+    return content_fingerprint((array,), samples=samples, checksum=checksum)

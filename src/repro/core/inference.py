@@ -26,7 +26,6 @@ of densifying — select with the engine's ``backend`` field.
 
 from __future__ import annotations
 
-import hashlib
 import logging
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -42,8 +41,13 @@ from .dynamics import (
     IntegrationConfig,
     Trajectory,
 )
+from .fingerprint import content_fingerprint
 from .model import DSGLModel
-from .operators import CouplingOperator, ReducedSystem
+from .operators import (
+    DEFAULT_MAX_UPDATE_RANK,
+    CouplingOperator,
+    ReducedSystem,
+)
 
 __all__ = [
     "DEFAULT_CACHE_CAPACITY",
@@ -61,37 +65,26 @@ logger = logging.getLogger("repro.core")
 #: sets, which is exactly what the bound protects against.
 DEFAULT_CACHE_CAPACITY = 128
 
-#: Number of elements sampled per array by :func:`model_fingerprint`.
-_FINGERPRINT_SAMPLES = 64
-
 
 def model_fingerprint(model: DSGLModel) -> str:
     """Cheap content fingerprint of a model's parameter arrays.
 
-    Hashes each array's shape together with a strided sample of at most
-    :data:`_FINGERPRINT_SAMPLES` elements (plus the first and last
-    element), so the cost is a few microseconds regardless of model size.
-    The engine stores the fingerprint when it builds its caches and
-    re-checks it on every cache lookup: parameters mutated in place —
-    which would otherwise serve bit-stale solves — change the fingerprint
-    and auto-invalidate the caches.  A strided sample is a probabilistic
-    guard, not a cryptographic one: a mutation confined to never-sampled
-    elements can evade it, which is the price of per-lookup cheapness
-    (call :meth:`NaturalAnnealingEngine.clear_cache` explicitly for a
-    hard guarantee).
+    Delegates to :func:`repro.core.fingerprint.content_fingerprint` over
+    ``(J, h, mean, scale)``: each array's shape plus a strided sample of
+    at most 64 elements (and the last element), a few microseconds
+    regardless of model size.  The engine stores the fingerprint when it
+    builds its caches and re-checks it on every cache lookup: parameters
+    mutated in place — which would otherwise serve bit-stale solves —
+    change the fingerprint and auto-invalidate the caches.  A strided
+    sample is a probabilistic guard, not a cryptographic one: a mutation
+    confined to never-sampled elements can evade it, which is the price
+    of per-lookup cheapness (call
+    :meth:`NaturalAnnealingEngine.clear_cache` explicitly for a hard
+    guarantee, or route edits through
+    :meth:`NaturalAnnealingEngine.apply_delta`, which refreshes the
+    fingerprint deterministically).
     """
-    digest = hashlib.blake2b(digest_size=16)
-    for array in (model.J, model.h, model.mean, model.scale):
-        if array is None:
-            digest.update(b"<none>")
-            continue
-        digest.update(repr(array.shape).encode())
-        flat = array.reshape(-1)
-        if flat.size:
-            stride = max(1, flat.size // _FINGERPRINT_SAMPLES)
-            digest.update(np.ascontiguousarray(flat[::stride]).tobytes())
-            digest.update(flat[-1].tobytes())
-    return digest.hexdigest()
+    return content_fingerprint((model.J, model.h, model.mean, model.scale))
 
 
 @dataclass
@@ -181,10 +174,17 @@ class NaturalAnnealingEngine:
     backend: str = "auto"
     faults: FaultScenario | NullFaultScenario = NO_FAULTS
     cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    max_update_rank: int = DEFAULT_MAX_UPDATE_RANK
+    update_residual_tol: float | None = None
     cache_hits: int = field(default=0, init=False)
     cache_misses: int = field(default=0, init=False)
     cache_evictions: int = field(default=0, init=False)
     stale_invalidations: int = field(default=0, init=False)
+    deltas_applied: int = field(default=0, init=False)
+    incremental_updates: int = field(default=0, init=False)
+    delta_refactorizations: int = field(default=0, init=False)
+    residual_refactorizations: int = field(default=0, init=False)
+    model_version: int = field(default=0, init=False)
     _operator: CouplingOperator | None = field(
         default=None, init=False, repr=False
     )
@@ -261,6 +261,101 @@ class NaturalAnnealingEngine:
         self.faults = faults
         self.clear_cache()
 
+    # ------------------------------------------------------------------
+    # Streaming deltas
+    # ------------------------------------------------------------------
+    def problem_key(self) -> str:
+        """Stable identity of the model content the caches were built for.
+
+        ``{model_version}:{model_fingerprint}`` — the version counter
+        increments on every effective :meth:`apply_delta`, so consumers
+        that group work by problem (the serving layer's batch coalescing)
+        are guaranteed a new key after a delta even when the strided
+        fingerprint sample happens to miss the edited entries.
+        """
+        return f"{self.model_version}:{model_fingerprint(self.model)}"
+
+    def apply_delta(self, delta) -> None:
+        """Fold a :class:`~repro.stream.deltas.GraphDelta` into the engine.
+
+        The model's ``J``/``h`` are edited in place (set semantics), the
+        cached coupling operator is replaced by a structure-reusing
+        :meth:`~repro.core.operators.CouplingOperator.apply_delta` copy,
+        and every cached :class:`ReducedSystem` absorbs the edits as
+        low-rank Sherman-Morrison-Woodbury corrections where possible —
+        skipping the full LU refactorization — or is dropped for lazy
+        refactorization when the update-rank budget is exhausted
+        (counted in :attr:`delta_refactorizations`).
+
+        A delta whose effective edit set is empty (after normalizing out
+        edits equal to the current values) is a guaranteed no-op: no
+        cache churn, no fingerprint or :attr:`model_version` change.
+
+        With a fault scenario installed the cached operator is the
+        *fault-transformed* coupling, so increments computed against it
+        would compound with the faults; the engine falls back to a plain
+        edit-and-clear in that case.
+
+        Raises:
+            ValueError: On out-of-range indices, diagonal or conflicting
+                symmetric edits, or ``h`` edits that are not strictly
+                negative (the model's convexity invariant).
+        """
+        delta.validate_range(self.model.n)
+        if delta.num_h_edits and np.any(delta.h_value >= 0.0):
+            raise ValueError(
+                "h edits must be strictly negative to preserve the "
+                "model's convexity invariant"
+            )
+        obs.metrics().counter("stream.deltas").inc()
+        if delta.is_empty:
+            return
+        if self.faults.enabled:
+            delta.apply_to_dense(self.model.J, self.model.h, symmetric=True)
+            dropped = len(self._reduced_cache)
+            self.clear_cache()
+            self.deltas_applied += 1
+            self.delta_refactorizations += dropped
+            self.model_version += 1
+            obs.metrics().counter("stream.refactorizations").inc(dropped)
+            return
+        operator = self.operator
+        info: dict = {}
+        new_operator = operator.apply_delta(delta, info=info)
+        delta.apply_to_dense(self.model.J, self.model.h, symmetric=True)
+        if info["noop"]:
+            # Every edit matched the current values; nothing changed.
+            return
+        self._operator = new_operator
+        incremental = 0
+        refactors = 0
+        edge_increments = info["edge_increments"]
+        h_increments = info["h_increments"]
+        cache = self._reduced_cache
+        with obs.metrics().timer("stream.update_ms"):
+            for key in list(cache):
+                reduced = cache[key]
+                if reduced.apply_increments(edge_increments, h_increments):
+                    incremental += 1
+                else:
+                    del cache[key]
+                    refactors += 1
+        self.deltas_applied += 1
+        self.incremental_updates += incremental
+        self.delta_refactorizations += refactors
+        self.model_version += 1
+        self._model_fingerprint = model_fingerprint(self.model)
+        metrics = obs.metrics()
+        metrics.counter("stream.incremental_updates").inc(incremental)
+        metrics.counter("stream.refactorizations").inc(refactors)
+        metrics.gauge("engine.cache_size").set(len(cache))
+        logger.debug(
+            "applied delta (%d edge / %d h effective edits): %d cached "
+            "system(s) updated incrementally, %d dropped for "
+            "refactorization",
+            len(edge_increments), len(h_increments), incremental, refactors,
+        )
+
     @property
     def cache_size(self) -> int:
         """Number of factored reduced systems currently memoized."""
@@ -302,6 +397,19 @@ class NaturalAnnealingEngine:
         key = (observed_index.size, observed_index.tobytes())
         cache = self._reduced_cache
         reduced = cache.get(key)
+        if reduced is not None and reduced.needs_refactor:
+            # A corrected solve exceeded the residual bound since the last
+            # lookup; drop the entry lazily and refactor fresh.
+            del cache[key]
+            reduced = None
+            self.residual_refactorizations += 1
+            obs.metrics().counter("stream.residual_refactorizations").inc()
+            logger.info(
+                "incremental reduced system exceeded residual tolerance "
+                "(last_residual above bound); refactorizing %d free / %d "
+                "observed nodes",
+                free_index.size, observed_index.size,
+            )
         if reduced is None:
             self.cache_misses += 1
             obs.metrics().counter("engine.cache_misses").inc()
@@ -312,7 +420,10 @@ class NaturalAnnealingEngine:
             ):
                 with obs.metrics().timer("engine.factorize_ms"):
                     reduced = self.operator.reduced_system(
-                        free_index, observed_index
+                        free_index,
+                        observed_index,
+                        max_update_rank=self.max_update_rank,
+                        residual_tol=self.update_residual_tol,
                     )
             cache[key] = reduced
             while len(cache) > self.cache_capacity:

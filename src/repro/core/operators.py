@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import numpy as np
 from scipy import sparse as sp
-from scipy.linalg import lu_factor, lu_solve
+from scipy.linalg import LinAlgError, lu_factor, lu_solve
 from scipy.sparse.linalg import splu
+
+from .fingerprint import content_fingerprint
 
 __all__ = [
     "CouplingOperator",
@@ -36,6 +38,7 @@ __all__ = [
     "select_backend",
     "DEFAULT_DENSITY_THRESHOLD",
     "DEFAULT_MIN_SPARSE_SIZE",
+    "DEFAULT_MAX_UPDATE_RANK",
 ]
 
 #: Off-diagonal density at or below which ``auto`` prefers the sparse
@@ -46,6 +49,12 @@ DEFAULT_DENSITY_THRESHOLD = 0.25
 #: Smallest system size for which ``auto`` may pick sparse storage; below
 #: this the dense matvec fits in cache and index indirection only hurts.
 DEFAULT_MIN_SPARSE_SIZE = 64
+
+#: Default bound on the accumulated Sherman-Morrison-Woodbury update rank
+#: a :class:`ReducedSystem` will carry before requesting a refactorization.
+#: Each SMW solve costs an extra ``O(num_free * rank)`` on top of the back
+#: substitution, so past a few dozen columns refactoring wins anyway.
+DEFAULT_MAX_UPDATE_RANK = 32
 
 
 def _offdiag_density(J) -> float:
@@ -95,17 +104,79 @@ class ReducedSystem:
     here and reused for every solve (dense ``lu_factor`` or sparse
     ``splu`` depending on the operator backend).
 
+    Streaming deltas extend the reuse story across *matrix* changes:
+    :meth:`apply_increments` folds small edits (an edge reweight, an
+    ``h`` nudge) into the held factorization as low-rank
+    Sherman-Morrison-Woodbury corrections instead of refactoring, with
+    one step of iterative refinement per solve and a measured relative
+    residual.  When the accumulated update rank would exceed
+    :attr:`max_update_rank`, or a solve's residual exceeds
+    :attr:`residual_tol`, the system flags :attr:`needs_refactor` and the
+    owner falls back to a full refactorization.
+
     Attributes:
         backend: ``"dense"`` or ``"sparse"`` — which factorization is held.
         num_free: Number of free (solved-for) nodes.
         num_observed: Number of clamped nodes.
+        free_index: Global indices of the free nodes, when the builder
+            provided them (required for :meth:`apply_increments`).
+        clamp_index: Global indices of the clamped nodes, likewise.
+        max_update_rank: SMW rank budget before refactorization.
+        residual_tol: Relative residual bound on corrected solves;
+            defaults to ``sqrt(eps)`` of the factored dtype.
+        update_rank: SMW columns currently folded into solves.
+        updates_applied: Number of successful :meth:`apply_increments`.
+        last_residual: Relative residual of the most recent corrected
+            solve (``0.0`` while no updates are held — base solves are
+            exact to the factorization).
+        needs_refactor: True once the residual bound was exceeded; the
+            system keeps solving (best effort) but owners should rebuild.
     """
 
-    def __init__(self, A, B, backend: str):
+    def __init__(
+        self,
+        A,
+        B,
+        backend: str,
+        free_index: np.ndarray | None = None,
+        clamp_index: np.ndarray | None = None,
+        max_update_rank: int = DEFAULT_MAX_UPDATE_RANK,
+        residual_tol: float | None = None,
+    ):
         self.backend = backend
         self.num_free = int(A.shape[0])
         self.num_observed = int(B.shape[1])
         self._B = B
+        self._A = A
+        dtype = np.asarray(A.data if sp.issparse(A) else A).dtype
+        if dtype.kind != "f":
+            dtype = np.dtype(float)
+        if residual_tol is None:
+            residual_tol = float(np.sqrt(np.finfo(dtype).eps))
+        self.residual_tol = float(residual_tol)
+        self.max_update_rank = int(max_update_rank)
+        self.free_index = None
+        self.clamp_index = None
+        self._free_pos: dict[int, int] = {}
+        self._clamp_pos: dict[int, int] = {}
+        if free_index is not None:
+            self.free_index = np.asarray(free_index, dtype=int).reshape(-1)
+            self._free_pos = {
+                int(g): p for p, g in enumerate(self.free_index)
+            }
+        if clamp_index is not None:
+            self.clamp_index = np.asarray(clamp_index, dtype=int).reshape(-1)
+            self._clamp_pos = {
+                int(g): p for p, g in enumerate(self.clamp_index)
+            }
+        self._U: np.ndarray | None = None
+        self._V: np.ndarray | None = None
+        self._Z: np.ndarray | None = None
+        self._S_factor = None
+        self.update_rank = 0
+        self.updates_applied = 0
+        self.last_residual = 0.0
+        self.needs_refactor = False
         if self.num_free == 0:
             self._solve = None
         elif backend == "sparse":
@@ -113,6 +184,163 @@ class ReducedSystem:
         else:
             factorization = lu_factor(np.asarray(A))
             self._solve = lambda rhs: lu_solve(factorization, rhs)
+
+    # ------------------------------------------------------------------
+    # Incremental (Sherman-Morrison-Woodbury) updates
+    # ------------------------------------------------------------------
+    def apply_increments(self, edge_increments, h_increments) -> bool:
+        """Fold coupling/self-reaction edits into the held factorization.
+
+        Args:
+            edge_increments: Iterable of ``(i, j, old, new)`` symmetric
+                edge edits in *global* node indices (``i != j``; both
+                orientations are implied).
+            h_increments: Iterable of ``(i, old, new)`` self-reaction
+                edits in global node indices.
+
+        Edits touching two free nodes (or the free diagonal through
+        ``h``) become rank-1/rank-2 SMW columns against the *original*
+        factorization; free-observed edits rewrite the right-hand-side
+        matrix ``B`` exactly; observed-observed edits are no-ops.  Solves
+        then apply the Woodbury correction plus one iterative-refinement
+        step, tracking :attr:`last_residual`.
+
+        Returns:
+            False when the update cannot be absorbed — no index maps
+            were provided, the rank budget would be exceeded,
+            :attr:`needs_refactor` is already set, or the small capacity
+            system is singular.  The caller should refactorize; this
+            system is left unchanged in that case.
+        """
+        if self.num_free == 0:
+            return True
+        if not self._free_pos and not self._clamp_pos:
+            return False
+        if self.needs_refactor:
+            return False
+        u_cols: list[np.ndarray] = []
+        v_cols: list[np.ndarray] = []
+        b_edits: list[tuple[int, int, float]] = []
+        for i, j, old, new in edge_increments:
+            i, j = int(i), int(j)
+            dw = float(new) - float(old)
+            p = self._free_pos.get(i)
+            q = self._free_pos.get(j)
+            if p is not None and q is not None:
+                e_p = np.zeros(self.num_free)
+                e_q = np.zeros(self.num_free)
+                e_p[p] = 1.0
+                e_q[q] = 1.0
+                u_cols.extend((e_p, e_q))
+                v_cols.extend((dw * e_q, dw * e_p))
+            elif p is not None:
+                c = self._clamp_pos.get(j)
+                if c is None:
+                    return False
+                b_edits.append((p, c, -float(new)))
+            elif q is not None:
+                c = self._clamp_pos.get(i)
+                if c is None:
+                    return False
+                b_edits.append((q, c, -float(new)))
+            # Both observed: J_oo never enters the reduced system.
+        for i, old, new in h_increments:
+            p = self._free_pos.get(int(i))
+            if p is None:
+                continue
+            dv = float(new) - float(old)
+            e_p = np.zeros(self.num_free)
+            e_p[p] = 1.0
+            u_cols.append(e_p)
+            v_cols.append(dv * e_p)
+        added = len(u_cols)
+        if self.update_rank + added > self.max_update_rank:
+            return False
+        if added:
+            U_new = np.column_stack(u_cols)
+            V_new = np.column_stack(v_cols)
+            Z_new = np.asarray(self._solve(U_new))
+            if Z_new.ndim == 1:
+                Z_new = Z_new.reshape(-1, 1)
+            if self._U is None:
+                U, V, Z = U_new, V_new, Z_new
+            else:
+                U = np.concatenate((self._U, U_new), axis=1)
+                V = np.concatenate((self._V, V_new), axis=1)
+                Z = np.concatenate((self._Z, Z_new), axis=1)
+            rank = U.shape[1]
+            S = np.eye(rank) + V.T @ Z
+            try:
+                S_factor = lu_factor(S)
+            except (LinAlgError, ValueError):
+                return False
+            self._U, self._V, self._Z = U, V, Z
+            self._S_factor = S_factor
+            self.update_rank = rank
+        if b_edits:
+            self._set_B_entries(b_edits)
+        self.updates_applied += 1
+        return True
+
+    def _set_B_entries(self, edits: list[tuple[int, int, float]]) -> None:
+        """SET entries of the right-hand-side matrix ``B`` exactly."""
+        if sp.issparse(self._B):
+            coo = self._B.tocoo()
+            edited = {(p, c) for p, c, _ in edits}
+            keep = np.fromiter(
+                (
+                    (int(r), int(c)) not in edited
+                    for r, c in zip(coo.row, coo.col)
+                ),
+                dtype=bool,
+                count=coo.nnz,
+            )
+            rows = list(coo.row[keep])
+            cols = list(coo.col[keep])
+            data = list(coo.data[keep])
+            for p, c, value in edits:
+                if value != 0.0:
+                    rows.append(p)
+                    cols.append(c)
+                    data.append(value)
+            rebuilt = sp.csr_matrix(
+                (data, (rows, cols)),
+                shape=self._B.shape,
+                dtype=self._B.dtype,
+            )
+            rebuilt.sum_duplicates()
+            rebuilt.sort_indices()
+            self._B = rebuilt
+        else:
+            for p, c, value in edits:
+                self._B[p, c] = value
+
+    def _apply_updated(self, x: np.ndarray) -> np.ndarray:
+        """``A' @ x`` for the updated matrix ``A' = A0 + U V^T``."""
+        out = np.asarray(self._A @ x)
+        if self.update_rank:
+            out = out + self._U @ (self._V.T @ x)
+        return out
+
+    def _smw_apply(self, x0: np.ndarray) -> np.ndarray:
+        """Woodbury-corrected solution from a base solution ``A0^-1 rhs``."""
+        w = self._V.T @ x0
+        y = lu_solve(self._S_factor, w)
+        return x0 - self._Z @ y
+
+    def _corrected_solve(self, rhs: np.ndarray) -> np.ndarray:
+        """SMW solve + one iterative-refinement step, residual-tracked."""
+        x = self._smw_apply(np.asarray(self._solve(rhs)))
+        r = rhs - self._apply_updated(x)
+        x = x + self._smw_apply(np.asarray(self._solve(r)))
+        r = rhs - self._apply_updated(x)
+        rhs_norm = np.linalg.norm(rhs, axis=0)
+        res_norm = np.linalg.norm(r, axis=0)
+        scale = np.maximum(rhs_norm, np.finfo(float).tiny)
+        self.last_residual = float(np.max(res_norm / scale))
+        if self.last_residual > self.residual_tol:
+            self.needs_refactor = True
+        return x
 
     def solve(self, clamp_values: np.ndarray) -> np.ndarray:
         """Free-node equilibrium states for one or many clamp assignments.
@@ -140,7 +368,10 @@ class ReducedSystem:
             return np.zeros(shape)
         rhs = self._B @ (clamp_values if single else clamp_values.T)
         rhs = np.asarray(rhs)
-        out = self._solve(rhs)
+        if self.update_rank:
+            out = self._corrected_solve(rhs)
+        else:
+            out = self._solve(rhs)
         return out if single else out.T
 
 
@@ -290,6 +521,31 @@ class CouplingOperator:
             return self._J.toarray()
         return self._J.copy()
 
+    def fingerprint(self, checksum: bool = False) -> str:
+        """Content fingerprint of ``(J, h)`` for cache keying.
+
+        See :func:`repro.core.fingerprint.content_fingerprint`;
+        ``checksum=True`` makes any value change observable at O(n) cost.
+        """
+        return content_fingerprint((self._J, self.h), checksum=checksum)
+
+    def entry(self, i: int, j: int) -> float:
+        """The stored coupling value ``J[i, j]`` (0.0 when absent)."""
+        if sp.issparse(self._J):
+            pos = self._csr_pos(i, j)
+            return float(self._J.data[pos]) if pos >= 0 else 0.0
+        return float(self._J[i, j])
+
+    def _csr_pos(self, i: int, j: int) -> int:
+        """Position of ``(i, j)`` in the CSR data array, or -1 if absent."""
+        indptr = self._J.indptr
+        indices = self._J.indices
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        pos = lo + int(np.searchsorted(indices[lo:hi], j))
+        if pos < hi and indices[pos] == j:
+            return pos
+        return -1
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CouplingOperator(n={self.n}, backend={self.backend!r}, "
@@ -390,17 +646,27 @@ class CouplingOperator:
         return -np.sum(sigma * Js, axis=-1) - (sigma * sigma) @ self.h
 
     def reduced_system(
-        self, free_index: np.ndarray, clamp_index: np.ndarray
+        self,
+        free_index: np.ndarray,
+        clamp_index: np.ndarray,
+        max_update_rank: int = DEFAULT_MAX_UPDATE_RANK,
+        residual_tol: float | None = None,
     ) -> ReducedSystem:
         """Factor the clamped-reduced system for one observed-index set.
 
         Args:
             free_index: Indices of the free (solved-for) nodes.
             clamp_index: Indices of the clamped (observed) nodes.
+            max_update_rank: SMW rank budget before the returned system
+                asks for refactorization (see :class:`ReducedSystem`).
+            residual_tol: Relative residual bound on corrected solves;
+                ``None`` means ``sqrt(eps)`` of the factored dtype.
 
         Returns:
             A :class:`ReducedSystem` whose factorization can be reused for
-            every right-hand side sharing this observed set.
+            every right-hand side sharing this observed set — and, via
+            :meth:`ReducedSystem.apply_increments`, across small coupling
+            deltas.
         """
         free_index = np.asarray(free_index, dtype=int).reshape(-1)
         clamp_index = np.asarray(clamp_index, dtype=int).reshape(-1)
@@ -412,4 +678,184 @@ class CouplingOperator:
                 self.h[free_index]
             )
             B = -self._J[np.ix_(free_index, clamp_index)]
-        return ReducedSystem(A, B, self.backend)
+        return ReducedSystem(
+            A,
+            B,
+            self.backend,
+            free_index=free_index,
+            clamp_index=clamp_index,
+            max_update_rank=max_update_rank,
+            residual_tol=residual_tol,
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming deltas
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta, info: dict | None = None) -> "CouplingOperator":
+        """A new operator with a :class:`~repro.stream.deltas.GraphDelta` applied.
+
+        Structure is reused rather than rebuilt: the dense backend copies
+        ``J`` once and edits in place; the sparse backend shares the CSR
+        ``indices``/``indptr`` arrays when every edit lands on an existing
+        non-zero (a pattern-preserving value update) and only rebuilds the
+        pattern — canonically, matching a from-scratch
+        ``csr_matrix(dense)`` layout bit-for-bit — when edges are added or
+        removed.  Set semantics: an edit's weight *replaces* the stored
+        value, zero removes the edge, and edits equal to the current
+        stored value are normalized out.  A delta whose effective edit set
+        is empty returns ``self`` unchanged (same object, same
+        fingerprint).
+
+        Symmetric operators expand each edit to both orientations and
+        reject diagonal or conflicting-orientation edits; asymmetric
+        operators treat edits as directed.
+
+        Args:
+            delta: The edits (duck-typed: anything with the
+                :class:`~repro.stream.deltas.GraphDelta` attributes).
+            info: Optional dict populated with the *effective* edits —
+                ``edge_increments`` as ``(i, j, old, new)`` tuples
+                (canonical upper-triangle orientation when symmetric),
+                ``h_increments`` as ``(i, old, new)``,
+                ``pattern_rebuilt``, and ``noop`` — which is exactly what
+                :meth:`ReducedSystem.apply_increments` consumes.
+
+        Raises:
+            ValueError: On out-of-range indices, or (symmetric only) on
+                diagonal edits or conflicting opposite-orientation edits.
+        """
+        delta.validate_range(self.n)
+        if self.symmetric:
+            rows, cols, weights = delta.symmetric_edges()
+        else:
+            rows = delta.edge_index[:, 0]
+            cols = delta.edge_index[:, 1]
+            weights = delta.edge_weight
+        sparse_J = sp.issparse(self._J)
+        dtype = self.dtype
+
+        edge_edits: list[tuple[int, int, float, float]] = []
+        for i, j, w in zip(rows, cols, weights):
+            i, j = int(i), int(j)
+            new = float(dtype.type(w))
+            old = self.entry(i, j)
+            if new != old:
+                edge_edits.append((i, j, old, new))
+        h_edits: list[tuple[int, float, float]] = []
+        for i, v in zip(delta.h_index, delta.h_value):
+            i = int(i)
+            new = float(self.h.dtype.type(v))
+            old = float(self.h[i])
+            if new != old:
+                h_edits.append((i, old, new))
+
+        if not edge_edits and not h_edits:
+            if info is not None:
+                info.update(
+                    edge_increments=[],
+                    h_increments=[],
+                    pattern_rebuilt=False,
+                    noop=True,
+                )
+            return self
+
+        pattern_rebuilt = False
+        if not edge_edits:
+            new_J = self._J
+        elif not sparse_J:
+            new_J = self._J.copy()
+            for i, j, _, new in edge_edits:
+                new_J[i, j] = new
+                if self.symmetric:
+                    new_J[j, i] = new
+        else:
+            # Rebuild when an edit adds a missing entry or zeroes an
+            # existing one; otherwise it is a pure value update.
+            pattern_change = False
+            for i, j, _, new in edge_edits:
+                present = self._csr_pos(i, j) >= 0
+                if (new == 0.0 and present) or (new != 0.0 and not present):
+                    pattern_change = True
+                    break
+            if not pattern_change:
+                new_data = self._J.data.copy()
+                for i, j, _, new in edge_edits:
+                    new_data[self._csr_pos(i, j)] = new
+                    if self.symmetric:
+                        new_data[self._csr_pos(j, i)] = new
+                new_J = sp.csr_matrix(
+                    (new_data, self._J.indices, self._J.indptr),
+                    shape=self._J.shape,
+                )
+            else:
+                pattern_rebuilt = True
+                new_J = self._rebuild_pattern(edge_edits)
+
+        if h_edits:
+            new_h = self.h.copy()
+            for i, _, new in h_edits:
+                new_h[i] = new
+        else:
+            new_h = self.h
+
+        if info is not None:
+            info.update(
+                edge_increments=edge_edits,
+                h_increments=h_edits,
+                pattern_rebuilt=pattern_rebuilt,
+                noop=False,
+            )
+        return CouplingOperator._from_parts(
+            new_J,
+            new_h,
+            backend=self.backend,
+            symmetric=self.symmetric,
+            density=_offdiag_density(new_J),
+        )
+
+    def _rebuild_pattern(self, edge_edits) -> sp.csr_matrix:
+        """Canonical CSR rebuild after additions/removals.
+
+        Drops every edited entry from the current pattern, re-adds the
+        non-zero new values (both orientations when symmetric), and lets
+        the COO→CSR conversion canonicalize — sorted indices, no explicit
+        zeros — so the result is bit-identical in ``data``/``indices``/
+        ``indptr`` to ``csr_matrix`` built from the edited dense matrix.
+        """
+        coo = self._J.tocoo()
+        edited = set()
+        for i, j, _, _ in edge_edits:
+            edited.add((i, j))
+            if self.symmetric:
+                edited.add((j, i))
+        keep = np.fromiter(
+            (
+                (int(r), int(c)) not in edited
+                for r, c in zip(coo.row, coo.col)
+            ),
+            dtype=bool,
+            count=coo.nnz,
+        )
+        rows = list(coo.row[keep])
+        cols = list(coo.col[keep])
+        data = list(coo.data[keep])
+        for i, j, _, new in edge_edits:
+            if new == 0.0:
+                continue
+            rows.append(i)
+            cols.append(j)
+            data.append(new)
+            if self.symmetric:
+                rows.append(j)
+                cols.append(i)
+                data.append(new)
+        rebuilt = sp.csr_matrix(
+            (
+                np.asarray(data, dtype=self.dtype),
+                (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)),
+            ),
+            shape=self._J.shape,
+        )
+        rebuilt.sum_duplicates()
+        rebuilt.sort_indices()
+        return rebuilt

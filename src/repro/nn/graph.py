@@ -16,21 +16,31 @@ Three pieces:
 * :func:`graph_propagate` — the autograd node ``y = A x`` over the node
   axis; backward is one :meth:`~repro.core.operators.CouplingOperator.
   propagate` call with ``adjoint=True`` (``A.T g``).
-* :class:`AdjacencyCache` — identity-keyed per-model cache of prepared
-  tensors/supports.
+* :class:`AdjacencyCache` — content-fingerprinted per-model cache of
+  prepared tensors/supports.
 
-Static contract: a prepared support snapshots the adjacency values.
-Models invalidate by *reassigning* their adjacency attribute (identity
-key misses and the support is rebuilt); in-place writes to the original
-array are not observed by a cached support.  The zero-copy tensor wrap
-(legacy dense path) shares storage and therefore does observe them,
-matching seed behaviour exactly.
+Invalidation contract: supports are keyed by a *content* fingerprint of
+the adjacency (:func:`repro.core.fingerprint.array_fingerprint` with the
+O(n) checksum enabled, so any value change is observed) — mutating the
+adjacency in place, reassigning it, or streaming a
+:class:`~repro.stream.deltas.GraphDelta` through
+:meth:`AdjacencyCache.apply_delta` all resolve to the correct prepared
+support; stale entries for the old content are evicted (counted in
+``nn.adjacency_stale``).  The delta path is the fast one: instead of
+re-running backend selection and CSR construction it updates the cached
+operator structurally via
+:meth:`~repro.core.operators.CouplingOperator.apply_delta`.  The
+zero-copy tensor wrap (legacy dense path) shares storage with the
+adjacency and therefore observes in-place writes directly, matching seed
+behaviour exactly.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
+from ..core.fingerprint import array_fingerprint
 from ..core.operators import CouplingOperator
 from .tensor import Tensor, as_tensor
 
@@ -59,6 +69,29 @@ class GraphSupport:
         self.operator = CouplingOperator(
             adjacency, backend=backend, symmetric=False, dtype=dtype
         )
+
+    @classmethod
+    def _from_operator(cls, operator: CouplingOperator) -> "GraphSupport":
+        support = object.__new__(cls)
+        support.operator = operator
+        return support
+
+    def apply_delta(self, delta) -> "GraphSupport":
+        """A new support with a directed-edge delta applied.
+
+        Adjacencies are asymmetric with a meaningful diagonal, so edits
+        are taken as-is (no symmetric expansion); structure is reused per
+        :meth:`CouplingOperator.apply_delta`.  Returns ``self`` when the
+        delta is a no-op against the current values.
+        """
+        updated = self.operator.apply_delta(delta)
+        if updated is self.operator:
+            return self
+        return GraphSupport._from_operator(updated)
+
+    def fingerprint(self, checksum: bool = True) -> str:
+        """Content fingerprint of the prepared adjacency."""
+        return self.operator.fingerprint(checksum=checksum)
 
     @property
     def backend(self) -> str:
@@ -99,17 +132,32 @@ def graph_propagate(x, support: GraphSupport) -> Tensor:
 
 
 class AdjacencyCache:
-    """Identity-keyed cache of per-model adjacency preparations.
+    """Content-fingerprinted cache of per-model adjacency preparations.
 
-    Keys are ``(kind, id(array), dtype, backend)`` with a reference to
-    the array held alongside each entry, so an id can never be recycled
-    while its entry lives.  Reassigning the model's adjacency attribute
-    therefore misses and rebuilds; see the module docstring for the
-    static contract on in-place writes.
+    Supports are keyed by ``(kind, backend, dtype, fingerprint)`` where
+    the fingerprint is :func:`~repro.core.fingerprint.array_fingerprint`
+    with ``checksum=True`` — one O(n) pass over the adjacency per
+    lookup, which any value change (in-place writes included) is
+    guaranteed to move.  A per-identity index maps each source array to
+    its current content entry, so a mutation evicts the stale
+    preparation instead of leaking it (evictions are counted in
+    :attr:`stale_invalidations` and the ``nn.adjacency_stale`` counter).
+    A reference to the source array is held alongside each entry, so an
+    ``id`` can never be recycled while its entry lives.
+
+    :meth:`apply_delta` is the incremental fast path: it edits the
+    adjacency *and* the cached operator structurally in one step,
+    skipping the rebuild a fingerprint miss would otherwise pay.
+
+    The legacy :meth:`tensor` wrap stays identity-keyed on purpose: it
+    shares storage with the adjacency, so in-place writes are observed
+    through the shared buffer and the entry can never go stale.
     """
 
     def __init__(self) -> None:
         self._entries: dict[tuple, tuple] = {}
+        self._id_index: dict[tuple, tuple] = {}
+        self.stale_invalidations = 0
 
     def tensor(self, adjacency, dtype=None) -> Tensor:
         """A constant :class:`Tensor` wrap, zero-copy when dtypes match."""
@@ -122,14 +170,75 @@ class AdjacencyCache:
             self._entries[key] = entry
         return entry[1]
 
+    @staticmethod
+    def _support_params(backend, dtype) -> tuple:
+        return (backend, None if dtype is None else np.dtype(dtype))
+
+    def _evict_stale(self, id_key: tuple, current_key: tuple) -> None:
+        previous = self._id_index.get(id_key)
+        if previous is not None and previous != current_key:
+            if self._entries.pop(previous, None) is not None:
+                self.stale_invalidations += 1
+                obs.metrics().counter("nn.adjacency_stale").inc()
+        self._id_index[id_key] = current_key
+
     def support(self, adjacency, backend: str = "auto", dtype=None) -> GraphSupport:
-        """A prepared :class:`GraphSupport` for a static adjacency."""
-        key = ("support", id(adjacency), backend, None if dtype is None else np.dtype(dtype))
+        """A prepared :class:`GraphSupport` for the adjacency's *content*.
+
+        In-place mutation changes the fingerprint, so the next lookup
+        rebuilds against the live values and drops the stale entry —
+        the footgun the identity-keyed cache used to document away.
+        """
+        params = self._support_params(backend, dtype)
+        key = ("support", *params, array_fingerprint(adjacency, checksum=True))
+        id_key = ("support", id(adjacency), *params)
         entry = self._entries.get(key)
-        if entry is None or entry[0] is not adjacency:
-            entry = (adjacency, GraphSupport(adjacency, backend=backend, dtype=dtype))
+        if entry is None:
+            entry = (
+                adjacency,
+                GraphSupport(adjacency, backend=backend, dtype=dtype),
+            )
             self._entries[key] = entry
+        self._evict_stale(id_key, key)
         return entry[1]
+
+    def apply_delta(
+        self, adjacency, delta, backend: str = "auto", dtype=None
+    ) -> GraphSupport:
+        """Edit the adjacency and its cached support in one step.
+
+        Applies the (directed) delta to ``adjacency`` in place and to the
+        cached :class:`GraphSupport` structurally via
+        :meth:`GraphSupport.apply_delta` — skipping the full
+        backend-selection/CSR rebuild a cold :meth:`support` lookup pays.
+        With no warm entry it falls back to edit-then-build.
+
+        Returns:
+            The support for the edited adjacency (also cached under its
+            new fingerprint).
+        """
+        params = self._support_params(backend, dtype)
+        old_key = (
+            "support",
+            *params,
+            array_fingerprint(adjacency, checksum=True),
+        )
+        id_key = ("support", id(adjacency), *params)
+        entry = self._entries.get(old_key)
+        delta.apply_to_dense(np.asarray(adjacency), symmetric=False)
+        if entry is not None and entry[0] is adjacency:
+            support = entry[1].apply_delta(delta)
+        else:
+            support = GraphSupport(adjacency, backend=backend, dtype=dtype)
+        new_key = (
+            "support",
+            *params,
+            array_fingerprint(adjacency, checksum=True),
+        )
+        self._entries[new_key] = (adjacency, support)
+        self._evict_stale(id_key, new_key)
+        return support
 
     def clear(self) -> None:
         self._entries.clear()
+        self._id_index.clear()

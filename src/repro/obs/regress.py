@@ -64,6 +64,8 @@ KEY_FIELDS = (
     "rate_rps",
     "mode",
     "requests",
+    # Streaming rows sweep delta size alongside n/density.
+    "delta_edges",
 )
 
 #: Default noise-band floor: differences under 10% never flag.

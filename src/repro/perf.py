@@ -37,6 +37,7 @@ from .core.dynamics import CircuitSimulator, IntegrationConfig
 from .core.inference import NaturalAnnealingEngine
 from .core.model import DSGLModel
 from .core.operators import CouplingOperator
+from .stream.bench import bench_stream_suite
 
 __all__ = [
     "random_sparse_system",
@@ -541,6 +542,7 @@ def _run_benchmark_suite(
                 duration=1.0,
             )
         )
+        results.extend(bench_stream_suite(smoke=True, repeats=repeats))
     else:
         for n, density in ((2048, 0.02), (2048, 0.05), (1024, 0.10)):
             results.append(
@@ -575,6 +577,9 @@ def _run_benchmark_suite(
                 duration=2.0,
             )
         )
+        # Streaming deltas: incremental SMW update vs full refactorization,
+        # over delta size × n × density (acceptance: ≥5x at n=4096, 1 edge).
+        results.extend(bench_stream_suite(smoke=False, repeats=repeats))
     return results
 
 

@@ -17,10 +17,14 @@ integration step or LU back-substitution is shared across the batch.
   serving — the baseline the SLO benchmark compares against.
 * **Fingerprint grouping** — a batch must share one reduced linear
   system, so requests coalesce only when they agree on the *problem
-  fingerprint*: the model-parameter hash (:func:`model_fingerprint`)
-  plus the observed-index set.  Mixed clamp sets interleave as separate
-  batches; the engine's LRU-bounded factorization cache keeps each
-  group's LU warm across batches.
+  key*: the engine's :meth:`~NaturalAnnealingEngine.problem_key`
+  (model-version counter + content hash) plus the observed-index set.
+  Mixed clamp sets interleave as separate batches; the engine's
+  LRU-bounded factorization cache keeps each group's LU warm across
+  batches.  A streaming delta applied mid-traffic
+  (:meth:`InferenceServer.apply_delta`) bumps the model version, so
+  requests admitted before and after the delta land in distinct groups
+  and never mix stale and fresh factorizations.
 * **Admission control + backpressure** — the queue is bounded at
   :attr:`ServeConfig.max_queue`; requests beyond it are *shed*
   immediately with the distinct :data:`STATUS_SHED` status instead of
@@ -65,7 +69,6 @@ from .. import obs
 from ..core.inference import (
     DEFAULT_CACHE_CAPACITY,
     NaturalAnnealingEngine,
-    model_fingerprint,
 )
 
 __all__ = [
@@ -332,7 +335,7 @@ class InferenceServer:
                 f"({observed_values.size} != {observed_index.size})"
             )
         group = (
-            model_fingerprint(self.engine.model),
+            self.engine.problem_key(),
             observed_index.size,
             observed_index.tobytes(),
         )
@@ -346,6 +349,20 @@ class InferenceServer:
     @staticmethod
     def _as_index(observed_index: np.ndarray) -> np.ndarray:
         return np.asarray(observed_index, dtype=int).reshape(-1)
+
+    def apply_delta(self, delta) -> None:
+        """Fold a streaming :class:`~repro.stream.deltas.GraphDelta` in.
+
+        Delegates to :meth:`NaturalAnnealingEngine.apply_delta` (cached
+        factorizations update incrementally where possible) and bumps
+        the engine's model version, so requests admitted afterwards form
+        a new batch group — queued pre-delta requests keep their old
+        group key and are never coalesced with post-delta arrivals.
+        Execution is inline on the event loop, so a delta applied
+        between awaits never races a batch in flight.
+        """
+        self.engine.apply_delta(delta)
+        obs.metrics().counter("serve.deltas").inc()
 
     # ------------------------------------------------------------------
     # Batcher

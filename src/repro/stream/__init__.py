@@ -1,0 +1,34 @@
+"""Streaming graphs: deltas, incremental refactorization, windowed runs.
+
+The subsystem has three layers:
+
+* :mod:`repro.stream.deltas` — the :class:`GraphDelta` edit type and
+  seeded delta samplers.
+* :mod:`repro.stream.runner` — sliding-window streaming prediction:
+  replay a seeded delta+observation stream through an engine (or the
+  serving layer), recording per-window accuracy and
+  incremental-vs-refactorization counts (``repro stream run``).
+* :mod:`repro.stream.bench` — refactor-vs-incremental cost curves over
+  (delta size × n × density), recorded into BENCH_core.json and gated
+  by ``repro obs diff``.
+
+The actual incremental machinery lives with the things it updates:
+:meth:`repro.core.operators.CouplingOperator.apply_delta`,
+:meth:`repro.core.operators.ReducedSystem.apply_increments`, and
+:meth:`repro.core.inference.NaturalAnnealingEngine.apply_delta`.
+"""
+
+from .bench import run_stream_benchmarks
+from .deltas import GraphDelta, delta_stream, random_delta
+from .runner import StreamConfig, StreamResult, format_stream_summary, run_stream
+
+__all__ = [
+    "GraphDelta",
+    "delta_stream",
+    "random_delta",
+    "StreamConfig",
+    "StreamResult",
+    "format_stream_summary",
+    "run_stream",
+    "run_stream_benchmarks",
+]

@@ -1,0 +1,152 @@
+"""Refactor-vs-incremental update cost curves (``repro bench`` stream rows).
+
+The streaming speed story is the gap between the two ways of absorbing a
+graph delta into a cached :class:`~repro.core.operators.ReducedSystem`:
+
+* **baseline** — rebuild: re-slice the coupling matrix and refactor the
+  reduced LU from scratch (``splu`` / ``lu_factor``), then solve;
+* **optimized** — :meth:`~repro.core.operators.ReducedSystem.
+  apply_increments`: fold the delta into the *existing* factorization as
+  low-rank Sherman-Morrison-Woodbury columns, then solve through the
+  Woodbury correction.
+
+Each row records both arms with full per-repeat samples (so ``repro obs
+diff`` derives its noise band), the solution deviation between them
+(``max_abs_diff`` — bounded by the documented residual tolerance), and
+the delta size, sweeping delta size × n × density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import DSGLModel
+from ..core.operators import CouplingOperator
+
+__all__ = [
+    "bench_stream_update",
+    "bench_stream_suite",
+    "run_stream_benchmarks",
+]
+
+
+def _reset_updates(reduced) -> None:
+    # Bench-only: rewind the SMW state so every repeat times the same
+    # rank-k update against the same base factorization.
+    reduced._U = reduced._V = reduced._Z = None
+    reduced._S_factor = None
+    reduced.update_rank = 0
+    reduced.needs_refactor = False
+    reduced.last_residual = 0.0
+
+
+def bench_stream_update(
+    n: int,
+    density: float,
+    delta_edges: int,
+    repeats: int,
+    seed: int = 0,
+) -> dict:
+    """Incremental SMW update vs full LU refactorization for one delta.
+
+    Builds a seeded sparse system, factors its reduced system once, and
+    times absorbing a ``delta_edges``-edge reweight delta either way.
+    Both arms end in a batch solve, so the comparison is
+    "delta → next prediction" latency, not just factorization time.
+    """
+    from ..perf import _timed_comparison, random_sparse_system
+    from .deltas import random_delta
+
+    J, h = random_sparse_system(n, density, seed=seed)
+    model = DSGLModel(J=J, h=h)
+    operator = CouplingOperator(model.J, model.h, backend="sparse")
+    rng = np.random.default_rng(seed + 1)
+    observed = np.sort(rng.choice(n, size=max(1, n // 4), replace=False))
+    free = np.setdiff1d(np.arange(n), observed)
+    delta = random_delta(
+        operator, rng, edges=delta_edges, p_add=0.0, p_remove=0.0
+    )
+    info: dict = {}
+    updated = operator.apply_delta(delta, info=info)
+    clamp = rng.normal(size=(8, observed.size))
+
+    reduced = operator.reduced_system(
+        free, observed, max_update_rank=2 * delta_edges + 2
+    )
+    baseline_out: dict = {}
+    optimized_out: dict = {}
+
+    def refactor_and_solve():
+        rebuilt = updated.reduced_system(free, observed)
+        baseline_out["solution"] = rebuilt.solve(clamp)
+
+    def increment_and_solve():
+        _reset_updates(reduced)
+        applied = reduced.apply_increments(
+            info["edge_increments"], info["h_increments"]
+        )
+        assert applied, "bench delta must fit the SMW rank budget"
+        optimized_out["solution"] = reduced.solve(clamp)
+
+    result = _timed_comparison(refactor_and_solve, increment_and_solve, repeats)
+    result.update(
+        name="stream_incremental_update",
+        n=n,
+        density=density,
+        delta_edges=delta_edges,
+        update_rank=int(reduced.update_rank),
+        residual=float(reduced.last_residual),
+        residual_tol=float(reduced.residual_tol),
+        max_abs_diff=float(
+            np.max(
+                np.abs(
+                    baseline_out["solution"] - optimized_out["solution"]
+                )
+            )
+        ),
+    )
+    return result
+
+
+def bench_stream_suite(smoke: bool, repeats: int) -> list[dict]:
+    """The stream rows of the core suite: delta size × n × density.
+
+    Full mode includes the acceptance point — a single-edge delta at
+    n=4096 — where the incremental path must beat refactorization by at
+    least 5x (gated by ``benchmarks/perf/test_perf_stream.py``).
+    """
+    if smoke:
+        grid = [(256, 0.05, 1), (256, 0.05, 8)]
+    else:
+        grid = [
+            (1024, 0.02, 1),
+            (1024, 0.02, 8),
+            (4096, 0.01, 1),
+            (4096, 0.01, 8),
+            (4096, 0.01, 32),
+        ]
+    return [
+        bench_stream_update(
+            n=n, density=density, delta_edges=edges, repeats=repeats
+        )
+        for n, density, edges in grid
+    ]
+
+
+def run_stream_benchmarks(smoke: bool = False, repeats: int = 3) -> dict:
+    """The stream rows as a standalone ``BENCH_stream.json`` payload.
+
+    The same rows also ride along in the core suite (``repro bench``);
+    this entry point backs the CI stream job's smoke artifact and the
+    committed regression baseline the ``repro obs diff`` gate self-diffs.
+    """
+    import platform
+
+    return {
+        "benchmark": "stream_updates",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "smoke": smoke,
+        "repeats": repeats,
+        "results": bench_stream_suite(smoke=smoke, repeats=repeats),
+    }

@@ -1,0 +1,383 @@
+"""Streaming graph deltas: typed, composable edits to a coupling graph.
+
+A :class:`GraphDelta` is a batch of *set-semantics* edits — "the weight
+of edge ``(i, j)`` becomes ``w``" (``w == 0`` removes the edge) and "the
+self-reaction of node ``i`` becomes ``v``".  Set semantics make deltas
+composable (later edits win) and make the delta-vs-rebuild equivalence
+contract exact: applying a delta chain to an operator must produce the
+same values as rebuilding the operator from the edited matrix.
+
+Deltas are dumb data; interpretation lives with the consumer:
+
+* :meth:`~repro.core.operators.CouplingOperator.apply_delta` applies a
+  delta structurally (dense in-place-copy, CSR pattern-preserving value
+  update with occasional pattern rebuild).  Symmetric operators apply
+  each edge edit to both orientations and reject diagonal or
+  conflicting-orientation edits; asymmetric operators (graph
+  adjacencies) treat edits as directed and allow the diagonal.
+* :meth:`~repro.core.inference.NaturalAnnealingEngine.apply_delta` folds
+  a delta into the model *and* incrementally updates cached reduced-LU
+  factorizations via low-rank Sherman-Morrison-Woodbury corrections.
+
+Edits to the *clamp set* (which nodes are observed) need no delta: the
+engine already keys its factorization cache per observed-index set, so a
+stream simply submits windows with different index sets (see
+:mod:`repro.stream.runner`).
+
+Seeded samplers (:func:`random_delta`, :func:`delta_stream`) generate
+reproducible edit streams against a live operator — reweighting and
+removing existing edges, adding new ones — for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GraphDelta", "random_delta", "delta_stream"]
+
+
+def _as_int_array(values, name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=np.int64).reshape(-1)
+    if array.size and array.min() < 0:
+        raise ValueError(f"{name} must be non-negative, got {array.min()}")
+    return array
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """A batch of set-semantics graph edits.
+
+    Attributes:
+        edge_index: ``(m, 2)`` int array of edited ``(i, j)`` pairs.
+        edge_weight: ``(m,)`` new weights (``0.0`` removes the edge).
+        h_index: ``(k,)`` node indices whose self-reaction is edited.
+        h_value: ``(k,)`` new self-reaction values.
+
+    Duplicate edits of the same entry within one delta resolve
+    last-wins at construction, so a delta is a function, not a log.
+    Index *range* validation happens at apply time (a delta does not
+    know the graph size); weights must be finite.
+    """
+
+    edge_index: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 2), dtype=np.int64)
+    )
+    edge_weight: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.float64)
+    )
+    h_index: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    h_value: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.float64)
+    )
+
+    def __post_init__(self) -> None:
+        edge_index = np.asarray(self.edge_index, dtype=np.int64)
+        if edge_index.size == 0:
+            edge_index = edge_index.reshape(0, 2)
+        if edge_index.ndim != 2 or edge_index.shape[1] != 2:
+            raise ValueError(
+                f"edge_index must be (m, 2), got shape {edge_index.shape}"
+            )
+        if edge_index.size and edge_index.min() < 0:
+            raise ValueError("edge indices must be non-negative")
+        edge_weight = np.asarray(self.edge_weight, dtype=np.float64).reshape(-1)
+        if edge_weight.shape[0] != edge_index.shape[0]:
+            raise ValueError(
+                f"{edge_index.shape[0]} edge edits but "
+                f"{edge_weight.shape[0]} weights"
+            )
+        if edge_weight.size and not np.all(np.isfinite(edge_weight)):
+            raise ValueError("edge weights must be finite")
+        h_index = _as_int_array(self.h_index, "h_index")
+        h_value = np.asarray(self.h_value, dtype=np.float64).reshape(-1)
+        if h_value.shape[0] != h_index.shape[0]:
+            raise ValueError(
+                f"{h_index.shape[0]} h edits but {h_value.shape[0]} values"
+            )
+        if h_value.size and not np.all(np.isfinite(h_value)):
+            raise ValueError("h values must be finite")
+        # Last-wins dedup so composition is associative and a delta reads
+        # as one assignment per entry.
+        if edge_index.shape[0]:
+            keys = [tuple(pair) for pair in edge_index]
+            last = {key: pos for pos, key in enumerate(keys)}
+            keep = sorted(last.values())
+            edge_index = edge_index[keep]
+            edge_weight = edge_weight[keep]
+        if h_index.shape[0]:
+            last = {int(idx): pos for pos, idx in enumerate(h_index)}
+            keep = sorted(last.values())
+            h_index = h_index[keep]
+            h_value = h_value[keep]
+        object.__setattr__(self, "edge_index", edge_index)
+        object.__setattr__(self, "edge_weight", edge_weight)
+        object.__setattr__(self, "h_index", h_index)
+        object.__setattr__(self, "h_value", h_value)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "GraphDelta":
+        """The identity delta: applying it is a guaranteed no-op."""
+        return cls()
+
+    @classmethod
+    def from_edges(cls, edges, h_updates=()) -> "GraphDelta":
+        """Build from ``(i, j, weight)`` triples and ``(i, value)`` pairs."""
+        edges = list(edges)
+        h_updates = list(h_updates)
+        return cls(
+            edge_index=np.asarray(
+                [(i, j) for i, j, _ in edges], dtype=np.int64
+            ).reshape(len(edges), 2),
+            edge_weight=np.asarray([w for _, _, w in edges], dtype=np.float64),
+            h_index=np.asarray([i for i, _ in h_updates], dtype=np.int64),
+            h_value=np.asarray([v for _, v in h_updates], dtype=np.float64),
+        )
+
+    @classmethod
+    def add_edge(cls, i: int, j: int, weight: float) -> "GraphDelta":
+        """Single-edit delta introducing (or reweighting) edge ``(i, j)``."""
+        return cls.from_edges([(i, j, weight)])
+
+    @classmethod
+    def reweight_edge(cls, i: int, j: int, weight: float) -> "GraphDelta":
+        """Single-edit delta setting the weight of edge ``(i, j)``."""
+        return cls.from_edges([(i, j, weight)])
+
+    @classmethod
+    def remove_edge(cls, i: int, j: int) -> "GraphDelta":
+        """Single-edit delta deleting edge ``(i, j)`` (weight to zero)."""
+        return cls.from_edges([(i, j, 0.0)])
+
+    @classmethod
+    def set_h(cls, i: int, value: float) -> "GraphDelta":
+        """Single-edit delta setting node ``i``'s self-reaction."""
+        return cls.from_edges([], h_updates=[(i, value)])
+
+    # ------------------------------------------------------------------
+    # Introspection and algebra
+    # ------------------------------------------------------------------
+    @property
+    def num_edge_edits(self) -> int:
+        return int(self.edge_index.shape[0])
+
+    @property
+    def num_h_edits(self) -> int:
+        return int(self.h_index.shape[0])
+
+    @property
+    def is_empty(self) -> bool:
+        return self.num_edge_edits == 0 and self.num_h_edits == 0
+
+    def __len__(self) -> int:
+        return self.num_edge_edits + self.num_h_edits
+
+    def compose(self, *later: "GraphDelta") -> "GraphDelta":
+        """Sequential composition; later deltas override earlier edits."""
+        deltas = (self, *later)
+        return GraphDelta(
+            edge_index=np.concatenate([d.edge_index for d in deltas]),
+            edge_weight=np.concatenate([d.edge_weight for d in deltas]),
+            h_index=np.concatenate([d.h_index for d in deltas]),
+            h_value=np.concatenate([d.h_value for d in deltas]),
+        )
+
+    def validate_range(self, n: int) -> None:
+        """Raise ``ValueError`` if any edited index falls outside ``[0, n)``."""
+        if self.num_edge_edits and self.edge_index.max() >= n:
+            raise ValueError(
+                f"edge index {int(self.edge_index.max())} out of range for "
+                f"a {n}-node graph"
+            )
+        if self.num_h_edits and self.h_index.max() >= n:
+            raise ValueError(
+                f"h index {int(self.h_index.max())} out of range for a "
+                f"{n}-node graph"
+            )
+
+    def symmetric_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical ``(rows, cols, weights)`` with ``rows < cols``.
+
+        The symmetric-operator reading of the edge edits: each pair is
+        folded onto its upper-triangle orientation.  Raises
+        ``ValueError`` on diagonal edits (a symmetric coupling keeps a
+        zero diagonal) and on conflicting opposite-orientation edits
+        (``(i, j) -> a`` and ``(j, i) -> b`` with ``a != b``); agreeing
+        duplicates collapse to one edit.
+        """
+        rows = self.edge_index[:, 0]
+        cols = self.edge_index[:, 1]
+        if np.any(rows == cols):
+            where = int(rows[rows == cols][0])
+            raise ValueError(
+                f"diagonal edit ({where}, {where}) is invalid for a "
+                "symmetric operator (the diagonal must stay zero)"
+            )
+        lo = np.minimum(rows, cols)
+        hi = np.maximum(rows, cols)
+        canonical: dict[tuple[int, int], float] = {}
+        for a, b, w in zip(lo, hi, self.edge_weight):
+            key = (int(a), int(b))
+            previous = canonical.get(key)
+            if previous is not None and previous != float(w):
+                raise ValueError(
+                    f"conflicting edits for symmetric edge {key}: "
+                    f"{previous} vs {float(w)}"
+                )
+            canonical[key] = float(w)
+        if not canonical:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.float64),
+            )
+        pairs = sorted(canonical)
+        return (
+            np.asarray([p[0] for p in pairs], dtype=np.int64),
+            np.asarray([p[1] for p in pairs], dtype=np.int64),
+            np.asarray([canonical[p] for p in pairs], dtype=np.float64),
+        )
+
+    def apply_to_dense(
+        self, J: np.ndarray, h: np.ndarray | None = None, symmetric: bool = True
+    ) -> None:
+        """Apply the edits to a dense matrix (and ``h``) in place.
+
+        The rebuild-side reference of the equivalence contract: a delta
+        chain applied through operators must match an operator rebuilt
+        from a matrix maintained with this method.
+        """
+        self.validate_range(J.shape[0])
+        if symmetric:
+            rows, cols, weights = self.symmetric_edges()
+            J[rows, cols] = weights
+            J[cols, rows] = weights
+        else:
+            J[self.edge_index[:, 0], self.edge_index[:, 1]] = self.edge_weight
+        if h is not None and self.num_h_edits:
+            h[self.h_index] = self.h_value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphDelta(edges={self.num_edge_edits}, "
+            f"h_edits={self.num_h_edits})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Seeded samplers
+# ----------------------------------------------------------------------
+def _existing_offdiag_edges(operator) -> tuple[np.ndarray, np.ndarray]:
+    """Upper-triangle (rows, cols) of an operator's current edges."""
+    from scipy import sparse as sp
+
+    J = operator._J
+    if sp.issparse(J):
+        coo = J.tocoo()
+        mask = coo.row < coo.col
+        return coo.row[mask].astype(np.int64), coo.col[mask].astype(np.int64)
+    rows, cols = np.nonzero(np.triu(J, k=1))
+    return rows.astype(np.int64), cols.astype(np.int64)
+
+
+def random_delta(
+    operator,
+    rng: np.random.Generator,
+    edges: int = 4,
+    p_add: float = 0.25,
+    p_remove: float = 0.25,
+    h_edits: int = 0,
+    weight_scale: float = 0.1,
+) -> "GraphDelta":
+    """Sample a seeded random delta against a live symmetric operator.
+
+    Edits are a mix of reweights of existing edges, removals of existing
+    edges, and additions of currently-absent edges, in expected
+    proportions ``(1 - p_add - p_remove, p_remove, p_add)``.  Optional
+    ``h_edits`` nudge self-reaction entries (kept strictly negative by
+    deepening, so model convexity survives any sampled stream).
+
+    Determinism: a pure function of the operator's current edge set and
+    the generator state, so replaying a seeded stream reproduces the
+    exact same graph trajectory.
+    """
+    n = operator.n
+    if not 0 <= p_add + p_remove <= 1:
+        raise ValueError("p_add + p_remove must lie in [0, 1]")
+    existing_rows, existing_cols = _existing_offdiag_edges(operator)
+    edits: list[tuple[int, int, float]] = []
+    kinds = rng.random(edges)
+    for kind in kinds:
+        if kind < p_add or existing_rows.size == 0:
+            # Add: rejection-sample a currently-absent off-diagonal pair.
+            present = {
+                (int(a), int(b))
+                for a, b in zip(existing_rows, existing_cols)
+            }
+            present.update((i, j) for i, j, _ in edits)
+            for _ in range(64):
+                i, j = int(rng.integers(n)), int(rng.integers(n))
+                if i == j:
+                    continue
+                lo, hi = min(i, j), max(i, j)
+                if (lo, hi) not in present:
+                    edits.append(
+                        (lo, hi, float(rng.normal() * weight_scale))
+                    )
+                    break
+        else:
+            pick = int(rng.integers(existing_rows.size))
+            i = int(existing_rows[pick])
+            j = int(existing_cols[pick])
+            if kind < p_add + p_remove:
+                edits.append((i, j, 0.0))
+            else:
+                edits.append((i, j, float(rng.normal() * weight_scale)))
+    h_updates = []
+    if h_edits:
+        picks = rng.choice(n, size=min(h_edits, n), replace=False)
+        for node in picks:
+            current = float(operator.h[node])
+            h_updates.append(
+                (int(node), current - float(np.abs(rng.normal()) * weight_scale))
+            )
+    return GraphDelta.from_edges(edits, h_updates=h_updates)
+
+
+def delta_stream(
+    operator,
+    seed: int,
+    windows: int,
+    edges: int = 4,
+    p_add: float = 0.25,
+    p_remove: float = 0.25,
+    h_edits: int = 0,
+    weight_scale: float = 0.1,
+):
+    """Yield ``windows`` seeded deltas tracking an evolving operator.
+
+    Each delta is sampled against the operator *after* the previous
+    delta was applied (the generator applies deltas to a private shadow
+    operator), so removals and additions stay consistent with the live
+    edge set the consumer sees.
+    """
+    rng = np.random.default_rng(seed)
+    shadow = operator
+    for _ in range(windows):
+        delta = random_delta(
+            shadow,
+            rng,
+            edges=edges,
+            p_add=p_add,
+            p_remove=p_remove,
+            h_edits=h_edits,
+            weight_scale=weight_scale,
+        )
+        shadow = shadow.apply_delta(delta)
+        yield delta

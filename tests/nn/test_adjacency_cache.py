@@ -1,0 +1,141 @@
+"""Content-fingerprint invalidation of the adjacency cache.
+
+The seed cache keyed prepared supports by ``id(adjacency)`` — mutating
+the adjacency in place mid-training silently kept propagating through
+the stale preparation.  These tests pin the fix: lookups key on content,
+stale entries are evicted (and counted), the delta path updates the
+cached operator structurally, and the GWN ``_graph_cache`` integration
+observes in-place edits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.gnn import GraphWaveNet
+from repro.nn.graph import AdjacencyCache, GraphSupport, graph_propagate
+from repro.stream import GraphDelta
+
+
+def _adjacency(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    A = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+    return A / np.maximum(A.sum(axis=1, keepdims=True), 1.0)
+
+
+class TestContentKeying:
+    def test_same_content_same_support(self):
+        cache = AdjacencyCache()
+        A = _adjacency()
+        assert cache.support(A) is cache.support(A)
+        assert cache.stale_invalidations == 0
+
+    def test_in_place_mutation_rebuilds_and_evicts(self):
+        """The mid-training footgun: writing into the adjacency between
+        lookups must invalidate the prepared support."""
+        cache = AdjacencyCache()
+        A = _adjacency()
+        stale = cache.support(A)
+        x = np.random.default_rng(3).normal(size=(A.shape[0], 2))
+        before = graph_propagate(x, stale).data
+        A[0, :] = 0.0
+        A[0, 1] = 1.0
+        fresh = cache.support(A)
+        assert fresh is not stale
+        assert cache.stale_invalidations == 1
+        after = graph_propagate(x, fresh).data
+        assert np.array_equal(after, A @ x)
+        assert not np.array_equal(after, before)
+
+    def test_reassigned_equal_content_hits_without_eviction(self):
+        cache = AdjacencyCache()
+        A = _adjacency()
+        support = cache.support(A)
+        assert cache.support(A.copy()) is support
+
+    def test_distinct_params_do_not_collide(self):
+        cache = AdjacencyCache()
+        A = _adjacency()
+        dense = cache.support(A, backend="dense")
+        sparse = cache.support(A, backend="sparse")
+        assert dense is not sparse
+        assert dense.backend == "dense"
+        assert sparse.backend == "sparse"
+
+
+class TestDeltaFastPath:
+    def test_apply_delta_edits_array_and_reuses_structure(self):
+        cache = AdjacencyCache()
+        A = _adjacency()
+        warm = cache.support(A, backend="sparse")
+        i, j = map(int, np.argwhere(A)[0])
+        new_weight = float(A[i, j]) + 0.25
+        support = cache.apply_delta(
+            A, GraphDelta.reweight_edge(i, j, new_weight), backend="sparse"
+        )
+        assert A[i, j] == new_weight
+        assert support is not warm
+        assert cache.stale_invalidations == 1
+        # The edited support is what the next content lookup resolves to.
+        assert cache.support(A, backend="sparse") is support
+        x = np.random.default_rng(1).normal(size=(A.shape[0], 3))
+        assert np.allclose(graph_propagate(x, support).data, A @ x)
+
+    def test_apply_delta_cold_cache_builds_fresh(self):
+        cache = AdjacencyCache()
+        A = _adjacency()
+        support = cache.apply_delta(A, GraphDelta.add_edge(0, 5, 0.7))
+        assert A[0, 5] == 0.7
+        assert isinstance(support, GraphSupport)
+        assert cache.support(A) is support
+
+    def test_directed_semantics_and_diagonal_allowed(self):
+        cache = AdjacencyCache()
+        A = _adjacency()
+        cache.apply_delta(
+            A, GraphDelta.from_edges([(2, 6, 0.9), (6, 6, 0.5)])
+        )
+        assert A[2, 6] == 0.9
+        assert A[6, 2] != 0.9  # directed: no symmetric expansion
+        assert A[6, 6] == 0.5
+
+
+class TestGraphWaveNetIntegration:
+    @pytest.mark.parametrize("graph_backend", ["dense", "sparse"])
+    def test_mid_training_adjacency_edit_is_observed(self, graph_backend):
+        """Editing ``model.adjacency`` in place between forward passes
+        must change the fixed-support propagation — bit-for-bit equal to
+        a model built directly on the edited adjacency."""
+        n = 10
+        A = _adjacency(n, seed=2)
+        model = GraphWaveNet(
+            n, A.copy(), hidden=4, blocks=1, graph_backend=graph_backend
+        )
+        x = np.random.default_rng(5).normal(size=(2, 4, n, 1))
+        model.forward(x)  # warm the cache
+        model.adjacency[3, :] = 0.0
+        model.adjacency[3, 4] = 1.0
+        edited = model.forward(x).data
+        reference = GraphWaveNet(
+            n,
+            model.adjacency.copy(),
+            hidden=4,
+            blocks=1,
+            graph_backend=graph_backend,
+        ).forward(x).data
+        assert np.array_equal(edited, reference)
+        assert model._graph_cache.stale_invalidations == 1
+
+    def test_legacy_tensor_path_shares_storage(self):
+        """Without a graph backend the zero-copy tensor wrap observes
+        in-place writes through shared storage — seed behaviour, still
+        guaranteed."""
+        n = 8
+        A = _adjacency(n, seed=7)
+        cache = nn.AdjacencyCache()
+        wrapped = cache.tensor(A, A.dtype)
+        A[0, 0] = 0.123
+        assert wrapped.data[0, 0] == 0.123
+        assert cache.tensor(A, A.dtype) is wrapped

@@ -142,7 +142,7 @@ class TestGraphSupportDtype:
             rtol=1e-5,
         )
 
-    def test_cache_is_identity_keyed_per_dtype(self):
+    def test_cache_is_content_keyed_per_dtype(self):
         A = self._adjacency()
         cache = AdjacencyCache()
         s64 = cache.support(A, backend="dense")
@@ -150,8 +150,13 @@ class TestGraphSupportDtype:
         s32 = cache.support(A, backend="dense", dtype=np.float32)
         assert s32 is not s64
         assert s32.dtype == np.float32
-        # Reassignment (a new array object) misses and rebuilds.
-        assert cache.support(A.copy(), backend="dense") is not s64
+        # A copy with equal content hits (content keying); a mutated
+        # array misses and rebuilds.
+        assert cache.support(A.copy(), backend="dense") is s64
+        B = A.copy()
+        B[0, 1] += 0.25
+        B[1, 0] += 0.25
+        assert cache.support(B, backend="dense") is not s64
 
     def test_tensor_wrap_is_zero_copy_and_cached(self):
         A = self._adjacency()

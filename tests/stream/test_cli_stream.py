@@ -1,0 +1,62 @@
+"""The ``repro stream run`` command surface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["stream", "run"])
+        assert args.n == 128
+        assert args.windows == 8
+        assert args.mode == "engine"
+        assert args.backend == "sparse"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream"])
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "run", "--mode", "batch"])
+
+    def test_observability_flags_available(self):
+        args = build_parser().parse_args(
+            ["stream", "run", "--trace", "t.jsonl", "--metrics"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.metrics is True
+
+
+class TestCommand:
+    ARGS = ["stream", "run", "--n", "48", "--windows", "3", "--batch", "4"]
+
+    def test_prints_summary_and_succeeds(self, capsys):
+        assert main(self.ARGS + ["--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming replay: n=48" in out
+        assert "mean_mae=" in out
+        assert "incremental_updates=" in out
+
+    def test_serve_mode(self, capsys):
+        assert main(self.ARGS + ["--mode", "serve"]) == 0
+        assert "mode=serve" in capsys.readouterr().out
+
+    def test_json_document(self, tmp_path, capsys):
+        path = tmp_path / "stream.json"
+        assert main(self.ARGS + ["--json", str(path)]) == 0
+        document = json.loads(path.read_text())
+        assert document["config"]["n"] == 48
+        assert len(document["windows"]) == 3
+        assert document["windows"][1]["incremental"] >= 0
+        assert "mean_mae" in document
+        assert f"wrote {path}" in capsys.readouterr().out
+
+    def test_invalid_config_fails_cleanly(self, capsys):
+        assert main(
+            ["stream", "run", "--observed-fraction", "1.5"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err

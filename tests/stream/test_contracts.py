@@ -1,0 +1,149 @@
+"""Edge-case contracts of the delta surface.
+
+The cheap-but-load-bearing guarantees: no-op deltas cause zero cache
+churn (same operator object, same fingerprint), zero-weight edits
+normalize away, and malformed edits fail loudly with ``ValueError``
+instead of corrupting a symmetric operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.inference import NaturalAnnealingEngine
+from repro.core.model import DSGLModel
+from repro.core.operators import CouplingOperator
+from repro.stream import GraphDelta
+
+
+@pytest.fixture
+def operator():
+    rng = np.random.default_rng(2)
+    n = 16
+    raw = rng.normal(size=(n, n)) * 0.3 * (rng.random((n, n)) < 0.3)
+    upper = np.triu(raw, k=1)
+    J = upper + upper.T
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    return CouplingOperator(J, h, backend="dense")
+
+
+def _engine(operator):
+    return NaturalAnnealingEngine(
+        model=DSGLModel(J=operator.to_dense(), h=operator.h.copy()),
+        backend="dense",
+    )
+
+
+class TestNoOpDeltas:
+    def test_empty_delta_returns_same_object(self, operator):
+        info = {}
+        assert operator.apply_delta(GraphDelta.empty(), info=info) is operator
+        assert info["noop"] is True
+        assert info["edge_increments"] == []
+
+    def test_same_value_reweight_is_normalized_out(self, operator):
+        i, j = map(int, np.argwhere(np.triu(operator.to_dense(), k=1))[0])
+        delta = GraphDelta.reweight_edge(i, j, operator.entry(i, j))
+        assert operator.apply_delta(delta) is operator
+
+    def test_zero_weight_on_absent_edge_is_normalized_out(self, operator):
+        dense = operator.to_dense()
+        absent = next(
+            (i, j)
+            for i in range(operator.n)
+            for j in range(i + 1, operator.n)
+            if dense[i, j] == 0.0
+        )
+        delta = GraphDelta.remove_edge(*absent)
+        assert operator.apply_delta(delta) is operator
+
+    def test_noop_delta_keeps_fingerprint_and_engine_caches(self, operator):
+        engine = _engine(operator)
+        observed = np.array([0, 3, 7])
+        engine.infer_equilibrium_batch(
+            observed, np.zeros((1, observed.size))
+        )
+        assert engine.cache_size == 1
+        key_before = engine.problem_key()
+        engine.apply_delta(GraphDelta.empty())
+        engine.apply_delta(
+            GraphDelta.reweight_edge(
+                *map(int, np.argwhere(np.triu(engine.model.J, k=1))[0]),
+                float(
+                    engine.model.J[
+                        tuple(np.argwhere(np.triu(engine.model.J, k=1))[0])
+                    ]
+                ),
+            )
+        )
+        assert engine.problem_key() == key_before
+        assert engine.cache_size == 1
+        assert engine.incremental_updates == 0
+        assert engine.delta_refactorizations == 0
+
+
+class TestValidation:
+    def test_out_of_range_edge_index_raises(self, operator):
+        with pytest.raises(ValueError, match="out of range"):
+            operator.apply_delta(GraphDelta.add_edge(0, operator.n, 0.5))
+
+    def test_out_of_range_h_index_raises(self, operator):
+        with pytest.raises(ValueError, match="out of range"):
+            operator.apply_delta(GraphDelta.set_h(operator.n + 3, -1.0))
+
+    def test_diagonal_edit_rejected_on_symmetric_operator(self, operator):
+        with pytest.raises(ValueError, match="diagonal"):
+            operator.apply_delta(GraphDelta.add_edge(4, 4, 0.2))
+
+    def test_conflicting_orientations_rejected(self, operator):
+        delta = GraphDelta.from_edges([(2, 5, 0.1), (5, 2, 0.3)])
+        with pytest.raises(ValueError, match="conflicting"):
+            operator.apply_delta(delta)
+
+    def test_agreeing_orientations_collapse_to_one_edit(self, operator):
+        delta = GraphDelta.from_edges([(2, 5, 0.1), (5, 2, 0.1)])
+        updated = operator.apply_delta(delta)
+        assert updated.entry(2, 5) == 0.1
+        assert updated.entry(5, 2) == 0.1
+
+    def test_negative_index_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GraphDelta.add_edge(-1, 3, 0.5)
+
+    def test_non_finite_weight_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="finite"):
+            GraphDelta.add_edge(0, 1, np.nan)
+
+    def test_engine_rejects_non_negative_h_edit(self, operator):
+        engine = _engine(operator)
+        with pytest.raises(ValueError, match="strictly negative"):
+            engine.apply_delta(GraphDelta.set_h(0, 0.5))
+
+    def test_diagonal_allowed_on_asymmetric_operator(self):
+        adjacency = np.eye(4)
+        directed = CouplingOperator(adjacency, symmetric=False)
+        updated = directed.apply_delta(GraphDelta.add_edge(2, 2, 3.0))
+        assert updated.entry(2, 2) == 3.0
+        assert updated.entry(2, 2) != directed.entry(2, 2)
+
+
+class TestDeltaAlgebra:
+    def test_last_wins_dedup_within_one_delta(self):
+        delta = GraphDelta.from_edges([(0, 1, 0.5), (0, 1, 0.9)])
+        assert delta.num_edge_edits == 1
+        assert delta.edge_weight[0] == 0.9
+
+    def test_compose_is_last_wins(self):
+        first = GraphDelta.add_edge(0, 1, 0.5)
+        second = GraphDelta.remove_edge(0, 1)
+        composed = first.compose(second)
+        assert composed.num_edge_edits == 1
+        assert composed.edge_weight[0] == 0.0
+
+    def test_len_and_is_empty(self):
+        assert len(GraphDelta.empty()) == 0
+        assert GraphDelta.empty().is_empty
+        both = GraphDelta.from_edges([(0, 1, 0.5)], h_updates=[(2, -1.0)])
+        assert len(both) == 2
+        assert not both.is_empty

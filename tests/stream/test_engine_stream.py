@@ -1,0 +1,195 @@
+"""Engine-level streaming semantics: counters, fallbacks, invalidation.
+
+The engine's :meth:`~repro.core.inference.NaturalAnnealingEngine.
+apply_delta` promises bookkeeping, not just correctness: incremental
+updates and refactorizations are counted (locally and in the
+``stream.*`` metrics), the rank budget and residual bound each trigger
+their own refactorization path, faults fall back to edit-and-clear, and
+the ``model_version``/``problem_key`` pair moves on every effective
+delta so downstream batch grouping can never mix stale and fresh
+factorizations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.inference import NaturalAnnealingEngine, model_fingerprint
+from repro.core.model import DSGLModel
+from repro.faults.model import FaultScenario
+from repro.stream import GraphDelta, delta_stream, random_delta
+
+
+def _build_engine(n=32, seed=13, **kwargs) -> NaturalAnnealingEngine:
+    rng = np.random.default_rng(seed)
+    raw = rng.normal(size=(n, n)) * 0.3 * (rng.random((n, n)) < 0.2)
+    upper = np.triu(raw, k=1)
+    J = upper + upper.T
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    return NaturalAnnealingEngine(
+        model=DSGLModel(J=J, h=h), backend="dense", **kwargs
+    )
+
+
+def _warm(engine, seed=4, sets=1):
+    """Factor ``sets`` distinct observed-index systems into the cache."""
+    rng = np.random.default_rng(seed)
+    for _ in range(sets):
+        observed = np.sort(
+            rng.choice(engine.model.n, size=6, replace=False)
+        )
+        engine.infer_equilibrium_batch(
+            observed, np.zeros((1, observed.size))
+        )
+    return engine.cache_size
+
+
+class TestCountersAndVersioning:
+    def test_incremental_update_counts_per_cached_system(self):
+        engine = _build_engine(max_update_rank=128)
+        assert _warm(engine, sets=3) == 3
+        engine.apply_delta(
+            random_delta(
+                engine.operator, np.random.default_rng(0), edges=2,
+                p_add=0.0, p_remove=0.0,
+            )
+        )
+        assert engine.deltas_applied == 1
+        assert engine.incremental_updates == 3
+        assert engine.delta_refactorizations == 0
+        assert engine.cache_size == 3
+
+    def test_model_version_and_problem_key_move_on_effective_delta(self):
+        engine = _build_engine()
+        key = engine.problem_key()
+        engine.apply_delta(GraphDelta.add_edge(0, 1, 0.42))
+        assert engine.model_version == 1
+        assert engine.problem_key() != key
+        # The model arrays were edited in place to match the operator.
+        assert engine.model.J[0, 1] == 0.42
+        assert engine.model.J[1, 0] == 0.42
+        assert engine.problem_key().endswith(
+            model_fingerprint(engine.model)
+        )
+
+    def test_stream_metrics_counters_emitted(self):
+        obs.configure(collect_metrics=True)
+        try:
+            engine = _build_engine(max_update_rank=128)
+            _warm(engine)
+            engine.apply_delta(GraphDelta.add_edge(2, 9, 0.1))
+            snapshot = obs.metrics().snapshot()
+            counters = snapshot["counters"]
+            assert counters["stream.deltas"] == 1
+            assert counters["stream.incremental_updates"] == 1
+        finally:
+            obs.disable()
+
+    def test_model_fingerprint_stays_consistent_after_stream(self):
+        """The in-place model edit and the operator swap agree, so the
+        engine's mutation guard never trips on a streamed engine."""
+        engine = _build_engine(max_update_rank=256)
+        _warm(engine)
+        for delta in delta_stream(
+            engine.operator, seed=3, windows=5, edges=3
+        ):
+            engine.apply_delta(delta)
+        # A fresh inference re-checks the fingerprint; a mismatch would
+        # raise / invalidate. Cache must still be warm.
+        hits_before = engine.cache_hits
+        observed = np.sort(
+            np.random.default_rng(4).choice(32, size=6, replace=False)
+        )
+        engine.infer_equilibrium_batch(
+            observed, np.zeros((1, observed.size))
+        )
+        assert engine.cache_hits == hits_before + 1
+        assert np.allclose(
+            engine.operator.to_dense(), engine.model.J
+        )
+
+
+class TestRefactorizationFallbacks:
+    def test_rank_budget_exhaustion_drops_cache_entry(self):
+        engine = _build_engine(max_update_rank=2)
+        _warm(engine)
+        # A 3-edge delta needs 6 SMW columns > budget of 2.
+        engine.apply_delta(
+            GraphDelta.from_edges(
+                [(0, 5, 0.3), (1, 6, 0.2), (2, 7, 0.1)]
+            )
+        )
+        assert engine.delta_refactorizations == 1
+        assert engine.incremental_updates == 0
+        assert engine.cache_size == 0
+        # Next inference refactorizes lazily and stays correct.
+        observed = np.sort(
+            np.random.default_rng(4).choice(32, size=6, replace=False)
+        )
+        result = engine.infer_equilibrium_batch(
+            observed, np.zeros((1, observed.size))
+        )
+        assert np.all(np.isfinite(result))
+
+    def test_residual_breach_refactorizes_on_next_lookup(self):
+        engine = _build_engine(max_update_rank=128)
+        _warm(engine)
+        key = next(iter(engine._reduced_cache))
+        # Force the breach flag the residual monitor would set.
+        engine._reduced_cache[key].needs_refactor = True
+        observed = np.sort(
+            np.random.default_rng(4).choice(32, size=6, replace=False)
+        )
+        misses_before = engine.cache_misses
+        engine.infer_equilibrium_batch(
+            observed, np.zeros((1, observed.size))
+        )
+        assert engine.residual_refactorizations == 1
+        assert engine.cache_misses == misses_before + 1
+        assert not next(iter(engine._reduced_cache.values())).needs_refactor
+
+    def test_faults_fall_back_to_edit_and_clear(self):
+        engine = _build_engine()
+        _warm(engine)
+        engine.set_faults(
+            FaultScenario(n=32, dead_pairs=np.array([[0, 1]]))
+        )
+        _warm(engine, seed=9)
+        cached = engine.cache_size
+        assert cached >= 1
+        engine.apply_delta(GraphDelta.add_edge(3, 11, 0.25))
+        # Incremental updates against the fault-transformed operator
+        # would compound the faults; everything must be dropped instead.
+        assert engine.cache_size == 0
+        assert engine.delta_refactorizations == cached
+        assert engine.incremental_updates == 0
+        assert engine.model.J[3, 11] == 0.25
+
+
+class TestSolveCorrectnessAfterStream:
+    def test_streamed_cache_solves_match_cold_engine(self):
+        """The acceptance property at engine level: a warm engine that
+        absorbed a delta stream incrementally predicts within the
+        residual tolerance of a cold engine built from the final model."""
+        engine = _build_engine(max_update_rank=256)
+        rng = np.random.default_rng(77)
+        observed = np.sort(rng.choice(32, size=8, replace=False))
+        values = rng.normal(size=(3, observed.size))
+        engine.infer_equilibrium_batch(observed, values)
+        for delta in delta_stream(
+            engine.operator, seed=21, windows=6, edges=3, h_edits=1
+        ):
+            engine.apply_delta(delta)
+        warm = engine.infer_equilibrium_batch(observed, values)
+        assert engine.incremental_updates == 6
+        cold = NaturalAnnealingEngine(
+            model=DSGLModel(
+                J=engine.model.J.copy(), h=engine.model.h.copy()
+            ),
+            backend="dense",
+        ).infer_equilibrium_batch(observed, values)
+        scale = max(1.0, float(np.max(np.abs(cold))))
+        tol = float(np.sqrt(np.finfo(np.float64).eps))
+        assert np.max(np.abs(warm - cold)) <= 10.0 * tol * scale

@@ -1,0 +1,139 @@
+"""Mid-traffic deltas through the serving layer.
+
+The serving batcher groups by ``problem_key`` (model-version counter +
+content fingerprint) + observed set.  A delta applied mid-traffic must
+therefore split pre- and post-delta requests into distinct batches —
+never mixing a stale factorization with fresh requests — and the whole
+served stream must be bit-for-bit identical to driving the engine
+directly through the same history.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.core import NaturalAnnealingEngine, symmetrize_coupling
+from repro.core.model import DSGLModel
+from repro.serve import STATUS_OK, InferenceServer, ServeConfig
+from repro.stream import GraphDelta
+
+OBSERVED = np.asarray([1, 4, 9, 13])
+
+
+def _engine(n=20, seed=6, backend="sparse"):
+    rng = np.random.default_rng(seed)
+    J = symmetrize_coupling(
+        rng.normal(size=(n, n)) * 0.3 * (rng.random((n, n)) < 0.4)
+    )
+    h = -(np.abs(J).sum(axis=1) + 1.0)
+    return NaturalAnnealingEngine(
+        model=DSGLModel(J=J, h=h), backend=backend
+    )
+
+
+def _values(batch, seed=8):
+    return np.random.default_rng(seed).normal(
+        size=(batch, OBSERVED.size)
+    )
+
+
+_DELTA_EDGES = [(0, 7, 0.35), (2, 11, -0.2)]
+
+
+class TestMidTrafficDelta:
+    def test_delta_splits_queued_requests_into_distinct_batches(self):
+        """Requests admitted before and after a delta share a 200 ms
+        batch window but must coalesce into two separate batches: their
+        problem keys differ (the delta bumps the model version even when
+        the strided content sample would miss the edit)."""
+        config = ServeConfig(batch_window_ms=200.0, drain_on_shutdown=True)
+        engine = _engine()
+        values = _values(6)
+
+        async def main():
+            async with InferenceServer(engine, config) as server:
+                pre = [
+                    server.submit(OBSERVED, values[i]) for i in range(3)
+                ]
+                key_before = engine.problem_key()
+                server.apply_delta(
+                    GraphDelta.from_edges(_DELTA_EDGES)
+                )
+                key_after = engine.problem_key()
+                post = [
+                    server.submit(OBSERVED, values[3 + i])
+                    for i in range(3)
+                ]
+                return (
+                    await asyncio.gather(*pre, *post),
+                    key_before,
+                    key_after,
+                )
+
+        outcomes, key_before, key_after = asyncio.run(main())
+        assert key_after != key_before
+        assert [o.status for o in outcomes] == [STATUS_OK] * 6
+        # One 6-request batch would mean stale and fresh requests mixed.
+        assert [o.batch_size for o in outcomes] == [3, 3, 3, 3, 3, 3]
+
+    def test_served_stream_bitwise_matches_direct_engine_replay(self):
+        """Serve the history (batch, delta, batch) and replay it directly
+        on an identically built engine: every prediction must agree bit
+        for bit on the sparse backend, proving post-delta requests solve
+        through the updated factorization, not a stale one."""
+        values = _values(8, seed=31)
+        delta = GraphDelta.from_edges(_DELTA_EDGES)
+
+        served_engine = _engine()
+        config = ServeConfig(batch_window_ms=200.0, drain_on_shutdown=True)
+
+        async def main():
+            async with InferenceServer(served_engine, config) as server:
+                pre = [
+                    server.submit(OBSERVED, values[i]) for i in range(4)
+                ]
+                await asyncio.gather(*pre)
+                server.apply_delta(delta)
+                post = [
+                    server.submit(OBSERVED, values[4 + i])
+                    for i in range(4)
+                ]
+                return [o.prediction for o in await asyncio.gather(*pre)], [
+                    o.prediction for o in await asyncio.gather(*post)
+                ]
+
+        served_pre, served_post = asyncio.run(main())
+
+        direct_engine = _engine()
+        direct_pre = direct_engine.infer_equilibrium_batch(
+            OBSERVED, values[:4]
+        )
+        direct_engine.apply_delta(GraphDelta.from_edges(_DELTA_EDGES))
+        direct_post = direct_engine.infer_equilibrium_batch(
+            OBSERVED, values[4:]
+        )
+        assert direct_engine.incremental_updates == 1
+        assert np.array_equal(np.stack(served_pre), direct_pre)
+        assert np.array_equal(np.stack(served_post), direct_post)
+        # Both engines ended on the same streamed model content.
+        assert served_engine.problem_key() == direct_engine.problem_key()
+
+    def test_apply_delta_counts_and_keeps_serving(self):
+        engine = _engine()
+        config = ServeConfig(batch_window_ms=0.0, drain_on_shutdown=True)
+
+        async def main():
+            async with InferenceServer(engine, config) as server:
+                first = await server.submit(OBSERVED, _values(1)[0])
+                server.apply_delta(GraphDelta.add_edge(3, 15, 0.4))
+                second = await server.submit(OBSERVED, _values(1)[0])
+                return first, second
+
+        first, second = asyncio.run(main())
+        assert first.status == STATUS_OK
+        assert second.status == STATUS_OK
+        assert engine.deltas_applied == 1
+        # Same observed values, different model: predictions moved.
+        assert not np.array_equal(first.prediction, second.prediction)

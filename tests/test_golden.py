@@ -82,6 +82,48 @@ class TestFaultSweepGolden:
         assert entry["scenarios"][0] == {"enabled": False}
 
 
+class TestStreamRunGolden:
+    """``repro stream run`` summary pinned byte-exact.
+
+    The replay is a pure function of the config seed and the per-window
+    MAE is rendered at 4 decimals (slack of ~5e-5, orders of magnitude
+    above BLAS build jitter), so the pinned text is machine-independent.
+    Latency columns are excluded via ``include_latency=False``.
+    """
+
+    CONFIG = dict(
+        n=64, density=0.08, windows=6, batch=8, edges_per_window=3,
+        h_edits_per_window=1, seed=42, backend="sparse",
+    )
+
+    def _summary(self, mode):
+        # Builder of tests/golden/stream_run.txt: this expression (engine
+        # mode) plus a trailing newline.
+        from repro.stream import (
+            StreamConfig, format_stream_summary, run_stream,
+        )
+
+        result = run_stream(StreamConfig(mode=mode, **self.CONFIG))
+        return format_stream_summary(result, include_latency=False)
+
+    def test_engine_replay_matches_golden_exactly(self):
+        expected = (GOLDEN / "stream_run.txt").read_text()
+        assert self._summary("engine") + "\n" == expected
+
+    def test_serve_replay_matches_the_same_golden(self):
+        """Routing every window through the dynamic-batching server must
+        reproduce the direct-engine replay to the rendered digit —
+        per-window update/refactor counts included."""
+        expected = (GOLDEN / "stream_run.txt").read_text()
+        engine_header, _, body = expected.partition("\n")
+        serve = self._summary("serve") + "\n"
+        serve_header, _, serve_body = serve.partition("\n")
+        assert serve_body == body
+        assert serve_header == engine_header.replace(
+            "mode=engine", "mode=serve"
+        )
+
+
 class TestObsSummarizeGolden:
     def test_report_matches_golden_exactly(self):
         # Builder of tests/golden/obs_summary.txt: this expression plus a
