@@ -465,6 +465,111 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the replay summary as JSON to PATH",
     )
 
+    tune = sub.add_parser(
+        "tune",
+        help="search annealing-path configs for an equal-accuracy "
+        "Pareto front (or replay a tuned config with --config)",
+        parents=[common, parallel],
+    )
+    tune.add_argument(
+        "--config",
+        default=None,
+        metavar="PATH",
+        help="replay the winning config of a recorded tune artifact "
+        "instead of searching; exits 1 if the replayed accuracy "
+        "misses the recorded target",
+    )
+    tune.add_argument(
+        "--problem",
+        default="circuit",
+        choices=("circuit", "dspu"),
+        help="circuit = batched CircuitSimulator annealing vs the exact "
+        "equilibrium; dspu = ScalableDSPU sync-interval tuning",
+    )
+    tune.add_argument("--n", type=_positive_int, default=512)
+    tune.add_argument("--density", type=float, default=0.05)
+    tune.add_argument("--batch", type=_positive_int, default=8)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument(
+        "--target-error",
+        type=float,
+        default=1e-4,
+        help="accuracy ceiling (MAE vs the exact reference) a winning "
+        "config must meet",
+    )
+    tune.add_argument("--repeats", type=_positive_int, default=3)
+    tune.add_argument(
+        "--durations",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="NS",
+        help="annealing budgets to search (default depends on --problem)",
+    )
+    tune.add_argument(
+        "--dts", type=float, nargs="+", default=[0.1], metavar="DT",
+        help="fixed/initial step sizes to search",
+    )
+    tune.add_argument(
+        "--rtols",
+        type=float,
+        nargs="+",
+        default=[1e-3],
+        metavar="RTOL",
+        help="adaptive relative tolerances to search ([] disables)",
+    )
+    tune.add_argument(
+        "--settle-tolerances",
+        type=float,
+        nargs="+",
+        default=[1e-7],
+        metavar="TOL",
+        help="early-exit freeze thresholds to search ([] disables)",
+    )
+    tune.add_argument(
+        "--schedules",
+        nargs="+",
+        default=[],
+        metavar="NAME",
+        help="annealing-kick schedule shapes to search "
+        "(linear/geometric/cosine/constant)",
+    )
+    tune.add_argument(
+        "--sync-intervals",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="NS",
+        help="kick intervals (circuit) / sync intervals (dspu) to search",
+    )
+    tune.add_argument(
+        "--restarts",
+        type=_positive_int,
+        nargs="+",
+        default=[],
+        metavar="K",
+        help="best-of-K restart counts to search (circuit only)",
+    )
+    tune.add_argument(
+        "--shard-counts",
+        type=_positive_int,
+        nargs="+",
+        default=[],
+        metavar="S",
+        help="parallel shard counts to search (circuit only)",
+    )
+    tune.add_argument(
+        "--out",
+        default="TUNE_pareto.json",
+        metavar="PATH",
+        help="Pareto artifact output path (search mode)",
+    )
+    tune.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny problem and grid (CI smoke run, finishes in seconds)",
+    )
+
     obs_cmd = sub.add_parser(
         "obs", help="observability utilities", parents=[common]
     )
@@ -867,6 +972,103 @@ def _load_trace_records(path: str) -> list[dict]:
     return records
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .tune import (
+        CircuitProblem,
+        DspuProblem,
+        TuneCandidate,
+        build_grid,
+        load_artifact,
+        replay,
+        save_artifact,
+        search,
+    )
+
+    if args.config is not None:
+        artifact = load_artifact(args.config)
+        row = replay(artifact, repeats=args.repeats)
+        status = "MET" if row["met_target"] else "MISSED"
+        print(
+            f"replayed {row['label']}: error={row['error']:.3e} "
+            f"(target {row['target_error']:.3e}, {status}), "
+            f"latency={row['latency_ms']:.2f} ms"
+        )
+        return 0 if row["met_target"] else 1
+
+    if args.problem == "circuit":
+        if args.smoke:
+            problem = CircuitProblem(
+                n=min(args.n, 128), density=args.density,
+                batch=min(args.batch, 4), seed=args.seed,
+            )
+            durations = args.durations or [20.0, 40.0]
+        else:
+            problem = CircuitProblem(
+                n=args.n, density=args.density, batch=args.batch,
+                seed=args.seed,
+            )
+            durations = args.durations or [25.0, 50.0, 100.0]
+        candidates = build_grid(
+            durations=durations,
+            dts=args.dts,
+            rtols=args.rtols,
+            settle_tolerances=args.settle_tolerances,
+            schedules=args.schedules,
+            sync_intervals=args.sync_intervals or [10.0],
+            restarts=args.restarts,
+            shards=args.shard_counts,
+            workers=getattr(args, "workers", None),
+        )
+    else:
+        problem = DspuProblem(
+            n=min(args.n, 32) if args.smoke else args.n,
+            density=max(args.density, 0.1),
+            seed=args.seed,
+        )
+        durations = args.durations or (
+            [2000.0, 5000.0] if args.smoke else [2000.0, 5000.0, 10000.0]
+        )
+        sync_intervals = args.sync_intervals or [100.0, 200.0, 400.0]
+        candidates = [
+            TuneCandidate(
+                duration=duration,
+                sync_interval=sync,
+                early_exit=early,
+                settle_tolerance=(
+                    args.settle_tolerances[0]
+                    if args.settle_tolerances
+                    else 1e-5
+                ),
+            )
+            for duration in durations
+            for sync in sync_intervals
+            for early in (False, True)
+        ]
+
+    artifact = search(
+        problem, candidates, target_error=args.target_error,
+        repeats=args.repeats,
+    )
+    save_artifact(args.out, artifact)
+    print(
+        f"searched {len(artifact['rows'])} configs on "
+        f"{artifact['problem']['kind']} (n={artifact['problem']['n']}); "
+        f"Pareto front ({len(artifact['front'])} points):"
+    )
+    for row in artifact["front"]:
+        marker = " <- best" if row is artifact["best"] else ""
+        print(
+            f"  {row['latency_ms']:9.2f} ms  error={row['error']:.3e}  "
+            f"{row['label']}{marker}"
+        )
+    status = "met" if artifact["met_target"] else "NOT met"
+    print(
+        f"target error {artifact['target_error']:.3e} {status}; "
+        f"artifact written to {args.out}"
+    )
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     try:
         if args.obs_command == "summarize":
@@ -969,6 +1171,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "obs":
         return _cmd_obs(args)
     return 1

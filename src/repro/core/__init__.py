@@ -9,9 +9,11 @@ annealing inference.
 from .annealing import (
     AnnealingController,
     ConstantSchedule,
+    CosineSchedule,
     GeometricSchedule,
     LinearSchedule,
     Schedule,
+    schedule_from_name,
 )
 from .diagnostics import SpectrumReport, estimate_settling_ns, spectrum_report
 from .dynamics import (
@@ -60,6 +62,7 @@ __all__ = [
     "BatchTrajectory",
     "CircuitSimulator",
     "ConstantSchedule",
+    "CosineSchedule",
     "CouplingOperator",
     "DSGLModel",
     "GeometricSchedule",
@@ -73,6 +76,7 @@ __all__ = [
     "RealValuedHamiltonian",
     "ReducedSystem",
     "Schedule",
+    "schedule_from_name",
     "SpectrumReport",
     "StationaryPointReport",
     "TemporalWindowing",

@@ -22,8 +22,10 @@ __all__ = [
     "Schedule",
     "LinearSchedule",
     "GeometricSchedule",
+    "CosineSchedule",
     "ConstantSchedule",
     "AnnealingController",
+    "schedule_from_name",
 ]
 
 
@@ -67,6 +69,27 @@ class GeometricSchedule(Schedule):
 
 
 @dataclass
+class CosineSchedule(Schedule):
+    """Half-cosine decay from ``start`` to ``end``.
+
+    Flat near both endpoints: strong early exploration (amplitude barely
+    decays in the first tenth of the run) and a gentle landing (nearly
+    zero slope at the end, which keeps late kicks from undoing a settled
+    state).  The annealing-path-planning literature favours such
+    slow-start/slow-stop paths over linear ramps for time-to-solution.
+    """
+
+    start: float = 1.0
+    end: float = 0.0
+
+    def amplitude(self, progress: float) -> float:
+        return float(
+            self.end
+            + (self.start - self.end) * 0.5 * (1.0 + np.cos(np.pi * progress))
+        )
+
+
+@dataclass
 class ConstantSchedule(Schedule):
     """Constant amplitude (used to model a fixed noise floor)."""
 
@@ -74,6 +97,40 @@ class ConstantSchedule(Schedule):
 
     def amplitude(self, progress: float) -> float:
         return self.level
+
+
+def schedule_from_name(
+    name: str, start: float = 1.0, end: float = 0.0
+) -> Schedule:
+    """Build a schedule from its CLI/tuner name.
+
+    ``repro tune`` searches over schedule *shapes* by name; this is the
+    single place those names resolve to classes.
+
+    Args:
+        name: One of ``"linear"``, ``"geometric"``, ``"cosine"``,
+            ``"constant"``.
+        start: Initial amplitude (``constant`` uses it as the level).
+        end: Final amplitude.  ``geometric`` requires it positive; pass
+            the default 0.0 and it is bumped to 1e-3 to keep name-driven
+            construction total.
+
+    Raises:
+        ValueError: Unknown schedule name.
+    """
+    key = name.strip().lower()
+    if key == "linear":
+        return LinearSchedule(start=start, end=end)
+    if key == "geometric":
+        return GeometricSchedule(start=start, end=end if end > 0 else 1e-3)
+    if key == "cosine":
+        return CosineSchedule(start=start, end=end)
+    if key == "constant":
+        return ConstantSchedule(level=start)
+    raise ValueError(
+        f"unknown schedule {name!r}; expected one of "
+        "'linear', 'geometric', 'cosine', 'constant'"
+    )
 
 
 @dataclass

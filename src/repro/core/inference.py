@@ -95,7 +95,11 @@ class InferenceResult:
         prediction: Denormalized values of the free (unknown) nodes.
         state: Full final node-voltage vector (normalized domain).
         trajectory: Recorded evolution, when the circuit path was used.
-        annealing_time_ns: Simulated time the system evolved for.
+        annealing_time_ns: Simulated time the system evolved for.  Equals
+            the requested duration on the fixed-step path; under
+            ``adaptive``/``early_exit`` configs it reports the time the
+            integrator actually covered (early-exit settling can stop
+            before the requested budget).
     """
 
     prediction: np.ndarray
@@ -114,7 +118,9 @@ class BatchInferenceResult:
         states: ``(batch, n)`` final node voltages (normalized domain).
         trajectory: Recorded evolution of the whole batch, when the
             circuit path was used.
-        annealing_time_ns: Simulated time the systems evolved for.
+        annealing_time_ns: Simulated time the systems evolved for (the
+            actual integrated time under ``adaptive``/``early_exit``
+            configs; see :class:`InferenceResult`).
     """
 
     predictions: np.ndarray
@@ -511,11 +517,16 @@ class NaturalAnnealingEngine:
             )
         state = trajectory.final_state
         prediction = self._denormalized_subset(model, free_index, state)
+        annealed = (
+            float(trajectory.times[-1])
+            if (self.config.adaptive or self.config.early_exit)
+            else duration
+        )
         return InferenceResult(
             prediction=prediction,
             state=state,
             trajectory=trajectory,
-            annealing_time_ns=duration,
+            annealing_time_ns=annealed,
         )
 
     def infer_batch(
@@ -606,11 +617,16 @@ class NaturalAnnealingEngine:
         predictions = self._denormalized_free(
             model, free_index, states[:, free_index]
         )
+        annealed = (
+            float(trajectory.times[-1])
+            if (self.config.adaptive or self.config.early_exit)
+            else duration
+        )
         return BatchInferenceResult(
             predictions=predictions,
             states=states,
             trajectory=trajectory,
-            annealing_time_ns=duration,
+            annealing_time_ns=annealed,
         )
 
     def _drift_function(

@@ -179,12 +179,17 @@ class AnnealingOutcome:
         state: Final node voltages (normalized domain).
         latency_ns: Simulated annealing time.  Quantized to whole control
             intervals, rounding *up*: the machine always anneals at least
-            the requested ``duration_ns``.
+            the requested ``duration_ns`` — unless ``early_exit`` settled
+            the run first, in which case it reflects the intervals
+            actually integrated.
         mode: ``"spatial"`` or ``"temporal+spatial"``.
         phases_completed: Switch-in-turn phases executed — one per control
             interval actually integrated.
         sync_skips: Synchronization events lost to injected faults (the
             mapping rotation stalls for each; 0 without fault injection).
+        exited_early: The run settled (state unchanged over
+            ``settle_patience`` consecutive full rotations) and stopped
+            before the requested duration.
     """
 
     prediction: np.ndarray
@@ -194,6 +199,7 @@ class AnnealingOutcome:
     phases_completed: int
     energy_trace: np.ndarray | None = None
     sync_skips: int = 0
+    exited_early: bool = False
 
 
 class ScalableDSPU:
@@ -329,6 +335,9 @@ class ScalableDSPU:
         record_energy: bool = False,
         faults: FaultScenario | NullFaultScenario = NO_FAULTS,
         workers: int | None = 1,
+        early_exit: bool = False,
+        settle_tolerance: float = 1e-4,
+        settle_patience: int = 2,
     ) -> AnnealingOutcome:
         """Run co-annealing inference.
 
@@ -374,6 +383,21 @@ class ScalableDSPU:
                 (the per-PE fan-out; see :meth:`_build_propagators`).
                 Deterministic, so any value — including the default
                 serial 1 — yields bit-for-bit identical outcomes.
+            early_exit: Stop annealing once the rotation orbit has
+                settled.  Settling is judged over *full rotations* (every
+                ``num_phases`` control intervals): the inf-norm change of
+                the state across one rotation must stay at or below
+                ``settle_tolerance`` for ``settle_patience`` consecutive
+                rotations.  Comparing rotation-to-rotation (not
+                interval-to-interval) keeps the time-multiplexing ripple
+                from masking or faking convergence.  The readout stays
+                ripple-filtered over the last full rotation; with
+                ``early_exit=False`` (the default) the schedule, readout,
+                and counters are bit-for-bit unchanged.
+            settle_tolerance: Normalized-volts threshold on the
+                per-rotation state change; must be positive.
+            settle_patience: Consecutive settled rotations required
+                before exiting; must be >= 1.
 
         Returns:
             :class:`AnnealingOutcome`.
@@ -385,6 +409,15 @@ class ScalableDSPU:
         """
         if duration_ns <= 0:
             raise ValueError("duration_ns must be positive")
+        if early_exit:
+            if settle_tolerance <= 0:
+                raise ValueError(
+                    f"settle_tolerance must be positive, got {settle_tolerance}"
+                )
+            if settle_patience < 1:
+                raise ValueError(
+                    f"settle_patience must be >= 1, got {settle_patience}"
+                )
         model = self.model
         n = model.n
         cfg = self.config
@@ -508,6 +541,13 @@ class ScalableDSPU:
             tail_states: list[np.ndarray] = []
             hamiltonian = self.model.hamiltonian() if record_energy else None
             energy_trace: list[float] = []
+            # Early-exit bookkeeping: a rolling window of the last
+            # `rotation` states (so the ripple-filtered readout survives a
+            # mid-run stop) plus the state one rotation ago.
+            settle_reference = sigma.copy() if early_exit else None
+            settle_streak = 0
+            exited_early = False
+            intervals_done = num_intervals
             for k in range(num_intervals):
                 phase = phase_cursor % num_phases
                 if collect:
@@ -539,7 +579,25 @@ class ScalableDSPU:
                     )
                 if hamiltonian is not None:
                     energy_trace.append(hamiltonian.energy(sigma))
-                if k >= num_intervals - rotation:
+                if early_exit:
+                    tail_states.append(sigma.copy())
+                    if len(tail_states) > rotation:
+                        tail_states.pop(0)
+                    if (k + 1) % rotation == 0:
+                        moved = float(
+                            np.max(np.abs(sigma - settle_reference))
+                        )
+                        settle_streak = (
+                            settle_streak + 1
+                            if moved <= settle_tolerance
+                            else 0
+                        )
+                        settle_reference = sigma.copy()
+                        if settle_streak >= settle_patience:
+                            exited_early = True
+                            intervals_done = k + 1
+                            break
+                elif k >= num_intervals - rotation:
                     tail_states.append(sigma.copy())
 
             if collect:
@@ -549,14 +607,16 @@ class ScalableDSPU:
                 # inter-PE synchronization plus one clamp re-assert per
                 # clamped node and one forcing application per phase.
                 registry.counter("dspu.sync_events").inc(
-                    num_intervals - sync_skips
+                    intervals_done - sync_skips
                 )
                 registry.counter("dspu.clamp_asserts").inc(
-                    num_intervals * int(clamp_index.size)
+                    intervals_done * int(clamp_index.size)
                 )
-                registry.counter("dspu.forcing_applies").inc(num_intervals)
+                registry.counter("dspu.forcing_applies").inc(intervals_done)
                 if sync_skips:
                     registry.counter("dspu.sync_skips").inc(sync_skips)
+                if exited_early:
+                    registry.counter("dspu.early_exits").inc()
                 for phase, elapsed in enumerate(phase_elapsed):
                     registry.histogram(f"dspu.phase{phase}_ms").observe(
                         elapsed * 1000.0
@@ -569,19 +629,23 @@ class ScalableDSPU:
             span.set("phases_completed", phases_completed)
             if sync_skips:
                 span.set("sync_skips", sync_skips)
+            if exited_early:
+                span.set("early_exit_intervals", intervals_done)
             logger.debug(
                 "dspu anneal: mode=%s intervals=%d phases_completed=%d "
                 "latency=%.0fns",
-                mode, num_intervals, phases_completed, num_intervals * interval,
+                mode, intervals_done, phases_completed,
+                intervals_done * interval,
             )
         return AnnealingOutcome(
             prediction=prediction,
             state=readout,
-            latency_ns=num_intervals * interval,
+            latency_ns=intervals_done * interval,
             mode=mode,
             phases_completed=phases_completed,
             energy_trace=np.asarray(energy_trace) if record_energy else None,
             sync_skips=sync_skips,
+            exited_early=exited_early,
         )
 
     @staticmethod

@@ -128,6 +128,46 @@ def _shm_transport_lines(counters: dict) -> list[str]:
     return lines
 
 
+def _adaptive_path_lines(counters: dict) -> list[str]:
+    """Derived annealing-path efficiency lines (adaptive / early-exit runs).
+
+    ``circuit.member_steps`` counts member×step work actually executed
+    by adaptive/early-exit integrations; against ``circuit.steps`` ×
+    ``circuit.samples`` it shows the matvec work freeze-out saved.  The
+    step acceptance rate shows how often the PI controller's trials were
+    kept.
+    """
+    lines: list[str] = []
+    member_steps = counters.get("circuit.member_steps")
+    if member_steps is not None:
+        steps = counters.get("circuit.steps") or 0
+        samples = counters.get("circuit.samples") or 0
+        budget = steps * max(samples, 1)
+        if budget:
+            saved = 100.0 * (1.0 - member_steps / budget)
+            lines.append(
+                f"annealing path: {member_steps} member-steps executed "
+                f"({saved:.1f}% of the step budget saved)"
+            )
+        frozen = counters.get("circuit.frozen_members") or 0
+        exits = counters.get("circuit.early_exits") or 0
+        if frozen or exits:
+            lines.append(
+                f"early exit: {frozen} members frozen, "
+                f"{exits} runs exited before budget"
+            )
+    rejected = counters.get("circuit.rejected_steps")
+    if rejected is not None:
+        accepted = counters.get("circuit.steps") or 0
+        total = accepted + rejected
+        if total:
+            lines.append(
+                f"adaptive steps: {100.0 * accepted / total:.1f}% accepted "
+                f"({rejected} rejected)"
+            )
+    return lines
+
+
 def _cache_hit_rate(counters: dict) -> float | None:
     hits = counters.get("engine.cache_hits")
     misses = counters.get("engine.cache_misses")
@@ -192,7 +232,9 @@ def format_metrics(snapshot: dict) -> str:
 
     Appends derived lines when their counters are present: the LU-cache
     hit rate, the shared-memory transport summary (bytes shared vs bytes
-    pickled, attach/detach balance), and mesh halo-exchange volume.
+    pickled, attach/detach balance), mesh halo-exchange volume, and the
+    annealing-path efficiency of adaptive/early-exit integrations
+    (member-step savings, step acceptance rate).
     Returns an empty string for an empty snapshot.
     """
     lines: list[str] = []
@@ -226,6 +268,7 @@ def format_metrics(snapshot: dict) -> str:
     if rate is not None:
         derived.append(f"LU-cache hit rate: {100.0 * rate:.1f}%")
     derived.extend(_shm_transport_lines(counters))
+    derived.extend(_adaptive_path_lines(counters))
     if derived:
         lines.append("")
         lines.extend(derived)

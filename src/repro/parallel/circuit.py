@@ -30,7 +30,19 @@ def expected_record_count(config, duration: float) -> int:
     then every ``record_every``-th step plus the final step — so the
     shared-memory path can preallocate result slabs of the right height
     before any worker runs.
+
+    Only valid for the fixed-step integrator: adaptive step control and
+    early-exit settling record a data-dependent number of frames, so
+    callers must not preallocate for such configs (see
+    :func:`run_batch_sharded`, which falls back to the legacy transport
+    and a two-frame reassembly for them).
     """
+    if getattr(config, "adaptive", False) or getattr(config, "early_exit", False):
+        raise ValueError(
+            "record count is data-dependent under adaptive/early-exit "
+            "integration; expected_record_count only applies to fixed-step "
+            "configs"
+        )
     n_steps = max(1, int(round(duration / config.dt)))
     count = 1 + n_steps // config.record_every
     if n_steps % config.record_every:
@@ -227,6 +239,16 @@ def run_batch_sharded(
     Returns:
         The reassembled :class:`BatchTrajectory` (recorded times are
         shared; states/energies concatenate along the batch axis).
+
+        Under ``config.adaptive`` or ``config.early_exit`` each shard
+        records its own data-dependent time grid, so shard trajectories
+        cannot be concatenated along the batch axis frame-for-frame.
+        Such configs always use the legacy transport (slab heights are
+        unknowable up front) and reassemble to a *two-frame* trajectory —
+        the shared initial state at ``t=0`` and each member's final state
+        stamped at the latest shard finish time — which preserves
+        ``final_states``/``final_energies`` (what every downstream
+        consumer reads) exactly.
     """
     sigma0 = np.asarray(sigma0, dtype=float)
     if sigma0.ndim != 2:
@@ -236,9 +258,18 @@ def run_batch_sharded(
     batch = sigma0.shape[0]
     if batch == 0:
         raise ValueError("cannot shard an empty batch")
+    variable_records = bool(
+        getattr(simulator.config, "adaptive", False)
+        or getattr(simulator.config, "early_exit", False)
+    )
     if shm is True and not shm_available():
         raise RuntimeError("shared memory is unavailable on this platform")
-    use_shm = shm_available() if shm is None else bool(shm)
+    if shm is True and variable_records:
+        raise RuntimeError(
+            "shared-memory transport requires a fixed record count; "
+            "adaptive/early-exit configs must use shm=False or shm=None"
+        )
+    use_shm = (shm_available() if shm is None else bool(shm)) and not variable_records
     num_shards = resolve_num_shards(batch, shards)
     slices = shard_slices(batch, num_shards)
     seeds = spawn_seeds(root_seed, num_shards)
@@ -262,6 +293,20 @@ def run_batch_sharded(
             for part, seed in zip(slices, seeds)
         ]
         parts = parallel_map(_circuit_shard, tasks, workers)
+        if variable_records:
+            # Per-shard time grids differ; keep the (initial, final) frames.
+            final_t = max(float(times[-1]) for times, _, _ in parts)
+            states = np.concatenate(
+                [np.stack([s[0], s[-1]]) for _, s, _ in parts], axis=1
+            )
+            energies = np.concatenate(
+                [np.stack([e[0], e[-1]]) for _, _, e in parts], axis=1
+            )
+            return BatchTrajectory(
+                times=np.array([0.0, final_t]),
+                states=states,
+                energies=energies,
+            )
         times = parts[0][0]
         return BatchTrajectory(
             times=times,

@@ -192,9 +192,18 @@ def infer_batch_sharded(
     batch = values.shape[0]
     if batch == 0:
         raise ValueError("cannot shard an empty batch")
+    variable_records = bool(
+        getattr(engine.config, "adaptive", False)
+        or getattr(engine.config, "early_exit", False)
+    )
     if shm is True and not shm_available():
         raise RuntimeError("shared memory is unavailable on this platform")
-    use_shm = shm_available() if shm is None else bool(shm)
+    if shm is True and variable_records:
+        raise RuntimeError(
+            "shared-memory transport requires a fixed record count; "
+            "adaptive/early-exit configs must use shm=False or shm=None"
+        )
+    use_shm = (shm_available() if shm is None else bool(shm)) and not variable_records
     num_shards = resolve_num_shards(batch, shards)
     slices = shard_slices(batch, num_shards)
     seeds = spawn_seeds(
@@ -207,16 +216,33 @@ def infer_batch_sharded(
             for part, seed in zip(slices, seeds)
         ]
         parts = parallel_map(_infer_shard, tasks, workers)
-        trajectory = BatchTrajectory(
-            times=parts[0][2],
-            states=np.concatenate([p[3] for p in parts], axis=1),
-            energies=np.concatenate([p[4] for p in parts], axis=1),
-        )
+        if variable_records:
+            # Adaptive/early-exit shards record data-dependent time grids;
+            # keep the (initial, final) frames (see
+            # repro.parallel.circuit.run_batch_sharded).
+            final_t = max(float(p[2][-1]) for p in parts)
+            trajectory = BatchTrajectory(
+                times=np.array([0.0, final_t]),
+                states=np.concatenate(
+                    [np.stack([p[3][0], p[3][-1]]) for p in parts], axis=1
+                ),
+                energies=np.concatenate(
+                    [np.stack([p[4][0], p[4][-1]]) for p in parts], axis=1
+                ),
+            )
+            annealed = final_t
+        else:
+            trajectory = BatchTrajectory(
+                times=parts[0][2],
+                states=np.concatenate([p[3] for p in parts], axis=1),
+                energies=np.concatenate([p[4] for p in parts], axis=1),
+            )
+            annealed = duration
         return BatchInferenceResult(
             predictions=np.concatenate([p[0] for p in parts], axis=0),
             states=np.concatenate([p[1] for p in parts], axis=0),
             trajectory=trajectory,
-            annealing_time_ns=duration,
+            annealing_time_ns=annealed,
         )
 
     n = engine.model.n

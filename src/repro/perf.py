@@ -512,6 +512,10 @@ def run_core_benchmarks(
 def _run_benchmark_suite(
     smoke: bool, batch: int, repeats: int, workers: int | None = None
 ) -> list[dict]:
+    # Imported here because repro.tune.bench imports helpers from this
+    # module; a top-level import would be circular.
+    from .tune.bench import bench_tune_suite
+
     results = []
     if smoke:
         results.append(bench_drift(n=96, density=0.05, steps=20, repeats=repeats))
@@ -543,6 +547,7 @@ def _run_benchmark_suite(
             )
         )
         results.extend(bench_stream_suite(smoke=True, repeats=repeats))
+        results.extend(bench_tune_suite(smoke=True, repeats=repeats))
     else:
         for n, density in ((2048, 0.02), (2048, 0.05), (1024, 0.10)):
             results.append(
@@ -580,6 +585,10 @@ def _run_benchmark_suite(
         # Streaming deltas: incremental SMW update vs full refactorization,
         # over delta size × n × density (acceptance: ≥5x at n=4096, 1 edge).
         results.extend(bench_stream_suite(smoke=False, repeats=repeats))
+        # Annealing-path tuning: early-exit freeze-out vs the fixed budget
+        # and adaptive steps vs a conservative dt (acceptance: early-exit
+        # ≥2x at n=2048 at equal accuracy).
+        results.extend(bench_tune_suite(smoke=False, repeats=repeats))
     return results
 
 
@@ -598,12 +607,15 @@ def format_bench(payload: dict) -> str:
         if "baseline_ms" not in r:
             continue
         stats = r.get("optimized_stats", {})
+        # Tune rows carry an absolute MAE vs the exact fixed point
+        # instead of a baseline-vs-optimized output diff.
+        diff = r.get("max_abs_diff", r.get("optimized_mae", float("nan")))
         lines.append(
             f"{r['name']:<36s} {r['n']:>5d} {r['density']:>5.2f} "
             f"{r['baseline_ms']:>9.2f} {r['optimized_ms']:>9.2f} "
             f"{stats.get('median_ms', r['optimized_ms']):>9.2f} "
             f"{stats.get('p90_ms', r['optimized_ms']):>9.2f} "
-            f"{r['speedup']:>7.1f}x {r['max_abs_diff']:>10.2e}"
+            f"{r['speedup']:>7.1f}x {diff:>10.2e}"
         )
     for r in payload["results"]:
         if "cache_hit_rate" in r:

@@ -1,0 +1,36 @@
+"""Annealing-path autotuning: Pareto search over integration configs.
+
+See :mod:`repro.tune.search` for the search/replay machinery and
+:mod:`repro.tune.bench` for the equal-accuracy-at-lower-latency
+benchmark rows recorded in ``BENCH_core.json``.
+"""
+
+from .bench import bench_tune_suite
+from .search import (
+    CircuitProblem,
+    DspuProblem,
+    TuneCandidate,
+    build_grid,
+    build_problem,
+    evaluate_candidate,
+    load_artifact,
+    pareto_front,
+    replay,
+    save_artifact,
+    search,
+)
+
+__all__ = [
+    "CircuitProblem",
+    "DspuProblem",
+    "TuneCandidate",
+    "bench_tune_suite",
+    "build_grid",
+    "build_problem",
+    "evaluate_candidate",
+    "load_artifact",
+    "pareto_front",
+    "replay",
+    "save_artifact",
+    "search",
+]

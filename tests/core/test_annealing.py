@@ -6,8 +6,10 @@ import pytest
 from repro.core import (
     AnnealingController,
     ConstantSchedule,
+    CosineSchedule,
     GeometricSchedule,
     LinearSchedule,
+    schedule_from_name,
 )
 
 
@@ -37,6 +39,46 @@ class TestSchedules:
     def test_constant(self):
         schedule = ConstantSchedule(level=0.3)
         assert schedule(0.0) == schedule(1.0) == 0.3
+
+    def test_cosine_endpoints_and_monotonicity(self):
+        schedule = CosineSchedule(start=1.0, end=0.1)
+        assert np.isclose(schedule(0.0), 1.0)
+        assert np.isclose(schedule(1.0), 0.1)
+        assert np.isclose(schedule(0.5), 0.55)
+        values = [schedule(p) for p in np.linspace(0, 1, 11)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_cosine_is_flat_at_the_endpoints(self):
+        """The slow-start/slow-stop property linear ramps lack: the decay
+        over the first tenth of the run is far smaller than the decay
+        over the middle tenth."""
+        schedule = CosineSchedule(start=1.0, end=0.0)
+        early_drop = schedule(0.0) - schedule(0.1)
+        middle_drop = schedule(0.45) - schedule(0.55)
+        assert early_drop < middle_drop / 3
+
+
+class TestScheduleFromName:
+    def test_resolves_every_name(self):
+        assert isinstance(schedule_from_name("linear"), LinearSchedule)
+        assert isinstance(schedule_from_name("cosine"), CosineSchedule)
+        assert isinstance(schedule_from_name("constant"), ConstantSchedule)
+        assert isinstance(
+            schedule_from_name("geometric", end=0.01), GeometricSchedule
+        )
+
+    def test_names_are_case_insensitive(self):
+        assert isinstance(schedule_from_name(" Cosine "), CosineSchedule)
+
+    def test_geometric_zero_end_is_bumped(self):
+        # Name-driven construction must stay total: the geometric
+        # schedule cannot take end=0, so the factory bumps it.
+        schedule = schedule_from_name("geometric", start=1.0, end=0.0)
+        assert schedule(1.0) > 0.0
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="schedule"):
+            schedule_from_name("quantum")
 
 
 class TestController:

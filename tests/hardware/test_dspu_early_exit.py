@@ -1,0 +1,101 @@
+"""Tests of DSPU early-exit settling (rotation-orbit freeze-out).
+
+Convergence on the time-multiplexed machine is judged over whole
+rotations: within a rotation the duty-cycle boost makes the state
+ripple, so a per-interval check would mistake the ripple for motion (or
+a lull for convergence).  Early exit must therefore only fire on
+rotation boundaries and must leave the disabled path untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.hardware import HardwareConfig, ScalableDSPU
+
+
+@pytest.fixture(scope="module")
+def dspu(decomposed_traffic):
+    config = HardwareConfig(
+        grid_shape=(3, 3),
+        pe_capacity=decomposed_traffic.placement.capacity,
+        lanes=8,
+    )
+    return ScalableDSPU(
+        decomposed_traffic, config, node_time_constant_ns=500.0
+    )
+
+
+@pytest.fixture(scope="module")
+def anneal_inputs(traffic_setup):
+    tw = traffic_setup["windowing"]
+    test = traffic_setup["test"].series
+    return tw.observed_index, tw.history_of(test, 3)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_settle_tolerance(self, dspu, anneal_inputs):
+        observed, history = anneal_inputs
+        with pytest.raises(ValueError, match="settle_tolerance"):
+            dspu.anneal(
+                observed, history, duration_ns=1000.0,
+                early_exit=True, settle_tolerance=0.0,
+            )
+
+    def test_rejects_bad_settle_patience(self, dspu, anneal_inputs):
+        observed, history = anneal_inputs
+        with pytest.raises(ValueError, match="settle_patience"):
+            dspu.anneal(
+                observed, history, duration_ns=1000.0,
+                early_exit=True, settle_patience=0,
+            )
+
+
+class TestEarlyExit:
+    def test_disabled_path_identical(self, dspu, anneal_inputs):
+        """An unreachable tolerance arms the check without ever firing;
+        prediction and latency must match the legacy run exactly."""
+        observed, history = anneal_inputs
+        legacy = dspu.anneal(observed, history, duration_ns=20000.0)
+        armed = dspu.anneal(
+            observed, history, duration_ns=20000.0,
+            early_exit=True, settle_tolerance=1e-300,
+        )
+        assert np.array_equal(legacy.prediction, armed.prediction)
+        assert legacy.latency_ns == armed.latency_ns
+        assert not legacy.exited_early
+        assert not armed.exited_early
+
+    def test_settled_run_exits_with_shorter_latency(self, dspu, anneal_inputs):
+        observed, history = anneal_inputs
+        full = dspu.anneal(observed, history, duration_ns=100000.0)
+        early = dspu.anneal(
+            observed, history, duration_ns=100000.0,
+            early_exit=True, settle_tolerance=1e-3,
+        )
+        assert early.exited_early
+        assert early.latency_ns < full.latency_ns
+        # The freeze-out point is within tolerance of the full readout.
+        assert np.max(np.abs(early.prediction - full.prediction)) < 0.05
+
+    def test_exit_latency_is_whole_rotations(self, dspu, anneal_inputs):
+        """Early exit only fires on rotation boundaries, so the realized
+        latency stays a whole number of rotations."""
+        observed, history = anneal_inputs
+        early = dspu.anneal(
+            observed, history, duration_ns=100000.0,
+            early_exit=True, settle_tolerance=1e-3, sync_interval_ns=200.0,
+        )
+        assert early.exited_early
+        rotation_ns = 200.0 * dspu.num_phases
+        assert early.latency_ns % rotation_ns == pytest.approx(0.0)
+
+    def test_early_exit_counter_recorded(self, dspu, anneal_inputs):
+        observed, history = anneal_inputs
+        with obs.metrics_enabled() as registry:
+            dspu.anneal(
+                observed, history, duration_ns=100000.0,
+                early_exit=True, settle_tolerance=1e-3,
+            )
+            counters = registry.snapshot()["counters"]
+        assert counters.get("dspu.early_exits") == 1

@@ -85,3 +85,35 @@ class TestFormatting:
             {"counters": {"engine.cache_misses": 3}, "gauges": {}, "histograms": {}}
         )
         assert "LU-cache hit rate: 0.0%" in text
+
+    def test_format_metrics_annealing_path_lines(self):
+        text = format_metrics(
+            {
+                "counters": {
+                    "circuit.steps": 100,
+                    "circuit.samples": 8,
+                    "circuit.member_steps": 400,
+                    "circuit.frozen_members": 8,
+                    "circuit.early_exits": 1,
+                    "circuit.rejected_steps": 25,
+                },
+                "gauges": {},
+                "histograms": {},
+            }
+        )
+        assert "400 member-steps executed (50.0% of the step budget saved)" in text
+        assert "early exit: 8 members frozen, 1 runs exited before budget" in text
+        assert "adaptive steps: 80.0% accepted (25 rejected)" in text
+
+    def test_format_metrics_fixed_runs_show_no_adaptive_lines(self):
+        # The fixed-step path records only steps/samples; none of the
+        # derived annealing-path lines may appear for it.
+        text = format_metrics(
+            {
+                "counters": {"circuit.steps": 100, "circuit.samples": 8},
+                "gauges": {},
+                "histograms": {},
+            }
+        )
+        assert "member-steps" not in text
+        assert "adaptive steps" not in text

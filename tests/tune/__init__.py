@@ -1,0 +1,1 @@
+"""Tests of the annealing-path autotuner."""
